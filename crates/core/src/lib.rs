@@ -1,0 +1,38 @@
+//! The TPU v4 supercomputer: the paper's primary contribution as one
+//! composable object.
+//!
+//! A [`Supercomputer`] owns an OCS [`Fabric`](tpu_ocs::Fabric) (64 blocks
+//! = 4096 chips, 48 Palomar switches), schedules jobs onto
+//! reconfigurable slices (regular or twisted tori), injects and repairs
+//! host failures, and answers performance queries (collective times on a
+//! job's actual chip-level link graph).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_core::{Collective, JobSpec, Supercomputer};
+//! use tpu_ocs::SliceSpec;
+//! use tpu_topology::SliceShape;
+//!
+//! let mut sc = Supercomputer::tpu_v4();
+//! let job = sc.submit(JobSpec::new(
+//!     "llm-pretrain",
+//!     SliceSpec::twisted(SliceShape::new(4, 4, 8)?)?,
+//! ))?;
+//! let t = sc.collective_time(job, Collective::AllReduce { bytes: 1 << 30 })?;
+//! assert!(t > 0.0);
+//! sc.finish(job)?;
+//! # Ok::<(), tpu_core::SupercomputerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod machine;
+
+pub use error::SupercomputerError;
+pub use machine::{Collective, JobId, JobSpec, RunningJob, Supercomputer};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SupercomputerError>;

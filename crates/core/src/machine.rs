@@ -1,0 +1,417 @@
+//! The supercomputer object: fabric + job table + performance queries.
+
+use crate::{Result, SupercomputerError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use tpu_net::{collectives, AllToAll, LinkRate};
+use tpu_ocs::{BlockId, Fabric, MaterializedSlice, SliceSpec};
+
+/// Identifier of a running job.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Creates a job id (normally produced by [`Supercomputer::submit`]).
+    pub fn new(raw: u64) -> JobId {
+        JobId(raw)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A job submission: a name and the slice it wants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    name: String,
+    slice: SliceSpec,
+}
+
+impl JobSpec {
+    /// Creates a job spec.
+    pub fn new(name: impl Into<String>, slice: SliceSpec) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            slice,
+        }
+    }
+
+    /// Job name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Requested slice.
+    pub fn slice(&self) -> &SliceSpec {
+        &self.slice
+    }
+}
+
+/// A running job and its materialized slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJob {
+    id: JobId,
+    spec: JobSpec,
+    slice: MaterializedSlice,
+}
+
+impl RunningJob {
+    /// Job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The submission.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// The live slice.
+    pub fn slice(&self) -> &MaterializedSlice {
+        &self.slice
+    }
+}
+
+/// A collective operation to time on a job's slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Collective {
+    /// All-reduce of `bytes` (gradient aggregation).
+    AllReduce {
+        /// Payload per replica.
+        bytes: u64,
+    },
+    /// Uniform all-to-all with `bytes_per_pair` between every ordered
+    /// pair (embedding exchange).
+    AllToAll {
+        /// Bytes per ordered pair.
+        bytes_per_pair: u64,
+    },
+}
+
+/// One TPU v4 supercomputer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Supercomputer {
+    fabric: Fabric,
+    jobs: BTreeMap<JobId, RunningJob>,
+    next_id: u64,
+    link_rate_gbps: f64,
+}
+
+impl Supercomputer {
+    /// The full 4096-chip machine.
+    pub fn tpu_v4() -> Supercomputer {
+        Supercomputer::with_fabric(Fabric::tpu_v4())
+    }
+
+    /// A machine over a custom fabric (e.g. partially deployed).
+    pub fn with_fabric(fabric: Fabric) -> Supercomputer {
+        Supercomputer {
+            fabric,
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            link_rate_gbps: LinkRate::TPU_V4_ICI.gb_per_s(),
+        }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Total chips installed.
+    pub fn total_chips(&self) -> u64 {
+        self.fabric.chip_count()
+    }
+
+    /// Chips currently allocated to jobs.
+    pub fn chips_in_use(&self) -> u64 {
+        self.jobs.values().map(|j| j.slice.chips()).sum()
+    }
+
+    /// Machine utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.total_chips() == 0 {
+            return 0.0;
+        }
+        self.chips_in_use() as f64 / self.total_chips() as f64
+    }
+
+    /// Running jobs, by id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &RunningJob> {
+        self.jobs.values()
+    }
+
+    /// Submits a job: allocates blocks anywhere in the machine and
+    /// programs the OCSes (§2.5: "it can pick four 4³ blocks from
+    /// anywhere in the supercomputer").
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors (insufficient healthy blocks, bad shape).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId> {
+        let slice = self.fabric.allocate(spec.slice())?;
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            RunningJob {
+                id,
+                spec,
+                slice,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Finishes a job, releasing its blocks and circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupercomputerError::UnknownJob`] for an id that is not
+    /// running.
+    pub fn finish(&mut self, id: JobId) -> Result<()> {
+        let job = self
+            .jobs
+            .remove(&id)
+            .ok_or(SupercomputerError::UnknownJob { job: id })?;
+        self.fabric.release(job.slice())?;
+        Ok(())
+    }
+
+    /// Reconfigures a running job's topology in place (§2.7: per-job
+    /// configuration "is not a fundamental limitation of the OCS") —
+    /// e.g. switching a 4×4×8 from regular to twisted. The job keeps the
+    /// same blocks; only OCS routing tables change.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors if the new spec needs a different block count or an
+    /// inexpressible twist.
+    pub fn reconfigure(&mut self, id: JobId, new_slice: SliceSpec) -> Result<()> {
+        let job = self
+            .jobs
+            .get(&id)
+            .ok_or(SupercomputerError::UnknownJob { job: id })?;
+        let blocks: Vec<BlockId> = job.slice().blocks().to_vec();
+        self.fabric.release(job.slice())?;
+        match self.fabric.allocate_on(&new_slice, blocks) {
+            Ok(slice) => {
+                let job = self.jobs.get_mut(&id).expect("checked above");
+                job.spec = JobSpec::new(job.spec.name().to_owned(), new_slice);
+                job.slice = slice;
+                Ok(())
+            }
+            Err(e) => {
+                // Roll back: re-materialize the old slice on its blocks.
+                let job = self.jobs.get_mut(&id).expect("checked above");
+                let old_blocks = job.slice.blocks().to_vec();
+                job.slice = self
+                    .fabric
+                    .allocate_on(job.spec.slice(), old_blocks)
+                    .expect("rollback to prior slice always succeeds");
+                Err(e.into())
+            }
+        }
+    }
+
+    /// A running job by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupercomputerError::UnknownJob`] if absent.
+    pub fn job(&self, id: JobId) -> Result<&RunningJob> {
+        self.jobs
+            .get(&id)
+            .ok_or(SupercomputerError::UnknownJob { job: id })
+    }
+
+    /// Marks a CPU host down. Running jobs keep their circuits (HPC-style
+    /// checkpoint/restore handles mid-job failures); new jobs route
+    /// around the block.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors for an unknown block.
+    pub fn inject_host_failure(&mut self, block: BlockId, host: u32) -> Result<()> {
+        self.fabric.set_host_up(block, host, false)?;
+        Ok(())
+    }
+
+    /// Repairs a CPU host.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors for an unknown block.
+    pub fn repair_host(&mut self, block: BlockId, host: u32) -> Result<()> {
+        self.fabric.set_host_up(block, host, true)?;
+        Ok(())
+    }
+
+    /// Steady-state time of a collective on a job's slice, seconds.
+    ///
+    /// All-reduce uses the analytic multi-ring torus schedule; all-to-all
+    /// uses the per-link load model over the job's actual (possibly
+    /// twisted) chip graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupercomputerError::UnknownJob`] if absent.
+    pub fn collective_time(&self, id: JobId, op: Collective) -> Result<f64> {
+        let job = self.job(id)?;
+        let rate = LinkRate::from_gb_per_s(self.link_rate_gbps);
+        match op {
+            Collective::AllReduce { bytes } => Ok(collectives::torus_all_reduce_time(
+                job.spec().slice().shape(),
+                bytes as f64,
+                rate,
+                collectives::AllReduceSchedule::MultiPath,
+            )),
+            Collective::AllToAll { bytes_per_pair } => {
+                let analysis = AllToAll::analyze(job.slice().chip_graph(), bytes_per_pair, rate);
+                Ok(analysis.completion_time())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_topology::SliceShape;
+
+    fn shape(x: u32, y: u32, z: u32) -> SliceShape {
+        SliceShape::new(x, y, z).unwrap()
+    }
+
+    #[test]
+    fn submit_run_finish() {
+        let mut sc = Supercomputer::tpu_v4();
+        assert_eq!(sc.total_chips(), 4096);
+        let id = sc
+            .submit(JobSpec::new("a", SliceSpec::regular(shape(8, 8, 8))))
+            .unwrap();
+        assert_eq!(sc.chips_in_use(), 512);
+        assert!((sc.utilization() - 0.125).abs() < 1e-9);
+        sc.finish(id).unwrap();
+        assert_eq!(sc.chips_in_use(), 0);
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let mut sc = Supercomputer::tpu_v4();
+        let err = sc.finish(JobId::new(99)).unwrap_err();
+        assert_eq!(err, SupercomputerError::UnknownJob { job: JobId::new(99) });
+    }
+
+    #[test]
+    fn many_jobs_share_the_machine() {
+        let mut sc = Supercomputer::tpu_v4();
+        let mut ids = Vec::new();
+        // 64 single-block jobs fill the machine.
+        for i in 0..64 {
+            ids.push(
+                sc.submit(JobSpec::new(
+                    format!("job{i}"),
+                    SliceSpec::regular(shape(4, 4, 4)),
+                ))
+                .unwrap(),
+            );
+        }
+        assert!((sc.utilization() - 1.0).abs() < 1e-9);
+        // Machine full.
+        assert!(sc
+            .submit(JobSpec::new("extra", SliceSpec::regular(shape(4, 4, 4))))
+            .is_err());
+        for id in ids {
+            sc.finish(id).unwrap();
+        }
+        assert_eq!(sc.utilization(), 0.0);
+    }
+
+    #[test]
+    fn failure_routes_around_block() {
+        let mut sc = Supercomputer::tpu_v4();
+        sc.inject_host_failure(BlockId::new(0), 3).unwrap();
+        // A 63-block machine still fits 63 block-jobs but not 64.
+        for i in 0..63 {
+            sc.submit(JobSpec::new(
+                format!("j{i}"),
+                SliceSpec::regular(shape(4, 4, 4)),
+            ))
+            .unwrap();
+        }
+        assert!(sc
+            .submit(JobSpec::new("last", SliceSpec::regular(shape(4, 4, 4))))
+            .is_err());
+        sc.repair_host(BlockId::new(0), 3).unwrap();
+        assert!(sc
+            .submit(JobSpec::new("last", SliceSpec::regular(shape(4, 4, 4))))
+            .is_ok());
+    }
+
+    #[test]
+    fn reconfigure_to_twisted_keeps_blocks() {
+        let mut sc = Supercomputer::tpu_v4();
+        let id = sc
+            .submit(JobSpec::new("t", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let before: Vec<BlockId> = sc.job(id).unwrap().slice().blocks().to_vec();
+        sc.reconfigure(id, SliceSpec::twisted(shape(4, 4, 8)).unwrap())
+            .unwrap();
+        let after: Vec<BlockId> = sc.job(id).unwrap().slice().blocks().to_vec();
+        assert_eq!(before, after, "reconfiguration must keep the same racks");
+        assert!(sc.job(id).unwrap().spec().slice().twist().is_some());
+    }
+
+    #[test]
+    fn reconfigure_rolls_back_on_failure() {
+        let mut sc = Supercomputer::tpu_v4();
+        let id = sc
+            .submit(JobSpec::new("t", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        // New spec needs 8 blocks but the job holds 2: rejected.
+        let err = sc.reconfigure(id, SliceSpec::regular(shape(8, 8, 8)));
+        assert!(err.is_err());
+        // The job still runs on its original slice.
+        assert_eq!(sc.job(id).unwrap().slice().chips(), 128);
+        assert_eq!(sc.chips_in_use(), 128);
+        sc.finish(id).unwrap();
+    }
+
+    #[test]
+    fn twisted_all_to_all_beats_regular() {
+        let mut sc = Supercomputer::tpu_v4();
+        let reg = sc
+            .submit(JobSpec::new("r", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let tw = sc
+            .submit(JobSpec::new("t", SliceSpec::twisted(shape(4, 4, 8)).unwrap()))
+            .unwrap();
+        let op = Collective::AllToAll { bytes_per_pair: 4096 };
+        let t_reg = sc.collective_time(reg, op).unwrap();
+        let t_tw = sc.collective_time(tw, op).unwrap();
+        assert!(t_tw < t_reg, "twisted {t_tw} vs regular {t_reg}");
+    }
+
+    #[test]
+    fn all_reduce_time_positive_and_scales() {
+        let mut sc = Supercomputer::tpu_v4();
+        let id = sc
+            .submit(JobSpec::new("ar", SliceSpec::regular(shape(8, 8, 8))))
+            .unwrap();
+        let t1 = sc
+            .collective_time(id, Collective::AllReduce { bytes: 1 << 30 })
+            .unwrap();
+        let t2 = sc
+            .collective_time(id, Collective::AllReduce { bytes: 1 << 31 })
+            .unwrap();
+        assert!(t1 > 0.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

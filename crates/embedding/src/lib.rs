@@ -1,0 +1,39 @@
+//! Embedding tables, categorical features and synthetic DLRM workloads.
+//!
+//! Implements §3.1–§3.3 of the paper: embedding tables as lookup tables
+//! over categorical vocabularies ([`table`]), univalent/multivalent
+//! features with skewed (Zipf) popularity ([`feature`]), the four
+//! distribution strategies — row, column, table sharding and replication —
+//! ([`sharding`]), and descriptor/generators for production-scale DLRMs
+//! ([`dlrm`], [`batch`]), including the deliberately small MLPerf-DLRM of
+//! §7.9.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_embedding::{DlrmConfig, BatchGenerator};
+//!
+//! let dlrm0 = DlrmConfig::dlrm0();
+//! assert!(dlrm0.embedding_param_count() > 1e10 as u64); // ~20B params
+//!
+//! let mut generator = BatchGenerator::new(&dlrm0, 42);
+//! let batch = generator.generate(32);
+//! assert!(batch.stats().dedup_factor() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dlrm;
+pub mod feature;
+pub mod optimizer;
+pub mod sharding;
+pub mod table;
+
+pub use batch::{Batch, BatchGenerator, BatchStats};
+pub use dlrm::DlrmConfig;
+pub use feature::{FeatureSpec, Popularity, Valency};
+pub use optimizer::EmbeddingOptimizer;
+pub use sharding::{Sharding, ShardingPlan};
+pub use table::EmbeddingTable;

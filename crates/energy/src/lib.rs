@@ -1,0 +1,27 @@
+//! Power measurement and operational-carbon accounting (§7.6, Table 6).
+//!
+//! * [`mlperf_power`] — measured per-chip power of 64-chip systems
+//!   running MLPerf (Table 6: A100 uses 1.3×–1.9× more power).
+//! * [`carbon`] — the "4Ms" operational CO₂e model: Model, Machine
+//!   (perf/W), Mechanization (PUE) and Map (grid carbon intensity),
+//!   reproducing the ~2.85× energy and ~18–20× CO₂e advantages.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_energy::carbon::{CarbonModel, Datacenter};
+//!
+//! let tpu = Datacenter::google_oklahoma();
+//! let onprem = Datacenter::average_on_premise();
+//! let ratio = CarbonModel::paper_default().co2e_ratio(&onprem, &tpu);
+//! assert!(ratio > 15.0 && ratio < 22.0); // paper: ~18.3x / ~20x
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carbon;
+pub mod mlperf_power;
+
+pub use carbon::{CarbonModel, Datacenter};
+pub use mlperf_power::{MlperfPowerRow, Table6};

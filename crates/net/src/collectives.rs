@@ -1,0 +1,169 @@
+//! Closed-form collective cost models on tori and meshes.
+//!
+//! These are the bandwidth-optimal schedules the paper's analysis assumes:
+//! dimension-sequential reduce-scatter + all-gather rings for all-reduce
+//! (§2.7 "all-reduce ... maps well to 2D and 3D tori"), with both directions
+//! of each ring driven simultaneously, and an optional multi-path variant
+//! that splits the payload across the three dimension orderings so all six
+//! ICI links stay busy.
+
+use crate::units::LinkRate;
+use serde::{Deserialize, Serialize};
+use tpu_topology::SliceShape;
+
+/// Which all-reduce schedule to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllReduceSchedule {
+    /// Reduce-scatter then all-gather, one torus dimension at a time; at
+    /// any moment only one dimension's links are busy.
+    Sequential,
+    /// Payload split across the dimension orderings so every dimension's
+    /// links run concurrently (the "optimized all-reduce" of §7.3).
+    MultiPath,
+}
+
+/// Time for a bandwidth-optimal ring all-reduce of `bytes` over `nodes`
+/// ring members, with `rings` independent rings sharing the payload and
+/// both ring directions in use.
+///
+/// Returns 0 for rings of fewer than 2 nodes.
+pub fn ring_all_reduce_time(nodes: u64, bytes: f64, rate: LinkRate, rings: u32) -> f64 {
+    if nodes < 2 || rings == 0 {
+        return 0.0;
+    }
+    let p = nodes as f64;
+    // Reduce-scatter + all-gather each move (p-1)/p of the payload past
+    // every node; two directions double the effective rate.
+    2.0 * (p - 1.0) / p * bytes / (2.0 * rate.bytes_per_s() * f64::from(rings))
+}
+
+/// All-reduce time of `bytes` on a 3D torus of the given shape.
+///
+/// Sequential schedule: reduce-scatter x, y, z then all-gather z, y, x; the
+/// payload shrinks by each dimension's extent as it is scattered.
+/// Multi-path: the same cost divided by the number of non-degenerate
+/// dimensions, modelling payload split across dimension orderings.
+pub fn torus_all_reduce_time(
+    shape: SliceShape,
+    bytes: f64,
+    rate: LinkRate,
+    schedule: AllReduceSchedule,
+) -> f64 {
+    let extents = [shape.x(), shape.y(), shape.z()];
+    let active = extents.iter().filter(|&&k| k > 1).count();
+    if active == 0 {
+        return 0.0;
+    }
+    let mut time = 0.0;
+    let mut volume = bytes;
+    for &k in extents.iter().filter(|&&k| k > 1) {
+        time += ring_all_reduce_time(u64::from(k), volume, rate, 1);
+        volume /= f64::from(k);
+    }
+    match schedule {
+        AllReduceSchedule::Sequential => time,
+        AllReduceSchedule::MultiPath => time / active as f64,
+    }
+}
+
+/// All-gather time of `bytes` total gathered volume on a torus.
+///
+/// Each dimension's ring moves the (growing) payload once; this is half an
+/// all-reduce (no reduce-scatter pass).
+pub fn torus_all_gather_time(shape: SliceShape, bytes: f64, rate: LinkRate) -> f64 {
+    let extents = [shape.x(), shape.y(), shape.z()];
+    let mut time = 0.0;
+    let mut volume = bytes;
+    for &k in extents.iter().filter(|&&k| k > 1) {
+        let p = f64::from(k);
+        time += (p - 1.0) / p * volume / (2.0 * rate.bytes_per_s());
+        volume /= p;
+    }
+    time
+}
+
+/// All-reduce on a mesh (no wraparound): the missing wrap links halve the
+/// usable collective bandwidth (§2.6), so the cost is twice the torus's.
+pub fn mesh_all_reduce_time(shape: SliceShape, bytes: f64, rate: LinkRate) -> f64 {
+    2.0 * torus_all_reduce_time(shape, bytes, rate, AllReduceSchedule::Sequential)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RATE: LinkRate = LinkRate::TPU_V4_ICI;
+
+    #[test]
+    fn single_node_is_free() {
+        assert_eq!(ring_all_reduce_time(1, 1e9, RATE, 1), 0.0);
+        let s = SliceShape::new(1, 1, 1).unwrap();
+        assert_eq!(
+            torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ring_time_approaches_bandwidth_limit() {
+        // Large ring: time -> 2V / (2 * rate) = V / rate.
+        let t = ring_all_reduce_time(1_000_000, 50e9, RATE, 1);
+        assert!((t - 1.0).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn more_rings_scale_down_time() {
+        let one = ring_all_reduce_time(64, 1e9, RATE, 1);
+        let three = ring_all_reduce_time(64, 1e9, RATE, 3);
+        assert!((one / three - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_first_dimension_dominates() {
+        let s = SliceShape::new(8, 8, 8).unwrap();
+        let total = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let first = ring_all_reduce_time(8, 1e9, RATE, 1);
+        // Later dimensions operate on payload/8 and payload/64.
+        assert!(total > first && total < first * 1.3, "total = {total}");
+    }
+
+    #[test]
+    fn multipath_is_three_times_faster_on_cube() {
+        let s = SliceShape::new(8, 8, 8).unwrap();
+        let seq = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let par = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::MultiPath);
+        assert!((seq / par - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_is_twice_torus() {
+        let s = SliceShape::new(4, 4, 4).unwrap();
+        let torus = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let mesh = mesh_all_reduce_time(s, 1e9, RATE);
+        assert!((mesh / torus - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_gather_is_half_all_reduce() {
+        let s = SliceShape::new(4, 8, 8).unwrap();
+        let ar = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let ag = torus_all_gather_time(s, 1e9, RATE);
+        assert!((ar / ag - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_dimensions_skipped() {
+        let s3 = SliceShape::new(4, 1, 1).unwrap();
+        let ring = ring_all_reduce_time(4, 1e9, RATE, 1);
+        let torus = torus_all_reduce_time(s3, 1e9, RATE, AllReduceSchedule::Sequential);
+        assert!((ring - torus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_payload_takes_longer() {
+        let s = SliceShape::new(4, 4, 8).unwrap();
+        let a = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let b = torus_all_reduce_time(s, 2e9, RATE, AllReduceSchedule::Sequential);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

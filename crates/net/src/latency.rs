@@ -1,0 +1,125 @@
+//! Alpha-beta (latency + bandwidth) collective costs.
+//!
+//! The steady-state models in [`crate::collectives`] are pure-bandwidth;
+//! they are exact for the large transfers of Figure 6 but underestimate
+//! small-message collectives, where per-hop latency dominates — the same
+//! fixed-overhead regime that §7.9 blames for MLPerf-DLRM's scaling wall.
+//! This module adds the `alpha` term.
+
+use crate::units::LinkRate;
+use serde::{Deserialize, Serialize};
+use tpu_topology::SliceShape;
+
+/// Latency/bandwidth parameters of one link hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaBeta {
+    /// Per-message, per-hop latency, seconds (DMA setup + wire + router).
+    pub alpha_s: f64,
+    /// Link rate (the beta term's reciprocal scale).
+    pub rate: LinkRate,
+}
+
+impl AlphaBeta {
+    /// ICI-class defaults: ~1 µs per hop (§8 notes each chip keeps "tens
+    /// of thousands of outstanding memory requests" precisely to hide
+    /// this latency).
+    pub fn tpu_v4_ici() -> AlphaBeta {
+        AlphaBeta {
+            alpha_s: 1e-6,
+            rate: LinkRate::TPU_V4_ICI,
+        }
+    }
+
+    /// Ring all-reduce of `bytes` over `nodes` members: `2(p−1)` steps,
+    /// each paying alpha plus its share of the payload.
+    pub fn ring_all_reduce_time(&self, nodes: u64, bytes: f64) -> f64 {
+        if nodes < 2 {
+            return 0.0;
+        }
+        let p = nodes as f64;
+        let steps = 2.0 * (p - 1.0);
+        steps * self.alpha_s + 2.0 * (p - 1.0) / p * bytes / (2.0 * self.rate.bytes_per_s())
+    }
+
+    /// Dimension-sequential torus all-reduce with latency.
+    pub fn torus_all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
+        let mut time = 0.0;
+        let mut volume = bytes;
+        for &k in [shape.x(), shape.y(), shape.z()].iter().filter(|&&k| k > 1) {
+            time += self.ring_all_reduce_time(u64::from(k), volume);
+            volume /= f64::from(k);
+        }
+        time
+    }
+
+    /// The payload size at which latency and bandwidth terms are equal
+    /// for a ring of `nodes` (below this, the collective is
+    /// latency-bound).
+    pub fn crossover_bytes(&self, nodes: u64) -> f64 {
+        if nodes < 2 {
+            return 0.0;
+        }
+        let p = nodes as f64;
+        // steps·alpha == (p-1)/p · bytes / rate
+        2.0 * (p - 1.0) * self.alpha_s * self.rate.bytes_per_s() * p / (p - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{torus_all_reduce_time, AllReduceSchedule};
+
+    #[test]
+    fn large_messages_converge_to_bandwidth_model() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        let shape = SliceShape::new(8, 8, 8).unwrap();
+        let bytes = 10e9;
+        let with_latency = ab.torus_all_reduce_time(shape, bytes);
+        let bandwidth_only =
+            torus_all_reduce_time(shape, bytes, ab.rate, AllReduceSchedule::Sequential);
+        let overhead = with_latency / bandwidth_only;
+        assert!((1.0..1.01).contains(&overhead), "{overhead}");
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        let shape = SliceShape::new(8, 8, 8).unwrap();
+        let bytes = 1024.0;
+        let with_latency = ab.torus_all_reduce_time(shape, bytes);
+        let bandwidth_only =
+            torus_all_reduce_time(shape, bytes, ab.rate, AllReduceSchedule::Sequential);
+        assert!(
+            with_latency > 10.0 * bandwidth_only,
+            "{with_latency} vs {bandwidth_only}"
+        );
+    }
+
+    #[test]
+    fn crossover_scales_with_ring_size() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        // Crossover ≈ 2·p·alpha·rate: 100 KB for p=?? — check monotone.
+        let small = ab.crossover_bytes(4);
+        let large = ab.crossover_bytes(64);
+        assert!(large > small);
+        // At 1 µs x 50 GB/s, the per-hop product is 50 kB, so crossovers
+        // sit in the 100 kB–10 MB range for realistic rings.
+        assert!(small > 100e3 && large < 10e6, "{small} {large}");
+    }
+
+    #[test]
+    fn latency_grows_with_node_count_at_tiny_payloads() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        let t_small = ab.ring_all_reduce_time(8, 128.0);
+        let t_large = ab.ring_all_reduce_time(64, 128.0);
+        assert!(t_large > 7.0 * t_small, "{t_small} vs {t_large}");
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        assert_eq!(ab.ring_all_reduce_time(1, 1e9), 0.0);
+        assert_eq!(ab.crossover_bytes(1), 0.0);
+    }
+}

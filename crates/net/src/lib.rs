@@ -1,0 +1,52 @@
+//! Interconnect performance models for the TPU v4 simulator.
+//!
+//! Three layers, from cheap to detailed:
+//!
+//! 1. **Analytic collectives** ([`collectives`]) — closed-form ring /
+//!    torus all-reduce and bisection-bound all-to-all costs, the models the
+//!    paper's architects reason with (§3.6, §7.3).
+//! 2. **Per-link load assignment** ([`load`]) — uniform traffic split over
+//!    all shortest paths (edge betweenness); exact for steady-state
+//!    bandwidth-bound operation and the engine behind the Figure 6
+//!    regular-vs-twisted comparison.
+//! 3. **Discrete-event flow simulation** ([`event`]) — max-min fair-shared
+//!    flows over explicit paths at DMA granularity, used to validate the
+//!    load model and to study dynamic effects.
+//!
+//! The InfiniBand alternative of §7.3 is modelled in [`fattree`].
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_net::{AllToAll, LinkRate};
+//! use tpu_topology::{SliceShape, Torus, TwistedTorus};
+//!
+//! let shape = SliceShape::new(4, 4, 8)?;
+//! let rate = LinkRate::TPU_V4_ICI;
+//! let reg = AllToAll::analyze(&Torus::new(shape).into_graph(), 4096, rate);
+//! let tw = AllToAll::analyze(
+//!     &TwistedTorus::paper_default(shape)?.into_graph(), 4096, rate);
+//! assert!(tw.throughput_per_node() > reg.throughput_per_node());
+//! # Ok::<(), tpu_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod event;
+pub mod fattree;
+pub mod flows;
+pub mod latency;
+pub mod load;
+pub mod rings;
+mod units;
+
+pub use collectives::{mesh_all_reduce_time, torus_all_gather_time, torus_all_reduce_time};
+pub use event::{FlowSim, SimReport};
+pub use fattree::{FatTree, HybridIciIb, IbComparison};
+pub use flows::{all_to_all_flows, ring_all_reduce_flows, Flow};
+pub use latency::AlphaBeta;
+pub use load::{AllToAll, LinkLoads};
+pub use rings::DimensionRings;
+pub use units::LinkRate;

@@ -1,0 +1,107 @@
+//! Bandwidth units.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A link data rate in bytes per second (one direction of a cable).
+///
+/// The constants mirror Table 4/5 of the paper: TPU v4's ICI runs 6 links
+/// at 50 GB/s, TPU v3 4 links at 70 GB/s, and the InfiniBand HDR links of
+/// §7.3 carry 200 Gbit/s = 25 GB/s (ICI link bandwidth "is 2x IB — 400 vs
+/// 200 Gbit/s").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LinkRate(f64);
+
+impl LinkRate {
+    /// TPU v4 ICI: 50 GB/s per link per direction.
+    pub const TPU_V4_ICI: LinkRate = LinkRate(50e9);
+    /// TPU v3 ICI: 70 GB/s per link per direction.
+    pub const TPU_V3_ICI: LinkRate = LinkRate(70e9);
+    /// TPU v2 ICI: ~62.5 GB/s per link (500 Gbit/s aggregate over 4 links).
+    pub const TPU_V2_ICI: LinkRate = LinkRate(62.5e9);
+    /// InfiniBand HDR NIC: 200 Gbit/s = 25 GB/s.
+    pub const IB_HDR: LinkRate = LinkRate(25e9);
+
+    /// Creates a rate from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn from_bytes_per_s(rate: f64) -> LinkRate {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "link rate must be finite and positive, got {rate}"
+        );
+        LinkRate(rate)
+    }
+
+    /// Creates a rate from GB/s (10^9 bytes per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn from_gb_per_s(rate: f64) -> LinkRate {
+        LinkRate::from_bytes_per_s(rate * 1e9)
+    }
+
+    /// Rate in bytes per second.
+    pub fn bytes_per_s(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in GB/s.
+    pub fn gb_per_s(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Time in seconds to move `bytes` at this rate.
+    pub fn transfer_time(self, bytes: f64) -> f64 {
+        bytes / self.0
+    }
+}
+
+impl fmt::Display for LinkRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB/s", self.gb_per_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(LinkRate::TPU_V4_ICI.gb_per_s(), 50.0);
+        assert_eq!(LinkRate::TPU_V3_ICI.gb_per_s(), 70.0);
+        assert_eq!(LinkRate::IB_HDR.gb_per_s(), 25.0);
+        // ICI is 2x IB per link (§7.3).
+        assert_eq!(
+            LinkRate::TPU_V4_ICI.bytes_per_s() / LinkRate::IB_HDR.bytes_per_s(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn transfer_time() {
+        let r = LinkRate::from_gb_per_s(10.0);
+        assert!((r.transfer_time(1e9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_rate() {
+        let _ = LinkRate::from_bytes_per_s(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nan_rate() {
+        let _ = LinkRate::from_bytes_per_s(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LinkRate::TPU_V4_ICI.to_string(), "50.0 GB/s");
+    }
+}

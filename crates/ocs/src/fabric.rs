@@ -1,0 +1,566 @@
+//! The full OCS fabric: 64 blocks joined by 48 switches, with slice
+//! allocation, twist programming, failure route-around and release.
+
+use crate::block::{
+    face_chip, Block, BlockId, BLOCK_EDGE, LINKS_PER_FACE, TPUS_PER_BLOCK,
+};
+use crate::switch::{OcsSwitch, PortId};
+use crate::wiring::{block_port, ocs_index, OCS_COUNT};
+use crate::OcsError;
+use serde::{Deserialize, Serialize};
+use tpu_topology::{
+    Coord3, Dim, Direction, LinkGraph, NodeId, SliceShape, TwistSpec, TwistedTorus,
+};
+use tpu_topology::{Edge, LinkLabel};
+
+/// Request for a slice: a chip-level shape plus optional twist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceSpec {
+    shape: SliceShape,
+    twist: Option<TwistSpec>,
+}
+
+impl SliceSpec {
+    /// A regular (untwisted) torus slice.
+    pub fn regular(shape: SliceShape) -> SliceSpec {
+        SliceSpec { shape, twist: None }
+    }
+
+    /// A twisted torus slice using the paper's default twist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a topology error if the shape is not twistable.
+    pub fn twisted(shape: SliceShape) -> Result<SliceSpec, OcsError> {
+        Ok(SliceSpec {
+            shape,
+            twist: Some(TwistSpec::paper_default(shape)?),
+        })
+    }
+
+    /// A slice with an explicit twist specification.
+    pub fn with_twist(shape: SliceShape, twist: TwistSpec) -> SliceSpec {
+        SliceSpec {
+            shape,
+            twist: Some(twist),
+        }
+    }
+
+    /// The chip-level shape.
+    pub fn shape(&self) -> SliceShape {
+        self.shape
+    }
+
+    /// The twist, if any.
+    pub fn twist(&self) -> Option<TwistSpec> {
+        self.twist
+    }
+
+    /// Blocks this slice needs.
+    pub fn blocks_needed(&self) -> Result<u64, OcsError> {
+        self.shape
+            .in_blocks()
+            .map(|b| b.volume())
+            .ok_or(OcsError::NotBlockAligned {
+                shape: (self.shape.x(), self.shape.y(), self.shape.z()),
+            })
+    }
+}
+
+/// One programmed OCS circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Which of the 48 switches carries the circuit.
+    pub ocs: usize,
+    /// The '+' side port.
+    pub plus: PortId,
+    /// The '−' side port.
+    pub minus: PortId,
+}
+
+/// A live slice: physical blocks, programmed circuits, and the resulting
+/// chip-level link graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaterializedSlice {
+    spec: SliceSpec,
+    blocks: Vec<BlockId>,
+    circuits: Vec<Circuit>,
+    graph: LinkGraph,
+}
+
+impl MaterializedSlice {
+    /// The request this slice satisfies.
+    pub fn spec(&self) -> &SliceSpec {
+        &self.spec
+    }
+
+    /// Physical blocks backing the slice, in slice-position order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// OCS circuits programmed for the slice.
+    pub fn circuits(&self) -> &[Circuit] {
+        &self.circuits
+    }
+
+    /// The chip-level link graph (slice-local coordinates).
+    pub fn chip_graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// Number of chips.
+    pub fn chips(&self) -> u64 {
+        self.spec.shape().volume()
+    }
+}
+
+/// The OCS fabric of one TPU v4 supercomputer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    blocks: Vec<Block>,
+    in_use: Vec<bool>,
+    ocses: Vec<OcsSwitch>,
+}
+
+impl Fabric {
+    /// A full TPU v4 fabric: 64 deployed blocks (4096 chips), 48 OCSes.
+    pub fn tpu_v4() -> Fabric {
+        Fabric::with_blocks(64)
+    }
+
+    /// A fabric with a custom number of deployed blocks (≤ 64, since each
+    /// OCS has 128 usable ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks > 64`.
+    pub fn with_blocks(blocks: u32) -> Fabric {
+        assert!(blocks <= 64, "a 48-OCS fabric supports at most 64 blocks");
+        Fabric {
+            blocks: (0..blocks).map(|i| Block::new(BlockId::new(i))).collect(),
+            in_use: vec![false; blocks as usize],
+            ocses: (0..OCS_COUNT).map(|_| OcsSwitch::palomar()).collect(),
+        }
+    }
+
+    /// Number of blocks (deployed or not).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total chips in the fabric.
+    pub fn chip_count(&self) -> u64 {
+        self.blocks.len() as u64 * u64::from(TPUS_PER_BLOCK)
+    }
+
+    /// The switches (48 for a full fabric).
+    pub fn switches(&self) -> &[OcsSwitch] {
+        &self.ocses
+    }
+
+    /// A block by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OcsError::UnknownBlock`] for an id outside the fabric.
+    pub fn block(&self, id: BlockId) -> Result<&Block, OcsError> {
+        self.blocks
+            .get(id.index())
+            .ok_or(OcsError::UnknownBlock { block: id })
+    }
+
+    /// Sets the health of one CPU host in one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OcsError::UnknownBlock`] for an id outside the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host ≥ 16`.
+    pub fn set_host_up(&mut self, id: BlockId, host: u32, up: bool) -> Result<(), OcsError> {
+        let block = self
+            .blocks
+            .get_mut(id.index())
+            .ok_or(OcsError::UnknownBlock { block: id })?;
+        block.set_host_up(host, up);
+        Ok(())
+    }
+
+    /// Healthy, unallocated blocks — what the scheduler can draw on.
+    pub fn free_healthy_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| b.is_healthy() && !self.in_use[b.id().index()])
+            .map(Block::id)
+            .collect()
+    }
+
+    /// Allocates and programs a slice from any free healthy blocks
+    /// (the OCS "acts like a plugboard": block positions are arbitrary).
+    ///
+    /// # Errors
+    ///
+    /// * [`OcsError::NotBlockAligned`] — shape not made of 4³ blocks.
+    /// * [`OcsError::InsufficientBlocks`] — not enough healthy free blocks.
+    /// * [`OcsError::TwistNotBlockExpressible`] — twist offsets are not
+    ///   whole blocks.
+    pub fn allocate(&mut self, spec: &SliceSpec) -> Result<MaterializedSlice, OcsError> {
+        let needed = spec.blocks_needed()? as usize;
+        let free = self.free_healthy_blocks();
+        if free.len() < needed {
+            return Err(OcsError::InsufficientBlocks {
+                needed,
+                available: free.len(),
+            });
+        }
+        let chosen: Vec<BlockId> = free.into_iter().take(needed).collect();
+        self.allocate_on(spec, chosen)
+    }
+
+    /// Allocates a slice on an explicit set of blocks (ordered by slice
+    /// position). Used by schedulers that pick blocks themselves.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fabric::allocate`], plus [`OcsError::UnknownBlock`] /
+    /// [`OcsError::UnhealthyBlock`] for bad block choices.
+    pub fn allocate_on(
+        &mut self,
+        spec: &SliceSpec,
+        chosen: Vec<BlockId>,
+    ) -> Result<MaterializedSlice, OcsError> {
+        let needed = spec.blocks_needed()? as usize;
+        if chosen.len() != needed {
+            return Err(OcsError::InsufficientBlocks {
+                needed,
+                available: chosen.len(),
+            });
+        }
+        for &id in &chosen {
+            let b = self.block(id)?;
+            if !b.is_healthy() || self.in_use[id.index()] {
+                return Err(OcsError::UnhealthyBlock { block: id });
+            }
+        }
+
+        let block_shape = spec
+            .shape()
+            .in_blocks()
+            .expect("validated by blocks_needed");
+        let block_twist = block_level_twist(spec, block_shape)?;
+        let block_torus = TwistedTorus::new(block_shape, block_twist);
+
+        // Program circuits: for every (dim, line) OCS and every block
+        // position, connect the '+' fiber of the block to the '−' fiber of
+        // its +dim neighbor in the (possibly twisted) block torus.
+        let mut circuits = Vec::new();
+        for dim in Dim::ALL {
+            for line in 0..LINKS_PER_FACE {
+                let ocs = ocs_index(dim, line);
+                for pos in block_shape.coords() {
+                    let (nbr, _) = block_torus.neighbor(pos, dim, Direction::Plus);
+                    let src_block = chosen[block_shape.index_of(pos) as usize];
+                    let dst_block = chosen[block_shape.index_of(nbr) as usize];
+                    let plus = block_port(src_block, Direction::Plus);
+                    let minus = block_port(dst_block, Direction::Minus);
+                    self.ocses[ocs].connect(plus, minus)?;
+                    circuits.push(Circuit { ocs, plus, minus });
+                }
+            }
+        }
+
+        for &id in &chosen {
+            self.in_use[id.index()] = true;
+        }
+        let graph = build_chip_graph(spec, block_shape, block_torus);
+        Ok(MaterializedSlice {
+            spec: *spec,
+            blocks: chosen,
+            circuits,
+            graph,
+        })
+    }
+
+    /// Releases a slice: tears down its circuits and frees its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OcsError::UnknownBlock`] if the slice references blocks
+    /// outside this fabric.
+    pub fn release(&mut self, slice: &MaterializedSlice) -> Result<(), OcsError> {
+        for c in slice.circuits() {
+            self.ocses[c.ocs].disconnect(c.plus)?;
+        }
+        for &id in slice.blocks() {
+            self.block(id)?;
+            self.in_use[id.index()] = false;
+        }
+        Ok(())
+    }
+
+    /// Total circuits currently programmed across all switches.
+    pub fn total_circuits(&self) -> usize {
+        self.ocses.iter().map(OcsSwitch::circuit_count).sum()
+    }
+}
+
+/// Converts a chip-level twist to block units, checking expressibility.
+fn block_level_twist(spec: &SliceSpec, block_shape: SliceShape) -> Result<TwistSpec, OcsError> {
+    let Some(twist) = spec.twist() else {
+        return Ok(TwistSpec::identity());
+    };
+    let mut offsets = [Coord3::default(); 3];
+    for dim in Dim::ALL {
+        let off = twist.offset(dim);
+        for other in Dim::ALL {
+            let chips = off.get(other);
+            if chips % BLOCK_EDGE != 0 {
+                return Err(OcsError::TwistNotBlockExpressible { offset: chips });
+            }
+            offsets[dim.index()] = offsets[dim.index()].with(other, chips / BLOCK_EDGE);
+        }
+    }
+    TwistSpec::new(block_shape, offsets).map_err(OcsError::from)
+}
+
+/// Builds the chip-level link graph of a slice: electrical 4³ meshes inside
+/// every block plus the optical inter-block links the OCS circuits provide.
+fn build_chip_graph(
+    spec: &SliceSpec,
+    block_shape: SliceShape,
+    block_torus: TwistedTorus,
+) -> LinkGraph {
+    let shape = spec.shape();
+    let mut edges = Vec::new();
+
+    // Electrical intra-block mesh links.
+    for c in shape.coords() {
+        for dim in Dim::ALL {
+            for dir in Direction::ALL {
+                let pos = c.get(dim);
+                let within = match dir {
+                    Direction::Plus => pos % BLOCK_EDGE != BLOCK_EDGE - 1,
+                    Direction::Minus => pos % BLOCK_EDGE != 0,
+                };
+                if !within {
+                    continue;
+                }
+                let nbr = match dir {
+                    Direction::Plus => c.with(dim, pos + 1),
+                    Direction::Minus => c.with(dim, pos - 1),
+                };
+                edges.push(Edge {
+                    src: NodeId::new(shape.index_of(c)),
+                    dst: NodeId::new(shape.index_of(nbr)),
+                    label: LinkLabel {
+                        dim,
+                        dir,
+                        wraparound: false,
+                    },
+                });
+            }
+        }
+    }
+
+    // Optical inter-block links, one per (dim, line, block position):
+    // exactly what the OCS circuits carry.
+    for dim in Dim::ALL {
+        for line in 0..LINKS_PER_FACE {
+            for pos in block_shape.coords() {
+                let (nbr, wrapped) = block_torus.neighbor(pos, dim, Direction::Plus);
+                let src_chip = block_origin(pos) + face_chip(dim, Direction::Plus, line);
+                let dst_chip = block_origin(nbr) + face_chip(dim, Direction::Minus, line);
+                let src = NodeId::new(shape.index_of(src_chip));
+                let dst = NodeId::new(shape.index_of(dst_chip));
+                edges.push(Edge {
+                    src,
+                    dst,
+                    label: LinkLabel {
+                        dim,
+                        dir: Direction::Plus,
+                        wraparound: wrapped,
+                    },
+                });
+                edges.push(Edge {
+                    src: dst,
+                    dst: src,
+                    label: LinkLabel {
+                        dim,
+                        dir: Direction::Minus,
+                        wraparound: wrapped,
+                    },
+                });
+            }
+        }
+    }
+
+    let kind = if spec.twist().is_some() {
+        "ocs-twisted"
+    } else {
+        "ocs-regular"
+    };
+    LinkGraph::from_edges(shape, format!("{kind} {shape}"), edges)
+}
+
+/// Chip coordinate of a block position's origin corner.
+fn block_origin(pos: Coord3) -> Coord3 {
+    Coord3::new(pos.x * BLOCK_EDGE, pos.y * BLOCK_EDGE, pos.z * BLOCK_EDGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_topology::Torus;
+
+    fn edge_multiset(g: &LinkGraph) -> Vec<(NodeId, NodeId, LinkLabel)> {
+        let mut v: Vec<_> = g
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst, e.label))
+            .collect();
+        v.sort_by_key(|&(s, d, l)| (s, d, l.dim, l.dir, l.wraparound));
+        v
+    }
+
+    #[test]
+    fn regular_slice_matches_topology_torus() {
+        // The Figure 1 / Figure 5 audit: OCS materialization == abstract torus.
+        let mut fabric = Fabric::tpu_v4();
+        for shape in [
+            SliceShape::new(4, 4, 4).unwrap(),
+            SliceShape::new(4, 4, 8).unwrap(),
+            SliceShape::new(4, 8, 8).unwrap(),
+        ] {
+            let slice = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+            let reference = Torus::new(shape).into_graph();
+            assert_eq!(
+                edge_multiset(slice.chip_graph()),
+                edge_multiset(&reference),
+                "shape {shape}"
+            );
+            fabric.release(&slice).unwrap();
+        }
+    }
+
+    #[test]
+    fn twisted_slice_matches_topology_twisted_torus() {
+        let mut fabric = Fabric::tpu_v4();
+        for shape in [
+            SliceShape::new(4, 4, 8).unwrap(),
+            SliceShape::new(4, 8, 8).unwrap(),
+        ] {
+            let slice = fabric.allocate(&SliceSpec::twisted(shape).unwrap()).unwrap();
+            let reference = TwistedTorus::paper_default(shape).unwrap().into_graph();
+            assert_eq!(
+                edge_multiset(slice.chip_graph()),
+                edge_multiset(&reference),
+                "shape {shape}"
+            );
+            fabric.release(&slice).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_machine_slice_uses_all_ports() {
+        let mut fabric = Fabric::tpu_v4();
+        let shape = SliceShape::new(16, 16, 16).unwrap();
+        let slice = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+        assert_eq!(slice.chips(), 4096);
+        // 48 OCSes x 64 circuits each.
+        assert_eq!(fabric.total_circuits(), 48 * 64);
+        for ocs in fabric.switches() {
+            assert_eq!(ocs.circuit_count(), 64);
+        }
+        fabric.release(&slice).unwrap();
+        assert_eq!(fabric.total_circuits(), 0);
+    }
+
+    #[test]
+    fn concurrent_slices_share_switches() {
+        let mut fabric = Fabric::tpu_v4();
+        let a = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 8).unwrap()))
+            .unwrap();
+        let b = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(8, 8, 8).unwrap()))
+            .unwrap();
+        // No block is shared.
+        let mut all: Vec<BlockId> = a.blocks().iter().chain(b.blocks()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), a.blocks().len() + b.blocks().len());
+        fabric.release(&a).unwrap();
+        fabric.release(&b).unwrap();
+    }
+
+    #[test]
+    fn failed_host_excludes_block() {
+        let mut fabric = Fabric::with_blocks(2);
+        fabric.set_host_up(BlockId::new(0), 3, false).unwrap();
+        let free = fabric.free_healthy_blocks();
+        assert_eq!(free, vec![BlockId::new(1)]);
+        // A 128-chip slice now cannot be placed.
+        let err = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 8).unwrap()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OcsError::InsufficientBlocks {
+                needed: 2,
+                available: 1
+            }
+        );
+        // But a 64-chip slice fits on the healthy block.
+        let slice = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 4).unwrap()))
+            .unwrap();
+        assert_eq!(slice.blocks(), &[BlockId::new(1)]);
+    }
+
+    #[test]
+    fn non_block_aligned_rejected() {
+        let mut fabric = Fabric::tpu_v4();
+        let err = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(2, 2, 4).unwrap()))
+            .unwrap_err();
+        assert_eq!(err, OcsError::NotBlockAligned { shape: (2, 2, 4) });
+    }
+
+    #[test]
+    fn release_then_reallocate() {
+        let mut fabric = Fabric::with_blocks(2);
+        let spec = SliceSpec::regular(SliceShape::new(4, 4, 8).unwrap());
+        let a = fabric.allocate(&spec).unwrap();
+        assert!(fabric.allocate(&spec).is_err());
+        fabric.release(&a).unwrap();
+        let b = fabric.allocate(&spec).unwrap();
+        assert_eq!(b.blocks().len(), 2);
+    }
+
+    #[test]
+    fn graph_degree_is_six_everywhere() {
+        let mut fabric = Fabric::tpu_v4();
+        let slice = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(8, 8, 8).unwrap()))
+            .unwrap();
+        assert_eq!(slice.chip_graph().degree_range(), (6, 6));
+        assert!(slice.chip_graph().is_symmetric());
+    }
+
+    #[test]
+    fn single_block_slice_wraps_through_ocs() {
+        let mut fabric = Fabric::with_blocks(1);
+        let slice = fabric
+            .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 4).unwrap()))
+            .unwrap();
+        let reference = Torus::new(SliceShape::new(4, 4, 4).unwrap()).into_graph();
+        assert_eq!(
+            edge_multiset(slice.chip_graph()),
+            edge_multiset(&reference)
+        );
+        // 48 circuits: each OCS connects the block's + fiber to its own −.
+        assert_eq!(fabric.total_circuits(), 48);
+    }
+}

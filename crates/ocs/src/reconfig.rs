@@ -1,0 +1,163 @@
+//! Reconfiguration planning (§2.6): "Since the OCS can switch circuits
+//! in milliseconds, TPU v4 can easily change topology to match the
+//! application."
+//!
+//! A [`ReconfigPlan`] diffs two slice wirings over the same blocks and
+//! counts the mirror moves each switch must perform; switches move
+//! mirrors in parallel, so the wall-clock cost is set by the busiest
+//! switch. Twisting a k×k×2k slice leaves the z-dimension circuits (and
+//! all electrical links) untouched — "the only change is in the routing
+//! tables".
+
+use crate::fabric::{Circuit, MaterializedSlice};
+use crate::switch::OCS_RECONFIG_MS;
+use crate::wiring::OCS_COUNT;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The delta between two wirings of the same blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigPlan {
+    kept: usize,
+    torn_down: Vec<Circuit>,
+    established: Vec<Circuit>,
+}
+
+impl ReconfigPlan {
+    /// Plans the transition from one materialized slice to another.
+    ///
+    /// Both slices must span the same blocks (the §2.7 in-place topology
+    /// change); circuits present in both wirings are kept untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices use different block sets.
+    pub fn between(from: &MaterializedSlice, to: &MaterializedSlice) -> ReconfigPlan {
+        let mut from_blocks: Vec<_> = from.blocks().to_vec();
+        let mut to_blocks: Vec<_> = to.blocks().to_vec();
+        from_blocks.sort_unstable();
+        to_blocks.sort_unstable();
+        assert_eq!(
+            from_blocks, to_blocks,
+            "reconfiguration plans require identical block sets"
+        );
+
+        let old: HashSet<Circuit> = from.circuits().iter().copied().collect();
+        let new: HashSet<Circuit> = to.circuits().iter().copied().collect();
+        let kept = old.intersection(&new).count();
+        let torn_down = old.difference(&new).copied().collect();
+        let established = new.difference(&old).copied().collect();
+        ReconfigPlan {
+            kept,
+            torn_down,
+            established,
+        }
+    }
+
+    /// Circuits left untouched.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Circuits to tear down.
+    pub fn torn_down(&self) -> &[Circuit] {
+        &self.torn_down
+    }
+
+    /// Circuits to establish.
+    pub fn established(&self) -> &[Circuit] {
+        &self.established
+    }
+
+    /// Total mirror moves (each teardown and each establishment moves a
+    /// mirror pair once).
+    pub fn mirror_moves(&self) -> usize {
+        self.torn_down.len() + self.established.len()
+    }
+
+    /// Wall-clock reconfiguration time, seconds: switches work in
+    /// parallel, so the busiest switch sets the pace.
+    pub fn wall_clock_s(&self) -> f64 {
+        let mut per_switch = vec![0u32; OCS_COUNT as usize];
+        for c in self.torn_down.iter().chain(self.established.iter()) {
+            per_switch[c.ocs] += 1;
+        }
+        f64::from(per_switch.iter().copied().max().unwrap_or(0)) * OCS_RECONFIG_MS / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, SliceSpec};
+    use tpu_topology::SliceShape;
+
+    fn twist_pair() -> (MaterializedSlice, MaterializedSlice) {
+        let shape = SliceShape::new(4, 4, 8).unwrap();
+        let mut fabric = Fabric::tpu_v4();
+        let regular = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+        let blocks = regular.blocks().to_vec();
+        fabric.release(&regular).unwrap();
+        let twisted = fabric
+            .allocate_on(&SliceSpec::twisted(shape).unwrap(), blocks)
+            .unwrap();
+        (regular, twisted)
+    }
+
+    #[test]
+    fn twisting_touches_only_the_twisted_dimensions() {
+        let (regular, twisted) = twist_pair();
+        let plan = ReconfigPlan::between(&regular, &twisted);
+        // 4x4x8 = 1x1x2 blocks: 96 circuits total (48 OCSes x 2 block
+        // positions). The twist offsets z on x- and y-wraps; z-dimension
+        // circuits are identical in both wirings.
+        let z_circuits = 16 * 2; // 16 z-line OCSes x 2 positions
+        assert!(
+            plan.kept() >= z_circuits,
+            "kept {} < z circuits {z_circuits}",
+            plan.kept()
+        );
+        assert_eq!(plan.torn_down().len(), plan.established().len());
+        assert!(plan.mirror_moves() > 0);
+    }
+
+    #[test]
+    fn identity_reconfiguration_is_free() {
+        let shape = SliceShape::new(4, 4, 8).unwrap();
+        let mut fabric = Fabric::tpu_v4();
+        let a = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+        let blocks = a.blocks().to_vec();
+        fabric.release(&a).unwrap();
+        let b = fabric
+            .allocate_on(&SliceSpec::regular(shape), blocks)
+            .unwrap();
+        let plan = ReconfigPlan::between(&a, &b);
+        assert_eq!(plan.mirror_moves(), 0);
+        assert_eq!(plan.wall_clock_s(), 0.0);
+        assert_eq!(plan.kept(), a.circuits().len());
+    }
+
+    #[test]
+    fn reconfiguration_takes_milliseconds_not_hours() {
+        // §2.6: millisecond-class switching. Even a full twist of a slice
+        // completes in well under a second.
+        let (regular, twisted) = twist_pair();
+        let plan = ReconfigPlan::between(&regular, &twisted);
+        assert!(plan.wall_clock_s() > 0.0);
+        assert!(
+            plan.wall_clock_s() < 1.0,
+            "reconfig took {} s",
+            plan.wall_clock_s()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identical block sets")]
+    fn different_blocks_rejected() {
+        let shape = SliceShape::new(4, 4, 8).unwrap();
+        let mut fabric = Fabric::tpu_v4();
+        let a = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+        let b = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
+        let _ = ReconfigPlan::between(&a, &b);
+    }
+}

@@ -1,0 +1,44 @@
+//! Parallelism planning and hardware/model co-optimization (§4).
+//!
+//! * [`plan`] — partitionings `[pipeline, data, model₁, model₂]` with
+//!   1D/2D activation/weight sharding specs, and their mapping onto the
+//!   dimensions of a 3D torus.
+//! * [`cost`] — the LLM training step-time model: MXU compute, per-layer
+//!   model-parallel collectives, gradient all-reduce, pipeline bubbles.
+//! * [`search`] — exhaustive topology + partitioning search over a slice
+//!   (the Table 3 experiment: 2.3× for a novice's LLM config, 1.2× over
+//!   an expert's GPT-3 config).
+//! * [`pa_nas`] — platform-aware NAS for DLRMs: shifting capacity between
+//!   embedding (SC) and dense (TC) layers to balance the two pipelines
+//!   (the Figure 10 experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_parallel::{LlmConfig, Partitioning, ShardingSpec, TrainingCost};
+//! use tpu_topology::SliceShape;
+//!
+//! let llm = LlmConfig::table3_llm();
+//! let plan = Partitioning::new(1, 1, 64, 8);
+//! let cost = TrainingCost::evaluate(
+//!     &llm,
+//!     SliceShape::new(8, 8, 8)?,
+//!     plan,
+//!     ShardingSpec::new(1, 2),
+//! ).expect("valid mapping");
+//! assert!(cost.throughput_seqs_per_s() > 0.0);
+//! # Ok::<(), tpu_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod pa_nas;
+pub mod plan;
+pub mod search;
+
+pub use cost::{LlmConfig, TrainingCost};
+pub use pa_nas::{PaNas, PaNasResult};
+pub use plan::{Partitioning, ShardingSpec};
+pub use search::{SearchOutcome, TopologySearch};

@@ -1,0 +1,167 @@
+//! Platform-aware NAS for DLRMs (§4, Figure 10).
+//!
+//! DLRMs use both SparseCores and TensorCores; the step time is the max
+//! of the two pipelines. PA-NAS shifts model capacity between embedding
+//! layers (SC) and hidden layers (TC) under an iso-quality constraint
+//! until the pipelines balance — "which approaches perfect SC-TC
+//! load-balance and improves DLRM0 end-to-end performance by >10%".
+
+use serde::{Deserialize, Serialize};
+use tpu_embedding::DlrmConfig;
+use tpu_sparsecore::{EmbeddingSystem, Placement, StepBreakdown};
+
+/// A PA-NAS run over one DLRM on one system.
+#[derive(Debug, Clone)]
+pub struct PaNas {
+    system: EmbeddingSystem,
+    global_batch: u64,
+    /// Grid resolution for the capacity-shift factor.
+    steps: u32,
+}
+
+/// The outcome of a PA-NAS search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaNasResult {
+    /// Baseline step breakdown.
+    pub original: StepBreakdown,
+    /// Optimized step breakdown.
+    pub optimized: StepBreakdown,
+    /// Dense-capacity factor chosen (embedding factor is its iso-quality
+    /// complement).
+    pub dense_factor: f64,
+    /// Embedding-capacity factor chosen.
+    pub embedding_factor: f64,
+}
+
+impl PaNasResult {
+    /// End-to-end speedup (>1 when PA-NAS helped).
+    pub fn speedup(&self) -> f64 {
+        self.original.total_s() / self.optimized.total_s()
+    }
+
+    /// SC idle fraction before optimization (Figure 10 top).
+    pub fn original_sc_idle(&self) -> f64 {
+        self.original.sc_idle_fraction()
+    }
+
+    /// SC idle fraction after optimization (Figure 10 bottom).
+    pub fn optimized_sc_idle(&self) -> f64 {
+        self.optimized.sc_idle_fraction()
+    }
+}
+
+impl PaNas {
+    /// Creates a search on a system at a global batch.
+    pub fn new(system: EmbeddingSystem, global_batch: u64) -> PaNas {
+        PaNas {
+            system,
+            global_batch,
+            steps: 40,
+        }
+    }
+
+    /// The Figure 10 reference setup: DLRM0's 2022 incarnation (dense
+    /// layers grown ~10× per Figure 17, making the model TC-bound with
+    /// ~25% SC idle) on a 128-chip TPU v4 slice.
+    pub fn figure10_reference() -> (PaNas, DlrmConfig) {
+        let model = DlrmConfig::dlrm0().scaled(10.0, 1.0);
+        (PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 4096), model)
+    }
+
+    /// Runs the search: sweep the dense-capacity factor `f` over a grid,
+    /// with the embedding factor set to `1/f` (iso-quality proxy: the
+    /// geometric mean of dense and embedding capacity is preserved, per
+    /// the Pareto-front framing of [32]), and keep the fastest.
+    pub fn run(&self, model: &DlrmConfig) -> PaNasResult {
+        let original = self
+            .system
+            .step_time(model, self.global_batch, Placement::SparseCore);
+
+        let mut best = PaNasResult {
+            original,
+            optimized: original,
+            dense_factor: 1.0,
+            embedding_factor: 1.0,
+        };
+        for i in 0..=self.steps {
+            // f in [0.4, 1.6].
+            let f = 0.4 + 1.2 * f64::from(i) / f64::from(self.steps);
+            let candidate_model = model.scaled(f, 1.0 / f);
+            let breakdown =
+                self.system
+                    .step_time(&candidate_model, self.global_batch, Placement::SparseCore);
+            if breakdown.total_s() < best.optimized.total_s() {
+                best = PaNasResult {
+                    original,
+                    optimized: breakdown,
+                    dense_factor: f,
+                    embedding_factor: 1.0 / f,
+                };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_original_idles_the_sc() {
+        // "The original DLRM0 idled the SC ~25% of the execution time."
+        let (nas, model) = PaNas::figure10_reference();
+        let result = nas.run(&model);
+        let idle = result.original_sc_idle();
+        assert!((0.10..0.45).contains(&idle), "SC idle {idle}");
+    }
+
+    #[test]
+    fn figure10_speedup_exceeds_10_percent() {
+        // "Improves DLRM0 end-to-end performance by >10%."
+        let (nas, model) = PaNas::figure10_reference();
+        let result = nas.run(&model);
+        assert!(
+            result.speedup() > 1.10,
+            "PA-NAS speedup {} below the paper's >10%",
+            result.speedup()
+        );
+    }
+
+    #[test]
+    fn figure10_optimized_is_balanced() {
+        // "Approaches perfect SC-TC load-balance."
+        let (nas, model) = PaNas::figure10_reference();
+        let result = nas.run(&model);
+        assert!(
+            result.optimized_sc_idle() < result.original_sc_idle(),
+            "optimization must reduce SC idle: {} -> {}",
+            result.original_sc_idle(),
+            result.optimized_sc_idle()
+        );
+        assert!(result.optimized_sc_idle() < 0.10);
+    }
+
+    #[test]
+    fn capacity_shift_moves_toward_dense_reduction() {
+        // The reference model is TC-bound, so the search must shrink the
+        // dense side (factor < 1) and grow embeddings.
+        let (nas, model) = PaNas::figure10_reference();
+        let result = nas.run(&model);
+        assert!(result.dense_factor < 1.0, "dense factor {}", result.dense_factor);
+        assert!(result.embedding_factor > 1.0);
+    }
+
+    #[test]
+    fn already_balanced_model_gains_little() {
+        // Plain DLRM0 (sparse-bound on v4) cannot be improved by growing
+        // dense — the search should keep a mild shift at most.
+        let nas = PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 4096);
+        let model = DlrmConfig::dlrm0();
+        let result = nas.run(&model);
+        // Speedup bounded: the sparse side is already the bottleneck and
+        // capacity-shifts trade it against dense.
+        assert!(result.speedup() < 2.0);
+        assert!(result.speedup() >= 1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The §2.5 scheduling benefit: a discrete-event cluster simulation
+//! comparing the OCS plugboard (any free blocks form a slice) against
+//! contiguous placement (the scheduler "had to find 256 contiguous chips
+//! that were idle" on TPU v3-style machines).
+
+use crate::slice_mix::SliceMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Placement policy under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// OCS: a slice takes any free blocks anywhere.
+    AnyBlocks,
+    /// Static cabling: a slice needs a contiguous free box of blocks
+    /// (wraparound placements allowed).
+    Contiguous,
+}
+
+/// Result of one cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Mean fraction of blocks busy over the horizon.
+    pub utilization: f64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Mean queueing delay in time units.
+    pub mean_wait: f64,
+    /// Jobs still queued at the horizon.
+    pub left_in_queue: usize,
+    /// Jobs rejected because the machine cannot offer the topology at
+    /// all (static cabling cannot form the OCS-only "cigar" shapes like
+    /// 4x4x192 as contiguous boxes).
+    pub rejected: u64,
+}
+
+/// A discrete-event simulation of one 64-block machine fed by the
+/// Table 2 slice mix.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    grid: (u32, u32, u32),
+    horizon: f64,
+    arrival_interval: f64,
+    mean_duration: f64,
+    seed: u64,
+}
+
+impl ClusterSim {
+    /// A TPU v4 machine (4×4×4 blocks) under the given offered load:
+    /// jobs arrive every `arrival_interval` time units and run for an
+    /// exponential-ish duration with the given mean.
+    pub fn tpu_v4(horizon: f64, arrival_interval: f64, mean_duration: f64, seed: u64) -> ClusterSim {
+        ClusterSim {
+            grid: (4, 4, 4),
+            horizon,
+            arrival_interval,
+            mean_duration,
+            seed,
+        }
+    }
+
+    /// Runs the simulation under a policy.
+    pub fn run(&self, policy: PlacementPolicy) -> ClusterReport {
+        let (gx, gy, gz) = self.grid;
+        let total_blocks = (gx * gy * gz) as usize;
+        let mix = SliceMix::table2();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Pre-draw the job stream (shared across policies for fairness).
+        struct Pending {
+            arrival: f64,
+            blocks_box: (u32, u32, u32),
+            duration: f64,
+        }
+        let mut stream = Vec::new();
+        let mut t = 0.0;
+        while t < self.horizon {
+            let usage = mix.sample(&mut rng);
+            // Sub-4^3 requests round up to one block (they occupy part of
+            // a rack exclusively in this model).
+            let shape = usage.shape;
+            let bx = shape.x().div_ceil(4);
+            let by = shape.y().div_ceil(4);
+            let bz = shape.z().div_ceil(4);
+            let duration = -self.mean_duration * (1.0 - rng.random::<f64>()).ln();
+            stream.push(Pending {
+                arrival: t,
+                blocks_box: (bx, by, bz),
+                duration,
+            });
+            t += self.arrival_interval;
+        }
+
+        let idx = |x: u32, y: u32, z: u32| -> usize {
+            (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize
+        };
+        let mut busy = vec![false; total_blocks];
+        let mut busy_count = 0usize;
+
+        // Completion events: (Reverse(time-bits), blocks to free).
+        let mut completions: BinaryHeap<(Reverse<u64>, Vec<usize>)> = BinaryHeap::new();
+        let time_key = |t: f64| Reverse(t.to_bits());
+
+        let orientations = |b: (u32, u32, u32)| {
+            [
+                (b.0, b.1, b.2),
+                (b.0, b.2, b.1),
+                (b.1, b.0, b.2),
+                (b.1, b.2, b.0),
+                (b.2, b.0, b.1),
+                (b.2, b.1, b.0),
+            ]
+        };
+        // Whether the machine can offer this shape at all under the policy.
+        let offerable = |b: (u32, u32, u32)| -> bool {
+            match policy {
+                PlacementPolicy::AnyBlocks => {
+                    (b.0 * b.1 * b.2) as usize <= total_blocks
+                }
+                PlacementPolicy::Contiguous => orientations(b)
+                    .iter()
+                    .any(|&(x, y, z)| x <= gx && y <= gy && z <= gz),
+            }
+        };
+        let try_place = |busy: &[bool], b: (u32, u32, u32)| -> Option<Vec<usize>> {
+            let need = (b.0 * b.1 * b.2) as usize;
+            match policy {
+                PlacementPolicy::AnyBlocks => {
+                    let free: Vec<usize> =
+                        (0..busy.len()).filter(|&i| !busy[i]).take(need).collect();
+                    (free.len() == need).then_some(free)
+                }
+                PlacementPolicy::Contiguous => {
+                    for (bx, by, bz) in orientations(b) {
+                        if bx > gx || by > gy || bz > gz {
+                            continue;
+                        }
+                        for z in 0..gz {
+                            for y in 0..gy {
+                                for x in 0..gx {
+                                    let mut cells = Vec::with_capacity(need);
+                                    'box_scan: {
+                                        for dz in 0..bz {
+                                            for dy in 0..by {
+                                                for dx in 0..bx {
+                                                    let i = idx(x + dx, y + dy, z + dz);
+                                                    if busy[i] {
+                                                        break 'box_scan;
+                                                    }
+                                                    cells.push(i);
+                                                }
+                                            }
+                                        }
+                                        return Some(cells);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None
+                }
+            }
+        };
+
+        let mut queue: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
+        let mut stream_iter = stream.into_iter().peekable();
+        let mut now = 0.0f64;
+        let mut busy_time = 0.0f64; // block-time integral
+        let mut completed = 0u64;
+        let mut total_wait = 0.0f64;
+        let mut rejected = 0u64;
+
+        loop {
+            // Next event: arrival or completion.
+            let next_arrival = stream_iter.peek().map(|p| p.arrival);
+            let next_completion = completions.peek().map(|(Reverse(bits), _)| f64::from_bits(*bits));
+            let next = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+            if next > self.horizon {
+                break;
+            }
+            busy_time += busy_count as f64 * (next - now);
+            now = next;
+
+            // Process completions at `now`.
+            while let Some((Reverse(bits), _)) = completions.peek() {
+                if f64::from_bits(*bits) > now {
+                    break;
+                }
+                let (_, blocks) = completions.pop().expect("peeked");
+                for b in blocks {
+                    busy[b] = false;
+                    busy_count -= 1;
+                }
+            }
+            // Process arrivals at `now`; topologies the machine cannot
+            // offer at all are rejected immediately (on a static machine
+            // the scheduler would never advertise them).
+            while let Some(p) = stream_iter.peek() {
+                if p.arrival > now {
+                    break;
+                }
+                let job = stream_iter.next().expect("peeked");
+                if offerable(job.blocks_box) {
+                    queue.push_back(job);
+                } else {
+                    rejected += 1;
+                }
+            }
+            // FIFO with head-of-line blocking (production schedulers keep
+            // ordering fairness).
+            while let Some(head) = queue.front() {
+                let Some(cells) = try_place(&busy, head.blocks_box) else {
+                    break;
+                };
+                let job = queue.pop_front().expect("nonempty");
+                for &c in &cells {
+                    busy[c] = true;
+                    busy_count += 1;
+                }
+                total_wait += now - job.arrival;
+                completed += 1;
+                completions.push((time_key(now + job.duration), cells));
+            }
+        }
+        busy_time += busy_count as f64 * (self.horizon - now).max(0.0);
+
+        ClusterReport {
+            utilization: busy_time / (total_blocks as f64 * self.horizon),
+            completed,
+            mean_wait: if completed > 0 {
+                total_wait / completed as f64
+            } else {
+                0.0
+            },
+            left_in_queue: queue.len(),
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> ClusterSim {
+        // Offered load around the saturation point so placement quality
+        // matters: ~10-block mean request every 1.2 units, 8-unit runs.
+        ClusterSim::tpu_v4(2000.0, 1.2, 8.0, 42)
+    }
+
+    #[test]
+    fn ocs_scheduling_raises_utilization() {
+        // §2.6 benefit 6: "Simplified scheduling to improve utilization."
+        let s = sim();
+        let ocs = s.run(PlacementPolicy::AnyBlocks);
+        let contiguous = s.run(PlacementPolicy::Contiguous);
+        assert!(
+            ocs.utilization > contiguous.utilization,
+            "ocs {} <= contiguous {}",
+            ocs.utilization,
+            contiguous.utilization
+        );
+        assert!(ocs.utilization > 0.5, "{}", ocs.utilization);
+    }
+
+    #[test]
+    fn static_machine_rejects_cigar_shapes() {
+        // Table 2 contains OCS-only topologies (4x4x192 -> 1x1x48 blocks,
+        // 4x4x32 -> 1x1x8, ...) that no contiguous box of a 4x4x4-block
+        // machine can realize.
+        let s = sim();
+        let ocs = s.run(PlacementPolicy::AnyBlocks);
+        let contiguous = s.run(PlacementPolicy::Contiguous);
+        assert_eq!(ocs.rejected, 0);
+        assert!(contiguous.rejected > 0, "cigar shapes must be rejected");
+    }
+
+    #[test]
+    fn ocs_completes_more_work_under_load() {
+        let s = sim();
+        let ocs = s.run(PlacementPolicy::AnyBlocks);
+        let contiguous = s.run(PlacementPolicy::Contiguous);
+        assert!(
+            ocs.completed > contiguous.completed,
+            "ocs {} <= contiguous {}",
+            ocs.completed,
+            contiguous.completed
+        );
+    }
+
+    #[test]
+    fn light_load_equalizes_policies() {
+        // With almost no contention both policies place everything.
+        let s = ClusterSim::tpu_v4(2000.0, 40.0, 5.0, 7);
+        let ocs = s.run(PlacementPolicy::AnyBlocks);
+        let contiguous = s.run(PlacementPolicy::Contiguous);
+        // Apart from the never-offerable shapes, both policies place
+        // every job immediately at light load.
+        assert_eq!(ocs.completed, contiguous.completed + contiguous.rejected);
+        assert!(ocs.mean_wait < 0.5);
+        assert!(contiguous.mean_wait < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sim().run(PlacementPolicy::AnyBlocks);
+        let b = sim().run(PlacementPolicy::AnyBlocks);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conservation_of_jobs() {
+        let s = sim();
+        let r = s.run(PlacementPolicy::AnyBlocks);
+        // Every drawn job was either completed (placed) or left queued.
+        let drawn = (2000.0 / 1.2) as u64 + 1;
+        assert!(r.completed + r.left_in_queue as u64 <= drawn);
+        assert!(r.completed > drawn / 2, "most jobs should run: {}", r.completed);
+    }
+}

@@ -1,0 +1,331 @@
+//! The Figure 4 goodput experiment.
+//!
+//! A 4096-chip machine has 1024 CPU hosts; a slice is only schedulable on
+//! blocks whose 16 hosts are all up. With OCSes any healthy blocks can be
+//! stitched into a slice; a statically-cabled machine needs a contiguous
+//! healthy sub-box of the fixed 4×4×4 block grid.
+//!
+//! Goodput = expected fraction of the machine's chips deliverable as
+//! slices of the requested size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Monte Carlo goodput simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoodputSim {
+    block_grid: (u32, u32, u32),
+    hosts_per_block: u32,
+    trials: u32,
+    seed: u64,
+}
+
+impl GoodputSim {
+    /// The TPU v4 machine: 64 blocks in a 4×4×4 grid, 16 hosts per block.
+    pub fn tpu_v4(trials: u32, seed: u64) -> GoodputSim {
+        GoodputSim {
+            block_grid: (4, 4, 4),
+            hosts_per_block: 16,
+            trials,
+            seed,
+        }
+    }
+
+    /// Total chips in the machine.
+    pub fn total_chips(&self) -> u64 {
+        let (x, y, z) = self.block_grid;
+        u64::from(x) * u64::from(y) * u64::from(z) * 64
+    }
+
+    /// Total CPU hosts.
+    pub fn total_hosts(&self) -> u64 {
+        let (x, y, z) = self.block_grid;
+        u64::from(x) * u64::from(y) * u64::from(z) * u64::from(self.hosts_per_block)
+    }
+
+    /// Expected goodput for slices of `slice_chips` chips when each host
+    /// is independently up with probability `availability`.
+    ///
+    /// `ocs = true` models the reconfigurable machine (any healthy blocks
+    /// form a slice); `ocs = false` the statically-cabled one (greedy
+    /// packing of contiguous healthy boxes, wraparound placements
+    /// allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_chips` is not a positive multiple of 64 chips or
+    /// exceeds the machine, or if `availability` is outside (0, 1].
+    pub fn goodput(&self, slice_chips: u64, availability: f64, ocs: bool) -> f64 {
+        assert!(
+            slice_chips > 0 && slice_chips.is_multiple_of(64) && slice_chips <= self.total_chips(),
+            "slice must be a positive multiple of 64 chips within the machine"
+        );
+        assert!(
+            availability > 0.0 && availability <= 1.0,
+            "availability must be in (0, 1]"
+        );
+        let blocks_needed = (slice_chips / 64) as u32;
+        let slice_box = block_box(blocks_needed);
+        let (gx, gy, gz) = self.block_grid;
+        let total_blocks = (gx * gy * gz) as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut total_goodput = 0.0;
+
+        for _ in 0..self.trials {
+            // Draw block health: a block is healthy when all hosts are up.
+            let mut healthy = Vec::with_capacity(total_blocks);
+            for _ in 0..total_blocks {
+                let mut up = true;
+                for _ in 0..self.hosts_per_block {
+                    if rng.random::<f64>() > availability {
+                        up = false;
+                        // Keep drawing to preserve the random stream shape.
+                    }
+                }
+                healthy.push(up);
+            }
+            let healthy_count = healthy.iter().filter(|&&h| h).count() as u32;
+
+            let slices = if ocs {
+                healthy_count / blocks_needed
+            } else {
+                pack_static(&healthy, self.block_grid, slice_box)
+            };
+            total_goodput +=
+                f64::from(slices * blocks_needed) / total_blocks as f64;
+        }
+        total_goodput / f64::from(self.trials)
+    }
+
+    /// Sweeps goodput over slice sizes for one availability level,
+    /// returning `(slice_chips, ocs_goodput, static_goodput)` rows — one
+    /// Figure 4 curve pair.
+    pub fn sweep(&self, availability: f64) -> Vec<(u64, f64, f64)> {
+        [64u64, 128, 256, 512, 1024, 2048, 3072, 4096]
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    self.goodput(s, availability, true),
+                    self.goodput(s, availability, false),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The most cubic box of `blocks` blocks (slices are 4i×4j×4k chips).
+fn block_box(blocks: u32) -> (u32, u32, u32) {
+    let mut best = (1, 1, blocks);
+    let mut spread = u32::MAX;
+    for x in 1..=blocks {
+        if x * x * x > blocks {
+            break;
+        }
+        if !blocks.is_multiple_of(x) {
+            continue;
+        }
+        let rest = blocks / x;
+        for y in x..=rest {
+            if y * y > rest {
+                break;
+            }
+            if !rest.is_multiple_of(y) {
+                continue;
+            }
+            let z = rest / y;
+            if z - x < spread {
+                spread = z - x;
+                best = (x, y, z);
+            }
+        }
+    }
+    best
+}
+
+/// Greedy packing of contiguous healthy `slice_box` boxes into the block
+/// grid (wraparound placements allowed — the full machine is a torus).
+/// Tries all axis orientations of the box at each anchor.
+fn pack_static(healthy: &[bool], grid: (u32, u32, u32), slice_box: (u32, u32, u32)) -> u32 {
+    let (gx, gy, gz) = grid;
+    let idx = |x: u32, y: u32, z: u32| -> usize {
+        (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize
+    };
+    let mut taken = vec![false; healthy.len()];
+    let orientations = [
+        (slice_box.0, slice_box.1, slice_box.2),
+        (slice_box.0, slice_box.2, slice_box.1),
+        (slice_box.1, slice_box.0, slice_box.2),
+        (slice_box.1, slice_box.2, slice_box.0),
+        (slice_box.2, slice_box.0, slice_box.1),
+        (slice_box.2, slice_box.1, slice_box.0),
+    ];
+    let mut count = 0;
+    for z in 0..gz {
+        for y in 0..gy {
+            for x in 0..gx {
+                'orient: for &(bx, by, bz) in &orientations {
+                    if bx > gx || by > gy || bz > gz {
+                        continue;
+                    }
+                    // Check the whole box is healthy and free.
+                    for dz in 0..bz {
+                        for dy in 0..by {
+                            for dx in 0..bx {
+                                let i = idx(x + dx, y + dy, z + dz);
+                                if !healthy[i] || taken[i] {
+                                    continue 'orient;
+                                }
+                            }
+                        }
+                    }
+                    for dz in 0..bz {
+                        for dy in 0..by {
+                            for dx in 0..bx {
+                                taken[idx(x + dx, y + dy, z + dz)] = true;
+                            }
+                        }
+                    }
+                    count += 1;
+                    break;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> GoodputSim {
+        GoodputSim::tpu_v4(300, 42)
+    }
+
+    #[test]
+    fn machine_dimensions() {
+        let s = sim();
+        assert_eq!(s.total_chips(), 4096);
+        assert_eq!(s.total_hosts(), 1024);
+    }
+
+    #[test]
+    fn perfect_availability_gives_full_goodput() {
+        let s = sim();
+        for &chips in &[64u64, 512, 4096] {
+            assert!((s.goodput(chips, 1.0, true) - 1.0).abs() < 1e-9);
+            assert!((s.goodput(chips, 1.0, false) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure4_quarter_machine_rule() {
+        // Caption: "At ¼ of the 4K chips, goodput for both 99.0% and
+        // 99.5% is 75%, as 3 slices occupy ¾ of the chips."
+        let s = sim();
+        for &avail in &[0.990, 0.995] {
+            let g = s.goodput(1024, avail, true);
+            assert!((0.68..0.80).contains(&g), "availability {avail}: {g}");
+        }
+    }
+
+    #[test]
+    fn figure4_half_machine_rule() {
+        // Caption: "With one 2k node slice (50% of 4k) ... it will have
+        // 50% goodput."
+        let s = sim();
+        let g = s.goodput(2048, 0.995, true);
+        assert!((0.40..0.56).contains(&g), "{g}");
+    }
+
+    #[test]
+    fn figure4_full_machine_needs_everything() {
+        let s = sim();
+        // At 99% host availability a full-machine slice essentially never
+        // schedules (0.99^1024 ≈ 3e-5).
+        assert!(s.goodput(4096, 0.99, true) < 0.01);
+        // At 99.99% it usually does.
+        assert!(s.goodput(4096, 0.9999, true) > 0.7);
+    }
+
+    #[test]
+    fn ocs_dominates_static_everywhere() {
+        let s = GoodputSim::tpu_v4(150, 7);
+        for &avail in &[0.99, 0.995, 0.999] {
+            for &chips in &[256u64, 512, 1024, 2048] {
+                let ocs = s.goodput(chips, avail, true);
+                let fixed = s.goodput(chips, avail, false);
+                assert!(
+                    ocs >= fixed - 1e-9,
+                    "chips {chips} avail {avail}: ocs {ocs} < static {fixed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_static_needs_three_nines() {
+        // "Without OCSes, host availability must be 99.9% to offer
+        // reasonable slice goodput."
+        let s = sim();
+        let at_99 = s.goodput(1024, 0.99, false);
+        let at_999 = s.goodput(1024, 0.999, false);
+        assert!(at_999 > 0.7, "static at 99.9%: {at_999}");
+        assert!(at_999 - at_99 > 0.25, "99.9% must be much better: {at_99} -> {at_999}");
+    }
+
+    #[test]
+    fn small_slices_track_block_availability() {
+        // 64-chip slices: OCS goodput ≈ share of healthy blocks =
+        // availability^16.
+        let s = sim();
+        let g = s.goodput(64, 0.99, true);
+        let expect = 0.99f64.powi(16);
+        assert!((g - expect).abs() < 0.03, "{g} vs {expect}");
+    }
+
+    #[test]
+    fn sweep_reproduces_figure4_counterintuitive_shape() {
+        // Figure 4 caption: "Goodput is counterintuitive at large
+        // slices": 2K slices drop to ~50% (one slice + 50% stranded
+        // spares) while 3K slices recover to ~75% (25% spares).
+        let s = GoodputSim::tpu_v4(200, 3);
+        let rows = s.sweep(0.995);
+        assert_eq!(rows.len(), 8);
+        let at = |chips: u64| rows.iter().find(|r| r.0 == chips).unwrap().1;
+        assert!((0.40..0.58).contains(&at(2048)), "2K: {}", at(2048));
+        assert!((0.68..0.80).contains(&at(3072)), "3K: {}", at(3072));
+        assert!(at(3072) > at(2048), "the 3K recovery must appear");
+        // Small slices track block availability and sit near the top.
+        assert!(at(64) > at(1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn rejects_sub_block_slices() {
+        let _ = sim().goodput(32, 0.99, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability")]
+    fn rejects_bad_availability() {
+        let _ = sim().goodput(64, 0.0, true);
+    }
+
+    #[test]
+    fn block_box_shapes() {
+        assert_eq!(block_box(1), (1, 1, 1));
+        assert_eq!(block_box(8), (2, 2, 2));
+        assert_eq!(block_box(16), (2, 2, 4));
+        assert_eq!(block_box(64), (4, 4, 4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = GoodputSim::tpu_v4(50, 9).goodput(512, 0.99, true);
+        let b = GoodputSim::tpu_v4(50, 9).goodput(512, 0.99, true);
+        assert_eq!(a, b);
+    }
+}

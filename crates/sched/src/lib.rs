@@ -1,0 +1,35 @@
+//! Slice scheduling, availability and the production slice mix.
+//!
+//! * [`goodput`] — the Figure 4 experiment: Monte Carlo goodput of slice
+//!   scheduling under CPU-host failures, with the OCS plugboard (any
+//!   healthy blocks form a slice) versus a statically-cabled machine
+//!   (slices need contiguous healthy sub-boxes).
+//! * [`slice_mix`] — the Table 2 production slice distribution, its
+//!   sampler, and the §2.9 twist-adoption statistics.
+//! * [`deploy`] — the §2.4 incremental-deployment benefit: OCS-attached
+//!   blocks enter production as they land; a static machine waits for the
+//!   last cable.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_sched::GoodputSim;
+//!
+//! let sim = GoodputSim::tpu_v4(200, 7);
+//! let ocs = sim.goodput(1024, 0.995, true);
+//! let fixed = sim.goodput(1024, 0.995, false);
+//! assert!(ocs > fixed, "the OCS must raise goodput: {ocs} vs {fixed}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod deploy;
+pub mod goodput;
+pub mod slice_mix;
+
+pub use cluster::{ClusterReport, ClusterSim, PlacementPolicy};
+pub use deploy::DeploymentModel;
+pub use goodput::GoodputSim;
+pub use slice_mix::{SliceMix, SliceUsage, TopologyChoice};

@@ -1,0 +1,158 @@
+//! Spmem capacity and the §7.9 batch-cap arithmetic.
+//!
+//! Each SparseCore stages activations and gathered rows in its 2.5 MiB
+//! Sparse Vector Memory. The resident working set caps the per-SC
+//! micro-batch; §7.9 works the MLPerf-DLRM numbers: "the global batch
+//! size of MLPerf DLRM is capped at 64k ... limiting batch size to 128
+//! per SC on a 128-chip system (128 chips × 4 SCs/chip × 128 = 64k)",
+//! which drives the fixed-overhead fraction that kills its scaling.
+
+use crate::arch::ScGeneration;
+use serde::{Deserialize, Serialize};
+use tpu_embedding::DlrmConfig;
+
+/// Spmem occupancy model for one SparseCore running one model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmemModel {
+    /// Spmem bytes per SparseCore.
+    pub spmem_bytes: f64,
+    /// Fraction reserved for double-buffering and metadata.
+    pub reserve_fraction: f64,
+}
+
+impl SpmemModel {
+    /// The Figure 7 configuration: 2.5 MiB per SC, 20% reserved.
+    pub fn of_generation(generation: &ScGeneration) -> SpmemModel {
+        SpmemModel {
+            spmem_bytes: generation.spmem_bytes,
+            reserve_fraction: 0.20,
+        }
+    }
+
+    /// Usable staging bytes.
+    pub fn usable_bytes(&self) -> f64 {
+        self.spmem_bytes * (1.0 - self.reserve_fraction)
+    }
+
+    /// Bytes one example stages: one combined vector per feature, plus —
+    /// for multivalent features — the gathered rows awaiting combination
+    /// (≈ mean valency rows, deduplicated). Univalent rows stream
+    /// straight through the segment reducer and need no extra residency.
+    pub fn bytes_per_example(&self, model: &DlrmConfig, dedup_factor: f64) -> f64 {
+        let mut bytes = 0.0;
+        for f in model.features() {
+            let row = model.tables()[f.table].row_bytes() as f64;
+            let staged_rows = if f.mean_valency() > 1.0 {
+                (f.mean_valency() / dedup_factor.max(1.0)).max(1.0)
+            } else {
+                0.0
+            };
+            bytes += row * (1.0 + staged_rows);
+        }
+        bytes
+    }
+
+    /// Largest per-SC micro-batch whose staging fits in spmem.
+    pub fn max_batch_per_sc(&self, model: &DlrmConfig, dedup_factor: f64) -> u64 {
+        let per_example = self.bytes_per_example(model, dedup_factor);
+        if per_example <= 0.0 {
+            return u64::MAX;
+        }
+        (self.usable_bytes() / per_example).floor().max(1.0) as u64
+    }
+
+    /// Global batch supported by `chips` chips of `sc_per_chip` SCs at a
+    /// per-SC micro-batch.
+    pub fn global_batch(chips: u64, sc_per_chip: u32, batch_per_sc: u64) -> u64 {
+        chips * u64::from(sc_per_chip) * batch_per_sc
+    }
+
+    /// Fixed-overhead fraction of a step at a given per-SC batch: issue
+    /// overhead is constant per step, useful work scales with the batch,
+    /// so the fraction grows as the batch shrinks (§7.9's scaling
+    /// ceiling).
+    pub fn overhead_fraction(
+        &self,
+        generation: &ScGeneration,
+        model: &DlrmConfig,
+        batch_per_sc: u64,
+    ) -> f64 {
+        let instrs = model.features().len() as u64 * 6;
+        let issue = generation.issue_time_s(instrs);
+        let lookups = batch_per_sc as f64 * model.mean_lookups_per_example();
+        let work = lookups * generation.cycles_per_lookup
+            / (f64::from(generation.tiles_per_sc) * generation.clock_hz);
+        issue / (issue + work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_7_9_batch_arithmetic() {
+        // 128 chips x 4 SCs x 128/SC = 64k.
+        assert_eq!(SpmemModel::global_batch(128, 4, 128), 65_536);
+        // Production batches of 2048-4096 on 128 chips need only 4-8 per
+        // SC.
+        assert_eq!(SpmemModel::global_batch(128, 4, 8), 4096);
+    }
+
+    #[test]
+    fn mlperf_dlrm_fits_128_per_sc() {
+        // The 64k cap is a *model-quality* cap; spmem itself must allow
+        // at least 128 examples of the small MLPerf model per SC.
+        let gen = ScGeneration::tpu_v4();
+        let spmem = SpmemModel::of_generation(&gen);
+        let model = DlrmConfig::mlperf_dlrm();
+        let max = spmem.max_batch_per_sc(&model, 1.5);
+        assert!(max >= 128, "spmem only fits {max} examples");
+    }
+
+    #[test]
+    fn production_dlrm_stages_fewer_examples() {
+        // DLRM0's hundreds of multivalent features stage far more bytes
+        // per example than MLPerf-DLRM's 26 univalent ones.
+        let gen = ScGeneration::tpu_v4();
+        let spmem = SpmemModel::of_generation(&gen);
+        let prod = spmem.max_batch_per_sc(&DlrmConfig::dlrm0(), 2.5);
+        let mlperf = spmem.max_batch_per_sc(&DlrmConfig::mlperf_dlrm(), 1.5);
+        assert!(prod < mlperf, "production {prod} vs mlperf {mlperf}");
+        assert!(prod >= 1);
+    }
+
+    #[test]
+    fn overhead_fraction_explains_mlperf_scaling_wall() {
+        // §7.9: fixed overheads are "much higher on MLPerf DLRM than
+        // production workloads". At the 128-chip cap MLPerf DLRM runs 128
+        // examples/SC; at 1024 chips only 16 — the overhead fraction must
+        // rise sharply.
+        let gen = ScGeneration::tpu_v4();
+        let spmem = SpmemModel::of_generation(&gen);
+        let model = DlrmConfig::mlperf_dlrm();
+        let at_128 = spmem.overhead_fraction(&gen, &model, 128);
+        let at_16 = spmem.overhead_fraction(&gen, &model, 16);
+        assert!(at_16 > at_128 * 2.0, "{at_128} -> {at_16}");
+        assert!(at_16 > 0.5, "tiny batches must be overhead-dominated: {at_16}");
+        assert!(at_128 < 0.5, "the cap batch still amortizes: {at_128}");
+    }
+
+    #[test]
+    fn production_model_amortizes_overhead() {
+        // DLRM0 at production batch (32/chip = 8/SC) still amortizes well
+        // because each example carries thousands of lookups.
+        let gen = ScGeneration::tpu_v4();
+        let spmem = SpmemModel::of_generation(&gen);
+        let f = spmem.overhead_fraction(&gen, &DlrmConfig::dlrm0(), 8);
+        assert!(f < 0.35, "production overhead fraction {f}");
+    }
+
+    #[test]
+    fn usable_bytes_below_capacity() {
+        let gen = ScGeneration::tpu_v4();
+        let spmem = SpmemModel::of_generation(&gen);
+        assert!(spmem.usable_bytes() < spmem.spmem_bytes);
+        assert!(spmem.usable_bytes() > 0.0);
+    }
+}

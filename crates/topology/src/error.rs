@@ -1,0 +1,82 @@
+//! Error type for topology construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A slice shape had a zero-sized dimension.
+    ZeroDimension,
+    /// The requested shape cannot be twisted (not n×n×2n or n×2n×2n).
+    NotTwistable {
+        /// The offending shape, as (x, y, z).
+        shape: (u32, u32, u32),
+    },
+    /// A node id was out of range for the graph it was used with.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        len: u32,
+    },
+    /// A bisection was requested for a graph with fewer than two nodes.
+    TooSmallToBisect,
+    /// The twist offsets do not produce a consistent (symmetric) graph.
+    InconsistentTwist,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroDimension => {
+                write!(f, "slice shape has a zero-sized dimension")
+            }
+            TopologyError::NotTwistable { shape } => write!(
+                f,
+                "shape {}x{}x{} is not twistable (needs n x n x 2n or n x 2n x 2n)",
+                shape.0, shape.1, shape.2
+            ),
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            TopologyError::TooSmallToBisect => {
+                write!(f, "graph has fewer than two nodes; bisection undefined")
+            }
+            TopologyError::InconsistentTwist => {
+                write!(f, "twist offsets do not produce a symmetric link graph")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants = [
+            TopologyError::ZeroDimension,
+            TopologyError::NotTwistable { shape: (3, 5, 7) },
+            TopologyError::NodeOutOfRange { node: 9, len: 4 },
+            TopologyError::TooSmallToBisect,
+            TopologyError::InconsistentTwist,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

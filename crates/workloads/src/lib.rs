@@ -1,0 +1,41 @@
+//! Production workloads and cross-DSA comparisons.
+//!
+//! * [`mix`] — the Table 1 workload-mix history across four TPU
+//!   generations (2016–2022), including the Transformer/BERT/LLM split.
+//! * [`suite`] — the eight production workloads used in §5 (CNN0/1,
+//!   RNN0/1, BERT0/1, DLRM0/1) with per-chip performance models that
+//!   reproduce Figure 12's TPU v4-vs-v3 speedups and Figure 13's CMEM
+//!   ablation and performance/Watt.
+//! * [`scaling`] — the Figure 11 weak-scaling curves with their
+//!   infrastructural caps (BERT0 → 2K chips, DLRMs → 1K).
+//! * [`evolution`] — the Figure 17 DLRM0 growth timeline (43 versions,
+//!   weights ×4.2, embeddings ×3.8 over five years).
+//! * [`mlperf`] — the MLPerf Training 2.0 comparison of Figures 14/15
+//!   (TPU v4 vs NVIDIA A100 vs Graphcore IPU Bow).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_workloads::suite::ProductionSuite;
+//!
+//! let suite = ProductionSuite::paper();
+//! let geomean = suite.geomean_v4_over_v3_speedup();
+//! assert!(geomean > 1.8 && geomean < 2.6); // paper: 2.1x
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evolution;
+pub mod mix;
+pub mod mlperf;
+pub mod palm;
+pub mod scaling;
+pub mod suite;
+
+pub use evolution::Dlrm0Evolution;
+pub use palm::LlmCampaign;
+pub use mix::{ModelFamily, WorkloadMix};
+pub use mlperf::{MlperfBenchmark, MlperfSystem};
+pub use scaling::ScalingCurve;
+pub use suite::{ProductionSuite, Workload, WorkloadKind};

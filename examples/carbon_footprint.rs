@@ -1,0 +1,65 @@
+//! Energy and operational CO₂e of large training runs (§7.6, §9).
+//!
+//! Walks the paper's "4Ms" arithmetic for a PaLM-540B-scale campaign and
+//! compares hosting options.
+//!
+//! ```sh
+//! cargo run --release --example carbon_footprint
+//! ```
+
+use tpuv4::energy::carbon::{CarbonModel, Datacenter};
+use tpuv4::workloads::LlmCampaign;
+
+fn main() {
+    let palm = LlmCampaign::palm_540b();
+    println!(
+        "campaign: {:.0}B params on {} chips for {:.0} days ({:.1}% HFU, {:.1}% MFU)",
+        palm.params / 1e9,
+        palm.chips,
+        palm.days,
+        palm.hfu * 100.0,
+        palm.mfu() * 100.0
+    );
+    println!(
+        "  useful compute: {:.2e} FLOPs = {:.0}B tokens",
+        palm.useful_flops(),
+        palm.tokens_trained() / 1e9
+    );
+    let it_kwh = palm.accelerator_energy_kwh();
+    println!("  accelerator energy: {:.2} GWh", it_kwh / 1e6);
+
+    let model = CarbonModel::paper_default();
+    println!("\nhosting comparison (same campaign):");
+    println!(
+        "{:<26} {:>5} {:>7} {:>14} {:>12}",
+        "datacenter", "PUE", "CFE", "kgCO2e/kWh", "tonnes CO2e"
+    );
+    for dc in [
+        Datacenter::google_oklahoma(),
+        Datacenter::average_on_premise(),
+        Datacenter::vintage_2008(),
+    ] {
+        let t = model.job_co2e_kg(&dc, it_kwh) / 1000.0;
+        println!(
+            "{:<26} {:>5.2} {:>6.0}% {:>14.3} {:>12.0}",
+            dc.name,
+            dc.pue,
+            dc.cfe_fraction * 100.0,
+            dc.kg_co2e_per_kwh,
+            t
+        );
+    }
+
+    let onprem = Datacenter::average_on_premise();
+    let tpu = Datacenter::google_oklahoma();
+    println!(
+        "\n4Ms: energy ratio {:.2}x (paper: 2.85x), CO2e ratio {:.1}x (paper: ~18.3x)",
+        model.energy_ratio(&onprem, &tpu),
+        model.co2e_ratio(&onprem, &tpu)
+    );
+    println!(
+        "with the full 2-6x machine-factor range the CO2e advantage spans {:.0}x-{:.0}x",
+        model.co2e_ratio(&onprem, &tpu),
+        CarbonModel { machine_factor: 6.0, ..model }.co2e_ratio(&onprem, &tpu)
+    );
+}

@@ -1,0 +1,66 @@
+//! Co-optimizing topology and parallelism for LLM training (§4, Table 3).
+//!
+//! Reshapes a 512-chip slice and searches partitionings for an internal
+//! LLM and for GPT-3 pre-training, comparing against the paper's novice
+//! and expert baselines.
+//!
+//! ```sh
+//! cargo run --release --example llm_topology_search
+//! ```
+
+use tpuv4::parallel::{LlmConfig, Partitioning, ShardingSpec, TopologySearch, TrainingCost};
+use tpuv4::topology::SliceShape;
+
+fn report(case: &str, baseline_label: &str, baseline: &TrainingCost, llm: &LlmConfig) {
+    let search = TopologySearch::new(512);
+    let best = search.best(llm);
+    println!("== {case} ==");
+    println!(
+        "  {baseline_label:>12}: {:8.1} seqs/s (mfu {:.1}%)",
+        baseline.throughput_seqs_per_s(),
+        baseline.mfu() * 100.0
+    );
+    let (x, y, z) = best.shape;
+    println!(
+        "  {:>12}: {:8.1} seqs/s (mfu {:.1}%)  topology {x}x{y}x{z}, plan {}, {}",
+        "search best",
+        best.cost.throughput_seqs_per_s(),
+        best.cost.mfu() * 100.0,
+        best.plan,
+        best.sharding,
+    );
+    println!(
+        "  gain: {:.2}x\n",
+        best.cost.throughput_seqs_per_s() / baseline.throughput_seqs_per_s()
+    );
+}
+
+fn main() {
+    // Case 1: a novice's LLM configuration (Table 3 row 1).
+    let llm = LlmConfig::table3_llm();
+    let novice = TrainingCost::evaluate(
+        &llm,
+        SliceShape::new(4, 8, 16).expect("valid shape"),
+        Partitioning::new(1, 1, 16, 32),
+        ShardingSpec::new(2, 2),
+    )
+    .expect("novice config is feasible");
+    report("LLM, novice baseline (paper gain: 2.3x)", "novice pick", &novice, &llm);
+
+    // Case 2: an expert's GPT-3 configuration (Table 3 row 2).
+    let gpt3 = LlmConfig::gpt3();
+    let expert = TrainingCost::evaluate(
+        &gpt3,
+        SliceShape::new(8, 8, 8).expect("valid shape"),
+        Partitioning::new(8, 1, 8, 8),
+        ShardingSpec::new(2, 2),
+    )
+    .expect("expert config is feasible");
+    report("GPT-3 pre-training, expert baseline (paper gain: 1.2x)", "expert pick", &expert, &gpt3);
+
+    // Show the step-time anatomy of the expert config.
+    println!("expert GPT-3 step anatomy:");
+    println!("  compute     {:8.1} ms", expert.compute_s() * 1e3);
+    println!("  model comm  {:8.1} ms", expert.model_comm_s() * 1e3);
+    println!("  data comm   {:8.1} ms", expert.data_comm_s() * 1e3);
+}
