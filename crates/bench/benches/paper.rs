@@ -6,17 +6,29 @@ use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
-    g.bench_function("table1_mix", |b| b.iter(|| black_box(tpu_bench::tables::table1())));
-    g.bench_function("table2_slices", |b| b.iter(|| black_box(tpu_bench::tables::table2())));
-    g.bench_function("table4_specs", |b| b.iter(|| black_box(tpu_bench::tables::table4())));
-    g.bench_function("table5_specs", |b| b.iter(|| black_box(tpu_bench::tables::table5())));
-    g.bench_function("table6_power", |b| b.iter(|| black_box(tpu_bench::tables::table6())));
+    g.bench_function("table1_mix", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table1()))
+    });
+    g.bench_function("table2_slices", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table2()))
+    });
+    g.bench_function("table4_specs", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table4()))
+    });
+    g.bench_function("table5_specs", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table5()))
+    });
+    g.bench_function("table6_power", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table6()))
+    });
     g.finish();
 
     // Table 3's search is heavy; benchmark it separately with few samples.
     let mut s = c.benchmark_group("table3");
     s.sample_size(10);
-    s.bench_function("table3_search", |b| b.iter(|| black_box(tpu_bench::tables::table3())));
+    s.bench_function("table3_search", |b| {
+        b.iter(|| black_box(tpu_bench::tables::table3()))
+    });
     s.finish();
 }
 
@@ -26,20 +38,30 @@ fn bench_net_figures(c: &mut Criterion) {
     g.bench_function("fig1_wiring_audit", |b| {
         b.iter(|| black_box(tpu_bench::figures_net::fig1()))
     });
-    g.bench_function("fig4_goodput", |b| b.iter(|| black_box(tpu_bench::figures_net::fig4())));
-    g.bench_function("fig5_link_map", |b| b.iter(|| black_box(tpu_bench::figures_net::fig5())));
-    g.bench_function("fig6_alltoall", |b| b.iter(|| black_box(tpu_bench::figures_net::fig6())));
+    g.bench_function("fig4_goodput", |b| {
+        b.iter(|| black_box(tpu_bench::figures_net::fig4()))
+    });
+    g.bench_function("fig5_link_map", |b| {
+        b.iter(|| black_box(tpu_bench::figures_net::fig5()))
+    });
+    g.bench_function("fig6_alltoall", |b| {
+        b.iter(|| black_box(tpu_bench::figures_net::fig6()))
+    });
     g.finish();
 }
 
 fn bench_sc_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("sc_figures");
     g.sample_size(10);
-    g.bench_function("fig8_bisection", |b| b.iter(|| black_box(tpu_bench::figures_sc::fig8())));
+    g.bench_function("fig8_bisection", |b| {
+        b.iter(|| black_box(tpu_bench::figures_sc::fig8()))
+    });
     g.bench_function("fig9_dlrm_placement", |b| {
         b.iter(|| black_box(tpu_bench::figures_sc::fig9()))
     });
-    g.bench_function("fig10_panas", |b| b.iter(|| black_box(tpu_bench::figures_sc::fig10())));
+    g.bench_function("fig10_panas", |b| {
+        b.iter(|| black_box(tpu_bench::figures_sc::fig10()))
+    });
     g.finish();
 }
 
@@ -52,7 +74,9 @@ fn bench_perf_figures(c: &mut Criterion) {
     g.bench_function("fig12_speedup", |b| {
         b.iter(|| black_box(tpu_bench::figures_perf::fig12()))
     });
-    g.bench_function("fig13_cmem", |b| b.iter(|| black_box(tpu_bench::figures_perf::fig13())));
+    g.bench_function("fig13_cmem", |b| {
+        b.iter(|| black_box(tpu_bench::figures_perf::fig13()))
+    });
     g.bench_function("fig14_mlperf_peak", |b| {
         b.iter(|| black_box(tpu_bench::figures_perf::fig14()))
     });
@@ -74,8 +98,12 @@ fn bench_sections(c: &mut Criterion) {
     g.bench_function("sec2_9_twist_stats", |b| {
         b.iter(|| black_box(tpu_bench::sections::sec2_9()))
     });
-    g.bench_function("sec7_3_ib", |b| b.iter(|| black_box(tpu_bench::sections::sec7_3())));
-    g.bench_function("sec7_6_carbon", |b| b.iter(|| black_box(tpu_bench::sections::sec7_6())));
+    g.bench_function("sec7_3_ib", |b| {
+        b.iter(|| black_box(tpu_bench::sections::sec7_3()))
+    });
+    g.bench_function("sec7_6_carbon", |b| {
+        b.iter(|| black_box(tpu_bench::sections::sec7_6()))
+    });
     g.finish();
 }
 

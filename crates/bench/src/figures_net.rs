@@ -31,7 +31,10 @@ pub fn fig1() -> String {
             .iter()
             .filter(|c| wiring::ocs_role(c.ocs).0 == dim)
             .count();
-        let _ = writeln!(out, "  dimension {dim}: {circuits} circuits on 16 distinct OCSes");
+        let _ = writeln!(
+            out,
+            "  dimension {dim}: {circuits} circuits on 16 distinct OCSes"
+        );
     }
     let _ = writeln!(
         out,
@@ -56,7 +59,7 @@ pub fn fig4() -> String {
         "{:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
         "chips", "99.0%", "99.5%", "99.9%", "99.0%", "99.5%", "99.9%"
     );
-    for &chips in &[64u64, 128, 256, 512, 1024, 2048, 3072, 4096] {
+    for chips in sim.slice_axis() {
         let g = |avail, ocs| sim.goodput(chips, avail, ocs) * 100.0;
         let _ = writeln!(
             out,
@@ -82,7 +85,11 @@ pub fn fig5() -> String {
         "wraparound links of {} (x-dimension, +x direction):",
         shape
     );
-    let _ = writeln!(out, "{:>14} {:>14} {:>14}", "from", "regular to", "twisted to");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>14} {:>14}",
+        "from", "regular to", "twisted to"
+    );
     for y in 0..2u32 {
         for z in 0..4u32 {
             let c = Coord3::new(3, y, z);
@@ -97,7 +104,10 @@ pub fn fig5() -> String {
             );
         }
     }
-    let _ = writeln!(out, "(electrical in-block links unchanged; only OCS routing differs)");
+    let _ = writeln!(
+        out,
+        "(electrical in-block links unchanged; only OCS routing differs)"
+    );
     out
 }
 
@@ -114,7 +124,9 @@ pub fn fig6() -> String {
         let shape = SliceShape::new(x, y, z).expect("valid");
         let reg = AllToAll::analyze(&Torus::new(shape).into_graph(), 4096, rate);
         let tw = AllToAll::analyze(
-            &TwistedTorus::paper_default(shape).expect("twistable").into_graph(),
+            &TwistedTorus::paper_default(shape)
+                .expect("twistable")
+                .into_graph(),
             4096,
             rate,
         );

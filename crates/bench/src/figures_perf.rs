@@ -36,7 +36,10 @@ pub fn fig11() -> String {
             curve.efficiency_at_max() * 100.0
         );
     }
-    let _ = writeln!(out, "(relative to 16 chips; -- = beyond the workload's infrastructure cap)");
+    let _ = writeln!(
+        out,
+        "(relative to 16 chips; -- = beyond the workload's infrastructure cap)"
+    );
     out
 }
 
@@ -131,7 +134,7 @@ pub fn fig15() -> String {
             "{:>8} {:>10} {:>10} {:>10}",
             "chips", "TPU v4", "A100", "IPU Bow"
         );
-        for &chips in &[8u64, 16, 64, 256, 1024, 4096] {
+        for &chips in &[8u64, 16, 64, 256, 1024, tpu_spec::consts::V4_FLEET_CHIPS] {
             let cell = |sys: MlperfSystem| {
                 sys.relative_speed(b, chips)
                     .map(|s| format!("{s:.1}"))
@@ -146,7 +149,10 @@ pub fn fig15() -> String {
             );
         }
     }
-    let _ = writeln!(out, "(anchors: v4 = 1.15x A100 BERT, 1.67x ResNet; 4.3x/4.5x IPU at 256)");
+    let _ = writeln!(
+        out,
+        "(anchors: v4 = 1.15x A100 BERT, 1.67x ResNet; 4.3x/4.5x IPU at 256)"
+    );
     out
 }
 

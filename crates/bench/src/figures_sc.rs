@@ -5,6 +5,7 @@ use tpu_embedding::DlrmConfig;
 use tpu_parallel::PaNas;
 use tpu_sparsecore::placement::{a2a_bw_2d, a2a_bw_3d};
 use tpu_sparsecore::{EmbeddingSystem, Placement};
+use tpu_spec::MachineSpec;
 
 /// Figure 8: bisection-bandwidth ratio v4/v3 and DLRM sensitivity.
 pub fn fig8() -> String {
@@ -15,15 +16,17 @@ pub fn fig8() -> String {
         "{:>7} {:>14} {:>14} {:>10} {:>12}",
         "chips", "v4 a2a GB/s", "v3 a2a GB/s", "bis ratio", "emb speedup"
     );
+    let v4_spec = MachineSpec::v4();
+    let v3_spec = MachineSpec::v3();
     for &chips in &[16u64, 32, 64, 128, 256, 512, 1024, 2048] {
-        let v4_bw = a2a_bw_3d(chips, 50e9, 6);
-        let v3_bw = a2a_bw_2d(chips, 70e9, 4);
+        let v4_bw = a2a_bw_3d(chips, v4_spec.ici_bytes_per_s(), v4_spec.ici_links());
+        let v3_bw = a2a_bw_2d(chips, v3_spec.ici_bytes_per_s(), v3_spec.ici_links());
         // Embedding speedup: step time with v4's bisection vs a v4 system
         // handicapped to v3-like bisection (isolating the Figure 8 right
         // axis: sensitivity to bisection alone). Batch scales with chips.
         let batch = 32 * chips;
-        let v4 = EmbeddingSystem::tpu_v4_slice(chips)
-            .step_time(&model, batch, Placement::SparseCore);
+        let v4 =
+            EmbeddingSystem::tpu_v4_slice(chips).step_time(&model, batch, Placement::SparseCore);
         let handicapped = {
             let mut b = v4;
             b.exchange_s *= v4_bw / v3_bw;
@@ -38,7 +41,10 @@ pub fn fig8() -> String {
             handicapped.total_s() / v4.total_s()
         );
     }
-    let _ = writeln!(out, "(paper: ratio 2-4x; embedding acceleration 1.1x-2.0x, fading >=1K chips)");
+    let _ = writeln!(
+        out,
+        "(paper: ratio 2-4x; embedding acceleration 1.1x-2.0x, fading >=1K chips)"
+    );
     out
 }
 

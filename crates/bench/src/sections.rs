@@ -42,11 +42,12 @@ pub fn sec2_9() -> String {
 pub fn sec7_3() -> String {
     let mut out = String::new();
     let ft = FatTree::hdr_reference();
+    let fleet_chips = tpu_spec::MachineSpec::v4().fleet_chips;
     let _ = writeln!(
         out,
-        "switch counts: 1120 chips -> {} IB switches (paper: 164); 4096 -> {} (paper: 568)",
+        "switch counts: 1120 chips -> {} IB switches (paper: 164); {fleet_chips} -> {} (paper: 568)",
         ft.estimated_switches(1120),
-        ft.estimated_switches(4096)
+        ft.estimated_switches(fleet_chips)
     );
     let _ = writeln!(
         out,
@@ -65,7 +66,10 @@ pub fn sec7_3() -> String {
             cmp.all_to_all_slowdown
         );
     }
-    let _ = writeln!(out, "(paper: all-reduce 1.8x-2.4x slower, all-to-all 1.2x-2.4x slower)");
+    let _ = writeln!(
+        out,
+        "(paper: all-reduce 1.8x-2.4x slower, all-to-all 1.2x-2.4x slower)"
+    );
     out
 }
 
@@ -75,8 +79,16 @@ pub fn sec7_6() -> String {
     let tpu = Datacenter::google_oklahoma();
     let onprem = Datacenter::average_on_premise();
     let model = CarbonModel::paper_default();
-    let _ = writeln!(out, "Model         = {:.2} (same model trained)", model.model_factor);
-    let _ = writeln!(out, "Machine       = {:.2}x perf/W advantage (conservative)", model.machine_factor);
+    let _ = writeln!(
+        out,
+        "Model         = {:.2} (same model trained)",
+        model.model_factor
+    );
+    let _ = writeln!(
+        out,
+        "Machine       = {:.2}x perf/W advantage (conservative)",
+        model.machine_factor
+    );
     let _ = writeln!(
         out,
         "Mechanization = PUE {:.2} (on-prem) vs {:.2} (WSC)",

@@ -34,14 +34,19 @@ pub fn table1() -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>14} {:>14} {:>13.0}% {:>13.0}%",
-        "(BERT)", "--", "--",
+        "(BERT)",
+        "--",
+        "--",
         columns[2].bert_share.unwrap_or(0.0) * 100.0,
         v4.bert_share.unwrap_or(0.0) * 100.0
     );
     let _ = writeln!(
         out,
         "{:<12} {:>14} {:>14} {:>14} {:>13.0}%",
-        "(LLM)", "--", "--", "--",
+        "(LLM)",
+        "--",
+        "--",
+        "--",
         v4.llm_share.unwrap_or(0.0) * 100.0
     );
     out
@@ -68,13 +73,29 @@ pub fn table2() -> String {
             e.shape.volume(),
             topo,
             e.share * 100.0,
-            if e.shape.is_production_twistable() { "yes" } else { "no" }
+            if e.shape.is_production_twistable() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     let _ = writeln!(out, "---");
-    let _ = writeln!(out, "total sampled share: {:.1}%", mix.total_share() * 100.0);
-    let _ = writeln!(out, "< 64 chips: {:.1}% (paper: 29%)", mix.share_below_64() * 100.0);
-    let _ = writeln!(out, "twisted:    {:.1}% (paper: 28%)", mix.share_twisted() * 100.0);
+    let _ = writeln!(
+        out,
+        "total sampled share: {:.1}%",
+        mix.total_share() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "< 64 chips: {:.1}% (paper: 29%)",
+        mix.share_below_64() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "twisted:    {:.1}% (paper: 28%)",
+        mix.share_twisted() * 100.0
+    );
     out
 }
 
@@ -88,14 +109,14 @@ pub fn table3() -> String {
     );
 
     let case = |name: &str,
-                    llm: &LlmConfig,
-                    base_shape: (u32, u32, u32),
-                    base_plan: Partitioning,
-                    base_spec: ShardingSpec,
-                    out: &mut String| {
+                llm: &LlmConfig,
+                base_shape: (u32, u32, u32),
+                base_plan: Partitioning,
+                base_spec: ShardingSpec,
+                out: &mut String| {
         let shape = SliceShape::new(base_shape.0, base_shape.1, base_shape.2).expect("shape");
-        let base = TrainingCost::evaluate(llm, shape, base_plan, base_spec)
-            .expect("baseline feasible");
+        let base =
+            TrainingCost::evaluate(llm, shape, base_plan, base_spec).expect("baseline feasible");
         let best = TopologySearch::new(512).best(llm);
         let _ = writeln!(
             out,
@@ -143,7 +164,10 @@ pub fn table3() -> String {
 fn spec_rows(spec: &ChipSpec) -> Vec<(String, String)> {
     vec![
         ("deployed".into(), spec.deployed.to_string()),
-        ("peak bf16 TFLOPS".into(), format!("{:.0}", spec.peak_tflops)),
+        (
+            "peak bf16 TFLOPS".into(),
+            format!("{:.0}", spec.peak_tflops),
+        ),
         ("clock MHz".into(), format!("{:.0}", spec.clock_mhz)),
         ("process nm".into(), spec.tech_nm.to_string()),
         ("die mm^2".into(), format!("{:.0}", spec.die_mm2)),
@@ -151,7 +175,10 @@ fn spec_rows(spec: &ChipSpec) -> Vec<(String, String)> {
         ("chips/host".into(), spec.chips_per_host.to_string()),
         (
             "ICI".into(),
-            format!("{} links @ {:.0} GB/s", spec.ici_links, spec.ici_gbps_per_link),
+            format!(
+                "{} links @ {:.0} GB/s",
+                spec.ici_links, spec.ici_gbps_per_link
+            ),
         ),
         ("largest config".into(), spec.largest_config.to_string()),
         ("processors".into(), spec.processors.to_string()),
@@ -208,7 +235,12 @@ pub fn table6() -> String {
         let _ = writeln!(
             out,
             "{:<10} {:>10.0}W {:>10.0}W {:>6.2}x | {:>10.0}W {:>11.0}W",
-            m.benchmark, m.a100_w, m.tpu_v4_w, m.ratio(), md.a100_w, md.tpu_v4_w
+            m.benchmark,
+            m.a100_w,
+            m.tpu_v4_w,
+            m.ratio(),
+            md.a100_w,
+            md.tpu_v4_w
         );
     }
     out

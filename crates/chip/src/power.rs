@@ -20,7 +20,10 @@ impl PowerModel {
     /// TDP (others; idle assumed at 30% of TDP, typical for GPUs).
     pub fn of_chip(spec: &ChipSpec) -> PowerModel {
         match (spec.idle_w, spec.power_min_mean_max_w) {
-            (Some(idle), Some((_, _, max))) => PowerModel { idle_w: idle, max_w: max },
+            (Some(idle), Some((_, _, max))) => PowerModel {
+                idle_w: idle,
+                max_w: max,
+            },
             _ => {
                 let tdp = spec.tdp_w.unwrap_or(0.0);
                 PowerModel {

@@ -8,6 +8,7 @@
 //! reused 4 times."
 
 use serde::{Deserialize, Serialize};
+use tpu_spec::{Generation, MachineSpec};
 
 /// One TensorCore's compute organization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,31 +26,46 @@ pub struct TensorCore {
 }
 
 impl TensorCore {
-    /// The TPU v4 TensorCore (Table 4 / §2.2).
-    pub fn tpu_v4() -> TensorCore {
+    /// The TensorCore a machine spec describes: MXU count/dimension and
+    /// clock come from the spec; the VPU organization (128 lanes × 16
+    /// ALUs, Figure 7) is common to the TPU generations.
+    pub fn for_spec(spec: &MachineSpec) -> TensorCore {
         TensorCore {
-            mxus: 4,
-            mxu_dim: 128,
+            mxus: spec.mxus_per_core,
+            mxu_dim: spec.mxu_dim,
             vpu_lanes: 128,
             alus_per_lane: 16,
-            clock_hz: 1050e6,
+            clock_hz: spec.chip.clock_mhz * 1e6,
         }
+    }
+
+    /// The TensorCore of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(generation: &Generation) -> TensorCore {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        TensorCore::for_spec(&spec)
+    }
+
+    /// The TPU v4 TensorCore (Table 4 / §2.2).
+    pub fn tpu_v4() -> TensorCore {
+        TensorCore::for_generation(&Generation::V4)
     }
 
     /// The TPU v3 TensorCore (two MXUs).
     pub fn tpu_v3() -> TensorCore {
-        TensorCore {
-            mxus: 2,
-            mxu_dim: 128,
-            vpu_lanes: 128,
-            alus_per_lane: 16,
-            clock_hz: 940e6,
-        }
+        TensorCore::for_generation(&Generation::V3)
     }
 
     /// Peak MAC throughput of one TC, FLOP/s (2 FLOPs per MAC).
     pub fn peak_flops(&self) -> f64 {
-        f64::from(self.mxus) * f64::from(self.mxu_dim) * f64::from(self.mxu_dim) * 2.0
+        f64::from(self.mxus)
+            * f64::from(self.mxu_dim)
+            * f64::from(self.mxu_dim)
+            * 2.0
             * self.clock_hz
     }
 

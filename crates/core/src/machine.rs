@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use tpu_net::{collectives, AllToAll, LinkRate};
 use tpu_ocs::{BlockId, Fabric, MaterializedSlice, SliceSpec};
+use tpu_spec::{Generation, MachineSpec};
 
 /// Identifier of a running job.
 #[derive(
@@ -104,12 +105,40 @@ pub struct Supercomputer {
 }
 
 impl Supercomputer {
-    /// The full 4096-chip machine.
+    /// The full 4096-chip machine (alias for
+    /// `for_generation(Generation::V4)`).
     pub fn tpu_v4() -> Supercomputer {
-        Supercomputer::with_fabric(Fabric::tpu_v4())
+        Supercomputer::for_generation(Generation::V4)
     }
 
-    /// A machine over a custom fabric (e.g. partially deployed).
+    /// The fleet-scale machine a spec describes: the fabric holds
+    /// `fleet_blocks()` blocks and collectives run at the spec's ICI
+    /// link rate. For pre-OCS generations this models their fleet behind
+    /// the reconfigurable fabric (the §2.7 counterfactual), which is the
+    /// apples-to-apples basis the paper's cross-generation comparisons
+    /// assume.
+    pub fn for_spec(spec: &MachineSpec) -> Supercomputer {
+        Supercomputer {
+            fabric: Fabric::for_spec(spec),
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            link_rate_gbps: LinkRate::for_spec(spec).gb_per_s(),
+        }
+    }
+
+    /// The fleet-scale machine of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(generation: Generation) -> Supercomputer {
+        let spec = MachineSpec::for_generation(&generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        Supercomputer::for_spec(&spec)
+    }
+
+    /// A machine over a custom fabric (e.g. partially deployed), at the
+    /// v4 ICI link rate.
     pub fn with_fabric(fabric: Fabric) -> Supercomputer {
         Supercomputer {
             fabric,
@@ -158,14 +187,7 @@ impl Supercomputer {
         let slice = self.fabric.allocate(spec.slice())?;
         let id = JobId(self.next_id);
         self.next_id += 1;
-        self.jobs.insert(
-            id,
-            RunningJob {
-                id,
-                spec,
-                slice,
-            },
-        );
+        self.jobs.insert(id, RunningJob { id, spec, slice });
         Ok(id)
     }
 
@@ -303,10 +325,39 @@ mod tests {
     }
 
     #[test]
+    fn generation_parameterized_machines_compose() {
+        // The same submit -> collective_time flow runs on every TPU
+        // generation's fleet.
+        let mut v3 = Supercomputer::for_generation(Generation::V3);
+        assert_eq!(v3.total_chips(), 1024);
+        let mut v4 = Supercomputer::for_generation(Generation::V4);
+        assert_eq!(v4.total_chips(), 4096);
+
+        let op = Collective::AllReduce { bytes: 1 << 30 };
+        let j3 = v3
+            .submit(JobSpec::new("g", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let j4 = v4
+            .submit(JobSpec::new("g", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let t3 = v3.collective_time(j3, op).unwrap();
+        let t4 = v4.collective_time(j4, op).unwrap();
+        // Table 4: v3 links run 70 GB/s vs v4's 50, so the same
+        // bandwidth-bound all-reduce finishes sooner per link on v3.
+        assert!(t3 > 0.0 && t4 > 0.0);
+        assert!(t3 < t4, "v3 {t3} vs v4 {t4}");
+    }
+
+    #[test]
     fn unknown_job_errors() {
         let mut sc = Supercomputer::tpu_v4();
         let err = sc.finish(JobId::new(99)).unwrap_err();
-        assert_eq!(err, SupercomputerError::UnknownJob { job: JobId::new(99) });
+        assert_eq!(
+            err,
+            SupercomputerError::UnknownJob {
+                job: JobId::new(99)
+            }
+        );
     }
 
     #[test]
@@ -391,9 +442,14 @@ mod tests {
             .submit(JobSpec::new("r", SliceSpec::regular(shape(4, 4, 8))))
             .unwrap();
         let tw = sc
-            .submit(JobSpec::new("t", SliceSpec::twisted(shape(4, 4, 8)).unwrap()))
+            .submit(JobSpec::new(
+                "t",
+                SliceSpec::twisted(shape(4, 4, 8)).unwrap(),
+            ))
             .unwrap();
-        let op = Collective::AllToAll { bytes_per_pair: 4096 };
+        let op = Collective::AllToAll {
+            bytes_per_pair: 4096,
+        };
         let t_reg = sc.collective_time(reg, op).unwrap();
         let t_tw = sc.collective_time(tw, op).unwrap();
         assert!(t_tw < t_reg, "twisted {t_tw} vs regular {t_reg}");

@@ -29,7 +29,11 @@ impl DlrmConfig {
         features: Vec<FeatureSpec>,
     ) -> DlrmConfig {
         for f in &features {
-            assert!(f.table < tables.len(), "feature {} references missing table", f.name);
+            assert!(
+                f.table < tables.len(),
+                "feature {} references missing table",
+                f.name
+            );
         }
         DlrmConfig {
             name: name.into(),
@@ -114,7 +118,11 @@ impl DlrmConfig {
         let tables: Vec<EmbeddingTable> = (0..FEATURES)
             .map(|i| {
                 // Criteo-like vocab spread: a few huge tables, many small.
-                let vocab = if i < 3 { 10_000_000 } else { 10_000 + 1000 * i as u64 };
+                let vocab = if i < 3 {
+                    10_000_000
+                } else {
+                    10_000 + 1000 * i as u64
+                };
                 EmbeddingTable::new(format!("criteo{i}"), vocab, 128, 4)
             })
             .collect();

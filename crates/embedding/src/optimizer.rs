@@ -43,12 +43,7 @@ impl EmbeddingOptimizer {
     /// Whether a sharding plan over `chips` leaves room for weights plus
     /// slots in `hbm_bytes_per_chip`, scaling the plan's weight-only
     /// footprint by the slot multiplier.
-    pub fn fits(
-        self,
-        model: &DlrmConfig,
-        plan: &ShardingPlan,
-        hbm_bytes_per_chip: u64,
-    ) -> bool {
+    pub fn fits(self, model: &DlrmConfig, plan: &ShardingPlan, hbm_bytes_per_chip: u64) -> bool {
         let multiplier = self.bytes_per_param() as f64 / 4.0;
         plan.per_chip_bytes(model)
             .iter()

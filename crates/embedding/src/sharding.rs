@@ -162,7 +162,7 @@ mod tests {
 
     fn tiny_model() -> DlrmConfig {
         let tables = vec![
-            EmbeddingTable::new("small", 100, 8, 4),    // 3.2 kB
+            EmbeddingTable::new("small", 100, 8, 4),        // 3.2 kB
             EmbeddingTable::new("large", 1_000_000, 64, 4), // 256 MB
         ];
         let features = vec![

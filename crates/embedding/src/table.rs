@@ -18,7 +18,12 @@ impl EmbeddingTable {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(name: impl Into<String>, rows: u64, dim: u32, bytes_per_element: u32) -> EmbeddingTable {
+    pub fn new(
+        name: impl Into<String>,
+        rows: u64,
+        dim: u32,
+        bytes_per_element: u32,
+    ) -> EmbeddingTable {
         assert!(rows > 0 && dim > 0 && bytes_per_element > 0, "empty table");
         EmbeddingTable {
             name: name.into(),

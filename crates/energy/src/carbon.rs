@@ -102,7 +102,10 @@ mod tests {
     fn energy_ratio_matches_section_7_6() {
         // "2 × 1.57 ÷ 1.10 or 2.85x more energy."
         let m = CarbonModel::paper_default();
-        let r = m.energy_ratio(&Datacenter::average_on_premise(), &Datacenter::google_oklahoma());
+        let r = m.energy_ratio(
+            &Datacenter::average_on_premise(),
+            &Datacenter::google_oklahoma(),
+        );
         assert!((r - 2.854).abs() < 0.01, "{r}");
     }
 
@@ -110,7 +113,10 @@ mod tests {
     fn co2e_ratio_matches_section_7_6() {
         // "2.85 × 0.475 ÷ 0.074 or ~18.3x higher."
         let m = CarbonModel::paper_default();
-        let r = m.co2e_ratio(&Datacenter::average_on_premise(), &Datacenter::google_oklahoma());
+        let r = m.co2e_ratio(
+            &Datacenter::average_on_premise(),
+            &Datacenter::google_oklahoma(),
+        );
         assert!((17.5..19.5).contains(&r), "{r}");
     }
 

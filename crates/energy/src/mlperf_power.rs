@@ -2,7 +2,8 @@
 //! MLPerf.
 
 use serde::{Deserialize, Serialize};
-use tpu_chip::{ChipSpec, PowerModel};
+use tpu_chip::PowerModel;
+use tpu_spec::MachineSpec;
 
 /// One Table 6 row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,8 +58,8 @@ impl Table6 {
     /// TDP — §7.1 observed clock throttling; ResNet's input pipeline
     /// lowers its duty cycle).
     pub fn modeled() -> Table6 {
-        let a100 = PowerModel::of_chip(&ChipSpec::a100());
-        let v4 = PowerModel::of_chip(&ChipSpec::tpu_v4());
+        let a100 = PowerModel::of_chip(&MachineSpec::a100().chip);
+        let v4 = PowerModel::of_chip(&MachineSpec::v4().chip);
         let mk = |name: &str, a100_util: f64, v4_util: f64| MlperfPowerRow {
             benchmark: name.into(),
             a100_w: a100.at_utilization(a100_util),
@@ -104,8 +105,20 @@ mod tests {
         for (m, r) in measured.rows().iter().zip(modeled.rows()) {
             let a_err = (m.a100_w - r.a100_w).abs() / m.a100_w;
             let t_err = (m.tpu_v4_w - r.tpu_v4_w).abs() / m.tpu_v4_w;
-            assert!(a_err < 0.10, "{}: A100 {} vs {}", m.benchmark, m.a100_w, r.a100_w);
-            assert!(t_err < 0.10, "{}: TPU {} vs {}", m.benchmark, m.tpu_v4_w, r.tpu_v4_w);
+            assert!(
+                a_err < 0.10,
+                "{}: A100 {} vs {}",
+                m.benchmark,
+                m.a100_w,
+                r.a100_w
+            );
+            assert!(
+                t_err < 0.10,
+                "{}: TPU {} vs {}",
+                m.benchmark,
+                m.tpu_v4_w,
+                r.tpu_v4_w
+            );
         }
     }
 

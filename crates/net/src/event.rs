@@ -235,8 +235,18 @@ mod tests {
         let p01 = tpu_topology::shortest_path(&g, NodeId::new(0), NodeId::new(1)).unwrap();
         let p45 = tpu_topology::shortest_path(&g, NodeId::new(4), NodeId::new(5)).unwrap();
         let flows = vec![
-            Flow { src: NodeId::new(0), dst: NodeId::new(1), bytes: 50e9, path: p01 },
-            Flow { src: NodeId::new(4), dst: NodeId::new(5), bytes: 50e9, path: p45 },
+            Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                bytes: 50e9,
+                path: p01,
+            },
+            Flow {
+                src: NodeId::new(4),
+                dst: NodeId::new(5),
+                bytes: 50e9,
+                path: p45,
+            },
         ];
         let report = FlowSim::new(&g, RATE).run(&flows);
         assert!((report.completion_time() - 1.0).abs() < 1e-6);
@@ -303,8 +313,18 @@ mod tests {
         let g = Torus::new(SliceShape::new(4, 1, 1).unwrap()).into_graph();
         let path = tpu_topology::shortest_path(&g, NodeId::new(0), NodeId::new(1)).unwrap();
         let flows = vec![
-            Flow { src: NodeId::new(0), dst: NodeId::new(1), bytes: 10e9, path: path.clone() },
-            Flow { src: NodeId::new(0), dst: NodeId::new(1), bytes: 30e9, path },
+            Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                bytes: 10e9,
+                path: path.clone(),
+            },
+            Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                bytes: 30e9,
+                path,
+            },
         ];
         let report = FlowSim::new(&g, RATE).run(&flows);
         assert!(report.flow_finish_times()[0] < report.flow_finish_times()[1]);

@@ -92,7 +92,12 @@ impl HybridIciIb {
         }
         if chips <= island {
             let shape = island_shape(chips as u32);
-            return torus_all_reduce_time(shape, bytes, self.ici_rate, AllReduceSchedule::MultiPath);
+            return torus_all_reduce_time(
+                shape,
+                bytes,
+                self.ici_rate,
+                AllReduceSchedule::MultiPath,
+            );
         }
         let groups = (chips / island).max(1);
         let island_shape = island_shape(self.ici_island);
@@ -119,8 +124,7 @@ impl HybridIciIb {
             return 0.0;
         }
         let per_chip_bytes = bytes_per_pair * (chips as f64 - 1.0);
-        per_chip_bytes
-            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization)
+        per_chip_bytes / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization)
     }
 }
 
@@ -177,9 +181,8 @@ impl IbComparison {
         let ib_ar = hybrid.all_reduce_time(chips, ar_bytes);
 
         let graph = Torus::new(shape).into_graph();
-        let torus_a2a =
-            AllToAll::analyze(&graph, a2a_bytes_per_pair as u64, LinkRate::TPU_V4_ICI)
-                .completion_time();
+        let torus_a2a = AllToAll::analyze(&graph, a2a_bytes_per_pair as u64, LinkRate::TPU_V4_ICI)
+            .completion_time();
         let ib_a2a = hybrid.all_to_all_time(chips, a2a_bytes_per_pair);
 
         IbComparison {

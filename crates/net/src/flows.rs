@@ -53,9 +53,10 @@ fn hashed_shortest_path(
             })
             .collect();
         assert!(!candidates.is_empty(), "graph not strongly connected");
-        let pick = mix(
-            (src.index() as u64) << 40 ^ (dst.index() as u64) << 20 ^ (cur.index() as u64) ^ step,
-        ) as usize
+        let pick = mix((src.index() as u64) << 40
+            ^ (dst.index() as u64) << 20
+            ^ (cur.index() as u64)
+            ^ step) as usize
             % candidates.len();
         let eid = candidates[pick];
         path.push(eid);

@@ -174,7 +174,11 @@ mod tests {
     fn rectangular_torus_is_imbalanced() {
         let g = Torus::new(SliceShape::new(4, 4, 16).unwrap()).into_graph();
         let loads = LinkLoads::uniform_all_to_all(&g, 1.0);
-        assert!(loads.balance() < 0.9, "long z must dominate: {}", loads.balance());
+        assert!(
+            loads.balance() < 0.9,
+            "long z must dominate: {}",
+            loads.balance()
+        );
     }
 
     #[test]

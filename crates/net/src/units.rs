@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use tpu_spec::{consts, Generation, MachineSpec};
 
 /// A link data rate in bytes per second (one direction of a cable).
 ///
@@ -14,13 +15,29 @@ pub struct LinkRate(f64);
 
 impl LinkRate {
     /// TPU v4 ICI: 50 GB/s per link per direction.
-    pub const TPU_V4_ICI: LinkRate = LinkRate(50e9);
+    pub const TPU_V4_ICI: LinkRate = LinkRate(consts::V4_ICI_GBPS * 1e9);
     /// TPU v3 ICI: 70 GB/s per link per direction.
-    pub const TPU_V3_ICI: LinkRate = LinkRate(70e9);
+    pub const TPU_V3_ICI: LinkRate = LinkRate(consts::V3_ICI_GBPS * 1e9);
     /// TPU v2 ICI: ~62.5 GB/s per link (500 Gbit/s aggregate over 4 links).
-    pub const TPU_V2_ICI: LinkRate = LinkRate(62.5e9);
+    pub const TPU_V2_ICI: LinkRate = LinkRate(consts::V2_ICI_GBPS * 1e9);
     /// InfiniBand HDR NIC: 200 Gbit/s = 25 GB/s.
-    pub const IB_HDR: LinkRate = LinkRate(25e9);
+    pub const IB_HDR: LinkRate = LinkRate(consts::IB_HDR_GBPS * 1e9);
+
+    /// The per-link ICI rate a machine spec declares.
+    pub fn for_spec(spec: &MachineSpec) -> LinkRate {
+        LinkRate::from_bytes_per_s(spec.ici_bytes_per_s())
+    }
+
+    /// The per-link ICI rate of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(generation: &Generation) -> LinkRate {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        LinkRate::for_spec(&spec)
+    }
 
     /// Creates a rate from bytes per second.
     ///
@@ -103,5 +120,21 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(LinkRate::TPU_V4_ICI.to_string(), "50.0 GB/s");
+    }
+
+    #[test]
+    fn generation_rates_match_the_constants() {
+        assert_eq!(
+            LinkRate::for_generation(&Generation::V4),
+            LinkRate::TPU_V4_ICI
+        );
+        assert_eq!(
+            LinkRate::for_generation(&Generation::V3),
+            LinkRate::TPU_V3_ICI
+        );
+        assert_eq!(
+            LinkRate::for_generation(&Generation::V2),
+            LinkRate::TPU_V2_ICI
+        );
     }
 }

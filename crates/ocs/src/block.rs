@@ -8,23 +8,23 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use tpu_topology::{Coord3, Dim, Direction};
 
-/// Chips along one edge of a block.
-pub const BLOCK_EDGE: u32 = 4;
+/// Chips along one edge of a block (from [`tpu_spec::consts`]).
+pub const BLOCK_EDGE: u32 = tpu_spec::consts::BLOCK_EDGE;
 
 /// TPUs in one block (4³ = one rack).
-pub const TPUS_PER_BLOCK: u32 = 64;
+pub const TPUS_PER_BLOCK: u32 = tpu_spec::consts::TPUS_PER_BLOCK;
 
 /// TPUs attached to one CPU host.
-pub const TPUS_PER_HOST: u32 = 4;
+pub const TPUS_PER_HOST: u32 = tpu_spec::consts::V4_TPUS_PER_HOST;
 
 /// CPU hosts in one block.
-pub const HOSTS_PER_BLOCK: u32 = TPUS_PER_BLOCK / TPUS_PER_HOST;
+pub const HOSTS_PER_BLOCK: u32 = tpu_spec::consts::V4_HOSTS_PER_BLOCK;
 
 /// Optical links leaving one face of a block (4×4 lines).
-pub const LINKS_PER_FACE: u32 = 16;
+pub const LINKS_PER_FACE: u32 = tpu_spec::consts::LINKS_PER_FACE;
 
 /// Total optical links per block: 6 faces × 16 links.
-pub const OPTICAL_LINKS_PER_BLOCK: u32 = 96;
+pub const OPTICAL_LINKS_PER_BLOCK: u32 = tpu_spec::consts::OPTICAL_LINKS_PER_BLOCK;
 
 /// Identifier of a block within a fabric.
 #[derive(

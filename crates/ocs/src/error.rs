@@ -109,8 +109,13 @@ mod tests {
     #[test]
     fn display_nonempty_lowercase() {
         let errs: Vec<OcsError> = vec![
-            OcsError::PortBusy { port: PortId::new(3) },
-            OcsError::InsufficientBlocks { needed: 8, available: 2 },
+            OcsError::PortBusy {
+                port: PortId::new(3),
+            },
+            OcsError::InsufficientBlocks {
+                needed: 8,
+                available: 2,
+            },
             OcsError::NotBlockAligned { shape: (2, 2, 4) },
             OcsError::TwistNotBlockExpressible { offset: 2 },
         ];

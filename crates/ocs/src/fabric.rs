@@ -1,13 +1,12 @@
 //! The full OCS fabric: 64 blocks joined by 48 switches, with slice
 //! allocation, twist programming, failure route-around and release.
 
-use crate::block::{
-    face_chip, Block, BlockId, BLOCK_EDGE, LINKS_PER_FACE, TPUS_PER_BLOCK,
-};
+use crate::block::{face_chip, Block, BlockId, BLOCK_EDGE, LINKS_PER_FACE, TPUS_PER_BLOCK};
 use crate::switch::{OcsSwitch, PortId};
 use crate::wiring::{block_port, ocs_index, OCS_COUNT};
 use crate::OcsError;
 use serde::{Deserialize, Serialize};
+use tpu_spec::{Generation, MachineSpec};
 use tpu_topology::{
     Coord3, Dim, Direction, LinkGraph, NodeId, SliceShape, TwistSpec, TwistedTorus,
 };
@@ -126,7 +125,32 @@ pub struct Fabric {
 impl Fabric {
     /// A full TPU v4 fabric: 64 deployed blocks (4096 chips), 48 OCSes.
     pub fn tpu_v4() -> Fabric {
-        Fabric::with_blocks(64)
+        Fabric::for_generation(&Generation::V4)
+    }
+
+    /// The fleet-scale fabric a machine spec describes: one deployed
+    /// block per `fleet_blocks()`. Generations without an OCS layer get
+    /// the Palomar switch complement — the fabric then models the §2.7
+    /// counterfactual of that fleet behind OCSes, which is what the
+    /// cross-generation sweeps compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's fleet exceeds 64 blocks (the 48-OCS port
+    /// budget).
+    pub fn for_spec(spec: &MachineSpec) -> Fabric {
+        Fabric::with_blocks(spec.fleet_blocks() as u32)
+    }
+
+    /// The fleet-scale fabric of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(generation: &Generation) -> Fabric {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        Fabric::for_spec(&spec)
     }
 
     /// A fabric with a custom number of deployed blocks (≤ 64, since each
@@ -136,7 +160,12 @@ impl Fabric {
     ///
     /// Panics if `blocks > 64`.
     pub fn with_blocks(blocks: u32) -> Fabric {
-        assert!(blocks <= 64, "a 48-OCS fabric supports at most 64 blocks");
+        let max_blocks =
+            u32::from(tpu_spec::consts::PALOMAR_PORTS - tpu_spec::consts::PALOMAR_SPARE_PORTS) / 2;
+        assert!(
+            blocks <= max_blocks,
+            "a {OCS_COUNT}-OCS fabric supports at most {max_blocks} blocks"
+        );
         Fabric {
             blocks: (0..blocks).map(|i| Block::new(BlockId::new(i))).collect(),
             in_use: vec![false; blocks as usize],
@@ -415,11 +444,7 @@ mod tests {
     use tpu_topology::Torus;
 
     fn edge_multiset(g: &LinkGraph) -> Vec<(NodeId, NodeId, LinkLabel)> {
-        let mut v: Vec<_> = g
-            .edges()
-            .iter()
-            .map(|e| (e.src, e.dst, e.label))
-            .collect();
+        let mut v: Vec<_> = g.edges().iter().map(|e| (e.src, e.dst, e.label)).collect();
         v.sort_by_key(|&(s, d, l)| (s, d, l.dim, l.dir, l.wraparound));
         v
     }
@@ -451,7 +476,9 @@ mod tests {
             SliceShape::new(4, 4, 8).unwrap(),
             SliceShape::new(4, 8, 8).unwrap(),
         ] {
-            let slice = fabric.allocate(&SliceSpec::twisted(shape).unwrap()).unwrap();
+            let slice = fabric
+                .allocate(&SliceSpec::twisted(shape).unwrap())
+                .unwrap();
             let reference = TwistedTorus::paper_default(shape).unwrap().into_graph();
             assert_eq!(
                 edge_multiset(slice.chip_graph()),
@@ -556,10 +583,7 @@ mod tests {
             .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 4).unwrap()))
             .unwrap();
         let reference = Torus::new(SliceShape::new(4, 4, 4).unwrap()).into_graph();
-        assert_eq!(
-            edge_multiset(slice.chip_graph()),
-            edge_multiset(&reference)
-        );
+        assert_eq!(edge_multiset(slice.chip_graph()), edge_multiset(&reference));
         // 48 circuits: each OCS connects the block's + fiber to its own −.
         assert_eq!(fabric.total_circuits(), 48);
     }

@@ -10,15 +10,16 @@ use crate::OcsError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Total ports on a Palomar OCS (128 usable + 8 spares).
-pub const PALOMAR_PORTS: u16 = 136;
+/// Total ports on a Palomar OCS (128 usable + 8 spares; from
+/// [`tpu_spec::consts`]).
+pub const PALOMAR_PORTS: u16 = tpu_spec::consts::PALOMAR_PORTS;
 
 /// Spare ports reserved for link testing and repairs.
-pub const PALOMAR_SPARE_PORTS: u16 = 8;
+pub const PALOMAR_SPARE_PORTS: u16 = tpu_spec::consts::PALOMAR_SPARE_PORTS;
 
 /// MEMS mirror reconfiguration time, milliseconds ("switch in
 /// milliseconds", §2.1).
-pub const OCS_RECONFIG_MS: f64 = 10.0;
+pub const OCS_RECONFIG_MS: f64 = tpu_spec::consts::OCS_RECONFIG_MS;
 
 /// A port on an OCS.
 #[derive(
@@ -204,7 +205,9 @@ mod tests {
         s.connect(PortId::new(0), PortId::new(1)).unwrap();
         assert_eq!(
             s.connect(PortId::new(1), PortId::new(2)).unwrap_err(),
-            OcsError::PortBusy { port: PortId::new(1) }
+            OcsError::PortBusy {
+                port: PortId::new(1)
+            }
         );
     }
 
@@ -213,7 +216,9 @@ mod tests {
         let mut s = OcsSwitch::new(4);
         assert_eq!(
             s.connect(PortId::new(2), PortId::new(2)).unwrap_err(),
-            OcsError::SelfConnection { port: PortId::new(2) }
+            OcsError::SelfConnection {
+                port: PortId::new(2)
+            }
         );
     }
 

@@ -10,8 +10,9 @@ use crate::block::{BlockId, LINKS_PER_FACE};
 use crate::switch::PortId;
 use tpu_topology::{Dim, Direction};
 
-/// Number of OCSes in a full TPU v4 fabric: 3 dimensions × 16 face lines.
-pub const OCS_COUNT: u32 = 48;
+/// Number of OCSes in a full TPU v4 fabric: 3 dimensions × 16 face lines
+/// (from [`tpu_spec::consts`]).
+pub const OCS_COUNT: u32 = tpu_spec::consts::OCS_COUNT;
 
 /// The OCS serving a (dimension, face line) pair.
 ///

@@ -183,8 +183,8 @@ impl TrainingCost {
         let step_s = (compute_s + overlapped_comm) / (1.0 - bubble);
 
         let seqs_per_s = f64::from(llm.batch_seqs) / step_s;
-        let ideal = llm.flops_per_token() * llm.tokens_per_step()
-            / (chips * spec.peak_tflops * 1e12);
+        let ideal =
+            llm.flops_per_token() * llm.tokens_per_step() / (chips * spec.peak_tflops * 1e12);
         Some(TrainingCost {
             compute_s,
             model_comm_s,
@@ -318,7 +318,10 @@ mod tests {
             ShardingSpec::new(2, 2),
         )
         .unwrap();
-        assert!(deep.step_s() > shallow.step_s() * 0.8, "very deep pipelines pay bubbles");
+        assert!(
+            deep.step_s() > shallow.step_s() * 0.8,
+            "very deep pipelines pay bubbles"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl PaNas {
     /// ~25% SC idle) on a 128-chip TPU v4 slice.
     pub fn figure10_reference() -> (PaNas, DlrmConfig) {
         let model = DlrmConfig::dlrm0().scaled(10.0, 1.0);
-        (PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 4096), model)
+        // Global batch = 32 examples/chip x 128 chips, as in Figure 8.
+        (
+            PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 32 * 128),
+            model,
+        )
     }
 
     /// Runs the search: sweep the dense-capacity factor `f` over a grid,
@@ -148,7 +152,11 @@ mod tests {
         // dense side (factor < 1) and grow embeddings.
         let (nas, model) = PaNas::figure10_reference();
         let result = nas.run(&model);
-        assert!(result.dense_factor < 1.0, "dense factor {}", result.dense_factor);
+        assert!(
+            result.dense_factor < 1.0,
+            "dense factor {}",
+            result.dense_factor
+        );
         assert!(result.embedding_factor > 1.0);
     }
 

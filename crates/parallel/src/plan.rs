@@ -39,7 +39,9 @@ impl Partitioning {
 
     /// Chips the plan occupies.
     pub fn chips(&self) -> u64 {
-        u64::from(self.pipeline) * u64::from(self.data) * u64::from(self.model1)
+        u64::from(self.pipeline)
+            * u64::from(self.data)
+            * u64::from(self.model1)
             * u64::from(self.model2)
     }
 
@@ -109,7 +111,11 @@ impl ShardingSpec {
         // overheads floor the benefit (GSPMD's measured behavior; the
         // floor keeps 1D competitive at 512 chips, as Table 3 found).
         let two_d = (2.0 / m.sqrt()).max(0.35);
-        let act = if self.activation_dims == 2 { two_d } else { 1.0 };
+        let act = if self.activation_dims == 2 {
+            two_d
+        } else {
+            1.0
+        };
         let weight = if self.weight_dims == 2 { two_d } else { 1.0 };
         // Activations dominate the per-layer traffic; weights contribute
         // a smaller resharding term.

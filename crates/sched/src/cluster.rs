@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tpu_spec::{Generation, MachineSpec};
 
 /// Placement policy under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,14 +53,54 @@ impl ClusterSim {
     /// A TPU v4 machine (4×4×4 blocks) under the given offered load:
     /// jobs arrive every `arrival_interval` time units and run for an
     /// exponential-ish duration with the given mean.
-    pub fn tpu_v4(horizon: f64, arrival_interval: f64, mean_duration: f64, seed: u64) -> ClusterSim {
+    pub fn tpu_v4(
+        horizon: f64,
+        arrival_interval: f64,
+        mean_duration: f64,
+        seed: u64,
+    ) -> ClusterSim {
+        ClusterSim::for_generation(
+            &Generation::V4,
+            horizon,
+            arrival_interval,
+            mean_duration,
+            seed,
+        )
+    }
+
+    /// The fleet a machine spec describes, blocks arranged in the most
+    /// cubic grid, under the given offered load.
+    pub fn for_spec(
+        spec: &MachineSpec,
+        horizon: f64,
+        arrival_interval: f64,
+        mean_duration: f64,
+        seed: u64,
+    ) -> ClusterSim {
         ClusterSim {
-            grid: (4, 4, 4),
+            grid: crate::goodput::block_box(spec.fleet_blocks() as u32),
             horizon,
             arrival_interval,
             mean_duration,
             seed,
         }
+    }
+
+    /// The fleet of a built-in generation under the given offered load.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(
+        generation: &Generation,
+        horizon: f64,
+        arrival_interval: f64,
+        mean_duration: f64,
+        seed: u64,
+    ) -> ClusterSim {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        ClusterSim::for_spec(&spec, horizon, arrival_interval, mean_duration, seed)
     }
 
     /// Runs the simulation under a policy.
@@ -117,9 +158,7 @@ impl ClusterSim {
         // Whether the machine can offer this shape at all under the policy.
         let offerable = |b: (u32, u32, u32)| -> bool {
             match policy {
-                PlacementPolicy::AnyBlocks => {
-                    (b.0 * b.1 * b.2) as usize <= total_blocks
-                }
+                PlacementPolicy::AnyBlocks => (b.0 * b.1 * b.2) as usize <= total_blocks,
                 PlacementPolicy::Contiguous => orientations(b)
                     .iter()
                     .any(|&(x, y, z)| x <= gx && y <= gy && z <= gz),
@@ -176,7 +215,9 @@ impl ClusterSim {
         loop {
             // Next event: arrival or completion.
             let next_arrival = stream_iter.peek().map(|p| p.arrival);
-            let next_completion = completions.peek().map(|(Reverse(bits), _)| f64::from_bits(*bits));
+            let next_completion = completions
+                .peek()
+                .map(|(Reverse(bits), _)| f64::from_bits(*bits));
             let next = match (next_arrival, next_completion) {
                 (Some(a), Some(c)) => a.min(c),
                 (Some(a), None) => a,
@@ -323,6 +364,10 @@ mod tests {
         // Every drawn job was either completed (placed) or left queued.
         let drawn = (2000.0 / 1.2) as u64 + 1;
         assert!(r.completed + r.left_in_queue as u64 <= drawn);
-        assert!(r.completed > drawn / 2, "most jobs should run: {}", r.completed);
+        assert!(
+            r.completed > drawn / 2,
+            "most jobs should run: {}",
+            r.completed
+        );
     }
 }

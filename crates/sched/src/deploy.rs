@@ -21,7 +21,10 @@ impl DeploymentModel {
     ///
     /// Panics if the timeline is empty or contains a negative day.
     pub fn new(arrival_days: Vec<f64>) -> DeploymentModel {
-        assert!(!arrival_days.is_empty(), "deployment needs at least one block");
+        assert!(
+            !arrival_days.is_empty(),
+            "deployment needs at least one block"
+        );
         assert!(
             arrival_days.iter().all(|&d| d >= 0.0),
             "arrival days must be non-negative"
@@ -33,9 +36,7 @@ impl DeploymentModel {
     /// with the `delayed` last block held up by `delay_days` extra (the
     /// §2.4 "delivery delays for any component" scenario).
     pub fn uniform_with_delay(blocks: u32, interval_days: f64, delay_days: f64) -> DeploymentModel {
-        let mut days: Vec<f64> = (0..blocks)
-            .map(|i| f64::from(i) * interval_days)
-            .collect();
+        let mut days: Vec<f64> = (0..blocks).map(|i| f64::from(i) * interval_days).collect();
         if let Some(last) = days.last_mut() {
             *last += delay_days;
         }
@@ -114,8 +115,7 @@ mod tests {
         let on_time = DeploymentModel::uniform_with_delay(64, 1.0, 0.0);
         let delayed = DeploymentModel::uniform_with_delay(64, 1.0, 60.0);
         let horizon = 130.0;
-        let static_loss =
-            on_time.static_block_days(horizon) - delayed.static_block_days(horizon);
+        let static_loss = on_time.static_block_days(horizon) - delayed.static_block_days(horizon);
         let inc_loss =
             on_time.incremental_block_days(horizon) - delayed.incremental_block_days(horizon);
         assert_eq!(inc_loss, 60.0); // one block x 60 days

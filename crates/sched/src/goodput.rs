@@ -11,12 +11,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tpu_spec::{Generation, MachineSpec};
 
 /// Monte Carlo goodput simulator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GoodputSim {
     block_grid: (u32, u32, u32),
     hosts_per_block: u32,
+    chips_per_block: u32,
     trials: u32,
     seed: u64,
 }
@@ -24,18 +26,36 @@ pub struct GoodputSim {
 impl GoodputSim {
     /// The TPU v4 machine: 64 blocks in a 4×4×4 grid, 16 hosts per block.
     pub fn tpu_v4(trials: u32, seed: u64) -> GoodputSim {
+        GoodputSim::for_generation(&Generation::V4, trials, seed)
+    }
+
+    /// The fleet a machine spec describes, with its blocks arranged in
+    /// the most cubic grid (v4: 64 blocks → 4×4×4).
+    pub fn for_spec(spec: &MachineSpec, trials: u32, seed: u64) -> GoodputSim {
         GoodputSim {
-            block_grid: (4, 4, 4),
-            hosts_per_block: 16,
+            block_grid: block_box(spec.fleet_blocks() as u32),
+            hosts_per_block: spec.block.hosts(),
+            chips_per_block: spec.block.chips(),
             trials,
             seed,
         }
     }
 
+    /// The fleet of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec.
+    pub fn for_generation(generation: &Generation, trials: u32, seed: u64) -> GoodputSim {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        GoodputSim::for_spec(&spec, trials, seed)
+    }
+
     /// Total chips in the machine.
     pub fn total_chips(&self) -> u64 {
         let (x, y, z) = self.block_grid;
-        u64::from(x) * u64::from(y) * u64::from(z) * 64
+        u64::from(x) * u64::from(y) * u64::from(z) * u64::from(self.chips_per_block)
     }
 
     /// Total CPU hosts.
@@ -57,15 +77,18 @@ impl GoodputSim {
     /// Panics if `slice_chips` is not a positive multiple of 64 chips or
     /// exceeds the machine, or if `availability` is outside (0, 1].
     pub fn goodput(&self, slice_chips: u64, availability: f64, ocs: bool) -> f64 {
+        let block = u64::from(self.chips_per_block);
         assert!(
-            slice_chips > 0 && slice_chips.is_multiple_of(64) && slice_chips <= self.total_chips(),
-            "slice must be a positive multiple of 64 chips within the machine"
+            slice_chips > 0
+                && slice_chips.is_multiple_of(block)
+                && slice_chips <= self.total_chips(),
+            "slice must be a positive multiple of {block} chips within the machine"
         );
         assert!(
             availability > 0.0 && availability <= 1.0,
             "availability must be in (0, 1]"
         );
-        let blocks_needed = (slice_chips / 64) as u32;
+        let blocks_needed = (slice_chips / block) as u32;
         let slice_box = block_box(blocks_needed);
         let (gx, gy, gz) = self.block_grid;
         let total_blocks = (gx * gy * gz) as usize;
@@ -92,19 +115,43 @@ impl GoodputSim {
             } else {
                 pack_static(&healthy, self.block_grid, slice_box)
             };
-            total_goodput +=
-                f64::from(slices * blocks_needed) / total_blocks as f64;
+            total_goodput += f64::from(slices * blocks_needed) / total_blocks as f64;
         }
         total_goodput / f64::from(self.trials)
     }
 
-    /// Sweeps goodput over slice sizes for one availability level,
-    /// returning `(slice_chips, ocs_goodput, static_goodput)` rows — one
-    /// Figure 4 curve pair.
+    /// The Figure 4 slice-size axis for this machine, in chips:
+    /// power-of-two block counts plus the ¾-machine point (where the
+    /// caption's counterintuitive goodput recovery appears) and the full
+    /// machine. For the v4 fleet this is 64..4096.
+    pub fn slice_axis(&self) -> Vec<u64> {
+        let (x, y, z) = self.block_grid;
+        let total_blocks = u64::from(x) * u64::from(y) * u64::from(z);
+        let mut blocks: Vec<u64> = Vec::new();
+        let mut b = 1u64;
+        while b < total_blocks {
+            blocks.push(b);
+            b *= 2;
+        }
+        let three_quarters = total_blocks * 3 / 4;
+        if three_quarters > 0 && !blocks.contains(&three_quarters) {
+            blocks.push(three_quarters);
+        }
+        blocks.push(total_blocks);
+        blocks.sort_unstable();
+        blocks
+            .into_iter()
+            .map(|b| b * u64::from(self.chips_per_block))
+            .collect()
+    }
+
+    /// Sweeps goodput over [`GoodputSim::slice_axis`] for one
+    /// availability level, returning `(slice_chips, ocs_goodput,
+    /// static_goodput)` rows — one Figure 4 curve pair.
     pub fn sweep(&self, availability: f64) -> Vec<(u64, f64, f64)> {
-        [64u64, 128, 256, 512, 1024, 2048, 3072, 4096]
-            .iter()
-            .map(|&s| {
+        self.slice_axis()
+            .into_iter()
+            .map(|s| {
                 (
                     s,
                     self.goodput(s, availability, true),
@@ -116,7 +163,7 @@ impl GoodputSim {
 }
 
 /// The most cubic box of `blocks` blocks (slices are 4i×4j×4k chips).
-fn block_box(blocks: u32) -> (u32, u32, u32) {
+pub(crate) fn block_box(blocks: u32) -> (u32, u32, u32) {
     let mut best = (1, 1, blocks);
     let mut spread = u32::MAX;
     for x in 1..=blocks {
@@ -149,9 +196,8 @@ fn block_box(blocks: u32) -> (u32, u32, u32) {
 /// Tries all axis orientations of the box at each anchor.
 fn pack_static(healthy: &[bool], grid: (u32, u32, u32), slice_box: (u32, u32, u32)) -> u32 {
     let (gx, gy, gz) = grid;
-    let idx = |x: u32, y: u32, z: u32| -> usize {
-        (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize
-    };
+    let idx =
+        |x: u32, y: u32, z: u32| -> usize { (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize };
     let mut taken = vec![false; healthy.len()];
     let orientations = [
         (slice_box.0, slice_box.1, slice_box.2),
@@ -273,7 +319,10 @@ mod tests {
         let at_99 = s.goodput(1024, 0.99, false);
         let at_999 = s.goodput(1024, 0.999, false);
         assert!(at_999 > 0.7, "static at 99.9%: {at_999}");
-        assert!(at_999 - at_99 > 0.25, "99.9% must be much better: {at_99} -> {at_999}");
+        assert!(
+            at_999 - at_99 > 0.25,
+            "99.9% must be much better: {at_99} -> {at_999}"
+        );
     }
 
     #[test]

@@ -146,43 +146,45 @@ pub struct ScGeneration {
 }
 
 impl ScGeneration {
+    /// The SparseCore a machine spec describes: SC count and clock come
+    /// from the spec's chip record; the per-generation microarchitecture
+    /// (tile count, issue overhead) is the Figure 7 calibration that
+    /// Table 4 does not publish.
+    ///
+    /// Returns `None` for chips without SparseCores.
+    pub fn for_spec(spec: &tpu_spec::MachineSpec) -> Option<ScGeneration> {
+        if spec.chip.sparse_cores == 0 {
+            return None;
+        }
+        let (tiles_per_sc, issue_cycles) = match spec.generation {
+            tpu_spec::Generation::V2 => (8, 400.0),
+            tpu_spec::Generation::V3 => (8, 300.0),
+            _ => (16, 200.0),
+        };
+        Some(ScGeneration {
+            sc_per_chip: spec.chip.sparse_cores,
+            tiles_per_sc,
+            simd_lanes: 8,
+            clock_hz: spec.chip.clock_mhz * 1e6,
+            spmem_bytes: 2.5 * 1024.0 * 1024.0,
+            issue_cycles,
+            cycles_per_lookup: 300.0,
+        })
+    }
+
     /// TPU v2's original SparseCore (deployed 2017).
     pub fn tpu_v2() -> ScGeneration {
-        ScGeneration {
-            sc_per_chip: 1,
-            tiles_per_sc: 8,
-            simd_lanes: 8,
-            clock_hz: 700e6,
-            spmem_bytes: 2.5 * 1024.0 * 1024.0,
-            issue_cycles: 400.0,
-            cycles_per_lookup: 300.0,
-        }
+        ScGeneration::for_spec(&tpu_spec::MachineSpec::v2()).expect("v2 has SparseCores")
     }
 
     /// TPU v3's SparseCore.
     pub fn tpu_v3() -> ScGeneration {
-        ScGeneration {
-            sc_per_chip: 2,
-            tiles_per_sc: 8,
-            simd_lanes: 8,
-            clock_hz: 940e6,
-            spmem_bytes: 2.5 * 1024.0 * 1024.0,
-            issue_cycles: 300.0,
-            cycles_per_lookup: 300.0,
-        }
+        ScGeneration::for_spec(&tpu_spec::MachineSpec::v3()).expect("v3 has SparseCores")
     }
 
     /// TPU v4's SparseCore (Figure 7).
     pub fn tpu_v4() -> ScGeneration {
-        ScGeneration {
-            sc_per_chip: 4,
-            tiles_per_sc: 16,
-            simd_lanes: 8,
-            clock_hz: 1050e6,
-            spmem_bytes: 2.5 * 1024.0 * 1024.0,
-            issue_cycles: 200.0,
-            cycles_per_lookup: 300.0,
-        }
+        ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores")
     }
 
     /// Aggregate lookup throughput per chip, lookups/s.
@@ -266,8 +268,16 @@ mod tests {
     #[test]
     fn segment_sum_scales_with_row_elements() {
         let v4 = ScGeneration::tpu_v4();
-        let narrow = ScInstruction::SegmentSum { count: 100, elements: 32 }.cycles(&v4);
-        let wide = ScInstruction::SegmentSum { count: 100, elements: 128 }.cycles(&v4);
+        let narrow = ScInstruction::SegmentSum {
+            count: 100,
+            elements: 32,
+        }
+        .cycles(&v4);
+        let wide = ScInstruction::SegmentSum {
+            count: 100,
+            elements: 128,
+        }
+        .cycles(&v4);
         assert!((wide / narrow - 4.0).abs() < 1e-9);
     }
 

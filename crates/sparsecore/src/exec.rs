@@ -43,7 +43,11 @@ impl WorkloadProfile {
         WorkloadProfile {
             lookups_per_example: lookups,
             dedup_factor: 2.5,
-            row_bytes: if weight > 0.0 { weighted_bytes / weight } else { 0.0 },
+            row_bytes: if weight > 0.0 {
+                weighted_bytes / weight
+            } else {
+                0.0
+            },
             features: model.features().len() as u32,
             dense_flops_per_example: 6.0 * model.dense_params() as f64,
         }
@@ -55,8 +59,7 @@ impl WorkloadProfile {
         let stats = batch.stats();
         p.dedup_factor = stats.dedup_factor().max(1.0);
         if batch.batch_size() > 0 {
-            p.lookups_per_example =
-                stats.total_lookups() as f64 / f64::from(batch.batch_size());
+            p.lookups_per_example = stats.total_lookups() as f64 / f64::from(batch.batch_size());
         }
         p
     }

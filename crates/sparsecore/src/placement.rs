@@ -18,7 +18,7 @@
 use crate::arch::{ScGeneration, ScInstruction};
 use crate::exec::{StepBreakdown, WorkloadProfile};
 use serde::{Deserialize, Serialize};
-use tpu_chip::ChipSpec;
+use tpu_spec::{Generation, MachineSpec};
 
 /// Where the embedding tables are placed (Figure 9's bars).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -153,34 +153,56 @@ pub fn canonical_shape_2d(chips: u64) -> (u64, u64) {
 }
 
 impl EmbeddingSystem {
-    /// A TPU v4 slice of `chips` chips on its canonical 3D torus.
-    pub fn tpu_v4_slice(chips: u64) -> EmbeddingSystem {
-        let spec = ChipSpec::tpu_v4();
+    /// A slice of `chips` chips of the machine a spec describes, on the
+    /// canonical torus of the spec's dimensionality. Compute, HBM and
+    /// all-to-all bandwidths all come from the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's chip has no SparseCores (the embedding system
+    /// model is TPU-specific; the CPU baseline is
+    /// [`EmbeddingSystem::cpu_cluster`]).
+    pub fn for_spec(spec: &MachineSpec, chips: u64) -> EmbeddingSystem {
+        let generation = ScGeneration::for_spec(spec)
+            .unwrap_or_else(|| panic!("{} has no SparseCores", spec.generation));
+        let link_rate = spec.ici_bytes_per_s();
+        let a2a_bw_per_chip = if spec.torus_dims >= 3 {
+            a2a_bw_3d(chips, link_rate, spec.ici_links())
+        } else {
+            a2a_bw_2d(chips, link_rate, spec.ici_links())
+        };
         EmbeddingSystem {
-            name: format!("TPU v4 x{chips}"),
+            name: format!("{} x{chips}", spec.generation),
             kind: SystemKind::TpuSlice {
                 chips,
-                peak_flops: spec.peak_tflops * 1e12,
-                hbm_bw: spec.hbm_gbps * 1e9,
-                generation: ScGeneration::tpu_v4(),
-                a2a_bw_per_chip: a2a_bw_3d(chips, spec.ici_gbps_per_link * 1e9, spec.ici_links),
+                peak_flops: spec.peak_flops(),
+                hbm_bw: spec.hbm_bytes_per_s(),
+                generation,
+                a2a_bw_per_chip,
             },
         }
     }
 
+    /// A slice of a built-in generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`Generation::Custom`] label without a built-in spec
+    /// and for chips without SparseCores.
+    pub fn for_generation(generation: &Generation, chips: u64) -> EmbeddingSystem {
+        let spec = MachineSpec::for_generation(generation)
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+        EmbeddingSystem::for_spec(&spec, chips)
+    }
+
+    /// A TPU v4 slice of `chips` chips on its canonical 3D torus.
+    pub fn tpu_v4_slice(chips: u64) -> EmbeddingSystem {
+        EmbeddingSystem::for_generation(&Generation::V4, chips)
+    }
+
     /// A TPU v3 slice of `chips` chips on its 2D torus.
     pub fn tpu_v3_slice(chips: u64) -> EmbeddingSystem {
-        let spec = ChipSpec::tpu_v3();
-        EmbeddingSystem {
-            name: format!("TPU v3 x{chips}"),
-            kind: SystemKind::TpuSlice {
-                chips,
-                peak_flops: spec.peak_tflops * 1e12,
-                hbm_bw: spec.hbm_gbps * 1e9,
-                generation: ScGeneration::tpu_v3(),
-                a2a_bw_per_chip: a2a_bw_2d(chips, spec.ici_gbps_per_link * 1e9, spec.ici_links),
-            },
-        }
+        EmbeddingSystem::for_generation(&Generation::V3, chips)
     }
 
     /// The Figure 9 CPU baseline: 576 Skylake sockets (400 learners, 176
@@ -284,20 +306,20 @@ fn tpu_step(
             let gather_s = hbm_bytes / (hbm_bw * SC_GATHER_EFFICIENCY);
             let exchange_s = exchange_bytes / a2a_bw;
             let row_elements = (p.row_bytes / 4.0).max(1.0);
-            let compute_s = generation
-                .execute_time_s(ScInstruction::SortIds { count: lookups as u64 })
-                + generation.execute_time_s(ScInstruction::Unique { count: lookups as u64 })
-                + generation.execute_time_s(ScInstruction::Partition { count: unique as u64 })
-                + generation.execute_time_s(ScInstruction::SegmentSum {
-                    count: unique as u64,
-                    elements: row_elements as u64,
-                })
-                + unique * generation.cycles_per_lookup
-                    / (f64::from(generation.sc_per_chip)
-                        * f64::from(generation.tiles_per_sc)
-                        * generation.clock_hz);
-            let issue_s =
-                generation.issue_time_s(u64::from(p.features) * INSTRS_PER_FEATURE);
+            let compute_s = generation.execute_time_s(ScInstruction::SortIds {
+                count: lookups as u64,
+            }) + generation.execute_time_s(ScInstruction::Unique {
+                count: lookups as u64,
+            }) + generation.execute_time_s(ScInstruction::Partition {
+                count: unique as u64,
+            }) + generation.execute_time_s(ScInstruction::SegmentSum {
+                count: unique as u64,
+                elements: row_elements as u64,
+            }) + unique * generation.cycles_per_lookup
+                / (f64::from(generation.sc_per_chip)
+                    * f64::from(generation.tiles_per_sc)
+                    * generation.clock_hz);
+            let issue_s = generation.issue_time_s(u64::from(p.features) * INSTRS_PER_FEATURE);
             StepBreakdown {
                 gather_s,
                 exchange_s,
@@ -354,8 +376,8 @@ fn tpu_step(
             let servers = 64.0;
             let global_unique = unique * chips as f64;
             let global_batch_f = batch_per_chip * chips as f64;
-            let global_bytes = (global_batch_f * f64::from(p.features) + global_unique)
-                * p.row_bytes;
+            let global_bytes =
+                (global_batch_f * f64::from(p.features) + global_unique) * p.row_bytes;
             let nic_s = global_bytes / (servers * DCN_BW);
             let dram_s = global_bytes / (servers * HOST_DRAM_BW * HOST_DRAM_EFFICIENCY);
             // Per-chip receive is also DCN-limited on the learner side.
@@ -371,12 +393,7 @@ fn tpu_step(
     }
 }
 
-fn cpu_step(
-    p: &WorkloadProfile,
-    global_batch: u64,
-    learners: u32,
-    vs: u32,
-) -> StepBreakdown {
+fn cpu_step(p: &WorkloadProfile, global_batch: u64, learners: u32, vs: u32) -> StepBreakdown {
     let b = global_batch as f64;
     let dense_s = b * p.dense_flops_per_example / (f64::from(learners) * CPU_DENSE_FLOPS);
     // Combined vectors down, per-row gradients up (as VariableServer).

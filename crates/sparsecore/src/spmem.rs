@@ -134,7 +134,10 @@ mod tests {
         let at_128 = spmem.overhead_fraction(&gen, &model, 128);
         let at_16 = spmem.overhead_fraction(&gen, &model, 16);
         assert!(at_16 > at_128 * 2.0, "{at_128} -> {at_16}");
-        assert!(at_16 > 0.5, "tiny batches must be overhead-dominated: {at_16}");
+        assert!(
+            at_16 > 0.5,
+            "tiny batches must be overhead-dominated: {at_16}"
+        );
         assert!(at_128 < 0.5, "the cap batch still amortizes: {at_128}");
     }
 

@@ -1,0 +1,485 @@
+//! A dependency-free JSON reader/writer.
+//!
+//! The build environment pins all dependencies to in-workspace paths, so
+//! `serde_json` is unavailable; this module implements the small JSON
+//! subset machine-spec files need (objects, arrays, strings, finite
+//! numbers, booleans, null) with positional parse errors. Strings
+//! round-trip standard escapes; numbers serialize losslessly for the
+//! integral and short-decimal values specs contain.
+
+use crate::SpecError;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order (duplicate keys keep the last).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn key(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) => write_num(f, *n),
+            JsonValue::Str(s) => write_str(f, s),
+            JsonValue::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_str(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+fn write_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Json`] with the byte offset of the first
+/// malformed token.
+pub fn parse(text: &str) -> Result<JsonValue, SpecError> {
+    let bytes = text.as_bytes();
+    let mut parser = Parser { bytes, pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != bytes.len() {
+        return Err(parser.fail("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail(&self, message: &str) -> SpecError {
+        SpecError::Json {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str, value: JsonValue) -> Result<JsonValue, SpecError> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(value)
+        } else {
+            Err(self.fail("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, SpecError> {
+        match self.peek() {
+            None => Err(self.fail("unexpected end of input")),
+            Some(b'n') => self.eat("null", JsonValue::Null),
+            Some(b't') => self.eat("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.fail("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.fail("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for spec files.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.fail("bad \\u code point"))?;
+                            self.pos += 4;
+                            out.push(c);
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.fail("bad UTF-8"))?;
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.fail("bad UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, SpecError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let n: f64 = text.parse().map_err(|_| SpecError::Json {
+            offset: start,
+            message: format!("bad number '{text}'"),
+        })?;
+        if !n.is_finite() {
+            return Err(SpecError::Json {
+                offset: start,
+                message: "non-finite number".to_string(),
+            });
+        }
+        Ok(JsonValue::Num(n))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, SpecError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, SpecError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected an object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.fail("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> Option<usize> {
+    match first_byte {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+// ---- typed field accessors (dotted paths for error messages) ----------
+
+fn key_of(path: &str) -> &str {
+    path.rsplit('.').next().unwrap_or(path)
+}
+
+/// Fetches a required field; the `path` names the field in errors.
+pub fn get<'a>(obj: &'a JsonValue, path: &str) -> Result<&'a JsonValue, SpecError> {
+    obj.key(key_of(path))
+        .ok_or_else(|| SpecError::MissingField {
+            field: path.to_string(),
+        })
+}
+
+/// Fetches a required string field.
+pub fn get_str<'a>(obj: &'a JsonValue, path: &str) -> Result<&'a str, SpecError> {
+    match get(obj, path)? {
+        JsonValue::Str(s) => Ok(s),
+        _ => Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "string".to_string(),
+        }),
+    }
+}
+
+/// Fetches a required numeric field.
+pub fn get_num(obj: &JsonValue, path: &str) -> Result<f64, SpecError> {
+    match get(obj, path)? {
+        JsonValue::Num(n) => Ok(*n),
+        _ => Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "number".to_string(),
+        }),
+    }
+}
+
+/// Fetches a required non-negative integer field.
+pub fn get_u32(obj: &JsonValue, path: &str) -> Result<u32, SpecError> {
+    let n = get_num(obj, path)?;
+    if n >= 0.0 && n.fract() == 0.0 && n <= f64::from(u32::MAX) {
+        Ok(n as u32)
+    } else {
+        Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "non-negative integer".to_string(),
+        })
+    }
+}
+
+/// Fetches a required non-negative integer field that must fit in `u16`.
+pub fn get_u16(obj: &JsonValue, path: &str) -> Result<u16, SpecError> {
+    let n = get_u32(obj, path)?;
+    u16::try_from(n).map_err(|_| SpecError::InvalidField {
+        field: path.to_string(),
+        expected: "integer in 0..=65535".to_string(),
+    })
+}
+
+/// Fetches a required non-negative integer field as `u64`.
+pub fn get_u64(obj: &JsonValue, path: &str) -> Result<u64, SpecError> {
+    let n = get_num(obj, path)?;
+    // f64 represents integers exactly up to 2^53; spec counts are far
+    // below that.
+    if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+        Ok(n as u64)
+    } else {
+        Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "non-negative integer".to_string(),
+        })
+    }
+}
+
+/// Fetches a number-or-null field.
+pub fn get_opt_num(obj: &JsonValue, path: &str) -> Result<Option<f64>, SpecError> {
+    match get(obj, path)? {
+        JsonValue::Null => Ok(None),
+        JsonValue::Num(n) => Ok(Some(*n)),
+        _ => Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "number or null".to_string(),
+        }),
+    }
+}
+
+/// Fetches a `[lo, mean, hi]`-or-null field.
+pub fn get_opt_triple(obj: &JsonValue, path: &str) -> Result<Option<(f64, f64, f64)>, SpecError> {
+    match get(obj, path)? {
+        JsonValue::Null => Ok(None),
+        JsonValue::Arr(items) => match items.as_slice() {
+            [JsonValue::Num(lo), JsonValue::Num(mean), JsonValue::Num(hi)] => {
+                Ok(Some((*lo, *mean, *hi)))
+            }
+            _ => Err(SpecError::InvalidField {
+                field: path.to_string(),
+                expected: "array of three numbers".to_string(),
+            }),
+        },
+        _ => Err(SpecError::InvalidField {
+            field: path.to_string(),
+            expected: "array of three numbers or null".to_string(),
+        }),
+    }
+}
+
+/// Wraps an optional number as `Num` or `Null`.
+pub fn opt_num(value: Option<f64>) -> JsonValue {
+    match value {
+        None => JsonValue::Null,
+        Some(n) => JsonValue::Num(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-3", "2.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_string(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let text = "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\\ny\"}";
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = parse("\"тпу → 4³\"").unwrap();
+        assert_eq!(v, JsonValue::Str("тпу → 4³".to_string()));
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        // \u escapes decode.
+        assert_eq!(parse("\"\\u0041\"").unwrap(), JsonValue::Str("A".into()));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert!(matches!(err, SpecError::Json { offset: 6, .. }), "{err:?}");
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("00x").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let v = parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(v.key("a"), Some(&JsonValue::Num(2.0)));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = parse("{\"s\":\"x\",\"n\":3,\"o\":null,\"t\":[1,2,3]}").unwrap();
+        assert_eq!(get_str(&v, "root.s").unwrap(), "x");
+        assert_eq!(get_u32(&v, "n").unwrap(), 3);
+        assert_eq!(get_opt_num(&v, "o").unwrap(), None);
+        assert_eq!(get_opt_triple(&v, "t").unwrap(), Some((1.0, 2.0, 3.0)));
+        assert!(matches!(
+            get(&v, "missing"),
+            Err(SpecError::MissingField { .. })
+        ));
+        assert!(matches!(
+            get_u32(&v, "s"),
+            Err(SpecError::InvalidField { .. })
+        ));
+    }
+}

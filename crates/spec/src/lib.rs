@@ -1,0 +1,51 @@
+//! `tpu-spec` — the declarative machine-description layer.
+//!
+//! The TPU v4 paper is a *cross-generation* story: Table 4 and §7 compare
+//! v2/v3/v4 chips (and an A100 cluster) on the same workloads. This crate
+//! sits at the bottom of the workspace dependency graph and owns every
+//! number the other crates used to hard-code: chip specs (Tables 4–5),
+//! ICI link rates, the 4³ block geometry, the 48-OCS Palomar fabric and
+//! the 4096-chip fleet size.
+//!
+//! * [`Generation`] names a machine generation (V2/V3/V4 or a custom
+//!   comparison system such as the Table 5 A100).
+//! * [`ChipSpec`] is one chip's published feature record.
+//! * [`MachineSpec`] bundles a chip with its interconnect, block geometry
+//!   and fleet size — one value that `tpu-chip`, `tpu-net`, `tpu-ocs`,
+//!   `tpu-core`, `tpu-sparsecore`, `tpu-sched`, `tpu-energy` and
+//!   `tpu-workloads` all consume.
+//! * [`consts`] exposes the same numbers as `const` items for const
+//!   contexts (e.g. `LinkRate::TPU_V4_ICI`).
+//! * [`json`] is a dependency-free JSON reader/writer so specs round-trip
+//!   to config files even in offline builds.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_spec::{Generation, MachineSpec};
+//!
+//! let v4 = MachineSpec::v4();
+//! assert_eq!(v4.chip.peak_tflops, 275.0);
+//! assert_eq!(v4.fleet_chips, 4096);
+//!
+//! let v3 = MachineSpec::for_generation(&Generation::V3).unwrap();
+//! assert!(v3.chip.peak_tflops < v4.chip.peak_tflops);
+//!
+//! let round_tripped = MachineSpec::from_json(&v4.to_json()).unwrap();
+//! assert_eq!(round_tripped, v4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+pub mod consts;
+mod error;
+mod generation;
+pub mod json;
+mod machine;
+
+pub use chip::{ChipSpec, ProcessorStyle};
+pub use error::SpecError;
+pub use generation::Generation;
+pub use machine::{BlockGeometry, MachineSpec, OcsSpec};

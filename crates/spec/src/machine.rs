@@ -1,0 +1,547 @@
+//! The machine-level description: chip + interconnect + fleet.
+
+use crate::json::{self, JsonValue};
+use crate::{consts, ChipSpec, Generation, ProcessorStyle, SpecError};
+use serde::{Deserialize, Serialize};
+
+/// The electrically-cabled building-block geometry (§2.2: 4³ chips in
+/// one rack; inter-block links are optical).
+///
+/// For the pre-OCS generations (and the non-TPU comparison systems) this
+/// records the granularity the slice-fabric model schedules at, so
+/// cross-generation counterfactuals ("a v3 fleet behind OCSes") stay
+/// expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGeometry {
+    /// Chips along one block edge.
+    pub edge: u32,
+    /// Chips attached to one CPU host.
+    pub tpus_per_host: u32,
+}
+
+impl BlockGeometry {
+    /// The TPU v4 block: 4³ chips, 4 chips per host.
+    pub fn v4() -> BlockGeometry {
+        BlockGeometry {
+            edge: consts::BLOCK_EDGE,
+            tpus_per_host: consts::V4_TPUS_PER_HOST,
+        }
+    }
+
+    /// Chips in one block.
+    pub fn chips(&self) -> u32 {
+        self.edge * self.edge * self.edge
+    }
+
+    /// CPU hosts in one block.
+    pub fn hosts(&self) -> u32 {
+        self.chips() / self.tpus_per_host
+    }
+
+    /// Optical links leaving one face of the block.
+    pub fn links_per_face(&self) -> u32 {
+        self.edge * self.edge
+    }
+
+    /// Total optical links per block (6 faces).
+    pub fn optical_links(&self) -> u32 {
+        6 * self.links_per_face()
+    }
+}
+
+/// The optical-circuit-switch layer of a machine (§2.1), absent on the
+/// statically-cabled generations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcsSpec {
+    /// Switches in the fabric (48 = 3 dims × 16 face lines).
+    pub count: u32,
+    /// Ports per switch (Palomar: 136).
+    pub ports: u16,
+    /// Ports reserved as spares (Palomar: 8).
+    pub spare_ports: u16,
+    /// MEMS mirror reconfiguration time, milliseconds.
+    pub reconfig_ms: f64,
+}
+
+impl OcsSpec {
+    /// The Palomar fabric of the TPU v4 paper.
+    pub fn palomar() -> OcsSpec {
+        OcsSpec {
+            count: consts::OCS_COUNT,
+            ports: consts::PALOMAR_PORTS,
+            spare_ports: consts::PALOMAR_SPARE_PORTS,
+            reconfig_ms: consts::OCS_RECONFIG_MS,
+        }
+    }
+
+    /// Ports usable for block fibers.
+    pub fn usable_ports(&self) -> u16 {
+        self.ports - self.spare_ports
+    }
+}
+
+/// One machine generation's complete declarative description.
+///
+/// Everything the per-crate `tpu_v4()` constructors used to hard-code
+/// lives here exactly once: the chip record (peak FLOPS, HBM/CMEM
+/// bandwidth, TDP/measured power), the MXU organization, the ICI link
+/// rate and topology dimensionality, the block geometry and the fleet
+/// size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Which generation this spec describes.
+    pub generation: Generation,
+    /// The chip record (Tables 4–5).
+    pub chip: ChipSpec,
+    /// Systolic MXUs per core (TensorCore); 0 for non-systolic chips.
+    pub mxus_per_core: u32,
+    /// MXU dimension (128 ⇒ 128×128 MACs); 0 for non-systolic chips.
+    pub mxu_dim: u32,
+    /// ICI torus dimensionality: 3 for v4, 2 for v2/v3, 0 for switched
+    /// (fat-tree/NVLink) fabrics.
+    pub torus_dims: u32,
+    /// Building-block geometry.
+    pub block: BlockGeometry,
+    /// Chips in the full fleet-scale machine.
+    pub fleet_chips: u64,
+    /// The OCS layer, if the machine has one.
+    pub ocs: Option<OcsSpec>,
+}
+
+impl MachineSpec {
+    /// The TPU v4 supercomputer of the paper: 4096 chips, 64 blocks,
+    /// 48 Palomar OCSes, 3D twisted-torus-capable ICI.
+    pub fn v4() -> MachineSpec {
+        MachineSpec {
+            generation: Generation::V4,
+            chip: ChipSpec::tpu_v4(),
+            mxus_per_core: 4,
+            mxu_dim: 128,
+            torus_dims: 3,
+            block: BlockGeometry::v4(),
+            fleet_chips: consts::V4_FLEET_CHIPS,
+            ocs: Some(OcsSpec::palomar()),
+        }
+    }
+
+    /// The TPU v3 machine: 1024 chips on a statically-cabled 2D torus.
+    pub fn v3() -> MachineSpec {
+        let chip = ChipSpec::tpu_v3();
+        MachineSpec {
+            generation: Generation::V3,
+            mxus_per_core: 2,
+            mxu_dim: 128,
+            torus_dims: 2,
+            block: BlockGeometry {
+                edge: consts::BLOCK_EDGE,
+                tpus_per_host: chip.chips_per_host,
+            },
+            fleet_chips: u64::from(chip.largest_config),
+            ocs: None,
+            chip,
+        }
+    }
+
+    /// The TPU v2 machine: 256 chips on a 2D torus.
+    pub fn v2() -> MachineSpec {
+        let chip = ChipSpec::tpu_v2();
+        MachineSpec {
+            generation: Generation::V2,
+            mxus_per_core: 1,
+            mxu_dim: 128,
+            torus_dims: 2,
+            block: BlockGeometry {
+                edge: consts::BLOCK_EDGE,
+                tpus_per_host: chip.chips_per_host,
+            },
+            fleet_chips: u64::from(chip.largest_config),
+            ocs: None,
+            chip,
+        }
+    }
+
+    /// The Table 5 A100 cluster (switched NVLink/InfiniBand fabric).
+    pub fn a100() -> MachineSpec {
+        let chip = ChipSpec::a100();
+        MachineSpec {
+            generation: Generation::custom("a100"),
+            mxus_per_core: 0,
+            mxu_dim: 0,
+            torus_dims: 0,
+            block: BlockGeometry {
+                edge: 1,
+                tpus_per_host: chip.chips_per_host,
+            },
+            fleet_chips: u64::from(chip.largest_config),
+            ocs: None,
+            chip,
+        }
+    }
+
+    /// The Table 5 Graphcore IPU Bow system.
+    pub fn ipu_bow() -> MachineSpec {
+        let chip = ChipSpec::ipu_bow();
+        MachineSpec {
+            generation: Generation::custom("ipu-bow"),
+            mxus_per_core: 0,
+            mxu_dim: 0,
+            torus_dims: 0,
+            block: BlockGeometry {
+                edge: 1,
+                tpus_per_host: chip.chips_per_host,
+            },
+            fleet_chips: u64::from(chip.largest_config),
+            ocs: None,
+            chip,
+        }
+    }
+
+    /// The built-in spec for a generation, if one exists.
+    ///
+    /// V2/V3/V4 always resolve; [`Generation::Custom`] resolves for the
+    /// well-known Table 5 labels `"a100"` and `"ipu-bow"`.
+    pub fn for_generation(generation: &Generation) -> Option<MachineSpec> {
+        match generation {
+            Generation::V2 => Some(MachineSpec::v2()),
+            Generation::V3 => Some(MachineSpec::v3()),
+            Generation::V4 => Some(MachineSpec::v4()),
+            Generation::Custom(name) => match name.as_str() {
+                "a100" => Some(MachineSpec::a100()),
+                "ipu-bow" => Some(MachineSpec::ipu_bow()),
+                _ => None,
+            },
+        }
+    }
+
+    /// ICI link rate, bytes per second per link per direction.
+    pub fn ici_bytes_per_s(&self) -> f64 {
+        self.chip.ici_gbps_per_link * 1e9
+    }
+
+    /// ICI links per chip.
+    pub fn ici_links(&self) -> u32 {
+        self.chip.ici_links
+    }
+
+    /// Peak dense compute, FLOP/s per chip.
+    pub fn peak_flops(&self) -> f64 {
+        self.chip.peak_tflops * 1e12
+    }
+
+    /// HBM bandwidth, bytes per second per chip.
+    pub fn hbm_bytes_per_s(&self) -> f64 {
+        self.chip.hbm_gbps * 1e9
+    }
+
+    /// CMEM capacity, bytes per chip.
+    pub fn cmem_bytes(&self) -> f64 {
+        self.chip.cmem_mib * 1024.0 * 1024.0
+    }
+
+    /// Blocks in the fleet-scale machine.
+    pub fn fleet_blocks(&self) -> u64 {
+        self.fleet_chips / u64::from(self.block.chips())
+    }
+
+    /// CPU hosts in the fleet-scale machine.
+    pub fn fleet_hosts(&self) -> u64 {
+        self.fleet_chips / u64::from(self.block.tpus_per_host)
+    }
+
+    /// Serializes the spec to a JSON string (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let chip = &self.chip;
+        let mut chip_fields = vec![
+            ("name".to_string(), JsonValue::Str(chip.name.clone())),
+            (
+                "deployed".to_string(),
+                JsonValue::Num(f64::from(chip.deployed)),
+            ),
+            ("peak_tflops".to_string(), JsonValue::Num(chip.peak_tflops)),
+            (
+                "peak_tops_int8".to_string(),
+                JsonValue::Num(chip.peak_tops_int8),
+            ),
+            ("clock_mhz".to_string(), JsonValue::Num(chip.clock_mhz)),
+            (
+                "boost_clock_mhz".to_string(),
+                JsonValue::Num(chip.boost_clock_mhz),
+            ),
+            (
+                "tech_nm".to_string(),
+                JsonValue::Num(f64::from(chip.tech_nm)),
+            ),
+            ("die_mm2".to_string(), JsonValue::Num(chip.die_mm2)),
+            (
+                "transistors_b".to_string(),
+                JsonValue::Num(chip.transistors_b),
+            ),
+            (
+                "chips_per_host".to_string(),
+                JsonValue::Num(f64::from(chip.chips_per_host)),
+            ),
+            ("tdp_w".to_string(), json::opt_num(chip.tdp_w)),
+            ("idle_w".to_string(), json::opt_num(chip.idle_w)),
+            (
+                "power_min_mean_max_w".to_string(),
+                match chip.power_min_mean_max_w {
+                    None => JsonValue::Null,
+                    Some((lo, mean, hi)) => JsonValue::Arr(vec![
+                        JsonValue::Num(lo),
+                        JsonValue::Num(mean),
+                        JsonValue::Num(hi),
+                    ]),
+                },
+            ),
+            (
+                "ici_links".to_string(),
+                JsonValue::Num(f64::from(chip.ici_links)),
+            ),
+            (
+                "ici_gbps_per_link".to_string(),
+                JsonValue::Num(chip.ici_gbps_per_link),
+            ),
+            (
+                "largest_config".to_string(),
+                JsonValue::Num(f64::from(chip.largest_config)),
+            ),
+            (
+                "style".to_string(),
+                JsonValue::Str(chip.style.label().to_string()),
+            ),
+            (
+                "processors".to_string(),
+                JsonValue::Num(f64::from(chip.processors)),
+            ),
+            (
+                "threads_per_core".to_string(),
+                JsonValue::Num(f64::from(chip.threads_per_core)),
+            ),
+            (
+                "sparse_cores".to_string(),
+                JsonValue::Num(f64::from(chip.sparse_cores)),
+            ),
+            ("on_chip_mib".to_string(), JsonValue::Num(chip.on_chip_mib)),
+            ("cmem_mib".to_string(), JsonValue::Num(chip.cmem_mib)),
+            ("regfile_mib".to_string(), JsonValue::Num(chip.regfile_mib)),
+            ("hbm_gib".to_string(), JsonValue::Num(chip.hbm_gib)),
+            ("hbm_gbps".to_string(), JsonValue::Num(chip.hbm_gbps)),
+        ];
+        chip_fields.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let block = JsonValue::Obj(vec![
+            (
+                "edge".to_string(),
+                JsonValue::Num(f64::from(self.block.edge)),
+            ),
+            (
+                "tpus_per_host".to_string(),
+                JsonValue::Num(f64::from(self.block.tpus_per_host)),
+            ),
+        ]);
+        let ocs = match &self.ocs {
+            None => JsonValue::Null,
+            Some(ocs) => JsonValue::Obj(vec![
+                ("count".to_string(), JsonValue::Num(f64::from(ocs.count))),
+                ("ports".to_string(), JsonValue::Num(f64::from(ocs.ports))),
+                (
+                    "spare_ports".to_string(),
+                    JsonValue::Num(f64::from(ocs.spare_ports)),
+                ),
+                ("reconfig_ms".to_string(), JsonValue::Num(ocs.reconfig_ms)),
+            ]),
+        };
+
+        JsonValue::Obj(vec![
+            (
+                "generation".to_string(),
+                JsonValue::Str(self.generation.label().to_string()),
+            ),
+            ("chip".to_string(), JsonValue::Obj(chip_fields)),
+            (
+                "mxus_per_core".to_string(),
+                JsonValue::Num(f64::from(self.mxus_per_core)),
+            ),
+            (
+                "mxu_dim".to_string(),
+                JsonValue::Num(f64::from(self.mxu_dim)),
+            ),
+            (
+                "torus_dims".to_string(),
+                JsonValue::Num(f64::from(self.torus_dims)),
+            ),
+            ("block".to_string(), block),
+            (
+                "fleet_chips".to_string(),
+                JsonValue::Num(self.fleet_chips as f64),
+            ),
+            ("ocs".to_string(), ocs),
+        ])
+        .to_string()
+    }
+
+    /// Parses a spec from the JSON produced by [`MachineSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON, missing fields, or
+    /// type-mismatched values.
+    pub fn from_json(text: &str) -> Result<MachineSpec, SpecError> {
+        let root = json::parse(text)?;
+        let generation = Generation::from_label(json::get_str(&root, "generation")?);
+        let chip_obj = json::get(&root, "chip")?;
+        let style_label = json::get_str(chip_obj, "chip.style")?;
+        let style =
+            ProcessorStyle::from_label(style_label).ok_or_else(|| SpecError::InvalidField {
+                field: "chip.style".to_string(),
+                expected: "one of si2d/simt/mimd".to_string(),
+            })?;
+        let chip = ChipSpec {
+            name: json::get_str(chip_obj, "chip.name")?.to_string(),
+            deployed: json::get_u32(chip_obj, "chip.deployed")?,
+            peak_tflops: json::get_num(chip_obj, "chip.peak_tflops")?,
+            peak_tops_int8: json::get_num(chip_obj, "chip.peak_tops_int8")?,
+            clock_mhz: json::get_num(chip_obj, "chip.clock_mhz")?,
+            boost_clock_mhz: json::get_num(chip_obj, "chip.boost_clock_mhz")?,
+            tech_nm: json::get_u32(chip_obj, "chip.tech_nm")?,
+            die_mm2: json::get_num(chip_obj, "chip.die_mm2")?,
+            transistors_b: json::get_num(chip_obj, "chip.transistors_b")?,
+            chips_per_host: json::get_u32(chip_obj, "chip.chips_per_host")?,
+            tdp_w: json::get_opt_num(chip_obj, "chip.tdp_w")?,
+            idle_w: json::get_opt_num(chip_obj, "chip.idle_w")?,
+            power_min_mean_max_w: json::get_opt_triple(chip_obj, "chip.power_min_mean_max_w")?,
+            ici_links: json::get_u32(chip_obj, "chip.ici_links")?,
+            ici_gbps_per_link: json::get_num(chip_obj, "chip.ici_gbps_per_link")?,
+            largest_config: json::get_u32(chip_obj, "chip.largest_config")?,
+            style,
+            processors: json::get_u32(chip_obj, "chip.processors")?,
+            threads_per_core: json::get_u32(chip_obj, "chip.threads_per_core")?,
+            sparse_cores: json::get_u32(chip_obj, "chip.sparse_cores")?,
+            on_chip_mib: json::get_num(chip_obj, "chip.on_chip_mib")?,
+            cmem_mib: json::get_num(chip_obj, "chip.cmem_mib")?,
+            regfile_mib: json::get_num(chip_obj, "chip.regfile_mib")?,
+            hbm_gib: json::get_num(chip_obj, "chip.hbm_gib")?,
+            hbm_gbps: json::get_num(chip_obj, "chip.hbm_gbps")?,
+        };
+        let block_obj = json::get(&root, "block")?;
+        let block = BlockGeometry {
+            edge: json::get_u32(block_obj, "block.edge")?,
+            tpus_per_host: json::get_u32(block_obj, "block.tpus_per_host")?,
+        };
+        let ocs = match json::get(&root, "ocs")? {
+            JsonValue::Null => None,
+            ocs_obj => Some(OcsSpec {
+                count: json::get_u32(ocs_obj, "ocs.count")?,
+                ports: json::get_u16(ocs_obj, "ocs.ports")?,
+                spare_ports: json::get_u16(ocs_obj, "ocs.spare_ports")?,
+                reconfig_ms: json::get_num(ocs_obj, "ocs.reconfig_ms")?,
+            }),
+        };
+        Ok(MachineSpec {
+            generation,
+            chip,
+            mxus_per_core: json::get_u32(&root, "mxus_per_core")?,
+            mxu_dim: json::get_u32(&root, "mxu_dim")?,
+            torus_dims: json::get_u32(&root, "torus_dims")?,
+            block,
+            fleet_chips: json::get_u64(&root, "fleet_chips")?,
+            ocs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_matches_table4_headlines() {
+        let spec = MachineSpec::v4();
+        assert_eq!(spec.chip.peak_tflops, 275.0);
+        assert_eq!(spec.chip.hbm_gbps, 1200.0);
+        assert_eq!(spec.chip.ici_gbps_per_link, 50.0);
+        assert_eq!(spec.fleet_chips, 4096);
+        assert_eq!(spec.fleet_blocks(), 64);
+        assert_eq!(spec.fleet_hosts(), 1024);
+        assert_eq!(spec.block.chips(), 64);
+        assert_eq!(spec.block.hosts(), 16);
+        let ocs = spec.ocs.expect("v4 has an OCS layer");
+        assert_eq!(ocs.count, 48);
+        assert_eq!(ocs.usable_ports(), 128);
+    }
+
+    #[test]
+    fn generations_resolve() {
+        for generation in Generation::TPUS {
+            let spec = MachineSpec::for_generation(&generation).unwrap();
+            assert_eq!(spec.generation, generation);
+        }
+        assert!(MachineSpec::for_generation(&Generation::custom("a100")).is_some());
+        assert!(MachineSpec::for_generation(&Generation::custom("ipu-bow")).is_some());
+        assert!(MachineSpec::for_generation(&Generation::custom("h100")).is_none());
+    }
+
+    #[test]
+    fn v3_is_a_2d_statically_cabled_machine() {
+        let spec = MachineSpec::v3();
+        assert_eq!(spec.torus_dims, 2);
+        assert!(spec.ocs.is_none());
+        assert_eq!(spec.fleet_chips, 1024);
+        assert_eq!(spec.block.tpus_per_host, 8);
+        assert_eq!(spec.fleet_hosts(), 128);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let spec = MachineSpec::v4();
+        assert_eq!(spec.ici_bytes_per_s(), 50e9);
+        assert_eq!(spec.peak_flops(), 275e12);
+        assert_eq!(spec.hbm_bytes_per_s(), 1.2e12);
+        assert_eq!(spec.cmem_bytes(), 128.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn json_roundtrip_all_builtins() {
+        for spec in [
+            MachineSpec::v2(),
+            MachineSpec::v3(),
+            MachineSpec::v4(),
+            MachineSpec::a100(),
+            MachineSpec::ipu_bow(),
+        ] {
+            let text = spec.to_json();
+            let back = MachineSpec::from_json(&text).unwrap();
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let err = MachineSpec::from_json("{\"generation\": \"v4\"}").unwrap_err();
+        assert!(matches!(err, SpecError::MissingField { .. }), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_integers() {
+        // OCS ports must fit u16 — no silent truncation.
+        let oversized = MachineSpec::v4()
+            .to_json()
+            .replace("\"ports\":136", "\"ports\":70000");
+        let err = MachineSpec::from_json(&oversized).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::InvalidField { field, .. } if field == "ocs.ports"),
+            "{err}"
+        );
+        // Negative or fractional fleet sizes are invalid, not saturated.
+        for bad in ["\"fleet_chips\":-7", "\"fleet_chips\":4096.5"] {
+            let text = MachineSpec::v4()
+                .to_json()
+                .replace("\"fleet_chips\":4096", bad);
+            let err = MachineSpec::from_json(&text).unwrap_err();
+            assert!(
+                matches!(&err, SpecError::InvalidField { field, .. } if field == "fleet_chips"),
+                "{bad}: {err}"
+            );
+        }
+    }
+}

@@ -151,11 +151,7 @@ mod tests {
             let t = Torus::new(shape);
             let g = t.into_graph();
             let b = Bisection::plane_cut(&g);
-            assert_eq!(
-                b.min_links(),
-                t.analytic_bisection_links(),
-                "shape {shape}"
-            );
+            assert_eq!(b.min_links(), t.analytic_bisection_links(), "shape {shape}");
         }
     }
 
@@ -163,20 +159,20 @@ mod tests {
     fn twisted_4x4x8_doubles_bisection() {
         let shape = SliceShape::new(4, 4, 8).unwrap();
         let reg = Bisection::plane_cut(&Torus::new(shape).into_graph());
-        let tw = Bisection::plane_cut(
-            &TwistedTorus::paper_default(shape).unwrap().into_graph(),
-        );
+        let tw = Bisection::plane_cut(&TwistedTorus::paper_default(shape).unwrap().into_graph());
         assert_eq!(reg.min_links(), 32);
-        assert_eq!(tw.min_links(), 64, "twist must double the plane-cut bisection");
+        assert_eq!(
+            tw.min_links(),
+            64,
+            "twist must double the plane-cut bisection"
+        );
     }
 
     #[test]
     fn twisted_4x8x8_doubles_bisection() {
         let shape = SliceShape::new(4, 8, 8).unwrap();
         let reg = Bisection::plane_cut(&Torus::new(shape).into_graph());
-        let tw = Bisection::plane_cut(
-            &TwistedTorus::paper_default(shape).unwrap().into_graph(),
-        );
+        let tw = Bisection::plane_cut(&TwistedTorus::paper_default(shape).unwrap().into_graph());
         assert_eq!(reg.min_links(), 64);
         assert_eq!(tw.min_links(), 128);
     }

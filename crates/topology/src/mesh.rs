@@ -110,10 +110,22 @@ mod tests {
 
     #[test]
     fn kinds() {
-        assert_eq!(Mesh::new(SliceShape::new(1, 1, 2).unwrap()).kind(), MeshKind::Line);
-        assert_eq!(Mesh::new(SliceShape::new(1, 1, 1).unwrap()).kind(), MeshKind::Line);
-        assert_eq!(Mesh::new(SliceShape::new(1, 2, 2).unwrap()).kind(), MeshKind::Plane);
-        assert_eq!(Mesh::new(SliceShape::new(2, 2, 4).unwrap()).kind(), MeshKind::Cuboid);
+        assert_eq!(
+            Mesh::new(SliceShape::new(1, 1, 2).unwrap()).kind(),
+            MeshKind::Line
+        );
+        assert_eq!(
+            Mesh::new(SliceShape::new(1, 1, 1).unwrap()).kind(),
+            MeshKind::Line
+        );
+        assert_eq!(
+            Mesh::new(SliceShape::new(1, 2, 2).unwrap()).kind(),
+            MeshKind::Plane
+        );
+        assert_eq!(
+            Mesh::new(SliceShape::new(2, 2, 4).unwrap()).kind(),
+            MeshKind::Cuboid
+        );
     }
 
     #[test]

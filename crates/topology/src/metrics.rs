@@ -19,10 +19,7 @@ impl DistanceProfile {
 
     /// Largest finite distance with a nonzero count.
     pub fn max_distance(&self) -> u32 {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0) as u32
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0) as u32
     }
 
     /// Mean distance over ordered pairs of *distinct* nodes.
@@ -137,9 +134,7 @@ mod tests {
     fn twisted_torus_shrinks_diameter_of_4x4x8() {
         let shape = SliceShape::new(4, 4, 8).unwrap();
         let reg = GraphMetrics::compute(&Torus::new(shape).into_graph());
-        let tw = GraphMetrics::compute(
-            &TwistedTorus::paper_default(shape).unwrap().into_graph(),
-        );
+        let tw = GraphMetrics::compute(&TwistedTorus::paper_default(shape).unwrap().into_graph());
         assert!(tw.diameter() < reg.diameter());
         assert!(tw.mean_distance() < reg.mean_distance());
     }

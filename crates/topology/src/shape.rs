@@ -284,7 +284,13 @@ mod tests {
             Twistability::DoubledDoubled { n: 8 }
         );
         // Regular tori from Table 2 that must not classify as twistable.
-        for (x, y, z) in [(4u32, 4, 4), (8, 8, 8), (4, 4, 12), (4, 8, 12), (12, 16, 16)] {
+        for (x, y, z) in [
+            (4u32, 4, 4),
+            (8, 8, 8),
+            (4, 4, 12),
+            (4, 8, 12),
+            (12, 16, 16),
+        ] {
             assert_eq!(
                 SliceShape::new(x, y, z).unwrap().twistability(),
                 Twistability::NotTwistable,

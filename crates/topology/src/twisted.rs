@@ -78,11 +78,7 @@ impl TwistSpec {
             ),
             Twistability::DoubledDoubled { n } => TwistSpec::new(
                 shape,
-                [
-                    Coord3::new(0, n, n),
-                    Coord3::default(),
-                    Coord3::default(),
-                ],
+                [Coord3::new(0, n, n), Coord3::default(), Coord3::default()],
             ),
             Twistability::NotTwistable => Err(TopologyError::NotTwistable {
                 shape: (shape.x(), shape.y(), shape.z()),

@@ -106,7 +106,11 @@ mod tests {
     #[test]
     fn growth_factors_match_figure17() {
         let e = Dlrm0Evolution::paper();
-        assert!((e.weight_growth() - 4.2).abs() < 0.05, "{}", e.weight_growth());
+        assert!(
+            (e.weight_growth() - 4.2).abs() < 0.05,
+            "{}",
+            e.weight_growth()
+        );
         assert!(
             (e.embedding_growth() - 3.8).abs() < 0.05,
             "{}",

@@ -34,8 +34,8 @@ pub mod scaling;
 pub mod suite;
 
 pub use evolution::Dlrm0Evolution;
-pub use palm::LlmCampaign;
 pub use mix::{ModelFamily, WorkloadMix};
 pub use mlperf::{MlperfBenchmark, MlperfSystem};
+pub use palm::LlmCampaign;
 pub use scaling::ScalingCurve;
 pub use suite::{ProductionSuite, Workload, WorkloadKind};

@@ -47,13 +47,18 @@ pub enum MlperfSystem {
 }
 
 impl MlperfSystem {
+    /// The machine spec of this MLPerf submitter.
+    pub fn spec(self) -> tpu_spec::MachineSpec {
+        match self {
+            MlperfSystem::TpuV4 => tpu_spec::MachineSpec::v4(),
+            MlperfSystem::A100 => tpu_spec::MachineSpec::a100(),
+            MlperfSystem::IpuBow => tpu_spec::MachineSpec::ipu_bow(),
+        }
+    }
+
     /// Largest configuration the system reported (Table 5 / Figure 15).
     pub fn max_chips(self) -> u64 {
-        match self {
-            MlperfSystem::TpuV4 => 4096,
-            MlperfSystem::A100 => 4216,
-            MlperfSystem::IpuBow => 256,
-        }
+        self.spec().fleet_chips
     }
 
     /// Whether the system submitted the benchmark ("Graphcore submitted
@@ -117,10 +122,7 @@ impl MlperfSystem {
 
 /// Figure 14: the fastest submitted result per system per benchmark,
 /// relative to the A100's fastest.
-pub fn figure14_peak_relative(
-    system: MlperfSystem,
-    benchmark: MlperfBenchmark,
-) -> Option<f64> {
+pub fn figure14_peak_relative(system: MlperfSystem, benchmark: MlperfBenchmark) -> Option<f64> {
     let own = system.relative_speed(benchmark, system.max_chips())?;
     let a100 = MlperfSystem::A100
         .relative_speed(benchmark, MlperfSystem::A100.max_chips())

@@ -13,6 +13,14 @@ use serde::{Deserialize, Serialize};
 use tpu_chip::{ChipSpec, MemorySystem, PowerModel, MIB};
 use tpu_embedding::DlrmConfig;
 use tpu_sparsecore::{EmbeddingSystem, Placement};
+use tpu_spec::{Generation, MachineSpec};
+
+/// The chip record of a built-in generation.
+fn chip_of(generation: &Generation) -> ChipSpec {
+    MachineSpec::for_generation(generation)
+        .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"))
+        .chip
+}
 
 /// Broad workload class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -124,12 +132,23 @@ impl ProductionSuite {
 
     /// Figure 12: TPU v4 over TPU v3 speedup at equal slice size.
     pub fn v4_over_v3_speedup(&self, workload: &Workload) -> f64 {
+        self.speedup_between(workload, &Generation::V4, &Generation::V3)
+    }
+
+    /// Generation-vs-generation speedup at equal slice size — the
+    /// Figure 12 comparison as a first-class sweep over any two specs.
+    pub fn speedup_between(
+        &self,
+        workload: &Workload,
+        newer: &Generation,
+        older: &Generation,
+    ) -> f64 {
         match workload.kind {
-            WorkloadKind::Dlrm => self.dlrm_speedup(workload),
+            WorkloadKind::Dlrm => self.dlrm_speedup_between(workload, newer, older),
             _ => {
-                let v4 = workload.attained_tflops(&ChipSpec::tpu_v4());
-                let v3 = workload.attained_tflops(&ChipSpec::tpu_v3());
-                v4 / v3
+                let newer_chip = chip_of(newer);
+                let older_chip = chip_of(older);
+                workload.attained_tflops(&newer_chip) / workload.attained_tflops(&older_chip)
             }
         }
     }
@@ -140,19 +159,29 @@ impl ProductionSuite {
     /// ("the global batch size is scaled proportionately to the number
     /// of chips").
     pub fn dlrm_speedup(&self, workload: &Workload) -> f64 {
+        self.dlrm_speedup_between(workload, &Generation::V4, &Generation::V3)
+    }
+
+    /// DLRM speedup between two generations' SparseCore systems.
+    pub fn dlrm_speedup_between(
+        &self,
+        workload: &Workload,
+        newer: &Generation,
+        older: &Generation,
+    ) -> f64 {
         let model = if workload.name == "DLRM1" {
             DlrmConfig::dlrm0().scaled(0.7, 0.8)
         } else {
             DlrmConfig::dlrm0()
         };
         let batch = 32 * 512;
-        let v4 = EmbeddingSystem::tpu_v4_slice(512)
+        let newer_t = EmbeddingSystem::for_generation(newer, 512)
             .step_time(&model, batch, Placement::SparseCore)
             .total_s();
-        let v3 = EmbeddingSystem::tpu_v3_slice(512)
+        let older_t = EmbeddingSystem::for_generation(older, 512)
             .step_time(&model, batch, Placement::SparseCore)
             .total_s();
-        v3 / v4
+        older_t / newer_t
     }
 
     /// Geometric-mean v4/v3 speedup over the suite (paper: 2.1x).
@@ -172,29 +201,29 @@ impl ProductionSuite {
             // dense layers only a little.
             return 1.05;
         }
-        let on = workload.attained_tflops(&ChipSpec::tpu_v4());
-        let off = workload.attained_tflops(&ChipSpec::tpu_v4().without_cmem());
+        let v4 = chip_of(&Generation::V4);
+        let on = workload.attained_tflops(&v4);
+        let off = workload.attained_tflops(&v4.without_cmem());
         on / off
     }
 
     /// Geometric-mean CMEM gain (Figure 13: "it contributes to 1.2x
     /// performance gain overall but 2x for RNN1").
     pub fn geomean_cmem_gain(&self) -> f64 {
-        let product: f64 = self
-            .workloads
-            .iter()
-            .map(|w| self.cmem_gain(w).ln())
-            .sum();
+        let product: f64 = self.workloads.iter().map(|w| self.cmem_gain(w).ln()).sum();
         (product / self.workloads.len() as f64).exp()
     }
 
     /// Figure 13 bottom: geometric-mean package performance/Watt of v4
-    /// over v3 at production utilization.
+    /// over v3 at production utilization (each chip at its Table 4
+    /// measured mean power).
     pub fn geomean_perf_per_watt_gain(&self) -> f64 {
-        let v4 = PowerModel::of_chip(&ChipSpec::tpu_v4());
-        let v3 = PowerModel::of_chip(&ChipSpec::tpu_v3());
-        let v4_power = v4.at_utilization(v4.utilization_for_power(170.0));
-        let v3_power = v3.at_utilization(v3.utilization_for_power(220.0));
+        let v4_chip = chip_of(&Generation::V4);
+        let v3_chip = chip_of(&Generation::V3);
+        let v4 = PowerModel::of_chip(&v4_chip);
+        let v3 = PowerModel::of_chip(&v3_chip);
+        let v4_power = v4.at_utilization(v4.utilization_for_power(v4_chip.mean_power_w()));
+        let v3_power = v3.at_utilization(v3.utilization_for_power(v3_chip.mean_power_w()));
         self.geomean_v4_over_v3_speedup() * v3_power / v4_power
     }
 }
@@ -211,7 +240,9 @@ mod tests {
     fn eight_workloads_present() {
         let s = suite();
         assert_eq!(s.workloads().len(), 8);
-        for name in ["CNN0", "CNN1", "RNN0", "RNN1", "BERT0", "BERT1", "DLRM0", "DLRM1"] {
+        for name in [
+            "CNN0", "CNN1", "RNN0", "RNN1", "BERT0", "BERT1", "DLRM0", "DLRM1",
+        ] {
             assert!(s.get(name).is_some(), "{name} missing");
         }
     }
@@ -243,7 +274,10 @@ mod tests {
         );
         // And the mechanism is CMEM: 2x of it comes from the scratchpad.
         let gain = s.cmem_gain(w);
-        assert!((1.7..2.3).contains(&gain), "RNN1 CMEM gain {gain} (paper: 2x)");
+        assert!(
+            (1.7..2.3).contains(&gain),
+            "RNN1 CMEM gain {gain} (paper: 2x)"
+        );
     }
 
     #[test]

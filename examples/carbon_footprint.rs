@@ -60,6 +60,10 @@ fn main() {
     println!(
         "with the full 2-6x machine-factor range the CO2e advantage spans {:.0}x-{:.0}x",
         model.co2e_ratio(&onprem, &tpu),
-        CarbonModel { machine_factor: 6.0, ..model }.co2e_ratio(&onprem, &tpu)
+        CarbonModel {
+            machine_factor: 6.0,
+            ..model
+        }
+        .co2e_ratio(&onprem, &tpu)
     );
 }

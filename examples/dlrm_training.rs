@@ -47,7 +47,10 @@ fn main() {
     // Step time under each placement (Figure 9).
     let system = EmbeddingSystem::tpu_v4_slice(chips as u64);
     let profile = WorkloadProfile::from_batch(&model, &batch);
-    println!("\nplacement comparison on {} (global batch 4096):", system.name());
+    println!(
+        "\nplacement comparison on {} (global batch 4096):",
+        system.name()
+    );
     let sc = system
         .step_time_with_profile(&profile, 4096, Placement::SparseCore)
         .total_s();
@@ -60,7 +63,11 @@ fn main() {
         let t = system
             .step_time_with_profile(&profile, 4096, placement)
             .total_s();
-        println!("  {label:34} {:8.2} ms/step  ({:.1}x vs SC)", t * 1e3, t / sc);
+        println!(
+            "  {label:34} {:8.2} ms/step  ({:.1}x vs SC)",
+            t * 1e3,
+            t / sc
+        );
     }
 
     // And the Figure 9 cross-system view.
@@ -69,8 +76,18 @@ fn main() {
     let v3 = EmbeddingSystem::tpu_v3_slice(chips as u64);
     let t_cpu = cpu.step_time(&model, 4096, Placement::SparseCore).total_s();
     let t_v3 = v3.step_time(&model, 4096, Placement::SparseCore).total_s();
-    let t_v4 = system.step_time(&model, 4096, Placement::SparseCore).total_s();
+    let t_v4 = system
+        .step_time(&model, 4096, Placement::SparseCore)
+        .total_s();
     println!("  CPU x576      {:8.2} ms/step (1.0x)", t_cpu * 1e3);
-    println!("  TPU v3 x128   {:8.2} ms/step ({:.1}x, paper: 9.8x)", t_v3 * 1e3, t_cpu / t_v3);
-    println!("  TPU v4 x128   {:8.2} ms/step ({:.1}x, paper: 30.1x)", t_v4 * 1e3, t_cpu / t_v4);
+    println!(
+        "  TPU v3 x128   {:8.2} ms/step ({:.1}x, paper: 9.8x)",
+        t_v3 * 1e3,
+        t_cpu / t_v3
+    );
+    println!(
+        "  TPU v4 x128   {:8.2} ms/step ({:.1}x, paper: 30.1x)",
+        t_v4 * 1e3,
+        t_cpu / t_v4
+    );
 }

@@ -13,8 +13,14 @@ fn main() {
         sim.total_chips(),
         sim.total_hosts()
     );
-    println!("{:>8} | {:>22} | {:>22}", "slice", "OCS (reconfigurable)", "statically cabled");
-    println!("{:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}", "chips", "99.0%", "99.5%", "99.9%", "99.0%", "99.5%", "99.9%");
+    println!(
+        "{:>8} | {:>22} | {:>22}",
+        "slice", "OCS (reconfigurable)", "statically cabled"
+    );
+    println!(
+        "{:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
+        "chips", "99.0%", "99.5%", "99.9%", "99.0%", "99.5%", "99.9%"
+    );
     for &chips in &[64u64, 128, 256, 512, 1024, 2048, 3072, 4096] {
         let g = |avail, ocs| sim.goodput(chips, avail, ocs) * 100.0;
         println!(
@@ -31,9 +37,7 @@ fn main() {
     // §2.4: incremental deployment. One block is 60 days late.
     let rollout = DeploymentModel::uniform_with_delay(64, 1.0, 60.0);
     let horizon = 130.0;
-    println!(
-        "\nincremental deployment over {horizon} days (last block 60 days late):"
-    );
+    println!("\nincremental deployment over {horizon} days (last block 60 days late):");
     println!(
         "  OCS (per-block production): {:>8.0} block-days of capacity",
         rollout.incremental_block_days(horizon)

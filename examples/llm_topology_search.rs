@@ -45,7 +45,12 @@ fn main() {
         ShardingSpec::new(2, 2),
     )
     .expect("novice config is feasible");
-    report("LLM, novice baseline (paper gain: 2.3x)", "novice pick", &novice, &llm);
+    report(
+        "LLM, novice baseline (paper gain: 2.3x)",
+        "novice pick",
+        &novice,
+        &llm,
+    );
 
     // Case 2: an expert's GPT-3 configuration (Table 3 row 2).
     let gpt3 = LlmConfig::gpt3();
@@ -56,7 +61,12 @@ fn main() {
         ShardingSpec::new(2, 2),
     )
     .expect("expert config is feasible");
-    report("GPT-3 pre-training, expert baseline (paper gain: 1.2x)", "expert pick", &expert, &gpt3);
+    report(
+        "GPT-3 pre-training, expert baseline (paper gain: 1.2x)",
+        "expert pick",
+        &expert,
+        &gpt3,
+    );
 
     // Show the step-time anatomy of the expert config.
     println!("expert GPT-3 step anatomy:");

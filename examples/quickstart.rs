@@ -40,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Embedding all-to-all (4 KiB DMAs, Figure 6's regime) on the
     // twisted recommender slice.
-    let a2a = machine.collective_time(recsys, Collective::AllToAll { bytes_per_pair: 4096 })?;
+    let a2a = machine.collective_time(
+        recsys,
+        Collective::AllToAll {
+            bytes_per_pair: 4096,
+        },
+    )?;
     println!("recsys 4 KiB/pair all-to-all: {:.3} ms", a2a * 1e3);
 
     // A CPU host dies; the machine routes new work around the block.
@@ -62,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.finish(llm)?;
     machine.finish(recsys)?;
     machine.finish(filler)?;
-    println!("all jobs finished; utilization {:.1}%", machine.utilization() * 100.0);
+    println!(
+        "all jobs finished; utilization {:.1}%",
+        machine.utilization() * 100.0
+    );
     Ok(())
 }

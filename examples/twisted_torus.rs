@@ -11,7 +11,10 @@ use tpuv4::{Fabric, SliceSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = LinkRate::TPU_V4_ICI;
-    println!("{:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>12}", "slice", "diam reg", "diam tw", "bisec reg", "bisec tw", "a2a gain");
+    println!(
+        "{:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>12}",
+        "slice", "diam reg", "diam tw", "bisec reg", "bisec tw", "a2a gain"
+    );
     for (x, y, z) in [(4u32, 4, 8), (4, 8, 8), (8, 8, 16)] {
         let shape = SliceShape::new(x, y, z)?;
         let regular = Torus::new(shape).into_graph();

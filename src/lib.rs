@@ -6,6 +6,7 @@
 //!
 //! | Module | Crate | Paper section |
 //! |---|---|---|
+//! | [`spec`] | `tpu-spec` | Tables 4–5 as one machine-description layer |
 //! | [`topology`] | `tpu-topology` | §2.8 tori, twisted tori, bisection |
 //! | [`ocs`] | `tpu-ocs` | §2.1–2.6 Palomar OCS, 4³ blocks, fabric |
 //! | [`net`] | `tpu-net` | §2.8/§7.3 collectives, flow sim, InfiniBand |
@@ -21,11 +22,11 @@
 //! # Quickstart
 //!
 //! ```
-//! use tpuv4::{Collective, JobSpec, SliceSpec, Supercomputer};
+//! use tpuv4::{Collective, Generation, JobSpec, SliceSpec, Supercomputer};
 //! use tpuv4::topology::SliceShape;
 //!
 //! // Bring up the 4096-chip machine and schedule a twisted-torus slice.
-//! let mut machine = Supercomputer::tpu_v4();
+//! let mut machine = Supercomputer::for_generation(Generation::V4);
 //! let job = machine.submit(JobSpec::new(
 //!     "recommender",
 //!     SliceSpec::twisted(SliceShape::new(4, 8, 8)?)?,
@@ -34,6 +35,15 @@
 //! // Time the embedding all-to-all on the slice's real link graph.
 //! let t = machine.collective_time(job, Collective::AllToAll { bytes_per_pair: 4096 })?;
 //! assert!(t > 0.0);
+//!
+//! // Every layer is parameterized by the same MachineSpec, so the
+//! // paper's cross-generation comparisons are one argument away.
+//! let mut v3 = Supercomputer::for_generation(Generation::V3);
+//! let job3 = v3.submit(JobSpec::new(
+//!     "recommender-on-v3",
+//!     SliceSpec::regular(SliceShape::new(4, 8, 8)?),
+//! ))?;
+//! assert!(v3.collective_time(job3, Collective::AllToAll { bytes_per_pair: 4096 })? > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -49,11 +59,13 @@ pub use tpu_ocs as ocs;
 pub use tpu_parallel as parallel;
 pub use tpu_sched as sched;
 pub use tpu_sparsecore as sparsecore;
+pub use tpu_spec as spec;
 pub use tpu_topology as topology;
 pub use tpu_workloads as workloads;
 
 pub use tpu_core::{Collective, JobId, JobSpec, RunningJob, Supercomputer, SupercomputerError};
 pub use tpu_ocs::{Fabric, SliceSpec};
+pub use tpu_spec::{ChipSpec, Generation, MachineSpec};
 pub use tpu_topology::{SliceShape, Torus, TwistedTorus};
 
 #[cfg(test)]

@@ -45,8 +45,8 @@ fn load_model_and_flow_sim_agree_on_small_slices() {
         let shape = SliceShape::new(x, y, z).unwrap();
         let graph = tpuv4::topology::Torus::new(shape).into_graph();
         let bytes = 65536.0;
-        let load_time = tpuv4::net::LinkLoads::uniform_all_to_all(&graph, bytes)
-            .completion_time(RATE);
+        let load_time =
+            tpuv4::net::LinkLoads::uniform_all_to_all(&graph, bytes).completion_time(RATE);
         let flows = all_to_all_flows(&graph, bytes);
         let sim_time = FlowSim::new(&graph, RATE).run(&flows).completion_time();
         let ratio = sim_time / load_time;
@@ -95,11 +95,7 @@ fn ideal_fraction_reported_like_figure6_stacked_bars() {
         ] {
             let a = AllToAll::analyze(&graph, 4096, RATE);
             let f = a.fraction_of_ideal();
-            assert!(
-                f > 0.3 && f <= 1.0 + 1e-9,
-                "{}: fraction {f}",
-                graph.name()
-            );
+            assert!(f > 0.3 && f <= 1.0 + 1e-9, "{}: fraction {f}", graph.name());
         }
     }
 }

@@ -81,10 +81,7 @@ fn full_4096_chip_machine_materializes() {
     let shape = SliceShape::new(16, 16, 16).unwrap();
     let slice = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
     let reference = Torus::new(shape).into_graph();
-    assert_eq!(
-        edge_multiset(slice.chip_graph()),
-        edge_multiset(&reference)
-    );
+    assert_eq!(edge_multiset(slice.chip_graph()), edge_multiset(&reference));
     // 48 switches x 64 circuits = full port usage.
     assert_eq!(fabric.total_circuits(), 48 * 64);
 }

@@ -1,198 +1,286 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Uses a small deterministic sampler instead of `proptest` (unavailable
+//! in offline builds): each property runs over a fixed number of
+//! pseudo-random cases drawn from a seeded `StdRng` stream, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tpuv4::net::{LinkLoads, LinkRate};
 use tpuv4::topology::{
     bfs_distances, edge_betweenness, Bisection, GraphMetrics, NodeId, SliceShape, Torus,
     TwistedTorus,
 };
 
-fn small_shape() -> impl Strategy<Value = SliceShape> {
-    (1u32..=6, 1u32..=6, 1u32..=6)
-        .prop_map(|(x, y, z)| SliceShape::new(x, y, z).expect("nonzero"))
+/// A deterministic case generator over domain-shaped draws.
+struct Cases {
+    rng: StdRng,
 }
 
-fn twistable_shape() -> impl Strategy<Value = SliceShape> {
-    (1u32..=4, prop::bool::ANY).prop_map(|(n, square)| {
-        if square {
+impl Cases {
+    fn new(seed: u64) -> Cases {
+        Cases {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform draw from `lo..=hi`.
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// An arbitrary shape with dimensions in 1..=6.
+    fn small_shape(&mut self) -> SliceShape {
+        SliceShape::new(
+            self.int(1, 6) as u32,
+            self.int(1, 6) as u32,
+            self.int(1, 6) as u32,
+        )
+        .expect("nonzero")
+    }
+
+    /// A twistable n×n×2n or n×2n×2n shape with n in 1..=4.
+    fn twistable_shape(&mut self) -> SliceShape {
+        let n = self.int(1, 4) as u32;
+        if self.bool() {
             SliceShape::new(n, n, 2 * n).expect("nonzero")
         } else {
             SliceShape::new(n, 2 * n, 2 * n).expect("nonzero")
         }
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn torus_is_symmetric_and_regular(shape in small_shape()) {
+#[test]
+fn torus_is_symmetric_and_regular() {
+    let mut cases = Cases::new(0xA0);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
         let g = Torus::new(shape).into_graph();
-        prop_assert!(g.is_symmetric());
+        assert!(g.is_symmetric(), "{shape}");
         let active: u32 = [shape.x(), shape.y(), shape.z()]
             .iter()
             .filter(|&&k| k > 1)
             .count() as u32;
         let (min_deg, max_deg) = g.degree_range();
-        prop_assert_eq!(min_deg, max_deg);
-        prop_assert_eq!(min_deg as u32, 2 * active);
+        assert_eq!(min_deg, max_deg, "{shape}");
+        assert_eq!(min_deg as u32, 2 * active, "{shape}");
     }
+}
 
-    #[test]
-    fn torus_is_strongly_connected(shape in small_shape()) {
+#[test]
+fn torus_is_strongly_connected() {
+    let mut cases = Cases::new(0xA1);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
         let g = Torus::new(shape).into_graph();
         let d = bfs_distances(&g, NodeId::new(0));
-        prop_assert!(d.iter().all(|&x| x != u32::MAX));
+        assert!(d.iter().all(|&x| x != u32::MAX), "{shape}");
     }
+}
 
-    #[test]
-    fn twisted_torus_preserves_regularity(shape in twistable_shape()) {
-        let g = TwistedTorus::paper_default(shape).expect("twistable").into_graph();
-        prop_assert!(g.is_symmetric());
+#[test]
+fn twisted_torus_preserves_regularity() {
+    let mut cases = Cases::new(0xA2);
+    for _ in 0..64 {
+        let shape = cases.twistable_shape();
+        let g = TwistedTorus::paper_default(shape)
+            .expect("twistable")
+            .into_graph();
+        assert!(g.is_symmetric(), "{shape}");
         let (min_deg, max_deg) = g.degree_range();
-        prop_assert_eq!(min_deg, max_deg);
-        // Strong connectivity.
+        assert_eq!(min_deg, max_deg, "{shape}");
         let d = bfs_distances(&g, NodeId::new(0));
-        prop_assert!(d.iter().all(|&x| x != u32::MAX));
+        assert!(d.iter().all(|&x| x != u32::MAX), "{shape}");
     }
+}
 
-    #[test]
-    fn twisting_never_increases_diameter_or_mean_distance(shape in twistable_shape()) {
+#[test]
+fn twisting_never_increases_diameter_or_mean_distance() {
+    let mut cases = Cases::new(0xA3);
+    for _ in 0..64 {
+        let shape = cases.twistable_shape();
         let reg = GraphMetrics::compute(&Torus::new(shape).into_graph());
         let tw = GraphMetrics::compute(
-            &TwistedTorus::paper_default(shape).expect("twistable").into_graph(),
+            &TwistedTorus::paper_default(shape)
+                .expect("twistable")
+                .into_graph(),
         );
-        prop_assert!(tw.diameter() <= reg.diameter());
-        prop_assert!(tw.mean_distance() <= reg.mean_distance() + 1e-9);
+        assert!(tw.diameter() <= reg.diameter(), "{shape}");
+        assert!(tw.mean_distance() <= reg.mean_distance() + 1e-9, "{shape}");
     }
+}
 
-    #[test]
-    fn twisting_never_shrinks_bisection(shape in twistable_shape()) {
-        prop_assume!(shape.volume() >= 2);
+#[test]
+fn twisting_never_shrinks_bisection() {
+    let mut cases = Cases::new(0xA4);
+    for _ in 0..64 {
+        let shape = cases.twistable_shape();
+        if shape.volume() < 2 {
+            continue;
+        }
         let reg = Bisection::plane_cut(&Torus::new(shape).into_graph()).min_links();
         let tw = Bisection::plane_cut(
-            &TwistedTorus::paper_default(shape).expect("twistable").into_graph(),
+            &TwistedTorus::paper_default(shape)
+                .expect("twistable")
+                .into_graph(),
         )
         .min_links();
-        prop_assert!(tw >= reg, "twisted {tw} < regular {reg} for {shape}");
+        assert!(tw >= reg, "twisted {tw} < regular {reg} for {shape}");
     }
+}
 
-    #[test]
-    fn betweenness_conserves_total_distance(shape in small_shape()) {
-        prop_assume!(shape.volume() >= 2 && shape.volume() <= 64);
+#[test]
+fn betweenness_conserves_total_distance() {
+    let mut cases = Cases::new(0xA5);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
+        if shape.volume() < 2 || shape.volume() > 64 {
+            continue;
+        }
         let g = Torus::new(shape).into_graph();
         let total: f64 = edge_betweenness(&g).iter().sum();
         let expect: u64 = tpuv4::topology::all_pairs_distances(&g)
             .iter()
             .flat_map(|row| row.iter().map(|&d| u64::from(d)))
             .sum();
-        prop_assert!((total - expect as f64).abs() < 1e-6 * expect.max(1) as f64);
+        assert!(
+            (total - expect as f64).abs() < 1e-6 * expect.max(1) as f64,
+            "{shape}: {total} vs {expect}"
+        );
     }
+}
 
-    #[test]
-    fn all_to_all_load_balance_at_most_one(shape in small_shape()) {
-        prop_assume!(shape.volume() >= 2 && shape.volume() <= 64);
+#[test]
+fn all_to_all_load_balance_at_most_one() {
+    let mut cases = Cases::new(0xA6);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
+        if shape.volume() < 2 || shape.volume() > 64 {
+            continue;
+        }
         let g = Torus::new(shape).into_graph();
         let loads = LinkLoads::uniform_all_to_all(&g, 100.0);
         let b = loads.balance();
-        prop_assert!(b > 0.0 && b <= 1.0 + 1e-9);
-        prop_assert!(loads.completion_time(LinkRate::TPU_V4_ICI) >= 0.0);
+        assert!(b > 0.0 && b <= 1.0 + 1e-9, "{shape}: balance {b}");
+        assert!(
+            loads.completion_time(LinkRate::TPU_V4_ICI) >= 0.0,
+            "{shape}"
+        );
     }
+}
 
-    #[test]
-    fn index_coord_roundtrip(shape in small_shape(), seed in 0u32..10_000) {
+#[test]
+fn index_coord_roundtrip() {
+    let mut cases = Cases::new(0xA7);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
+        let seed = cases.int(0, 9_999) as u32;
         let idx = seed % shape.volume() as u32;
-        prop_assert_eq!(shape.index_of(shape.coord_of(idx)), idx);
+        assert_eq!(shape.index_of(shape.coord_of(idx)), idx, "{shape}");
     }
+}
 
-    #[test]
-    fn canonicalization_is_idempotent_and_sorted(shape in small_shape()) {
+#[test]
+fn canonicalization_is_idempotent_and_sorted() {
+    let mut cases = Cases::new(0xA8);
+    for _ in 0..64 {
+        let shape = cases.small_shape();
         let c = shape.to_canonical();
-        prop_assert!(c.is_scheduler_canonical());
-        prop_assert_eq!(c.to_canonical(), c);
-        prop_assert_eq!(c.volume(), shape.volume());
+        assert!(c.is_scheduler_canonical(), "{shape}");
+        assert_eq!(c.to_canonical(), c, "{shape}");
+        assert_eq!(c.volume(), shape.volume(), "{shape}");
     }
 }
 
 mod sharding_props {
-    use super::*;
+    use super::Cases;
     use tpuv4::embedding::{DlrmConfig, Sharding, ShardingPlan};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn per_chip_bytes_conserved_for_sharded_plans(chips in 1u32..64) {
+    #[test]
+    fn per_chip_bytes_conserved_for_sharded_plans() {
+        let mut cases = Cases::new(0xB0);
+        for _ in 0..16 {
+            let chips = cases.int(1, 63) as u32;
             let model = DlrmConfig::mlperf_dlrm();
-            let plan = ShardingPlan::new(
-                chips,
-                vec![Sharding::Row; model.tables().len()],
-            );
+            let plan = ShardingPlan::new(chips, vec![Sharding::Row; model.tables().len()]);
             let total: u64 = plan.per_chip_bytes(&model).iter().sum();
             let expect: u64 = model.tables().iter().map(|t| t.size_bytes()).sum();
-            prop_assert_eq!(total, expect);
+            assert_eq!(total, expect, "chips {chips}");
         }
+    }
 
-        #[test]
-        fn row_owner_always_in_range(chips in 1u32..64, row in 0u64..1_000_000) {
+    #[test]
+    fn row_owner_always_in_range() {
+        let mut cases = Cases::new(0xB1);
+        for _ in 0..16 {
+            let chips = cases.int(1, 63) as u32;
+            let row = cases.int(0, 999_999);
             let model = DlrmConfig::mlperf_dlrm();
-            let plan = ShardingPlan::new(
-                chips,
-                vec![Sharding::Row; model.tables().len()],
-            );
+            let plan = ShardingPlan::new(chips, vec![Sharding::Row; model.tables().len()]);
             let owner = plan.owner_of(0, row).expect("row sharding has owners");
-            prop_assert!(owner < chips);
+            assert!(owner < chips, "chips {chips} row {row}");
         }
+    }
 
-        #[test]
-        fn remote_fraction_in_unit_interval(chips in 1u32..128) {
+    #[test]
+    fn remote_fraction_in_unit_interval() {
+        let mut cases = Cases::new(0xB2);
+        for _ in 0..16 {
+            let chips = cases.int(1, 127) as u32;
             let model = DlrmConfig::mlperf_dlrm();
             let plan = ShardingPlan::auto(&model, chips, 1 << 20);
             let f = plan.remote_lookup_fraction(&model);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&f), "chips {chips}: {f}");
         }
     }
 }
 
 mod goodput_props {
-    use super::*;
+    use super::Cases;
     use tpuv4::sched::GoodputSim;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
-
-        #[test]
-        fn goodput_in_unit_interval_and_ocs_dominates(
-            slice_blocks in prop::sample::select(vec![1u64, 2, 4, 8, 16, 32]),
-            avail in 0.97f64..1.0,
-        ) {
+    #[test]
+    fn goodput_in_unit_interval_and_ocs_dominates() {
+        let mut cases = Cases::new(0xC0);
+        let slice_blocks = [1u64, 2, 4, 8, 16, 32];
+        for _ in 0..8 {
+            let blocks = slice_blocks[cases.int(0, slice_blocks.len() as u64 - 1) as usize];
+            let avail = 0.97 + 0.03 * (cases.int(0, 999) as f64 / 1000.0);
             let sim = GoodputSim::tpu_v4(40, 5);
-            let chips = slice_blocks * 64;
+            let chips = blocks * 64;
             let ocs = sim.goodput(chips, avail, true);
             let fixed = sim.goodput(chips, avail, false);
-            prop_assert!((0.0..=1.0).contains(&ocs));
-            prop_assert!((0.0..=1.0).contains(&fixed));
-            prop_assert!(ocs >= fixed - 1e-9);
+            assert!((0.0..=1.0).contains(&ocs), "{blocks} blocks: {ocs}");
+            assert!((0.0..=1.0).contains(&fixed), "{blocks} blocks: {fixed}");
+            assert!(ocs >= fixed - 1e-9, "{blocks} blocks at {avail}");
         }
     }
 }
 
 mod fabric_props {
-    use super::*;
+    use super::Cases;
     use tpuv4::ocs::{Fabric, SliceSpec};
+    use tpuv4::topology::{bfs_distances, NodeId, SliceShape};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        #[test]
-        fn allocate_release_never_leaks(rounds in 1usize..6, seed in 0u64..1000) {
+    #[test]
+    fn allocate_release_never_leaks() {
+        let mut cases = Cases::new(0xD0);
+        for _ in 0..12 {
+            let rounds = cases.int(1, 5) as usize;
+            let seed = cases.int(0, 999);
             let mut fabric = Fabric::tpu_v4();
             let shapes = [(4u32, 4u32, 4u32), (4, 4, 8), (4, 8, 8), (8, 8, 8)];
             let mut live = Vec::new();
             for r in 0..rounds {
                 let (x, y, z) = shapes[(seed as usize + r) % shapes.len()];
                 let shape = SliceShape::new(x, y, z).expect("valid");
-                let spec = if shape.is_production_twistable() && (seed + r as u64) % 2 == 0 {
+                let spec = if shape.is_production_twistable() && (seed + r as u64).is_multiple_of(2)
+                {
                     SliceSpec::twisted(shape).expect("twistable")
                 } else {
                     SliceSpec::regular(shape)
@@ -203,24 +291,25 @@ mod fabric_props {
             }
             // Circuit conservation: exactly the live slices' circuits.
             let expect: usize = live.iter().map(|s| s.circuits().len()).sum();
-            prop_assert_eq!(fabric.total_circuits(), expect);
+            assert_eq!(fabric.total_circuits(), expect);
             // Block conservation.
             let used: usize = live.iter().map(|s| s.blocks().len()).sum();
-            prop_assert_eq!(fabric.free_healthy_blocks().len(), 64 - used);
+            assert_eq!(fabric.free_healthy_blocks().len(), 64 - used);
             for slice in &live {
                 fabric.release(slice).expect("release succeeds");
             }
-            prop_assert_eq!(fabric.total_circuits(), 0);
-            prop_assert_eq!(fabric.free_healthy_blocks().len(), 64);
+            assert_eq!(fabric.total_circuits(), 0);
+            assert_eq!(fabric.free_healthy_blocks().len(), 64);
         }
+    }
 
-        #[test]
-        fn materialized_graphs_are_always_valid_tori(
-            shape_idx in 0usize..4,
-            twist in prop::bool::ANY,
-        ) {
+    #[test]
+    fn materialized_graphs_are_always_valid_tori() {
+        let mut cases = Cases::new(0xD1);
+        for _ in 0..12 {
             let shapes = [(4u32, 4u32, 4u32), (4, 4, 8), (4, 8, 8), (8, 8, 16)];
-            let (x, y, z) = shapes[shape_idx];
+            let (x, y, z) = shapes[cases.int(0, 3) as usize];
+            let twist = cases.bool();
             let shape = SliceShape::new(x, y, z).expect("valid");
             let spec = if twist && shape.is_production_twistable() {
                 SliceSpec::twisted(shape).expect("twistable")
@@ -230,11 +319,11 @@ mod fabric_props {
             let mut fabric = Fabric::tpu_v4();
             let slice = fabric.allocate(&spec).expect("fits an empty machine");
             let g = slice.chip_graph();
-            prop_assert!(g.is_symmetric());
+            assert!(g.is_symmetric(), "{shape}");
             let (lo, hi) = g.degree_range();
-            prop_assert_eq!((lo, hi), (6, 6));
+            assert_eq!((lo, hi), (6, 6), "{shape}");
             let d = bfs_distances(g, NodeId::new(0));
-            prop_assert!(d.iter().all(|&x| x != u32::MAX));
+            assert!(d.iter().all(|&x| x != u32::MAX), "{shape}");
         }
     }
 }

@@ -42,22 +42,40 @@ fn supercomputer_reconfigure_roundtrip() {
         .submit(JobSpec::new("trainer", SliceSpec::regular(shape)))
         .unwrap();
     let before = sc
-        .collective_time(job, Collective::AllToAll { bytes_per_pair: 4096 })
+        .collective_time(
+            job,
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        )
         .unwrap();
 
     // Twist in place, measure, untwist again.
     sc.reconfigure(job, SliceSpec::twisted(shape).unwrap())
         .unwrap();
     let twisted = sc
-        .collective_time(job, Collective::AllToAll { bytes_per_pair: 4096 })
+        .collective_time(
+            job,
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        )
         .unwrap();
     assert!(twisted < before);
 
     sc.reconfigure(job, SliceSpec::regular(shape)).unwrap();
     let after = sc
-        .collective_time(job, Collective::AllToAll { bytes_per_pair: 4096 })
+        .collective_time(
+            job,
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        )
         .unwrap();
-    assert!((after - before).abs() / before < 1e-9, "untwist restores the wiring");
+    assert!(
+        (after - before).abs() / before < 1e-9,
+        "untwist restores the wiring"
+    );
     sc.finish(job).unwrap();
 }
 
