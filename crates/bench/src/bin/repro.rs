@@ -1,15 +1,64 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and
+//! reports on arbitrary machine-spec files.
 //!
 //! ```sh
 //! cargo run --release -p tpu-bench --bin repro            # everything
 //! cargo run --release -p tpu-bench --bin repro -- fig6    # one experiment
 //! cargo run --release -p tpu-bench --bin repro -- --list  # list ids
+//! cargo run --release -p tpu-bench --bin repro -- --spec specs/a100.json
+//! cargo run --release -p tpu-bench --bin repro -- --emit-spec a100
 //! ```
+//!
+//! `--spec path.json` loads a `MachineSpec` (format: docs/spec-format.md)
+//! and prints the machine report — identity, fleet numbers and collective
+//! times through `Supercomputer::for_spec` — so sweeps over spec variants
+//! run without recompiling. `--emit-spec <label>` prints a built-in
+//! generation's JSON, which is how the files under `specs/` are produced.
 
 use tpu_bench::all_experiments;
+use tpu_bench::sections::spec_report;
+use tpu_spec::{Generation, MachineSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(i) = args.iter().position(|a| a == "--spec") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--spec needs a path to a machine-spec JSON file");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match MachineSpec::from_json(&text) {
+            Ok(spec) => print!("{}", spec_report(&spec)),
+            Err(e) => {
+                eprintln!("{path} is not a valid machine spec: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--emit-spec") {
+        let Some(label) = args.get(i + 1) else {
+            eprintln!("--emit-spec needs a generation label (v2, v3, v4, a100, ipu-bow, v4-ib)");
+            std::process::exit(2);
+        };
+        match MachineSpec::for_generation(&Generation::from_label(label)) {
+            Some(spec) => println!("{}", spec.to_json()),
+            None => {
+                eprintln!("no built-in machine spec for {label}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let experiments = all_experiments();
 
     if args.iter().any(|a| a == "--list") {

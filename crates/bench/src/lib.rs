@@ -140,9 +140,19 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: figures_perf::fig17,
         },
         Experiment {
+            id: "sec7_2",
+            title: "Section 7.2: TPU v4 vs A100 (switched backend)",
+            run: sections::sec7_2,
+        },
+        Experiment {
             id: "sec7_3",
             title: "Section 7.3: InfiniBand vs OCS/ICI",
             run: sections::sec7_3,
+        },
+        Experiment {
+            id: "sweep",
+            title: "Cross-generation collective sweep (V2/V3/V4/A100/v4-ib)",
+            run: sections::sweep,
         },
         Experiment {
             id: "sec7_6",
@@ -162,7 +172,7 @@ mod tests {
         for want in [
             "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig4", "fig5",
             "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "sec2_9", "sec7_3", "sec7_6",
+            "fig17", "sec2_9", "sec7_2", "sec7_3", "sec7_6", "sweep",
         ] {
             assert!(ids.contains(&want), "{want} missing from the registry");
         }

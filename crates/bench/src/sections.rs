@@ -1,10 +1,16 @@
-//! Regenerators for the in-text experiments (§2.9, §7.3, §7.6).
+//! Regenerators for the in-text experiments (§2.9, §7.2, §7.3, §7.6)
+//! and the cross-generation collective sweep.
 
 use std::fmt::Write;
+use tpu_core::{Collective, JobSpec, Supercomputer};
 use tpu_energy::carbon::{CarbonModel, Datacenter};
-use tpu_net::fattree::{FatTree, IbComparison};
+use tpu_net::fattree::FatTree;
+use tpu_net::BackendComparison;
+use tpu_ocs::SliceSpec;
 use tpu_sched::SliceMix;
+use tpu_spec::{Generation, MachineSpec};
 use tpu_topology::SliceShape;
+use tpu_workloads::{StepCollectives, WorkloadKind};
 
 /// §2.9: twist-adoption statistics from the Table 2 sample.
 pub fn sec2_9() -> String {
@@ -38,16 +44,20 @@ pub fn sec2_9() -> String {
     out
 }
 
-/// §7.3: the InfiniBand alternative.
+/// §7.3: the InfiniBand alternative, regenerated through the same
+/// [`BackendComparison`] dispatch that serves the A100 backend — the v4
+/// OCS torus vs the `"v4-ib"` switched counterfactual.
 pub fn sec7_3() -> String {
     let mut out = String::new();
     let ft = FatTree::hdr_reference();
-    let fleet_chips = tpu_spec::MachineSpec::v4().fleet_chips;
+    let v4 = MachineSpec::v4();
+    let ib = MachineSpec::v4_ib_hybrid();
     let _ = writeln!(
         out,
-        "switch counts: 1120 chips -> {} IB switches (paper: 164); {fleet_chips} -> {} (paper: 568)",
+        "switch counts: 1120 chips -> {} IB switches (paper: 164); {} -> {} (paper: 568)",
         ft.estimated_switches(1120),
-        ft.estimated_switches(fleet_chips)
+        v4.fleet_chips,
+        ft.estimated_switches(v4.fleet_chips)
     );
     let _ = writeln!(
         out,
@@ -56,7 +66,7 @@ pub fn sec7_3() -> String {
     );
     for (x, y, z) in [(8u32, 8, 8), (8, 8, 16), (8, 16, 16), (16, 16, 16)] {
         let shape = SliceShape::new(x, y, z).expect("valid");
-        let cmp = IbComparison::compare(shape, 1e9, 4096.0);
+        let cmp = BackendComparison::between(&v4, &ib, shape, 1e9, 4096.0);
         let _ = writeln!(
             out,
             "{:>10} {:>8} {:>19.2}x {:>19.2}x",
@@ -70,6 +80,191 @@ pub fn sec7_3() -> String {
         out,
         "(paper: all-reduce 1.8x-2.4x slower, all-to-all 1.2x-2.4x slower)"
     );
+    out
+}
+
+/// §7.2: TPU v4 vs the Table 5 A100 cluster — chips, rates, and the
+/// interconnect side of the comparison through the switched backend,
+/// plus per-workload-class collective slowdowns.
+pub fn sec7_2() -> String {
+    let mut out = String::new();
+    let v4 = MachineSpec::v4();
+    let a100 = MachineSpec::a100();
+    let _ = writeln!(out, "{:<26} {:>12} {:>12}", "", "TPU v4", "NVIDIA A100");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12} {:>12}",
+        "largest config (chips)", v4.fleet_chips, a100.fleet_chips
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12.0} {:>12.0}",
+        "peak bf16 TFLOPS", v4.chip.peak_tflops, a100.chip.peak_tflops
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12.0} {:>12.0}",
+        "interconnect GB/s/link", v4.chip.ici_gbps_per_link, a100.chip.ici_gbps_per_link
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12} {:>12}",
+        "fabric", "OCS 3D torus", "NVLink+IB"
+    );
+    let _ = writeln!(out);
+    let shape = SliceShape::new(8, 8, 8).expect("valid");
+    let cmp = BackendComparison::between(&v4, &a100, shape, 1e9, 4096.0);
+    let _ = writeln!(
+        out,
+        "512-chip slice, 1 GB all-reduce / 4 KiB-pair all-to-all:"
+    );
+    let _ = writeln!(
+        out,
+        "  A100 fabric slowdown vs OCS torus: {:.2}x all-reduce, {:.2}x all-to-all",
+        cmp.all_reduce_slowdown, cmp.all_to_all_slowdown
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "per-class collective slowdown on the A100 fabric:");
+    for kind in [
+        WorkloadKind::Cnn,
+        WorkloadKind::Rnn,
+        WorkloadKind::Bert,
+        WorkloadKind::Dlrm,
+    ] {
+        let slow = StepCollectives::for_kind(kind).slowdown_on(&v4, &a100, shape);
+        let _ = writeln!(out, "  {kind:?}: {slow:.2}x");
+    }
+    out
+}
+
+/// Cross-generation sweep: `{V2, V3, V4, A100, v4-ib}` × slice shape ×
+/// collective, every cell through `Supercomputer::for_spec` →
+/// `submit` → `collective_time`. Slices that exceed a fleet print `-`.
+pub fn sweep() -> String {
+    let mut out = String::new();
+    let shapes = [(4u32, 4, 4), (4, 4, 8), (8, 8, 8), (8, 8, 16)];
+    let specs: Vec<MachineSpec> = [
+        Generation::V2,
+        Generation::V3,
+        Generation::V4,
+        Generation::custom("a100"),
+        Generation::custom("v4-ib"),
+    ]
+    .iter()
+    .map(|g| MachineSpec::for_generation(g).expect("built-in"))
+    .collect();
+
+    for (title, op) in [
+        (
+            "all-reduce of 1 GiB, ms",
+            Collective::AllReduce { bytes: 1 << 30 },
+        ),
+        (
+            "all-to-all of 4 KiB per pair, ms",
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        ),
+    ] {
+        let _ = writeln!(out, "{title}:");
+        let _ = write!(out, "{:<10}", "machine");
+        for (x, y, z) in shapes {
+            let _ = write!(out, "{:>10}", format!("{x}x{y}x{z}"));
+        }
+        let _ = writeln!(out);
+        for spec in &specs {
+            let _ = write!(out, "{:<10}", spec.generation.label());
+            let mut machine = Supercomputer::for_spec(spec);
+            for (x, y, z) in shapes {
+                let shape = SliceShape::new(x, y, z).expect("valid");
+                let cell = match machine.submit(JobSpec::new("sweep", SliceSpec::regular(shape))) {
+                    Ok(job) => {
+                        let t = machine
+                            .collective_time(job, op)
+                            .expect("job just submitted");
+                        machine.finish(job).expect("job is running");
+                        format!("{:.3}", t * 1e3)
+                    }
+                    // Slice exceeds this generation's fleet.
+                    Err(_) => "-".to_string(),
+                };
+                let _ = write!(out, "{cell:>10}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "(one code path: CollectiveBackend::for_spec dispatches on torus_dims)"
+    );
+    out
+}
+
+/// A machine report for an arbitrary spec file (the `repro --spec`
+/// path): identity, derived fleet numbers and a collective table through
+/// `Supercomputer::for_spec`.
+pub fn spec_report(spec: &MachineSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine:      {}", spec.generation);
+    let _ = writeln!(out, "chip:         {}", spec.chip.name);
+    let _ = writeln!(
+        out,
+        "fleet:        {} chips, {} hosts",
+        spec.fleet_chips,
+        spec.fleet_hosts()
+    );
+    let _ = writeln!(
+        out,
+        "fabric:       {}",
+        if spec.torus_dims == 0 {
+            "switched (islands + fat tree)".to_string()
+        } else {
+            format!(
+                "{}D torus, {}",
+                spec.torus_dims,
+                if spec.ocs.is_some() {
+                    "OCS-stitched"
+                } else {
+                    "statically cabled"
+                }
+            )
+        }
+    );
+    let _ = writeln!(
+        out,
+        "interconnect: {} links x {:.0} GB/s",
+        spec.chip.ici_links, spec.chip.ici_gbps_per_link
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>18} {:>18}",
+        "slice", "chips", "all-reduce(ms)", "all-to-all(ms)"
+    );
+    let mut machine = Supercomputer::for_spec(spec);
+    for (x, y, z) in [(4u32, 4, 4), (4, 4, 8), (8, 8, 8), (8, 8, 16)] {
+        let shape = SliceShape::new(x, y, z).expect("valid");
+        let row = match machine.submit(JobSpec::new("report", SliceSpec::regular(shape))) {
+            Ok(job) => {
+                let ar = machine
+                    .collective_time(job, Collective::AllReduce { bytes: 1 << 30 })
+                    .expect("job just submitted");
+                let a2a = machine
+                    .collective_time(
+                        job,
+                        Collective::AllToAll {
+                            bytes_per_pair: 4096,
+                        },
+                    )
+                    .expect("job just submitted");
+                machine.finish(job).expect("job is running");
+                format!("{:>18.3} {:>18.3}", ar * 1e3, a2a * 1e3)
+            }
+            Err(e) => format!("{:>37}", format!("({e})")),
+        };
+        let _ = writeln!(out, "{:>10} {:>8} {row}", shape.to_string(), shape.volume());
+    }
     out
 }
 
@@ -141,6 +336,35 @@ mod tests {
         let out = sec7_3();
         assert!(out.contains("all-reduce"));
         assert!(out.contains("568"));
+    }
+
+    #[test]
+    fn sec7_2_compares_tpu_and_a100() {
+        let out = sec7_2();
+        assert!(out.contains("NVIDIA A100"));
+        assert!(out.contains("slowdown"));
+        assert!(out.contains("Dlrm"));
+    }
+
+    #[test]
+    fn sweep_covers_every_machine_and_marks_overflow() {
+        let out = sweep();
+        for label in ["v2", "v3", "v4", "a100", "v4-ib"] {
+            assert!(out.contains(label), "{label} missing:\n{out}");
+        }
+        // v2's 256-chip fleet cannot host an 8x8x16 slice.
+        assert!(out.contains('-'), "{out}");
+    }
+
+    #[test]
+    fn spec_report_works_for_torus_and_switched() {
+        for spec in [MachineSpec::v4(), MachineSpec::a100()] {
+            let out = spec_report(&spec);
+            assert!(out.contains("all-reduce"), "{out}");
+            assert!(out.contains("4x4x8"), "{out}");
+        }
+        assert!(spec_report(&MachineSpec::a100()).contains("switched"));
+        assert!(spec_report(&MachineSpec::v4()).contains("OCS-stitched"));
     }
 
     #[test]

@@ -51,11 +51,19 @@ impl TensorCore {
     }
 
     /// The TPU v4 TensorCore (Table 4 / §2.2).
+    ///
+    /// Convenience alias; prefer [`TensorCore::for_generation`] or
+    /// [`TensorCore::for_spec`] in new code — the per-generation aliases
+    /// will eventually be deprecated.
     pub fn tpu_v4() -> TensorCore {
         TensorCore::for_generation(&Generation::V4)
     }
 
     /// The TPU v3 TensorCore (two MXUs).
+    ///
+    /// Convenience alias; prefer [`TensorCore::for_generation`] or
+    /// [`TensorCore::for_spec`] in new code — the per-generation aliases
+    /// will eventually be deprecated.
     pub fn tpu_v3() -> TensorCore {
         TensorCore::for_generation(&Generation::V3)
     }

@@ -17,6 +17,30 @@ pub enum SupercomputerError {
         /// The offending id.
         job: JobId,
     },
+    /// A switched machine cannot satisfy a chip request.
+    InsufficientChips {
+        /// Chips the job asked for.
+        needed: u64,
+        /// Healthy unallocated chips available.
+        available: u64,
+    },
+    /// The operation only makes sense on a torus (OCS/ICI) machine.
+    TorusOnly {
+        /// What was attempted (e.g. `"reconfigure"`).
+        operation: &'static str,
+    },
+    /// No island with this index exists in the switched cluster.
+    UnknownIsland {
+        /// The offending island index.
+        island: u64,
+    },
+    /// The island exists but has no host with this index.
+    UnknownIslandHost {
+        /// The island.
+        island: u64,
+        /// The offending host index.
+        host: u32,
+    },
 }
 
 impl fmt::Display for SupercomputerError {
@@ -25,6 +49,19 @@ impl fmt::Display for SupercomputerError {
             SupercomputerError::Fabric(e) => write!(f, "fabric error: {e}"),
             SupercomputerError::Topology(e) => write!(f, "topology error: {e}"),
             SupercomputerError::UnknownJob { job } => write!(f, "no running job {job}"),
+            SupercomputerError::InsufficientChips { needed, available } => write!(
+                f,
+                "switched machine has {available} healthy free chips, job needs {needed}"
+            ),
+            SupercomputerError::TorusOnly { operation } => {
+                write!(f, "{operation} is only supported on torus machines")
+            }
+            SupercomputerError::UnknownIsland { island } => {
+                write!(f, "no island {island} in the switched cluster")
+            }
+            SupercomputerError::UnknownIslandHost { island, host } => {
+                write!(f, "island {island} has no host {host}")
+            }
         }
     }
 }
@@ -35,6 +72,10 @@ impl Error for SupercomputerError {
             SupercomputerError::Fabric(e) => Some(e),
             SupercomputerError::Topology(e) => Some(e),
             SupercomputerError::UnknownJob { .. } => None,
+            SupercomputerError::InsufficientChips { .. } => None,
+            SupercomputerError::TorusOnly { .. } => None,
+            SupercomputerError::UnknownIsland { .. } => None,
+            SupercomputerError::UnknownIslandHost { .. } => None,
         }
     }
 }

@@ -1,11 +1,16 @@
 //! The TPU v4 supercomputer: the paper's primary contribution as one
 //! composable object.
 //!
-//! A [`Supercomputer`] owns an OCS [`Fabric`](tpu_ocs::Fabric) (64 blocks
-//! = 4096 chips, 48 Palomar switches), schedules jobs onto
-//! reconfigurable slices (regular or twisted tori), injects and repairs
-//! host failures, and answers performance queries (collective times on a
-//! job's actual chip-level link graph).
+//! A [`Supercomputer`] owns a [`MachineFabric`] — the OCS
+//! [`Fabric`](tpu_ocs::Fabric) (64 blocks = 4096 chips, 48 Palomar
+//! switches) for torus machines, or a [`SwitchedCluster`] (NVLink-style
+//! islands behind an InfiniBand fat tree, §7.2–§7.3) for specs with
+//! `torus_dims == 0` such as the Table 5 A100. It schedules jobs
+//! (reconfigurable regular/twisted torus slices, or chip-count
+//! reservations on switched machines), injects and repairs host/island
+//! failures, and answers performance queries (collective times on a
+//! job's actual chip-level link graph, or through the hierarchical
+//! switched schedules).
 //!
 //! # Example
 //!
@@ -32,7 +37,10 @@ mod error;
 mod machine;
 
 pub use error::SupercomputerError;
-pub use machine::{Collective, JobId, JobSpec, RunningJob, Supercomputer};
+pub use machine::{
+    Collective, JobId, JobSpec, MachineFabric, Placement, RunningJob, Supercomputer,
+    SwitchedCluster,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SupercomputerError>;

@@ -1,10 +1,18 @@
 //! The supercomputer object: fabric + job table + performance queries.
+//!
+//! Two fabric families share the object ([`MachineFabric`]): OCS-stitched
+//! tori (the paper's machine) and switched NVLink-island + fat-tree
+//! clusters (`torus_dims == 0` specs such as the Table 5 A100 and the
+//! §7.3 `"v4-ib"` counterfactual). `submit`, failure injection and
+//! `collective_time` dispatch on the family; torus-only operations
+//! (twists, in-place reconfiguration) return
+//! [`SupercomputerError::TorusOnly`] on switched machines.
 
 use crate::{Result, SupercomputerError};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use tpu_net::{collectives, AllToAll, LinkRate};
+use tpu_net::{collectives, AllToAll, LinkRate, SwitchedFabric};
 use tpu_ocs::{BlockId, Fabric, MaterializedSlice, SliceSpec};
 use tpu_spec::{Generation, MachineSpec};
 
@@ -54,12 +62,44 @@ impl JobSpec {
     }
 }
 
-/// A running job and its materialized slice.
+/// Where a running job's chips live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// A materialized OCS slice: physical blocks, programmed circuits and
+    /// the resulting chip-level link graph.
+    Torus(MaterializedSlice),
+    /// `chips` endpoints behind the full-bisection switched fabric — a
+    /// switched allocation has no geometry.
+    Switched {
+        /// Chips allocated.
+        chips: u64,
+    },
+}
+
+impl Placement {
+    /// Chips backing the job.
+    pub fn chips(&self) -> u64 {
+        match self {
+            Placement::Torus(slice) => slice.chips(),
+            Placement::Switched { chips } => *chips,
+        }
+    }
+
+    /// The materialized torus slice, if this is a torus placement.
+    pub fn slice(&self) -> Option<&MaterializedSlice> {
+        match self {
+            Placement::Torus(slice) => Some(slice),
+            Placement::Switched { .. } => None,
+        }
+    }
+}
+
+/// A running job and its placement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
     id: JobId,
     spec: JobSpec,
-    slice: MaterializedSlice,
+    placement: Placement,
 }
 
 impl RunningJob {
@@ -73,9 +113,19 @@ impl RunningJob {
         &self.spec
     }
 
-    /// The live slice.
-    pub fn slice(&self) -> &MaterializedSlice {
-        &self.slice
+    /// Where the job's chips live.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The live OCS slice (`None` on a switched machine).
+    pub fn slice(&self) -> Option<&MaterializedSlice> {
+        self.placement.slice()
+    }
+
+    /// Chips backing the job.
+    pub fn chips(&self) -> u64 {
+        self.placement.chips()
     }
 }
 
@@ -95,31 +145,150 @@ pub enum Collective {
     },
 }
 
-/// One TPU v4 supercomputer.
+/// A switched (NVLink-island + fat-tree) machine's allocatable state:
+/// the collective model plus island health. Islands are interchangeable
+/// behind the full-bisection fat tree, so allocation is pure chip
+/// accounting — the contrast the paper draws with slice geometry on the
+/// torus machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchedCluster {
+    model: SwitchedFabric,
+    islands: u64,
+    island_chips: u32,
+    hosts_per_island: u32,
+    fleet_chips: u64,
+    down_hosts: BTreeSet<(u64, u32)>,
+}
+
+impl SwitchedCluster {
+    /// The cluster a `torus_dims == 0` spec describes, or `None` for a
+    /// torus machine. A fleet that is not a multiple of the island size
+    /// gets one partial last island, so capacity always equals
+    /// `fleet_chips` exactly.
+    pub fn for_spec(spec: &MachineSpec) -> Option<SwitchedCluster> {
+        let model = SwitchedFabric::for_spec(spec)?;
+        let island_chips = spec.glueless_island_chips();
+        Some(SwitchedCluster {
+            model,
+            islands: spec.fleet_chips.div_ceil(u64::from(island_chips)).max(1),
+            island_chips,
+            hosts_per_island: (island_chips / spec.block.tpus_per_host.max(1)).max(1),
+            fleet_chips: spec.fleet_chips,
+            down_hosts: BTreeSet::new(),
+        })
+    }
+
+    /// The collective-performance model.
+    pub fn model(&self) -> &SwitchedFabric {
+        &self.model
+    }
+
+    /// Islands (DGX-style boxes) in the cluster; the last may be
+    /// partially populated.
+    pub fn islands(&self) -> u64 {
+        self.islands
+    }
+
+    /// Chips per (full) island.
+    pub fn island_chips(&self) -> u32 {
+        self.island_chips
+    }
+
+    /// CPU hosts per island (a whole island is lost when any of its
+    /// hosts is down — its chips share the hosts' boards).
+    pub fn hosts_per_island(&self) -> u32 {
+        self.hosts_per_island
+    }
+
+    /// Chips on one specific island (the last island holds the fleet
+    /// remainder).
+    fn island_size(&self, island: u64) -> u64 {
+        if island + 1 == self.islands {
+            self.fleet_chips - (self.islands - 1) * u64::from(self.island_chips)
+        } else {
+            u64::from(self.island_chips)
+        }
+    }
+
+    /// Total chips installed (exactly the spec's `fleet_chips`).
+    pub fn total_chips(&self) -> u64 {
+        self.fleet_chips
+    }
+
+    /// Chips on islands whose hosts are all currently up.
+    pub fn healthy_chips(&self) -> u64 {
+        let mut down_islands: Vec<u64> = self.down_hosts.iter().map(|&(i, _)| i).collect();
+        down_islands.dedup();
+        let down: u64 = down_islands.iter().map(|&i| self.island_size(i)).sum();
+        self.fleet_chips - down
+    }
+
+    /// Failure and repair are tracked per host, so an island with two
+    /// failed hosts only comes back after both are repaired.
+    fn set_host_up(&mut self, island: u64, host: u32, up: bool) -> Result<()> {
+        if island >= self.islands {
+            return Err(SupercomputerError::UnknownIsland { island });
+        }
+        if host >= self.hosts_per_island {
+            return Err(SupercomputerError::UnknownIslandHost { island, host });
+        }
+        if up {
+            self.down_hosts.remove(&(island, host));
+        } else {
+            self.down_hosts.insert((island, host));
+        }
+        Ok(())
+    }
+}
+
+/// The interconnect backing a [`Supercomputer`]: the paper's OCS torus,
+/// or the switched alternative it is compared against in §7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MachineFabric {
+    /// OCS-stitched torus blocks (the TPU machine).
+    Torus(Fabric),
+    /// Switched islands behind a fat tree (A100-style, `"v4-ib"`).
+    Switched(SwitchedCluster),
+}
+
+/// One supercomputer — a TPU v4 OCS machine or a switched comparison
+/// system, behind the same job/performance API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Supercomputer {
-    fabric: Fabric,
+    fabric: MachineFabric,
     jobs: BTreeMap<JobId, RunningJob>,
     next_id: u64,
     link_rate_gbps: f64,
 }
 
 impl Supercomputer {
-    /// The full 4096-chip machine (alias for
-    /// `for_generation(Generation::V4)`).
+    /// The full 4096-chip machine.
+    ///
+    /// Convenience alias for `for_generation(Generation::V4)`; prefer
+    /// [`Supercomputer::for_generation`] or [`Supercomputer::for_spec`]
+    /// in new code — this alias is kept for the paper's headline machine
+    /// and will eventually be deprecated in their favor.
     pub fn tpu_v4() -> Supercomputer {
         Supercomputer::for_generation(Generation::V4)
     }
 
-    /// The fleet-scale machine a spec describes: the fabric holds
-    /// `fleet_blocks()` blocks and collectives run at the spec's ICI
-    /// link rate. For pre-OCS generations this models their fleet behind
-    /// the reconfigurable fabric (the §2.7 counterfactual), which is the
-    /// apples-to-apples basis the paper's cross-generation comparisons
-    /// assume.
+    /// The fleet-scale machine a spec describes.
+    ///
+    /// Torus specs get an OCS fabric holding `fleet_blocks()` blocks with
+    /// collectives at the spec's ICI link rate; for pre-OCS generations
+    /// this models their fleet behind the reconfigurable fabric (the §2.7
+    /// counterfactual), which is the apples-to-apples basis the paper's
+    /// cross-generation comparisons assume. Specs with `torus_dims == 0`
+    /// (the Table 5 A100, the §7.3 `"v4-ib"` hybrid) get the switched
+    /// island + fat-tree backend instead, so `submit` → `collective_time`
+    /// runs end-to-end on every built-in machine.
     pub fn for_spec(spec: &MachineSpec) -> Supercomputer {
+        let fabric = match SwitchedCluster::for_spec(spec) {
+            Some(cluster) => MachineFabric::Switched(cluster),
+            None => MachineFabric::Torus(Fabric::for_spec(spec)),
+        };
         Supercomputer {
-            fabric: Fabric::for_spec(spec),
+            fabric,
             jobs: BTreeMap::new(),
             next_id: 0,
             link_rate_gbps: LinkRate::for_spec(spec).gb_per_s(),
@@ -137,30 +306,54 @@ impl Supercomputer {
         Supercomputer::for_spec(&spec)
     }
 
-    /// A machine over a custom fabric (e.g. partially deployed), at the
-    /// v4 ICI link rate.
+    /// A machine over a custom OCS fabric (e.g. partially deployed), at
+    /// the v4 ICI link rate.
     pub fn with_fabric(fabric: Fabric) -> Supercomputer {
         Supercomputer {
-            fabric,
+            fabric: MachineFabric::Torus(fabric),
             jobs: BTreeMap::new(),
             next_id: 0,
             link_rate_gbps: LinkRate::TPU_V4_ICI.gb_per_s(),
         }
     }
 
-    /// The underlying fabric.
-    pub fn fabric(&self) -> &Fabric {
+    /// The interconnect backing the machine.
+    pub fn machine_fabric(&self) -> &MachineFabric {
         &self.fabric
+    }
+
+    /// The underlying OCS fabric (`None` on a switched machine).
+    pub fn fabric(&self) -> Option<&Fabric> {
+        match &self.fabric {
+            MachineFabric::Torus(fabric) => Some(fabric),
+            MachineFabric::Switched(_) => None,
+        }
+    }
+
+    /// The switched cluster (`None` on a torus machine).
+    pub fn switched(&self) -> Option<&SwitchedCluster> {
+        match &self.fabric {
+            MachineFabric::Torus(_) => None,
+            MachineFabric::Switched(cluster) => Some(cluster),
+        }
+    }
+
+    /// Whether this machine runs on the switched (non-torus) backend.
+    pub fn is_switched(&self) -> bool {
+        matches!(self.fabric, MachineFabric::Switched(_))
     }
 
     /// Total chips installed.
     pub fn total_chips(&self) -> u64 {
-        self.fabric.chip_count()
+        match &self.fabric {
+            MachineFabric::Torus(fabric) => fabric.chip_count(),
+            MachineFabric::Switched(cluster) => cluster.total_chips(),
+        }
     }
 
     /// Chips currently allocated to jobs.
     pub fn chips_in_use(&self) -> u64 {
-        self.jobs.values().map(|j| j.slice.chips()).sum()
+        self.jobs.values().map(|j| j.placement.chips()).sum()
     }
 
     /// Machine utilization in [0, 1].
@@ -176,22 +369,52 @@ impl Supercomputer {
         self.jobs.values()
     }
 
-    /// Submits a job: allocates blocks anywhere in the machine and
-    /// programs the OCSes (§2.5: "it can pick four 4³ blocks from
-    /// anywhere in the supercomputer").
+    /// Submits a job. On a torus machine this allocates blocks anywhere
+    /// in the machine and programs the OCSes (§2.5: "it can pick four 4³
+    /// blocks from anywhere in the supercomputer"); on a switched machine
+    /// it reserves the slice's chip count behind the fat tree (islands
+    /// are interchangeable, so only capacity matters).
     ///
     /// # Errors
     ///
-    /// Propagates fabric errors (insufficient healthy blocks, bad shape).
+    /// Propagates fabric errors (insufficient healthy blocks, bad shape)
+    /// on tori; returns [`SupercomputerError::InsufficientChips`] when a
+    /// switched machine is out of healthy capacity and
+    /// [`SupercomputerError::TorusOnly`] for a twisted request on a
+    /// switched machine (a switched fabric has no torus to twist).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId> {
-        let slice = self.fabric.allocate(spec.slice())?;
+        let in_use = self.chips_in_use();
+        let placement = match &mut self.fabric {
+            MachineFabric::Torus(fabric) => Placement::Torus(fabric.allocate(spec.slice())?),
+            MachineFabric::Switched(cluster) => {
+                if spec.slice().twist().is_some() {
+                    return Err(SupercomputerError::TorusOnly {
+                        operation: "twisted slice",
+                    });
+                }
+                let needed = spec.slice().shape().volume();
+                let available = cluster.healthy_chips().saturating_sub(in_use);
+                if needed > available {
+                    return Err(SupercomputerError::InsufficientChips { needed, available });
+                }
+                Placement::Switched { chips: needed }
+            }
+        };
         let id = JobId(self.next_id);
         self.next_id += 1;
-        self.jobs.insert(id, RunningJob { id, spec, slice });
+        self.jobs.insert(
+            id,
+            RunningJob {
+                id,
+                spec,
+                placement,
+            },
+        );
         Ok(id)
     }
 
-    /// Finishes a job, releasing its blocks and circuits.
+    /// Finishes a job, releasing its blocks and circuits (torus) or its
+    /// reserved capacity (switched).
     ///
     /// # Errors
     ///
@@ -202,7 +425,9 @@ impl Supercomputer {
             .jobs
             .remove(&id)
             .ok_or(SupercomputerError::UnknownJob { job: id })?;
-        self.fabric.release(job.slice())?;
+        if let (MachineFabric::Torus(fabric), Some(slice)) = (&mut self.fabric, job.slice()) {
+            fabric.release(slice)?;
+        }
         Ok(())
     }
 
@@ -214,29 +439,44 @@ impl Supercomputer {
     /// # Errors
     ///
     /// Fabric errors if the new spec needs a different block count or an
-    /// inexpressible twist.
+    /// inexpressible twist; [`SupercomputerError::TorusOnly`] on a
+    /// switched machine (there are no OCS routing tables to reprogram).
     pub fn reconfigure(&mut self, id: JobId, new_slice: SliceSpec) -> Result<()> {
         let job = self
             .jobs
             .get(&id)
             .ok_or(SupercomputerError::UnknownJob { job: id })?;
-        let blocks: Vec<BlockId> = job.slice().blocks().to_vec();
-        self.fabric.release(job.slice())?;
-        match self.fabric.allocate_on(&new_slice, blocks) {
+        let fabric = match &mut self.fabric {
+            MachineFabric::Torus(fabric) => fabric,
+            MachineFabric::Switched(_) => {
+                return Err(SupercomputerError::TorusOnly {
+                    operation: "reconfigure",
+                })
+            }
+        };
+        let slice = job.slice().expect("torus machines hold torus placements");
+        let blocks: Vec<BlockId> = slice.blocks().to_vec();
+        fabric.release(slice)?;
+        match fabric.allocate_on(&new_slice, blocks) {
             Ok(slice) => {
                 let job = self.jobs.get_mut(&id).expect("checked above");
                 job.spec = JobSpec::new(job.spec.name().to_owned(), new_slice);
-                job.slice = slice;
+                job.placement = Placement::Torus(slice);
                 Ok(())
             }
             Err(e) => {
                 // Roll back: re-materialize the old slice on its blocks.
                 let job = self.jobs.get_mut(&id).expect("checked above");
-                let old_blocks = job.slice.blocks().to_vec();
-                job.slice = self
-                    .fabric
-                    .allocate_on(job.spec.slice(), old_blocks)
-                    .expect("rollback to prior slice always succeeds");
+                let old_blocks = job
+                    .slice()
+                    .expect("torus machines hold torus placements")
+                    .blocks()
+                    .to_vec();
+                job.placement = Placement::Torus(
+                    fabric
+                        .allocate_on(job.spec.slice(), old_blocks)
+                        .expect("rollback to prior slice always succeeds"),
+                );
                 Err(e.into())
             }
         }
@@ -253,50 +493,87 @@ impl Supercomputer {
             .ok_or(SupercomputerError::UnknownJob { job: id })
     }
 
-    /// Marks a CPU host down. Running jobs keep their circuits (HPC-style
-    /// checkpoint/restore handles mid-job failures); new jobs route
-    /// around the block.
+    /// Marks a CPU host down. On a torus, running jobs keep their
+    /// circuits (HPC-style checkpoint/restore handles mid-job failures)
+    /// and new jobs route around the block. On a switched machine the
+    /// block id names an island (a DGX-style box); the whole island stops
+    /// accepting new work while any of its hosts is down, and failures
+    /// are tracked per host so repairs must balance them.
     ///
     /// # Errors
     ///
-    /// Fabric errors for an unknown block.
+    /// Fabric errors for an unknown block/island/host.
     pub fn inject_host_failure(&mut self, block: BlockId, host: u32) -> Result<()> {
-        self.fabric.set_host_up(block, host, false)?;
-        Ok(())
+        match &mut self.fabric {
+            MachineFabric::Torus(fabric) => {
+                fabric.set_host_up(block, host, false)?;
+                Ok(())
+            }
+            MachineFabric::Switched(cluster) => {
+                cluster.set_host_up(block.index() as u64, host, false)
+            }
+        }
     }
 
     /// Repairs a CPU host.
     ///
     /// # Errors
     ///
-    /// Fabric errors for an unknown block.
+    /// Fabric errors for an unknown block/island/host.
     pub fn repair_host(&mut self, block: BlockId, host: u32) -> Result<()> {
-        self.fabric.set_host_up(block, host, true)?;
-        Ok(())
+        match &mut self.fabric {
+            MachineFabric::Torus(fabric) => {
+                fabric.set_host_up(block, host, true)?;
+                Ok(())
+            }
+            MachineFabric::Switched(cluster) => {
+                cluster.set_host_up(block.index() as u64, host, true)
+            }
+        }
     }
 
     /// Steady-state time of a collective on a job's slice, seconds.
     ///
-    /// All-reduce uses the analytic multi-ring torus schedule; all-to-all
-    /// uses the per-link load model over the job's actual (possibly
-    /// twisted) chip graph.
+    /// On a torus machine, all-reduce uses the analytic multi-ring torus
+    /// schedule and all-to-all the per-link load model over the job's
+    /// actual (possibly twisted) chip graph. On a switched machine both
+    /// dispatch to the hierarchical island + fat-tree schedules of
+    /// [`tpu_net::switched`] — the §7.3 comparison is these two arms.
     ///
     /// # Errors
     ///
     /// Returns [`SupercomputerError::UnknownJob`] if absent.
     pub fn collective_time(&self, id: JobId, op: Collective) -> Result<f64> {
         let job = self.job(id)?;
-        let rate = LinkRate::from_gb_per_s(self.link_rate_gbps);
-        match op {
-            Collective::AllReduce { bytes } => Ok(collectives::torus_all_reduce_time(
-                job.spec().slice().shape(),
-                bytes as f64,
-                rate,
-                collectives::AllReduceSchedule::MultiPath,
-            )),
-            Collective::AllToAll { bytes_per_pair } => {
-                let analysis = AllToAll::analyze(job.slice().chip_graph(), bytes_per_pair, rate);
-                Ok(analysis.completion_time())
+        match (&self.fabric, job.placement()) {
+            (MachineFabric::Torus(_), Placement::Torus(slice)) => {
+                let rate = LinkRate::from_gb_per_s(self.link_rate_gbps);
+                match op {
+                    Collective::AllReduce { bytes } => Ok(collectives::torus_all_reduce_time(
+                        job.spec().slice().shape(),
+                        bytes as f64,
+                        rate,
+                        collectives::AllReduceSchedule::MultiPath,
+                    )),
+                    Collective::AllToAll { bytes_per_pair } => {
+                        let analysis = AllToAll::analyze(slice.chip_graph(), bytes_per_pair, rate);
+                        Ok(analysis.completion_time())
+                    }
+                }
+            }
+            (MachineFabric::Switched(cluster), placement) => {
+                let chips = placement.chips();
+                match op {
+                    Collective::AllReduce { bytes } => {
+                        Ok(cluster.model().all_reduce_time(chips, bytes as f64))
+                    }
+                    Collective::AllToAll { bytes_per_pair } => Ok(cluster
+                        .model()
+                        .all_to_all_time(chips, bytes_per_pair as f64)),
+                }
+            }
+            (MachineFabric::Torus(_), Placement::Switched { .. }) => {
+                unreachable!("torus machines only create torus placements")
             }
         }
     }
@@ -412,10 +689,10 @@ mod tests {
         let id = sc
             .submit(JobSpec::new("t", SliceSpec::regular(shape(4, 4, 8))))
             .unwrap();
-        let before: Vec<BlockId> = sc.job(id).unwrap().slice().blocks().to_vec();
+        let before: Vec<BlockId> = sc.job(id).unwrap().slice().unwrap().blocks().to_vec();
         sc.reconfigure(id, SliceSpec::twisted(shape(4, 4, 8)).unwrap())
             .unwrap();
-        let after: Vec<BlockId> = sc.job(id).unwrap().slice().blocks().to_vec();
+        let after: Vec<BlockId> = sc.job(id).unwrap().slice().unwrap().blocks().to_vec();
         assert_eq!(before, after, "reconfiguration must keep the same racks");
         assert!(sc.job(id).unwrap().spec().slice().twist().is_some());
     }
@@ -430,7 +707,7 @@ mod tests {
         let err = sc.reconfigure(id, SliceSpec::regular(shape(8, 8, 8)));
         assert!(err.is_err());
         // The job still runs on its original slice.
-        assert_eq!(sc.job(id).unwrap().slice().chips(), 128);
+        assert_eq!(sc.job(id).unwrap().chips(), 128);
         assert_eq!(sc.chips_in_use(), 128);
         sc.finish(id).unwrap();
     }
@@ -453,6 +730,131 @@ mod tests {
         let t_reg = sc.collective_time(reg, op).unwrap();
         let t_tw = sc.collective_time(tw, op).unwrap();
         assert!(t_tw < t_reg, "twisted {t_tw} vs regular {t_reg}");
+    }
+
+    #[test]
+    fn a100_machine_runs_end_to_end() {
+        let mut sc = Supercomputer::for_spec(&MachineSpec::a100());
+        assert!(sc.is_switched());
+        assert!(sc.fabric().is_none());
+        assert_eq!(sc.total_chips(), 4216);
+        let id = sc
+            .submit(JobSpec::new("gpt", SliceSpec::regular(shape(8, 8, 8))))
+            .unwrap();
+        assert_eq!(sc.chips_in_use(), 512);
+        let ar = sc
+            .collective_time(id, Collective::AllReduce { bytes: 1 << 30 })
+            .unwrap();
+        let a2a = sc
+            .collective_time(
+                id,
+                Collective::AllToAll {
+                    bytes_per_pair: 4096,
+                },
+            )
+            .unwrap();
+        assert!(ar > 0.0 && ar.is_finite());
+        assert!(a2a > 0.0 && a2a.is_finite());
+        sc.finish(id).unwrap();
+        assert_eq!(sc.chips_in_use(), 0);
+    }
+
+    #[test]
+    fn switched_machine_rejects_torus_only_operations() {
+        let mut sc = Supercomputer::for_spec(&MachineSpec::a100());
+        let err = sc
+            .submit(JobSpec::new(
+                "t",
+                SliceSpec::twisted(shape(4, 4, 8)).unwrap(),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::TorusOnly { .. }));
+        let id = sc
+            .submit(JobSpec::new("r", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let err = sc
+            .reconfigure(id, SliceSpec::regular(shape(4, 4, 8)))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::TorusOnly { .. }));
+    }
+
+    #[test]
+    fn switched_capacity_and_island_failures() {
+        let mut sc = Supercomputer::for_spec(&MachineSpec::a100());
+        // 1054 4-GPU islands = 4216 chips.
+        assert_eq!(sc.switched().unwrap().islands(), 1054);
+        let err = sc
+            .submit(JobSpec::new("big", SliceSpec::regular(shape(16, 17, 16))))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::InsufficientChips { .. }));
+
+        // Down an island: 4 fewer healthy chips, so the exact full
+        // machine (8×17×31 = 4216 chips) no longer fits.
+        sc.inject_host_failure(BlockId::new(0), 0).unwrap();
+        assert_eq!(sc.switched().unwrap().healthy_chips(), 4212);
+        let err = sc
+            .submit(JobSpec::new("full", SliceSpec::regular(shape(8, 17, 31))))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::InsufficientChips { .. }));
+        sc.repair_host(BlockId::new(0), 0).unwrap();
+        assert!(sc
+            .submit(JobSpec::new("full", SliceSpec::regular(shape(8, 17, 31))))
+            .is_ok());
+        // Unknown island and host ids are rejected with switched errors.
+        assert!(matches!(
+            sc.inject_host_failure(BlockId::new(5000), 0),
+            Err(SupercomputerError::UnknownIsland { island: 5000 })
+        ));
+        assert!(matches!(
+            sc.inject_host_failure(BlockId::new(0), 9),
+            Err(SupercomputerError::UnknownIslandHost { island: 0, host: 9 })
+        ));
+    }
+
+    #[test]
+    fn multi_host_island_needs_every_host_repaired() {
+        // v4-ib islands are 8 chips over 2 hosts: repairing one of two
+        // failed hosts must not resurrect the island.
+        let mut sc = Supercomputer::for_spec(&MachineSpec::v4_ib_hybrid());
+        assert_eq!(sc.switched().unwrap().hosts_per_island(), 2);
+        sc.inject_host_failure(BlockId::new(3), 0).unwrap();
+        sc.inject_host_failure(BlockId::new(3), 1).unwrap();
+        assert_eq!(sc.switched().unwrap().healthy_chips(), 4088);
+        sc.repair_host(BlockId::new(3), 0).unwrap();
+        assert_eq!(sc.switched().unwrap().healthy_chips(), 4088);
+        sc.repair_host(BlockId::new(3), 1).unwrap();
+        assert_eq!(sc.switched().unwrap().healthy_chips(), 4096);
+    }
+
+    #[test]
+    fn non_divisible_fleet_keeps_exact_capacity() {
+        // 4094 chips in 8-chip islands: 512 islands, the last holds 6.
+        let mut spec = MachineSpec::v4_ib_hybrid();
+        spec.fleet_chips = 4094;
+        let mut sc = Supercomputer::for_spec(&spec);
+        assert_eq!(sc.total_chips(), 4094);
+        let cluster = sc.switched().unwrap();
+        assert_eq!(cluster.islands(), 512);
+        assert_eq!(cluster.healthy_chips(), 4094);
+        // Downing the partial island removes exactly its 6 chips.
+        sc.inject_host_failure(BlockId::new(511), 0).unwrap();
+        assert_eq!(sc.switched().unwrap().healthy_chips(), 4088);
+    }
+
+    #[test]
+    fn v4_ib_hybrid_slower_than_ocs_torus() {
+        // The §7.3 headline, through the Supercomputer API end to end.
+        let mut torus = Supercomputer::for_generation(Generation::V4);
+        let mut ib = Supercomputer::for_spec(&MachineSpec::v4_ib_hybrid());
+        let s = SliceSpec::regular(shape(8, 8, 8));
+        let jt = torus.submit(JobSpec::new("t", s)).unwrap();
+        let ji = ib.submit(JobSpec::new("i", s)).unwrap();
+        let op = Collective::AllReduce { bytes: 1 << 30 };
+        let slow = ib.collective_time(ji, op).unwrap() / torus.collective_time(jt, op).unwrap();
+        assert!(
+            (1.8..=2.4).contains(&slow),
+            "§7.3 all-reduce slowdown out of band: {slow}"
+        );
     }
 
     #[test]

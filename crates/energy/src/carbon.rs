@@ -44,7 +44,7 @@ impl Datacenter {
         }
     }
 
-    /// A 2008-vintage datacenter (PUE 2.50 per [52]) for historical
+    /// A 2008-vintage datacenter (PUE 2.50 per \[52\]) for historical
     /// comparisons.
     pub fn vintage_2008() -> Datacenter {
         Datacenter {

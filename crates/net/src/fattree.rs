@@ -1,8 +1,10 @@
 //! The InfiniBand alternative of §7.3: a hybrid ICI/IB network where 8-chip
 //! ICI islands are joined by a 3-level fat tree, compared against the
-//! OCS-stitched 3D torus.
+//! OCS-stitched 3D torus. The collective physics lives in the general
+//! [`switched`](crate::switched) backend; this module keeps the paper-named
+//! §7.3 views ([`FatTree`], [`HybridIciIb`], [`IbComparison`]) on top of it.
 //!
-//! Calibration notes (see DESIGN.md): the fat tree is full-bisection. The
+//! Calibration notes (see DESIGN.md §2): the fat tree is full-bisection. The
 //! reference configuration uses utilization 1.0 for all-reduce (ring
 //! traffic is collision-free on a Clos; protocol processing is excluded,
 //! matching the paper's simulator which "ignores protocol processing on
@@ -11,11 +13,11 @@
 //! all-reduce and 1.2×–2.4× all-to-all slowdown ranges then emerge from
 //! the bandwidth arithmetic alone.
 
-use crate::collectives::{torus_all_reduce_time, AllReduceSchedule};
-use crate::load::AllToAll;
+use crate::switched::{BackendComparison, IslandKind, SwitchedFabric};
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
-use tpu_topology::{SliceShape, Torus};
+use tpu_spec::MachineSpec;
+use tpu_topology::SliceShape;
 
 /// A 3-level folded-Clos (fat tree) InfiniBand fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,73 +84,31 @@ impl HybridIciIb {
         }
     }
 
+    /// This hybrid as a general [`SwitchedFabric`] (torus islands; the
+    /// physics lives there — this type is kept as the §7.3-named view).
+    pub fn as_switched(self) -> SwitchedFabric {
+        SwitchedFabric {
+            island_chips: self.ici_island,
+            island_kind: IslandKind::Torus,
+            island_rate: self.ici_rate,
+            island_links: 6,
+            fat_tree: self.fat_tree,
+        }
+    }
+
     /// Hierarchical all-reduce time of `bytes` over `chips` chips:
     /// intra-island reduce-scatter (ICI 2×2×2 torus), inter-island
     /// all-reduce of the shard over IB, intra-island all-gather.
     pub fn all_reduce_time(self, chips: u64, bytes: f64) -> f64 {
-        let island = u64::from(self.ici_island);
-        if chips <= 1 {
-            return 0.0;
-        }
-        if chips <= island {
-            let shape = island_shape(chips as u32);
-            return torus_all_reduce_time(
-                shape,
-                bytes,
-                self.ici_rate,
-                AllReduceSchedule::MultiPath,
-            );
-        }
-        let groups = (chips / island).max(1);
-        let island_shape = island_shape(self.ici_island);
-        // Intra reduce-scatter + final all-gather ≈ one intra all-reduce.
-        let intra = torus_all_reduce_time(
-            island_shape,
-            bytes,
-            self.ici_rate,
-            AllReduceSchedule::MultiPath,
-        );
-        // Inter-island ring all-reduce: each chip owns a 1/island shard and
-        // drives its own NIC.
-        let g = groups as f64;
-        let shard = bytes / island as f64;
-        let inter = 2.0 * (g - 1.0) / g * shard
-            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_reduce_utilization);
-        intra + inter
+        self.as_switched().all_reduce_time(chips, bytes)
     }
 
-    /// All-to-all time: limited by per-chip NIC injection (the fat tree is
-    /// full bisection, islands do not help uniform all-to-all).
+    /// All-to-all time: bounded by per-chip NIC injection on the traffic
+    /// leaving each island (the fat tree is full bisection; islands barely
+    /// help uniform all-to-all).
     pub fn all_to_all_time(self, chips: u64, bytes_per_pair: f64) -> f64 {
-        if chips <= 1 {
-            return 0.0;
-        }
-        let per_chip_bytes = bytes_per_pair * (chips as f64 - 1.0);
-        per_chip_bytes / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization)
+        self.as_switched().all_to_all_time(chips, bytes_per_pair)
     }
-}
-
-/// The natural ICI island geometry for a handful of chips.
-fn island_shape(chips: u32) -> SliceShape {
-    let shape = match chips {
-        1 => (1, 1, 1),
-        2 => (1, 1, 2),
-        4 => (1, 2, 2),
-        8 => (2, 2, 2),
-        _ => {
-            // Round down to a power of two and build a compact box.
-            let mut dims = [1u32; 3];
-            let mut remaining = chips.next_power_of_two() / 2;
-            let mut i = 0;
-            while remaining > 1 {
-                dims[i % 3] *= 2;
-                remaining /= 2;
-                i += 1;
-            }
-            (dims[0], dims[1], dims[2])
-        }
-    };
-    SliceShape::new(shape.0, shape.1, shape.2).expect("nonzero dims")
 }
 
 /// Side-by-side comparison of OCS/ICI torus vs hybrid ICI/IB for one slice
@@ -168,28 +128,23 @@ pub struct IbComparison {
 impl IbComparison {
     /// Compares an OCS torus of `shape` against the hybrid reference for an
     /// all-reduce of `ar_bytes` and an all-to-all of `a2a_bytes_per_pair`.
+    ///
+    /// One code path with the rest of the stack: this is
+    /// [`BackendComparison::between`] on the v4 and `"v4-ib"` machine
+    /// specs.
     pub fn compare(shape: SliceShape, ar_bytes: f64, a2a_bytes_per_pair: f64) -> IbComparison {
-        let chips = shape.volume();
-        let hybrid = HybridIciIb::reference();
-
-        let torus_ar = torus_all_reduce_time(
+        let cmp = BackendComparison::between(
+            &MachineSpec::v4(),
+            &MachineSpec::v4_ib_hybrid(),
             shape,
             ar_bytes,
-            LinkRate::TPU_V4_ICI,
-            AllReduceSchedule::MultiPath,
+            a2a_bytes_per_pair,
         );
-        let ib_ar = hybrid.all_reduce_time(chips, ar_bytes);
-
-        let graph = Torus::new(shape).into_graph();
-        let torus_a2a = AllToAll::analyze(&graph, a2a_bytes_per_pair as u64, LinkRate::TPU_V4_ICI)
-            .completion_time();
-        let ib_a2a = hybrid.all_to_all_time(chips, a2a_bytes_per_pair);
-
         IbComparison {
-            shape: (shape.x(), shape.y(), shape.z()),
-            chips,
-            all_reduce_slowdown: ib_ar / torus_ar,
-            all_to_all_slowdown: ib_a2a / torus_a2a,
+            shape: cmp.shape,
+            chips: cmp.chips,
+            all_reduce_slowdown: cmp.all_reduce_slowdown,
+            all_to_all_slowdown: cmp.all_to_all_slowdown,
         }
     }
 }
@@ -207,11 +162,13 @@ mod tests {
     }
 
     #[test]
-    fn island_shapes() {
-        assert_eq!(island_shape(8).volume(), 8);
-        assert_eq!(island_shape(4).volume(), 4);
-        assert_eq!(island_shape(2).volume(), 2);
-        assert_eq!(island_shape(1).volume(), 1);
+    fn hybrid_matches_general_switched_model() {
+        let h = HybridIciIb::reference();
+        assert_eq!(h.as_switched(), SwitchedFabric::v4_ib_reference());
+        assert_eq!(
+            h.all_reduce_time(512, 1e9),
+            SwitchedFabric::v4_ib_reference().all_reduce_time(512, 1e9)
+        );
     }
 
     #[test]

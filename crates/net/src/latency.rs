@@ -23,10 +23,23 @@ impl AlphaBeta {
     /// ICI-class defaults: ~1 µs per hop (§8 notes each chip keeps "tens
     /// of thousands of outstanding memory requests" precisely to hide
     /// this latency).
+    ///
+    /// Convenience alias for `for_spec(&MachineSpec::v4())`; prefer
+    /// [`AlphaBeta::for_spec`] in new code — this alias is kept for the
+    /// paper's headline machine and will eventually be deprecated.
     pub fn tpu_v4_ici() -> AlphaBeta {
         AlphaBeta {
             alpha_s: 1e-6,
             rate: LinkRate::TPU_V4_ICI,
+        }
+    }
+
+    /// The alpha-beta model at a machine spec's ICI link rate, with the
+    /// ICI-class ~1 µs per-hop latency.
+    pub fn for_spec(spec: &tpu_spec::MachineSpec) -> AlphaBeta {
+        AlphaBeta {
+            alpha_s: 1e-6,
+            rate: LinkRate::for_spec(spec),
         }
     }
 

@@ -13,7 +13,10 @@
 //!    flows over explicit paths at DMA granularity, used to validate the
 //!    load model and to study dynamic effects.
 //!
-//! The InfiniBand alternative of §7.3 is modelled in [`fattree`].
+//! The InfiniBand alternative of §7.3 is modelled in [`fattree`]; the
+//! general switched (NVLink-island + fat-tree) backend that machines with
+//! `torus_dims == 0` dispatch to — and the [`CollectiveBackend`] selector
+//! the upper layers share — live in [`switched`].
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod flows;
 pub mod latency;
 pub mod load;
 pub mod rings;
+pub mod switched;
 mod units;
 
 pub use collectives::{mesh_all_reduce_time, torus_all_gather_time, torus_all_reduce_time};
@@ -49,4 +53,5 @@ pub use flows::{all_to_all_flows, ring_all_reduce_flows, Flow};
 pub use latency::AlphaBeta;
 pub use load::{AllToAll, LinkLoads};
 pub use rings::DimensionRings;
+pub use switched::{BackendComparison, CollectiveBackend, IslandKind, SwitchedFabric};
 pub use units::LinkRate;

@@ -1,0 +1,488 @@
+//! The general switched-fabric collective backend (§7.2–§7.3).
+//!
+//! The paper's headline network comparison pits the OCS-stitched 3D torus
+//! against conventional switched GPU fabrics: glueless islands (NVLink
+//! inside a DGX box, or the 8-chip ICI islands of the §7.3 thought
+//! experiment) joined by a 3-level InfiniBand fat tree. This module models
+//! that family of machines behind one type, [`SwitchedFabric`], and
+//! exposes [`CollectiveBackend`] — the single dispatch point every layer
+//! above (`tpu-core`, `tpu-workloads`, `tpu-bench`) uses, keyed off
+//! `MachineSpec::torus_dims == 0`.
+//!
+//! Calibration (see `DESIGN.md` §6): islands are non-blocking internally;
+//! the fat tree is full-bisection with all-reduce utilization 1.0 and
+//! all-to-all utilization 0.80 (ECMP collisions). Hierarchical schedules:
+//! intra-island reduce-scatter, inter-island ring all-reduce of the
+//! 1/island shard with every chip driving its own NIC, intra-island
+//! all-gather. The published 1.8×–2.4× / 1.2×–2.4× slowdowns then emerge
+//! from bandwidth arithmetic alone.
+
+use crate::collectives::{torus_all_reduce_time, AllReduceSchedule};
+use crate::fattree::FatTree;
+use crate::load::AllToAll;
+use crate::units::LinkRate;
+use serde::{Deserialize, Serialize};
+use tpu_spec::{MachineSpec, ProcessorStyle};
+use tpu_topology::{SliceShape, Torus};
+
+/// How the chips inside one glueless island are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IslandKind {
+    /// Point-to-point ICI links forming a small torus (the §7.3 2×2×2
+    /// islands): collectives follow the torus schedule on per-link rates.
+    Torus,
+    /// A non-blocking intra-island switch (NVLink/NVSwitch, IPU-Link):
+    /// every chip gets its full aggregate injection bandwidth.
+    Crossbar,
+}
+
+/// A switched (island + fat-tree) machine fabric: the §7.3 alternative to
+/// the OCS torus, generalized to cover the Table 5 A100 cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchedFabric {
+    /// Chips per glueless island (8 for the §7.3 experiment, 4 per
+    /// Table 5 A100 host).
+    pub island_chips: u32,
+    /// Intra-island wiring style.
+    pub island_kind: IslandKind,
+    /// Intra-island per-link rate (one direction).
+    pub island_rate: LinkRate,
+    /// Intra-island links per chip.
+    pub island_links: u32,
+    /// The inter-island InfiniBand fat tree.
+    pub fat_tree: FatTree,
+}
+
+impl SwitchedFabric {
+    /// The switched backend a machine spec describes, or `None` for
+    /// torus machines (`torus_dims > 0`).
+    ///
+    /// Island size comes from [`MachineSpec::glueless_island_chips`];
+    /// TPU-style (`si2d`) chips form torus islands, switch-connected GPUs
+    /// and IPUs form crossbar islands; island link count and rate come
+    /// from the chip record; the fat tree is the §7.3 HDR reference.
+    pub fn for_spec(spec: &MachineSpec) -> Option<SwitchedFabric> {
+        if spec.torus_dims != 0 {
+            return None;
+        }
+        let island_kind = match spec.chip.style {
+            ProcessorStyle::SingleInstruction2dData => IslandKind::Torus,
+            _ => IslandKind::Crossbar,
+        };
+        Some(SwitchedFabric {
+            island_chips: spec.glueless_island_chips(),
+            island_kind,
+            island_rate: LinkRate::for_spec(spec),
+            island_links: spec.chip.ici_links.max(1),
+            fat_tree: FatTree::hdr_reference(),
+        })
+    }
+
+    /// The §7.3 reference: 8-chip ICI islands (2×2×2 tori of TPU v4
+    /// links) over an HDR fat tree. Equals
+    /// `for_spec(&MachineSpec::v4_ib_hybrid())`.
+    pub fn v4_ib_reference() -> SwitchedFabric {
+        SwitchedFabric {
+            island_chips: 8,
+            island_kind: IslandKind::Torus,
+            island_rate: LinkRate::TPU_V4_ICI,
+            island_links: 6,
+            fat_tree: FatTree::hdr_reference(),
+        }
+    }
+
+    /// The Table 5 A100 cluster: 4-GPU NVLink hosts (12 × 25 GB/s links
+    /// through NVSwitch) over an HDR fat tree. Equals
+    /// `for_spec(&MachineSpec::a100())`.
+    pub fn nvlink_a100() -> SwitchedFabric {
+        SwitchedFabric {
+            island_chips: 4,
+            island_kind: IslandKind::Crossbar,
+            island_rate: LinkRate::from_gb_per_s(25.0),
+            island_links: 12,
+            fat_tree: FatTree::hdr_reference(),
+        }
+    }
+
+    /// Aggregate intra-island injection bandwidth per chip, bytes/s.
+    pub fn island_injection(&self) -> f64 {
+        self.island_rate.bytes_per_s() * f64::from(self.island_links)
+    }
+
+    /// All-reduce time of `bytes` confined to (up to) one island.
+    fn intra_all_reduce_time(&self, chips: u32, bytes: f64) -> f64 {
+        if chips <= 1 {
+            return 0.0;
+        }
+        match self.island_kind {
+            IslandKind::Torus => torus_all_reduce_time(
+                island_shape(chips),
+                bytes,
+                self.island_rate,
+                AllReduceSchedule::MultiPath,
+            ),
+            IslandKind::Crossbar => {
+                let n = f64::from(chips);
+                2.0 * (n - 1.0) / n * bytes / self.island_injection()
+            }
+        }
+    }
+
+    /// Hierarchical all-reduce time of `bytes` over `chips` chips:
+    /// intra-island reduce-scatter + all-gather (costed together as one
+    /// intra all-reduce) around an inter-island ring all-reduce of the
+    /// 1/island shard, each chip driving its own NIC.
+    pub fn all_reduce_time(&self, chips: u64, bytes: f64) -> f64 {
+        let island = u64::from(self.island_chips);
+        if chips <= 1 {
+            return 0.0;
+        }
+        if chips <= island {
+            return self.intra_all_reduce_time(chips as u32, bytes);
+        }
+        let groups = chips.div_ceil(island);
+        let intra = self.intra_all_reduce_time(self.island_chips, bytes);
+        let g = groups as f64;
+        let shard = bytes / island as f64;
+        let inter = 2.0 * (g - 1.0) / g * shard
+            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_reduce_utilization);
+        intra + inter
+    }
+
+    /// All-to-all time of the intra-island traffic (the `island - 1`
+    /// local destinations), under the island's own wiring: the per-link
+    /// load model on the island torus for [`IslandKind::Torus`] (so a
+    /// slice confined to one island costs exactly what the identical
+    /// OCS-torus wiring costs), full injection for crossbars.
+    fn intra_all_to_all_time(&self, chips: u32, bytes_per_pair: f64) -> f64 {
+        if chips <= 1 {
+            return 0.0;
+        }
+        match self.island_kind {
+            IslandKind::Torus => {
+                let graph = Torus::new(island_shape(chips)).into_graph();
+                AllToAll::analyze(&graph, bytes_per_pair.round() as u64, self.island_rate)
+                    .completion_time()
+            }
+            IslandKind::Crossbar => {
+                bytes_per_pair * (f64::from(chips) - 1.0) / self.island_injection()
+            }
+        }
+    }
+
+    /// Uniform all-to-all time with `bytes_per_pair` between every
+    /// ordered pair: the max of the intra-island bound (local peers at
+    /// island bandwidth, torus-scheduled on ICI islands) and the
+    /// NIC-injection bound on traffic leaving the island (the fat tree
+    /// itself is full-bisection).
+    pub fn all_to_all_time(&self, chips: u64, bytes_per_pair: f64) -> f64 {
+        if chips <= 1 {
+            return 0.0;
+        }
+        let island = u64::from(self.island_chips).min(chips);
+        let remote_bytes = bytes_per_pair * (chips - island) as f64;
+        let local = self.intra_all_to_all_time(island as u32, bytes_per_pair);
+        let remote = remote_bytes
+            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization);
+        local.max(remote)
+    }
+
+    /// Switches needed for the inter-island fat tree over `chips`
+    /// endpoints (delegates to [`FatTree::estimated_switches`]).
+    pub fn estimated_switches(&self, chips: u64) -> u64 {
+        self.fat_tree.estimated_switches(chips)
+    }
+}
+
+/// The natural ICI island geometry for a handful of chips: the compact
+/// power-of-two box (8 → 2×2×2), or a 1×1×n ring for any other count —
+/// every count gets a torus of exactly `chips` chips, so island
+/// collectives are never costed on a smaller geometry.
+pub(crate) fn island_shape(chips: u32) -> SliceShape {
+    let shape = match chips {
+        1 => (1, 1, 1),
+        2 => (1, 1, 2),
+        4 => (1, 2, 2),
+        8 => (2, 2, 2),
+        _ if chips.is_power_of_two() => {
+            let mut dims = [1u32; 3];
+            let mut remaining = chips;
+            let mut i = 0;
+            while remaining > 1 {
+                dims[i % 3] *= 2;
+                remaining /= 2;
+                i += 1;
+            }
+            (dims[0], dims[1], dims[2])
+        }
+        // A glueless daisy-chain ring of all chips.
+        _ => (1, 1, chips),
+    };
+    SliceShape::new(shape.0, shape.1, shape.2).expect("nonzero dims")
+}
+
+/// The collective-performance backend a machine spec selects: the
+/// analytic torus models for ICI machines, [`SwitchedFabric`] for
+/// `torus_dims == 0`. This is the one code path behind
+/// `Supercomputer::collective_time`, the workload interconnect models and
+/// the `tpu-bench` §7 tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CollectiveBackend {
+    /// An ICI torus at a per-link rate (OCS-stitched or statically
+    /// cabled — steady-state collective cost is identical).
+    Torus {
+        /// Per-link rate, one direction.
+        rate: LinkRate,
+    },
+    /// A switched island + fat-tree machine.
+    Switched(SwitchedFabric),
+}
+
+impl CollectiveBackend {
+    /// The backend a machine spec describes.
+    pub fn for_spec(spec: &MachineSpec) -> CollectiveBackend {
+        match SwitchedFabric::for_spec(spec) {
+            Some(fabric) => CollectiveBackend::Switched(fabric),
+            None => CollectiveBackend::Torus {
+                rate: LinkRate::for_spec(spec),
+            },
+        }
+    }
+
+    /// Whether this is the switched (non-torus) backend.
+    pub fn is_switched(&self) -> bool {
+        matches!(self, CollectiveBackend::Switched(_))
+    }
+
+    /// All-reduce time of `bytes` on a slice of `shape` (the switched
+    /// backend only uses the shape's chip count — a switched slice has no
+    /// geometry).
+    pub fn all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
+        match self {
+            CollectiveBackend::Torus { rate } => {
+                torus_all_reduce_time(shape, bytes, *rate, AllReduceSchedule::MultiPath)
+            }
+            CollectiveBackend::Switched(fabric) => fabric.all_reduce_time(shape.volume(), bytes),
+        }
+    }
+
+    /// Uniform all-to-all time with `bytes_per_pair` between every
+    /// ordered pair of chips in a slice of `shape`.
+    pub fn all_to_all_time(&self, shape: SliceShape, bytes_per_pair: f64) -> f64 {
+        match self {
+            CollectiveBackend::Torus { rate } => {
+                let graph = Torus::new(shape).into_graph();
+                AllToAll::analyze(&graph, bytes_per_pair.round() as u64, *rate).completion_time()
+            }
+            CollectiveBackend::Switched(fabric) => {
+                fabric.all_to_all_time(shape.volume(), bytes_per_pair)
+            }
+        }
+    }
+}
+
+/// Side-by-side collective comparison of two machine specs on the same
+/// slice, through [`CollectiveBackend`] on both sides (the §7.2–§7.3
+/// TPU-vs-switched tables).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendComparison {
+    /// Slice shape compared.
+    pub shape: (u32, u32, u32),
+    /// Chip count.
+    pub chips: u64,
+    /// All-reduce slowdown of the alternative vs the baseline (>1 means
+    /// the alternative is slower).
+    pub all_reduce_slowdown: f64,
+    /// All-to-all slowdown of the alternative vs the baseline.
+    pub all_to_all_slowdown: f64,
+}
+
+impl BackendComparison {
+    /// Compares `alternative` against `baseline` for an all-reduce of
+    /// `ar_bytes` and an all-to-all of `a2a_bytes_per_pair` on a slice of
+    /// `shape`.
+    pub fn between(
+        baseline: &MachineSpec,
+        alternative: &MachineSpec,
+        shape: SliceShape,
+        ar_bytes: f64,
+        a2a_bytes_per_pair: f64,
+    ) -> BackendComparison {
+        let base = CollectiveBackend::for_spec(baseline);
+        let alt = CollectiveBackend::for_spec(alternative);
+        BackendComparison {
+            shape: (shape.x(), shape.y(), shape.z()),
+            chips: shape.volume(),
+            all_reduce_slowdown: alt.all_reduce_time(shape, ar_bytes)
+                / base.all_reduce_time(shape, ar_bytes),
+            all_to_all_slowdown: alt.all_to_all_time(shape, a2a_bytes_per_pair)
+                / base.all_to_all_time(shape, a2a_bytes_per_pair),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(x: u32, y: u32, z: u32) -> SliceShape {
+        SliceShape::new(x, y, z).unwrap()
+    }
+
+    #[test]
+    fn for_spec_keys_off_torus_dims() {
+        assert!(SwitchedFabric::for_spec(&MachineSpec::v4()).is_none());
+        assert!(SwitchedFabric::for_spec(&MachineSpec::v3()).is_none());
+        assert_eq!(
+            SwitchedFabric::for_spec(&MachineSpec::a100()),
+            Some(SwitchedFabric::nvlink_a100())
+        );
+        assert_eq!(
+            SwitchedFabric::for_spec(&MachineSpec::v4_ib_hybrid()),
+            Some(SwitchedFabric::v4_ib_reference())
+        );
+    }
+
+    #[test]
+    fn island_kinds_follow_processor_style() {
+        let a100 = SwitchedFabric::for_spec(&MachineSpec::a100()).unwrap();
+        assert_eq!(a100.island_kind, IslandKind::Crossbar);
+        let ipu = SwitchedFabric::for_spec(&MachineSpec::ipu_bow()).unwrap();
+        assert_eq!(ipu.island_kind, IslandKind::Crossbar);
+        let ib = SwitchedFabric::for_spec(&MachineSpec::v4_ib_hybrid()).unwrap();
+        assert_eq!(ib.island_kind, IslandKind::Torus);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_free() {
+        for fabric in [
+            SwitchedFabric::v4_ib_reference(),
+            SwitchedFabric::nvlink_a100(),
+        ] {
+            assert_eq!(fabric.all_reduce_time(1, 1e9), 0.0);
+            assert_eq!(fabric.all_to_all_time(1, 1e9), 0.0);
+            assert_eq!(fabric.all_reduce_time(0, 1e9), 0.0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_monotone_in_chips_and_bytes() {
+        let f = SwitchedFabric::nvlink_a100();
+        let t512 = f.all_reduce_time(512, 1e9);
+        let t4096 = f.all_reduce_time(4096, 1e9);
+        assert!(t512 > 0.0);
+        assert!(t4096 >= t512);
+        let t2x = f.all_reduce_time(512, 2e9);
+        assert!((t2x / t512 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvlink_island_is_fast_but_nic_dominates_at_scale() {
+        let f = SwitchedFabric::nvlink_a100();
+        // Intra-island all-reduce runs at the 300 GB/s NVLink injection.
+        let intra = f.all_reduce_time(4, 1e9);
+        assert!((intra - 2.0 * 0.75 * 1e9 / 300e9).abs() < 1e-12);
+        // At 512 chips the 25 GB/s NIC ring dominates the island term.
+        let full = f.all_reduce_time(512, 1e9);
+        assert!(full > 3.0 * intra);
+    }
+
+    #[test]
+    fn all_to_all_nic_bound_at_scale() {
+        let f = SwitchedFabric::nvlink_a100();
+        // 512 chips: 508 remote destinations of 4 KiB over a 0.8-utilized
+        // 25 GB/s NIC.
+        let t = f.all_to_all_time(512, 4096.0);
+        let expect = 4096.0 * 508.0 / (25e9 * 0.8);
+        assert!((t - expect).abs() / expect < 1e-12, "{t} vs {expect}");
+        // Confined to one island: NVLink-bound instead.
+        let intra = f.all_to_all_time(4, 4096.0);
+        assert!((intra - 4096.0 * 3.0 / 300e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn torus_island_all_to_all_matches_torus_baseline() {
+        // A slice confined to one 2x2x2 ICI island is physically the
+        // same wiring as the OCS-torus slice of that shape — the models
+        // must agree.
+        let f = SwitchedFabric::v4_ib_reference();
+        let s = shape(2, 2, 2);
+        let baseline = AllToAll::analyze(&Torus::new(s).into_graph(), 4096, LinkRate::TPU_V4_ICI)
+            .completion_time();
+        let switched = f.all_to_all_time(8, 4096.0);
+        assert!(
+            (switched - baseline).abs() < 1e-15,
+            "{switched} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn backend_dispatch_matches_direct_models() {
+        let s = shape(8, 8, 8);
+        let torus = CollectiveBackend::for_spec(&MachineSpec::v4());
+        assert!(!torus.is_switched());
+        let direct =
+            torus_all_reduce_time(s, 1e9, LinkRate::TPU_V4_ICI, AllReduceSchedule::MultiPath);
+        assert_eq!(torus.all_reduce_time(s, 1e9), direct);
+
+        let switched = CollectiveBackend::for_spec(&MachineSpec::a100());
+        assert!(switched.is_switched());
+        assert_eq!(
+            switched.all_reduce_time(s, 1e9),
+            SwitchedFabric::nvlink_a100().all_reduce_time(512, 1e9)
+        );
+    }
+
+    #[test]
+    fn v4_ib_comparison_lands_in_paper_bands() {
+        // §7.3: all-reduce 1.8x–2.4x slower, all-to-all 1.2x–2.4x slower.
+        let v4 = MachineSpec::v4();
+        let ib = MachineSpec::v4_ib_hybrid();
+        let mut ar = Vec::new();
+        let mut a2a = Vec::new();
+        for s in [shape(8, 8, 8), shape(8, 8, 16), shape(8, 16, 16)] {
+            let cmp = BackendComparison::between(&v4, &ib, s, 1e9, 4096.0);
+            ar.push(cmp.all_reduce_slowdown);
+            a2a.push(cmp.all_to_all_slowdown);
+        }
+        assert!(ar.iter().any(|&s| (1.8..=2.4).contains(&s)), "{ar:?}");
+        assert!(a2a.iter().any(|&s| (1.2..=2.4).contains(&s)), "{a2a:?}");
+    }
+
+    #[test]
+    fn a100_cluster_answers_collectives_end_to_end() {
+        let backend = CollectiveBackend::for_spec(&MachineSpec::a100());
+        let s = shape(8, 8, 8);
+        let ar = backend.all_reduce_time(s, 1e9);
+        let a2a = backend.all_to_all_time(s, 4096.0);
+        assert!(ar > 0.0 && ar.is_finite());
+        assert!(a2a > 0.0 && a2a.is_finite());
+        // The switched A100 fabric is slower than the OCS torus on both.
+        let torus = CollectiveBackend::for_spec(&MachineSpec::v4());
+        assert!(ar > torus.all_reduce_time(s, 1e9));
+        assert!(a2a > torus.all_to_all_time(s, 4096.0));
+    }
+
+    #[test]
+    fn island_shapes() {
+        assert_eq!(island_shape(8).volume(), 8);
+        assert_eq!(island_shape(4).volume(), 4);
+        assert_eq!(island_shape(2).volume(), 2);
+        assert_eq!(island_shape(1).volume(), 1);
+        // Powers of two become compact boxes; anything else a ring —
+        // every count keeps its exact volume.
+        assert_eq!(island_shape(16).volume(), 16);
+        assert_eq!(island_shape(32).volume(), 32);
+        assert_eq!(island_shape(12).volume(), 12);
+        assert_eq!(island_shape(6).volume(), 6);
+        assert_eq!(island_shape(27).volume(), 27);
+    }
+
+    #[test]
+    fn non_power_of_two_island_collectives_are_not_undercosted() {
+        // A 6-chip torus-island all-reduce must cost strictly more than
+        // a 4-chip one (the old rounding made them equal).
+        let f = SwitchedFabric::v4_ib_reference();
+        assert!(f.all_reduce_time(6, 1e9) > f.all_reduce_time(4, 1e9));
+    }
+}

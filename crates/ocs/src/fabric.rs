@@ -124,6 +124,11 @@ pub struct Fabric {
 
 impl Fabric {
     /// A full TPU v4 fabric: 64 deployed blocks (4096 chips), 48 OCSes.
+    ///
+    /// Convenience alias for `for_generation(&Generation::V4)`; prefer
+    /// [`Fabric::for_generation`] or [`Fabric::for_spec`] in new code —
+    /// this alias is kept for the paper's headline machine and will
+    /// eventually be deprecated.
     pub fn tpu_v4() -> Fabric {
         Fabric::for_generation(&Generation::V4)
     }

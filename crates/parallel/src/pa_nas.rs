@@ -75,7 +75,7 @@ impl PaNas {
     /// Runs the search: sweep the dense-capacity factor `f` over a grid,
     /// with the embedding factor set to `1/f` (iso-quality proxy: the
     /// geometric mean of dense and embedding capacity is preserved, per
-    /// the Pareto-front framing of [32]), and keep the fastest.
+    /// the Pareto-front framing of \[32\]), and keep the fastest.
     pub fn run(&self, model: &DlrmConfig) -> PaNasResult {
         let original = self
             .system

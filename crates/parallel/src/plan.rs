@@ -62,7 +62,7 @@ impl fmt::Display for Partitioning {
 }
 
 /// Activation/weight partitioning dimensionality (Table 3's "1D/2D
-/// activation/weight partitioning"; see GSPMD [63]).
+/// activation/weight partitioning"; see GSPMD \[63\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ShardingSpec {
     activation_dims: u8,

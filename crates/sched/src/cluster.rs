@@ -53,6 +53,10 @@ impl ClusterSim {
     /// A TPU v4 machine (4×4×4 blocks) under the given offered load:
     /// jobs arrive every `arrival_interval` time units and run for an
     /// exponential-ish duration with the given mean.
+    ///
+    /// Convenience alias; prefer [`ClusterSim::for_generation`] or
+    /// [`ClusterSim::for_spec`] in new code — this alias is kept for the
+    /// paper's headline machine and will eventually be deprecated.
     pub fn tpu_v4(
         horizon: f64,
         arrival_interval: f64,

@@ -25,13 +25,39 @@ pub struct GoodputSim {
 
 impl GoodputSim {
     /// The TPU v4 machine: 64 blocks in a 4×4×4 grid, 16 hosts per block.
+    ///
+    /// Convenience alias; prefer [`GoodputSim::for_generation`] or
+    /// [`GoodputSim::for_spec`] in new code — this alias is kept for the
+    /// paper's headline machine and will eventually be deprecated.
     pub fn tpu_v4(trials: u32, seed: u64) -> GoodputSim {
         GoodputSim::for_generation(&Generation::V4, trials, seed)
     }
 
     /// The fleet a machine spec describes, with its blocks arranged in
     /// the most cubic grid (v4: 64 blocks → 4×4×4).
+    ///
+    /// Switched machines (`torus_dims == 0`) schedule per glueless
+    /// island instead of per 4³ block: an island is lost when any of its
+    /// hosts fails, and — like the OCS plugboard — the full-bisection fat
+    /// tree lets *any* healthy islands form a slice, so the `ocs = true`
+    /// arm of [`GoodputSim::goodput`] is the physical one and the static
+    /// arm is the counterfactual.
     pub fn for_spec(spec: &MachineSpec, trials: u32, seed: u64) -> GoodputSim {
+        if spec.torus_dims == 0 {
+            let island = spec.glueless_island_chips();
+            // div_ceil matches SwitchedCluster::for_spec's island count;
+            // the Monte Carlo works in whole islands, so a partial
+            // trailing island is modelled as full (≤ island-1 chips of
+            // overcount on non-divisible fleets).
+            let islands = spec.fleet_chips.div_ceil(u64::from(island)).max(1);
+            return GoodputSim {
+                block_grid: block_box(islands as u32),
+                hosts_per_block: (island / spec.block.tpus_per_host.max(1)).max(1),
+                chips_per_block: island,
+                trials,
+                seed,
+            };
+        }
         GoodputSim {
             block_grid: block_box(spec.fleet_blocks() as u32),
             hosts_per_block: spec.block.hosts(),
@@ -248,6 +274,21 @@ mod tests {
 
     fn sim() -> GoodputSim {
         GoodputSim::tpu_v4(300, 42)
+    }
+
+    #[test]
+    fn switched_machines_schedule_per_island() {
+        // A100: 1054 four-GPU islands, one host each.
+        let sim = GoodputSim::for_spec(&MachineSpec::a100(), 50, 7);
+        assert_eq!(sim.total_chips(), 4216);
+        assert_eq!(sim.total_hosts(), 1054);
+        let g = sim.goodput(512, 0.99, true);
+        assert!(g > 0.9 && g <= 1.0, "{g}");
+
+        // The v4-ib hybrid keeps 2-host 8-chip islands.
+        let sim = GoodputSim::for_spec(&MachineSpec::v4_ib_hybrid(), 50, 7);
+        assert_eq!(sim.total_chips(), 4096);
+        assert_eq!(sim.total_hosts(), 1024);
     }
 
     #[test]

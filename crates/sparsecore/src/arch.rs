@@ -183,6 +183,10 @@ impl ScGeneration {
     }
 
     /// TPU v4's SparseCore (Figure 7).
+    ///
+    /// Convenience alias for `for_spec(&MachineSpec::v4())`; prefer
+    /// [`ScGeneration::for_spec`] in new code — the per-generation
+    /// aliases will eventually be deprecated.
     pub fn tpu_v4() -> ScGeneration {
         ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores")
     }

@@ -196,11 +196,19 @@ impl EmbeddingSystem {
     }
 
     /// A TPU v4 slice of `chips` chips on its canonical 3D torus.
+    ///
+    /// Convenience alias; prefer [`EmbeddingSystem::for_generation`] or
+    /// [`EmbeddingSystem::for_spec`] in new code — the per-generation
+    /// aliases will eventually be deprecated.
     pub fn tpu_v4_slice(chips: u64) -> EmbeddingSystem {
         EmbeddingSystem::for_generation(&Generation::V4, chips)
     }
 
     /// A TPU v3 slice of `chips` chips on its 2D torus.
+    ///
+    /// Convenience alias; prefer [`EmbeddingSystem::for_generation`] or
+    /// [`EmbeddingSystem::for_spec`] in new code — the per-generation
+    /// aliases will eventually be deprecated.
     pub fn tpu_v3_slice(chips: u64) -> EmbeddingSystem {
         EmbeddingSystem::for_generation(&Generation::V3, chips)
     }

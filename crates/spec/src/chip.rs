@@ -159,7 +159,7 @@ impl ChipSpec {
         }
     }
 
-    /// TPU v2 (per [26]/[39]; the SparseCore debuted here in 2017).
+    /// TPU v2 (per \[26\]/\[39\]; the SparseCore debuted here in 2017).
     pub fn tpu_v2() -> ChipSpec {
         ChipSpec {
             name: "TPU v2".into(),

@@ -178,6 +178,31 @@ impl MachineSpec {
         }
     }
 
+    /// The §7.3 counterfactual: TPU v4 chips whose OCS-stitched torus is
+    /// replaced by a switched fabric — 8-chip glueless ICI islands (2×2×2,
+    /// the chips of two hosts) joined by a 3-level InfiniBand fat tree.
+    ///
+    /// `torus_dims == 0` routes this spec to the switched collective
+    /// backend, so the paper's published 1.8×–2.4× all-reduce and
+    /// 1.2×–2.4× all-to-all slowdowns regenerate from the same code path
+    /// that answers the real A100 cluster.
+    pub fn v4_ib_hybrid() -> MachineSpec {
+        MachineSpec {
+            generation: Generation::custom("v4-ib"),
+            chip: ChipSpec::tpu_v4(),
+            mxus_per_core: 4,
+            mxu_dim: 128,
+            torus_dims: 0,
+            // A 2³ electrical island; hosts still carry 4 TPUs each.
+            block: BlockGeometry {
+                edge: 2,
+                tpus_per_host: consts::V4_TPUS_PER_HOST,
+            },
+            fleet_chips: consts::V4_FLEET_CHIPS,
+            ocs: None,
+        }
+    }
+
     /// The Table 5 Graphcore IPU Bow system.
     pub fn ipu_bow() -> MachineSpec {
         let chip = ChipSpec::ipu_bow();
@@ -199,7 +224,8 @@ impl MachineSpec {
     /// The built-in spec for a generation, if one exists.
     ///
     /// V2/V3/V4 always resolve; [`Generation::Custom`] resolves for the
-    /// well-known Table 5 labels `"a100"` and `"ipu-bow"`.
+    /// well-known Table 5 labels `"a100"` and `"ipu-bow"` and for the
+    /// §7.3 counterfactual `"v4-ib"`.
     pub fn for_generation(generation: &Generation) -> Option<MachineSpec> {
         match generation {
             Generation::V2 => Some(MachineSpec::v2()),
@@ -208,8 +234,24 @@ impl MachineSpec {
             Generation::Custom(name) => match name.as_str() {
                 "a100" => Some(MachineSpec::a100()),
                 "ipu-bow" => Some(MachineSpec::ipu_bow()),
+                "v4-ib" => Some(MachineSpec::v4_ib_hybrid()),
                 _ => None,
             },
+        }
+    }
+
+    /// Chips wired together gluelessly (without the switched fabric or
+    /// OCS layer): the electrical block when it spans more than one chip,
+    /// otherwise the chips sharing one host's board (an NVLink island).
+    ///
+    /// This is the island size the switched collective backend schedules
+    /// hierarchically — 8 for the `"v4-ib"` counterfactual's 2×2×2 ICI
+    /// islands, 4 for the Table 5 A100 host.
+    pub fn glueless_island_chips(&self) -> u32 {
+        if self.block.chips() > 1 {
+            self.block.chips()
+        } else {
+            self.block.tpus_per_host.max(1)
         }
     }
 
@@ -478,7 +520,25 @@ mod tests {
         }
         assert!(MachineSpec::for_generation(&Generation::custom("a100")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("ipu-bow")).is_some());
+        assert!(MachineSpec::for_generation(&Generation::custom("v4-ib")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("h100")).is_none());
+    }
+
+    #[test]
+    fn v4_ib_hybrid_is_a_switched_v4() {
+        let spec = MachineSpec::v4_ib_hybrid();
+        assert_eq!(spec.torus_dims, 0);
+        assert!(spec.ocs.is_none());
+        assert_eq!(spec.chip, ChipSpec::tpu_v4());
+        assert_eq!(spec.fleet_chips, 4096);
+        assert_eq!(spec.glueless_island_chips(), 8);
+    }
+
+    #[test]
+    fn island_sizes() {
+        assert_eq!(MachineSpec::v4().glueless_island_chips(), 64);
+        assert_eq!(MachineSpec::a100().glueless_island_chips(), 4);
+        assert_eq!(MachineSpec::ipu_bow().glueless_island_chips(), 4);
     }
 
     #[test]
@@ -508,6 +568,7 @@ mod tests {
             MachineSpec::v4(),
             MachineSpec::a100(),
             MachineSpec::ipu_bow(),
+            MachineSpec::v4_ib_hybrid(),
         ] {
             let text = spec.to_json();
             let back = MachineSpec::from_json(&text).unwrap();

@@ -12,6 +12,9 @@
 //!   weights ×4.2, embeddings ×3.8 over five years).
 //! * [`mlperf`] — the MLPerf Training 2.0 comparison of Figures 14/15
 //!   (TPU v4 vs NVIDIA A100 vs Graphcore IPU Bow).
+//! * [`interconnect`] — per-class collective demand timed through the
+//!   shared torus/switched backend dispatch (the §7.2–§7.3 TPU-vs-A100
+//!   interconnect story).
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod evolution;
+pub mod interconnect;
 pub mod mix;
 pub mod mlperf;
 pub mod palm;
@@ -34,6 +38,7 @@ pub mod scaling;
 pub mod suite;
 
 pub use evolution::Dlrm0Evolution;
+pub use interconnect::StepCollectives;
 pub use mix::{ModelFamily, WorkloadMix};
 pub use mlperf::{MlperfBenchmark, MlperfSystem};
 pub use palm::LlmCampaign;

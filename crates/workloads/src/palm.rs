@@ -1,4 +1,4 @@
-//! The §9 PaLM data point: "the 540B parameter PaLM model [sustained] a
+//! The §9 PaLM data point: "the 540B parameter PaLM model \[sustained\] a
 //! remarkable 57.8% of the peak hardware floating point performance over
 //! 50 days while training on TPU v4 supercomputers."
 //!

@@ -11,11 +11,12 @@ use tpuv4::{Collective, JobSpec, SliceSpec, Supercomputer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Supercomputer::tpu_v4();
+    let fabric = machine.fabric().expect("the v4 machine is an OCS torus");
     println!(
         "machine: {} chips over {} blocks, {} OCSes",
         machine.total_chips(),
-        machine.fabric().block_count(),
-        machine.fabric().switches().len()
+        fabric.block_count(),
+        fabric.switches().len()
     );
 
     // An LLM pre-training job on a 512-chip cube, and a recommender on a
@@ -52,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.inject_host_failure(BlockId::new(40), 7)?;
     println!(
         "after host failure: {} healthy free blocks",
-        machine.fabric().free_healthy_blocks().len()
+        machine
+            .fabric()
+            .expect("the v4 machine is an OCS torus")
+            .free_healthy_blocks()
+            .len()
     );
     let filler = machine.submit(JobSpec::new(
         "batch-inference",

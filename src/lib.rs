@@ -63,7 +63,10 @@ pub use tpu_spec as spec;
 pub use tpu_topology as topology;
 pub use tpu_workloads as workloads;
 
-pub use tpu_core::{Collective, JobId, JobSpec, RunningJob, Supercomputer, SupercomputerError};
+pub use tpu_core::{
+    Collective, JobId, JobSpec, MachineFabric, Placement, RunningJob, Supercomputer,
+    SupercomputerError, SwitchedCluster,
+};
 pub use tpu_ocs::{Fabric, SliceSpec};
 pub use tpu_spec::{ChipSpec, Generation, MachineSpec};
 pub use tpu_topology::{SliceShape, Torus, TwistedTorus};

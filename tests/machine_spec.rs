@@ -124,3 +124,31 @@ fn faster_v3_links_show_up_in_collective_times() {
     }
     assert!(times[0] < times[1], "v3 {} vs v4 {}", times[0], times[1]);
 }
+
+#[test]
+fn shipped_spec_files_match_their_builtins() {
+    // The specs/ directory is produced by `repro --emit-spec`; this
+    // pins the files to the built-in constructors so an edit to a
+    // tpu-spec constant cannot silently strand stale spec files (the
+    // doc-drift failure mode DESIGN.md exists to prevent).
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    for label in ["v2", "v3", "v4", "a100", "ipu-bow", "v4-ib"] {
+        let text = std::fs::read_to_string(dir.join(format!("{label}.json")))
+            .unwrap_or_else(|e| panic!("specs/{label}.json unreadable: {e}"));
+        let loaded = MachineSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("specs/{label}.json invalid: {e}"));
+        let builtin = MachineSpec::for_generation(&Generation::from_label(label))
+            .unwrap_or_else(|| panic!("{label} should be built in"));
+        assert_eq!(loaded, builtin, "specs/{label}.json drifted from built-in");
+    }
+
+    // The derated variant is the v4 spec with a relabel and half fleet.
+    let text = std::fs::read_to_string(dir.join("v4-half.json")).unwrap();
+    let half = MachineSpec::from_json(&text).unwrap();
+    assert_eq!(half.generation.label(), "v4-half");
+    assert_eq!(half.fleet_chips, 2048);
+    let mut expect = MachineSpec::v4();
+    expect.generation = Generation::custom("v4-half");
+    expect.fleet_chips = 2048;
+    assert_eq!(half, expect, "specs/v4-half.json drifted from its recipe");
+}

@@ -90,7 +90,13 @@ fn reconfiguration_does_not_disturb_neighbors() {
             SliceSpec::regular(SliceShape::new(8, 8, 8).unwrap()),
         ))
         .unwrap();
-    let bystander_blocks: Vec<_> = sc.job(bystander).unwrap().slice().blocks().to_vec();
+    let bystander_blocks: Vec<_> = sc
+        .job(bystander)
+        .unwrap()
+        .slice()
+        .unwrap()
+        .blocks()
+        .to_vec();
 
     let shape = SliceShape::new(4, 4, 8).unwrap();
     let job = sc
@@ -99,7 +105,13 @@ fn reconfiguration_does_not_disturb_neighbors() {
     sc.reconfigure(job, SliceSpec::twisted(shape).unwrap())
         .unwrap();
 
-    let after_blocks: Vec<_> = sc.job(bystander).unwrap().slice().blocks().to_vec();
+    let after_blocks: Vec<_> = sc
+        .job(bystander)
+        .unwrap()
+        .slice()
+        .unwrap()
+        .blocks()
+        .to_vec();
     assert_eq!(bystander_blocks, after_blocks);
     // The bystander's collectives still work.
     let t = sc

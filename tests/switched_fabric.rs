@@ -1,0 +1,154 @@
+//! Integration tests for the switched (NVLink-island + fat-tree)
+//! backend: the §7.3 published slowdown bands must emerge from the
+//! end-to-end `Supercomputer` path, and switched machine specs must
+//! round-trip through the JSON spec-file format.
+
+use tpuv4::net::{BackendComparison, CollectiveBackend};
+use tpuv4::topology::SliceShape;
+use tpuv4::{Collective, Generation, JobSpec, MachineSpec, SliceSpec, Supercomputer};
+
+fn shape(x: u32, y: u32, z: u32) -> SliceShape {
+    SliceShape::new(x, y, z).unwrap()
+}
+
+/// §7.3: "an optimized all-reduce would run 1.8x–2.4x slower" on the IB
+/// fat-tree alternative, depending on slice size — via the new backend.
+#[test]
+fn all_reduce_slowdown_matches_section_7_3() {
+    let v4 = MachineSpec::v4();
+    let ib = MachineSpec::v4_ib_hybrid();
+    let mut seen = Vec::new();
+    for s in [
+        shape(8, 8, 8),
+        shape(8, 8, 16),
+        shape(8, 16, 16),
+        shape(16, 16, 16),
+    ] {
+        let cmp = BackendComparison::between(&v4, &ib, s, 1e9, 4096.0);
+        assert!(
+            cmp.all_reduce_slowdown > 1.4 && cmp.all_reduce_slowdown < 3.0,
+            "{s:?}: {}",
+            cmp.all_reduce_slowdown
+        );
+        seen.push(cmp.all_reduce_slowdown);
+    }
+    assert!(seen.iter().any(|&s| (1.8..=2.4).contains(&s)), "{seen:?}");
+}
+
+/// §7.3: "an all-to-all would be 1.2x–2.4x slower".
+#[test]
+fn all_to_all_slowdown_matches_section_7_3() {
+    let v4 = MachineSpec::v4();
+    let ib = MachineSpec::v4_ib_hybrid();
+    let mut seen = Vec::new();
+    for s in [shape(4, 4, 8), shape(8, 8, 8), shape(8, 8, 16)] {
+        let cmp = BackendComparison::between(&v4, &ib, s, 1e9, 4096.0);
+        assert!(
+            cmp.all_to_all_slowdown > 1.0 && cmp.all_to_all_slowdown < 3.2,
+            "{s:?}: {}",
+            cmp.all_to_all_slowdown
+        );
+        seen.push(cmp.all_to_all_slowdown);
+    }
+    assert!(seen.iter().any(|&s| (1.2..=2.4).contains(&s)), "{seen:?}");
+}
+
+/// The same bands must emerge from the `Supercomputer` job API, not
+/// just the analytic comparison helper.
+#[test]
+fn supercomputer_reproduces_the_bands_end_to_end() {
+    let mut torus = Supercomputer::for_generation(Generation::V4);
+    let mut ib = Supercomputer::for_spec(&MachineSpec::v4_ib_hybrid());
+    let slice = SliceSpec::regular(shape(8, 8, 8));
+    let jt = torus.submit(JobSpec::new("torus", slice)).unwrap();
+    let ji = ib.submit(JobSpec::new("ib", slice)).unwrap();
+
+    let ar = Collective::AllReduce { bytes: 1 << 30 };
+    let ar_slow = ib.collective_time(ji, ar).unwrap() / torus.collective_time(jt, ar).unwrap();
+    assert!((1.8..=2.4).contains(&ar_slow), "all-reduce: {ar_slow}");
+
+    // The all-to-all band depends on slice size (§7.3: "1.2x-2.4x
+    // slower"); a 1024-chip slice sits inside it.
+    let slice = SliceSpec::regular(shape(8, 8, 16));
+    let jt = torus.submit(JobSpec::new("torus2", slice)).unwrap();
+    let ji = ib.submit(JobSpec::new("ib2", slice)).unwrap();
+    let a2a = Collective::AllToAll {
+        bytes_per_pair: 4096,
+    };
+    let a2a_slow = ib.collective_time(ji, a2a).unwrap() / torus.collective_time(jt, a2a).unwrap();
+    assert!((1.2..=2.4).contains(&a2a_slow), "all-to-all: {a2a_slow}");
+}
+
+/// Acceptance: `Supercomputer::for_spec(&MachineSpec::a100())` answers
+/// `collective_time` for both collectives end to end.
+#[test]
+fn a100_answers_collectives_end_to_end() {
+    let mut sc = Supercomputer::for_spec(&MachineSpec::a100());
+    assert!(sc.is_switched());
+    assert_eq!(sc.total_chips(), 4216);
+    let job = sc
+        .submit(JobSpec::new("mlperf", SliceSpec::regular(shape(8, 8, 8))))
+        .unwrap();
+    let ar = sc
+        .collective_time(job, Collective::AllReduce { bytes: 1 << 30 })
+        .unwrap();
+    let a2a = sc
+        .collective_time(
+            job,
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        )
+        .unwrap();
+    assert!(ar > 0.0 && ar.is_finite());
+    assert!(a2a > 0.0 && a2a.is_finite());
+    // The NVLink islands keep small jobs fast; at 512 chips the NIC ring
+    // dominates and the switched machine is slower than the OCS torus.
+    let mut v4 = Supercomputer::for_generation(Generation::V4);
+    let jt = v4
+        .submit(JobSpec::new("mlperf", SliceSpec::regular(shape(8, 8, 8))))
+        .unwrap();
+    assert!(
+        ar > v4
+            .collective_time(jt, Collective::AllReduce { bytes: 1 << 30 })
+            .unwrap()
+    );
+    sc.finish(job).unwrap();
+    assert_eq!(sc.chips_in_use(), 0);
+}
+
+/// Acceptance: the a100 spec round-trips through JSON and the loaded
+/// copy drives the same switched backend.
+#[test]
+fn a100_round_trips_through_json() {
+    let spec = MachineSpec::a100();
+    let loaded = MachineSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(loaded, spec);
+    assert_eq!(loaded.torus_dims, 0);
+
+    let mut sc = Supercomputer::for_spec(&loaded);
+    assert!(sc.is_switched());
+    let job = sc
+        .submit(JobSpec::new("rt", SliceSpec::regular(shape(4, 4, 8))))
+        .unwrap();
+    let direct = CollectiveBackend::for_spec(&spec).all_reduce_time(shape(4, 4, 8), 1e9);
+    let via_json = sc
+        .collective_time(
+            job,
+            Collective::AllReduce {
+                bytes: 1_000_000_000,
+            },
+        )
+        .unwrap();
+    assert!((direct - via_json).abs() < 1e-12, "{direct} vs {via_json}");
+}
+
+/// The v4-ib counterfactual also round-trips (it is a spec like any
+/// other, usable from `specs/v4-ib.json`).
+#[test]
+fn v4_ib_round_trips_through_json() {
+    let spec = MachineSpec::v4_ib_hybrid();
+    let loaded = MachineSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(loaded, spec);
+    assert_eq!(loaded.glueless_island_chips(), 8);
+}
