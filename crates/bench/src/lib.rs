@@ -125,6 +125,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: figures_perf::fig15,
         },
         Experiment {
+            id: "fig15_tail",
+            title: "Figure 15 tail: derived from the latency-aware backend",
+            run: figures_perf::fig15_tail,
+        },
+        Experiment {
             id: "table6",
             title: "Table 6: measured MLPerf power",
             run: tables::table6,
@@ -155,6 +160,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: sections::sweep,
         },
         Experiment {
+            id: "crossover",
+            title: "Latency/bandwidth crossover payloads per machine (§7.9/§8)",
+            run: sections::crossover,
+        },
+        Experiment {
             id: "sec7_6",
             title: "Section 7.6: energy and CO2e (4Ms)",
             run: sections::sec7_6,
@@ -170,9 +180,33 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for want in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig4", "fig5",
-            "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "sec2_9", "sec7_2", "sec7_3", "sec7_6", "sweep",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig15_tail",
+            "fig16",
+            "fig17",
+            "sec2_9",
+            "sec7_2",
+            "sec7_3",
+            "sec7_6",
+            "sweep",
+            "crossover",
         ] {
             assert!(ids.contains(&want), "{want} missing from the registry");
         }

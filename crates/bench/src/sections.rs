@@ -5,7 +5,7 @@ use std::fmt::Write;
 use tpu_core::{Collective, JobSpec, Supercomputer};
 use tpu_energy::carbon::{CarbonModel, Datacenter};
 use tpu_net::fattree::FatTree;
-use tpu_net::BackendComparison;
+use tpu_net::{BackendComparison, CollectiveBackend};
 use tpu_ocs::SliceSpec;
 use tpu_sched::SliceMix;
 use tpu_spec::{Generation, MachineSpec};
@@ -201,6 +201,58 @@ pub fn sweep() -> String {
     out
 }
 
+/// Latency-regime sweep: for every built-in machine, the all-reduce
+/// payload at which alpha and beta terms cross on a 512-chip slice, and
+/// the latency-aware / bandwidth-only ratio across payloads — the §7.9
+/// fixed-overhead and §8 latency-hiding discussion made quantitative.
+pub fn crossover() -> String {
+    let mut out = String::new();
+    let shape = SliceShape::new(8, 8, 8).expect("valid");
+    let payloads: [(f64, &str); 6] = [
+        (1024.0, "1 KiB"),
+        (65536.0, "64 KiB"),
+        (1048576.0, "1 MiB"),
+        (8388608.0, "8 MiB"),
+        (67108864.0, "64 MiB"),
+        (1073741824.0, "1 GiB"),
+    ];
+    let _ = write!(out, "{:<10} {:>14}", "machine", "crossover");
+    for (_, label) in payloads {
+        let _ = write!(out, " {:>9}", label);
+    }
+    let _ = writeln!(out);
+    for label in ["v2", "v3", "v4", "v4-ib", "a100", "ipu-bow"] {
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let backend = CollectiveBackend::for_spec(&spec);
+        let bandwidth = backend.bandwidth_only();
+        let _ = write!(
+            out,
+            "{:<10} {:>11.1} MB",
+            label,
+            backend.all_reduce_crossover_bytes(shape) / 1e6
+        );
+        for (bytes, _) in payloads {
+            let ratio =
+                backend.all_reduce_time(shape, bytes) / bandwidth.all_reduce_time(shape, bytes);
+            let _ = write!(out, " {:>8.2}x", ratio);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "\n(512-chip all-reduce, latency-aware time over bandwidth-only;"
+    );
+    let _ = writeln!(
+        out,
+        " below the crossover the fabric is latency-bound — the regime §8's"
+    );
+    let _ = writeln!(
+        out,
+        " tens of thousands of outstanding requests exist to hide)"
+    );
+    out
+}
+
 /// A machine report for an arbitrary spec file (the `repro --spec`
 /// path): identity, derived fleet numbers and a collective table through
 /// `Supercomputer::for_spec`.
@@ -235,6 +287,26 @@ pub fn spec_report(spec: &MachineSpec) -> String {
         out,
         "interconnect: {} links x {:.0} GB/s",
         spec.chip.ici_links, spec.chip.ici_gbps_per_link
+    );
+    let latency = spec.collective_latency();
+    let _ = writeln!(
+        out,
+        "latency:      {:.2} µs/hop ici, {:.2} µs nic + {:.2} µs/switch-stage{}",
+        latency.ici_hop_s * 1e6,
+        latency.nic_s * 1e6,
+        latency.switch_hop_s * 1e6,
+        if spec.latency.is_some() {
+            ""
+        } else {
+            " (reference)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "crossover:    {:.1} MB all-reduce payload on a 512-chip slice",
+        CollectiveBackend::for_spec(spec)
+            .all_reduce_crossover_bytes(SliceShape::new(8, 8, 8).expect("valid"))
+            / 1e6
     );
     let _ = writeln!(out);
     let _ = writeln!(
@@ -362,9 +434,32 @@ mod tests {
             let out = spec_report(&spec);
             assert!(out.contains("all-reduce"), "{out}");
             assert!(out.contains("4x4x8"), "{out}");
+            assert!(out.contains("crossover"), "{out}");
         }
         assert!(spec_report(&MachineSpec::a100()).contains("switched"));
         assert!(spec_report(&MachineSpec::v4()).contains("OCS-stitched"));
+        // A spec with explicit alphas reports them as its own.
+        let mut spec = MachineSpec::v4();
+        assert!(spec_report(&spec).contains("(reference)"));
+        spec.latency = Some(tpu_spec::LatencySpec::reference());
+        assert!(!spec_report(&spec).contains("(reference)"));
+    }
+
+    #[test]
+    fn crossover_covers_every_machine_in_megabytes() {
+        let out = crossover();
+        for label in ["v2", "v3", "v4", "v4-ib", "a100", "ipu-bow"] {
+            assert!(out.contains(label), "{label} missing:\n{out}");
+        }
+        assert!(out.contains("MB"), "{out}");
+        // Large payloads converge on every machine: the 1 GiB column is
+        // within 1% of bandwidth-only.
+        for line in out.lines().skip(1).take(6) {
+            let last = line.split_whitespace().last().unwrap();
+            let ratio: f64 = last.trim_end_matches('x').parse().unwrap();
+            // Printed at 2 decimals, so within-1% shows as at most 1.01.
+            assert!((1.0..=1.01).contains(&ratio), "{line}");
+        }
     }
 
     #[test]

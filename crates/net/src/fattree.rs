@@ -60,6 +60,22 @@ impl FatTree {
     pub fn per_chip_injection(self) -> f64 {
         self.nic_rate.bytes_per_s() * f64::from(self.nics_per_chip)
     }
+
+    /// Switch traversals one message pays crossing the tree between two
+    /// endpoints, for a fabric of `chips` endpoints: 1 under a shared
+    /// leaf (≤ radix/2 endpoints), 3 up-over-down within two levels
+    /// (≤ (radix/2)² endpoints), else the full 3-level Clos's 5
+    /// (leaf–spine–core–spine–leaf).
+    pub fn switch_stages(self, chips: u64) -> u32 {
+        let down = u64::from(self.switch_radix / 2).max(1);
+        if chips <= down {
+            1
+        } else if chips <= down * down {
+            3
+        } else {
+            5
+        }
+    }
 }
 
 /// The hybrid network of §7.3: `ici_island` chips share glueless ICI (like
@@ -93,6 +109,9 @@ impl HybridIciIb {
             island_rate: self.ici_rate,
             island_links: 6,
             fat_tree: self.fat_tree,
+            island_alpha_s: tpu_spec::LatencySpec::ICI_HOP_S,
+            nic_alpha_s: tpu_spec::LatencySpec::NIC_S,
+            switch_alpha_s: tpu_spec::LatencySpec::SWITCH_HOP_S,
         }
     }
 

@@ -4,8 +4,13 @@
 //! they are exact for the large transfers of Figure 6 but underestimate
 //! small-message collectives, where per-hop latency dominates — the same
 //! fixed-overhead regime that §7.9 blames for MLPerf-DLRM's scaling wall.
-//! This module adds the `alpha` term.
+//! This module adds the `alpha` term, on exactly the schedules the
+//! bandwidth models cost: `torus_all_reduce_time` takes the same
+//! [`AllReduceSchedule`] as [`crate::collectives::torus_all_reduce_time`]
+//! and converges to it as the payload grows, so latency-aware and
+//! bandwidth-only numbers are always comparable.
 
+use crate::collectives::{self, AllReduceSchedule};
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
 use tpu_topology::SliceShape;
@@ -20,6 +25,11 @@ pub struct AlphaBeta {
 }
 
 impl AlphaBeta {
+    /// An alpha-beta model from explicit parameters.
+    pub fn new(alpha_s: f64, rate: LinkRate) -> AlphaBeta {
+        AlphaBeta { alpha_s, rate }
+    }
+
     /// ICI-class defaults: ~1 µs per hop (§8 notes each chip keeps "tens
     /// of thousands of outstanding memory requests" precisely to hide
     /// this latency).
@@ -29,45 +39,69 @@ impl AlphaBeta {
     /// paper's headline machine and will eventually be deprecated.
     pub fn tpu_v4_ici() -> AlphaBeta {
         AlphaBeta {
-            alpha_s: 1e-6,
+            alpha_s: tpu_spec::LatencySpec::ICI_HOP_S,
             rate: LinkRate::TPU_V4_ICI,
         }
     }
 
-    /// The alpha-beta model at a machine spec's ICI link rate, with the
-    /// ICI-class ~1 µs per-hop latency.
+    /// The alpha-beta model at a machine spec's ICI link rate and the
+    /// spec's declared per-hop latency (the DESIGN.md §7 reference when
+    /// the spec omits the `latency` block).
     pub fn for_spec(spec: &tpu_spec::MachineSpec) -> AlphaBeta {
         AlphaBeta {
-            alpha_s: 1e-6,
+            alpha_s: spec.collective_latency().ici_hop_s,
             rate: LinkRate::for_spec(spec),
         }
     }
 
-    /// Ring all-reduce of `bytes` over `nodes` members: `2(p−1)` steps,
-    /// each paying alpha plus its share of the payload.
-    pub fn ring_all_reduce_time(&self, nodes: u64, bytes: f64) -> f64 {
-        if nodes < 2 {
+    /// Ring all-reduce of `bytes` over `nodes` members with `rings`
+    /// parallel rings sharing the payload: the bandwidth term splits
+    /// across rings, but every ring still serializes all `2(p−1)` steps,
+    /// so each step pays alpha undivided.
+    pub fn ring_all_reduce_time(&self, nodes: u64, bytes: f64, rings: u32) -> f64 {
+        if nodes < 2 || rings == 0 {
             return 0.0;
         }
-        let p = nodes as f64;
-        let steps = 2.0 * (p - 1.0);
-        steps * self.alpha_s + 2.0 * (p - 1.0) / p * bytes / (2.0 * self.rate.bytes_per_s())
+        let steps = 2.0 * (nodes as f64 - 1.0);
+        steps * self.alpha_s + collectives::ring_all_reduce_time(nodes, bytes, self.rate, rings)
     }
 
-    /// Dimension-sequential torus all-reduce with latency.
-    pub fn torus_all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
-        let mut time = 0.0;
-        let mut volume = bytes;
-        for &k in [shape.x(), shape.y(), shape.z()].iter().filter(|&&k| k > 1) {
-            time += self.ring_all_reduce_time(u64::from(k), volume);
-            volume /= f64::from(k);
-        }
-        time
+    /// The pure-latency cost of a torus all-reduce on `shape`: every
+    /// non-degenerate dimension's ring serializes `2(k−1)` alpha steps.
+    ///
+    /// This is schedule-independent: the multi-path schedule runs the
+    /// dimension *orderings* concurrently, but each ordering still
+    /// traverses every dimension, so its critical path pays the same
+    /// step count as the sequential schedule.
+    pub fn torus_alpha_seconds(&self, shape: SliceShape) -> f64 {
+        [shape.x(), shape.y(), shape.z()]
+            .iter()
+            .filter(|&&k| k > 1)
+            .map(|&k| 2.0 * (f64::from(k) - 1.0) * self.alpha_s)
+            .sum()
+    }
+
+    /// Torus all-reduce with latency, under the given schedule.
+    ///
+    /// The bandwidth term is exactly
+    /// [`crate::collectives::torus_all_reduce_time`] for the same
+    /// schedule (so the two models converge at large payloads — the
+    /// backend costs tori with [`AllReduceSchedule::MultiPath`], and this
+    /// model must be comparable with it); the latency term adds the
+    /// serialized alpha steps of [`AlphaBeta::torus_alpha_seconds`].
+    pub fn torus_all_reduce_time(
+        &self,
+        shape: SliceShape,
+        bytes: f64,
+        schedule: AllReduceSchedule,
+    ) -> f64 {
+        collectives::torus_all_reduce_time(shape, bytes, self.rate, schedule)
+            + self.torus_alpha_seconds(shape)
     }
 
     /// The payload size at which latency and bandwidth terms are equal
     /// for a ring of `nodes` (below this, the collective is
-    /// latency-bound).
+    /// latency-bound): `2·p·alpha·rate`.
     pub fn crossover_bytes(&self, nodes: u64) -> f64 {
         if nodes < 2 {
             return 0.0;
@@ -78,21 +112,43 @@ impl AlphaBeta {
     }
 }
 
+/// Hop count of the longest shortest path on a torus of `shape` (each
+/// dimension contributes ⌊k/2⌋ wraparound hops) — the pipeline depth a
+/// bulk all-to-all pays in per-hop latency once, with §8-style
+/// outstanding requests hiding everything behind the first arrival.
+pub fn torus_diameter_hops(shape: SliceShape) -> u32 {
+    shape.x() / 2 + shape.y() / 2 + shape.z() / 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::collectives::{torus_all_reduce_time, AllReduceSchedule};
+    use crate::collectives::torus_all_reduce_time;
 
     #[test]
     fn large_messages_converge_to_bandwidth_model() {
         let ab = AlphaBeta::tpu_v4_ici();
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 10e9;
-        let with_latency = ab.torus_all_reduce_time(shape, bytes);
-        let bandwidth_only =
-            torus_all_reduce_time(shape, bytes, ab.rate, AllReduceSchedule::Sequential);
-        let overhead = with_latency / bandwidth_only;
-        assert!((1.0..1.01).contains(&overhead), "{overhead}");
+        for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
+            let with_latency = ab.torus_all_reduce_time(shape, bytes, schedule);
+            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, schedule);
+            let overhead = with_latency / bandwidth_only;
+            assert!((1.0..1.01).contains(&overhead), "{schedule:?}: {overhead}");
+        }
+    }
+
+    #[test]
+    fn multipath_schedule_matches_the_backend_not_sequential() {
+        // Regression: the old model hard-coded the Sequential schedule
+        // while the backend costs tori with MultiPath — a 3x gap on a
+        // cube. Passing the schedule through closes it.
+        let ab = AlphaBeta::tpu_v4_ici();
+        let shape = SliceShape::new(8, 8, 8).unwrap();
+        let bytes = 10e9;
+        let seq = ab.torus_all_reduce_time(shape, bytes, AllReduceSchedule::Sequential);
+        let par = ab.torus_all_reduce_time(shape, bytes, AllReduceSchedule::MultiPath);
+        assert!((seq / par - 3.0).abs() < 0.01, "{}", seq / par);
     }
 
     #[test]
@@ -100,13 +156,27 @@ mod tests {
         let ab = AlphaBeta::tpu_v4_ici();
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 1024.0;
-        let with_latency = ab.torus_all_reduce_time(shape, bytes);
-        let bandwidth_only =
-            torus_all_reduce_time(shape, bytes, ab.rate, AllReduceSchedule::Sequential);
-        assert!(
-            with_latency > 10.0 * bandwidth_only,
-            "{with_latency} vs {bandwidth_only}"
-        );
+        for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
+            let with_latency = ab.torus_all_reduce_time(shape, bytes, schedule);
+            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, schedule);
+            assert!(
+                with_latency > 10.0 * bandwidth_only,
+                "{with_latency} vs {bandwidth_only}"
+            );
+        }
+    }
+
+    #[test]
+    fn rings_split_bandwidth_but_not_latency() {
+        let ab = AlphaBeta::tpu_v4_ici();
+        let one = ab.ring_all_reduce_time(64, 1e9, 1);
+        let three = ab.ring_all_reduce_time(64, 1e9, 3);
+        let alpha = 2.0 * 63.0 * ab.alpha_s;
+        assert!(((one - alpha) / (three - alpha) - 3.0).abs() < 1e-9);
+        // At tiny payloads the ring count is irrelevant.
+        let t1 = ab.ring_all_reduce_time(64, 8.0, 1);
+        let t3 = ab.ring_all_reduce_time(64, 8.0, 3);
+        assert!((t1 - t3).abs() < alpha * 1e-6, "{t1} vs {t3}");
     }
 
     #[test]
@@ -124,15 +194,22 @@ mod tests {
     #[test]
     fn latency_grows_with_node_count_at_tiny_payloads() {
         let ab = AlphaBeta::tpu_v4_ici();
-        let t_small = ab.ring_all_reduce_time(8, 128.0);
-        let t_large = ab.ring_all_reduce_time(64, 128.0);
+        let t_small = ab.ring_all_reduce_time(8, 128.0, 1);
+        let t_large = ab.ring_all_reduce_time(64, 128.0, 1);
         assert!(t_large > 7.0 * t_small, "{t_small} vs {t_large}");
     }
 
     #[test]
     fn single_node_is_free() {
         let ab = AlphaBeta::tpu_v4_ici();
-        assert_eq!(ab.ring_all_reduce_time(1, 1e9), 0.0);
+        assert_eq!(ab.ring_all_reduce_time(1, 1e9, 1), 0.0);
         assert_eq!(ab.crossover_bytes(1), 0.0);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(torus_diameter_hops(SliceShape::new(8, 8, 8).unwrap()), 12);
+        assert_eq!(torus_diameter_hops(SliceShape::new(2, 2, 2).unwrap()), 3);
+        assert_eq!(torus_diameter_hops(SliceShape::new(1, 1, 1).unwrap()), 0);
     }
 }

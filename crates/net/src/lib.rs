@@ -50,7 +50,7 @@ pub use collectives::{mesh_all_reduce_time, torus_all_gather_time, torus_all_red
 pub use event::{FlowSim, SimReport};
 pub use fattree::{FatTree, HybridIciIb, IbComparison};
 pub use flows::{all_to_all_flows, ring_all_reduce_flows, Flow};
-pub use latency::AlphaBeta;
+pub use latency::{torus_diameter_hops, AlphaBeta};
 pub use load::{AllToAll, LinkLoads};
 pub use rings::DimensionRings;
 pub use switched::{BackendComparison, CollectiveBackend, IslandKind, SwitchedFabric};

@@ -82,8 +82,17 @@ impl AllToAll {
     /// the bisection lower bound (N²/4 pairs must cross each way), the
     /// "theoretical delta from the ideal peak" stacked bar in Figure 6.
     pub fn analyze(graph: &LinkGraph, bytes_per_pair: u64, rate: LinkRate) -> AllToAll {
+        AllToAll::analyze_fractional(graph, bytes_per_pair as f64, rate)
+    }
+
+    /// [`AllToAll::analyze`] for a fractional per-pair payload.
+    ///
+    /// The load model is linear in `bytes_per_pair`, so sub-byte payloads
+    /// (e.g. a fixed total budget divided across `n²` pairs in a scaling
+    /// sweep) are meaningful and must not round to a free collective.
+    pub fn analyze_fractional(graph: &LinkGraph, bytes_per_pair: f64, rate: LinkRate) -> AllToAll {
         let n = graph.node_count();
-        let bytes = bytes_per_pair as f64;
+        let bytes = bytes_per_pair;
         let loads = LinkLoads::uniform_all_to_all(graph, bytes);
         let completion_time = loads.completion_time(rate);
 

@@ -16,13 +16,22 @@
 //! 1/island shard with every chip driving its own NIC, intra-island
 //! all-gather. The published 1.8×–2.4× / 1.2×–2.4× slowdowns then emerge
 //! from bandwidth arithmetic alone.
+//!
+//! Every model here is alpha-beta (DESIGN.md §7): each schedule step
+//! pays a per-message latency — the island link's hop alpha on
+//! intra-island steps, NIC + per-switch-stage alpha on fat-tree steps
+//! (up to 5 switch traversals on a 3-level Clos) — so small-message
+//! collectives and the §7.9/§8 fixed-overhead regime are quantitative.
+//! [`CollectiveBackend::bandwidth_only`] recovers the infinite-message
+//! asymptote, and the two agree within 1% at ≥1 GB payloads.
 
-use crate::collectives::{torus_all_reduce_time, AllReduceSchedule};
+use crate::collectives::AllReduceSchedule;
 use crate::fattree::FatTree;
+use crate::latency::{torus_diameter_hops, AlphaBeta};
 use crate::load::AllToAll;
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
-use tpu_spec::{MachineSpec, ProcessorStyle};
+use tpu_spec::{LatencySpec, MachineSpec, ProcessorStyle};
 use tpu_topology::{SliceShape, Torus};
 
 /// How the chips inside one glueless island are wired.
@@ -51,6 +60,14 @@ pub struct SwitchedFabric {
     pub island_links: u32,
     /// The inter-island InfiniBand fat tree.
     pub fat_tree: FatTree,
+    /// Per-hop, per-message latency on an island link (ICI or NVLink),
+    /// seconds.
+    pub island_alpha_s: f64,
+    /// Per-message NIC/endpoint overhead on the fat-tree path, seconds.
+    pub nic_alpha_s: f64,
+    /// Per-switch-stage latency on the fat tree, seconds (stage count
+    /// from [`FatTree::switch_stages`]).
+    pub switch_alpha_s: f64,
 }
 
 impl SwitchedFabric {
@@ -69,12 +86,16 @@ impl SwitchedFabric {
             ProcessorStyle::SingleInstruction2dData => IslandKind::Torus,
             _ => IslandKind::Crossbar,
         };
+        let latency = spec.collective_latency();
         Some(SwitchedFabric {
             island_chips: spec.glueless_island_chips(),
             island_kind,
             island_rate: LinkRate::for_spec(spec),
             island_links: spec.chip.ici_links.max(1),
             fat_tree: FatTree::hdr_reference(),
+            island_alpha_s: latency.ici_hop_s,
+            nic_alpha_s: latency.nic_s,
+            switch_alpha_s: latency.switch_hop_s,
         })
     }
 
@@ -88,6 +109,9 @@ impl SwitchedFabric {
             island_rate: LinkRate::TPU_V4_ICI,
             island_links: 6,
             fat_tree: FatTree::hdr_reference(),
+            island_alpha_s: LatencySpec::ICI_HOP_S,
+            nic_alpha_s: LatencySpec::NIC_S,
+            switch_alpha_s: LatencySpec::SWITCH_HOP_S,
         }
     }
 
@@ -101,6 +125,20 @@ impl SwitchedFabric {
             island_rate: LinkRate::from_gb_per_s(25.0),
             island_links: 12,
             fat_tree: FatTree::hdr_reference(),
+            island_alpha_s: LatencySpec::ICI_HOP_S,
+            nic_alpha_s: LatencySpec::NIC_S,
+            switch_alpha_s: LatencySpec::SWITCH_HOP_S,
+        }
+    }
+
+    /// This fabric with every alpha zeroed: the pure-bandwidth
+    /// (infinite-message) asymptote the pre-latency model computed.
+    pub fn bandwidth_only(&self) -> SwitchedFabric {
+        SwitchedFabric {
+            island_alpha_s: 0.0,
+            nic_alpha_s: 0.0,
+            switch_alpha_s: 0.0,
+            ..*self
         }
     }
 
@@ -109,29 +147,45 @@ impl SwitchedFabric {
         self.island_rate.bytes_per_s() * f64::from(self.island_links)
     }
 
+    /// Per-message latency of one inter-island schedule step for a
+    /// fabric of `chips` endpoints: NIC/endpoint overhead plus one
+    /// fat-tree crossing's switch traversals (1, 3 or 5 stages on the
+    /// 3-level Clos, by fabric size).
+    pub fn inter_step_alpha(&self, chips: u64) -> f64 {
+        self.nic_alpha_s + f64::from(self.fat_tree.switch_stages(chips)) * self.switch_alpha_s
+    }
+
     /// All-reduce time of `bytes` confined to (up to) one island.
     fn intra_all_reduce_time(&self, chips: u32, bytes: f64) -> f64 {
         if chips <= 1 {
             return 0.0;
         }
         match self.island_kind {
-            IslandKind::Torus => torus_all_reduce_time(
-                island_shape(chips),
-                bytes,
-                self.island_rate,
-                AllReduceSchedule::MultiPath,
-            ),
+            IslandKind::Torus => AlphaBeta::new(self.island_alpha_s, self.island_rate)
+                .torus_all_reduce_time(island_shape(chips), bytes, AllReduceSchedule::MultiPath),
             IslandKind::Crossbar => {
+                // A ring through the non-blocking switch: 2(n−1) steps,
+                // each one switch hop, at full per-chip injection.
                 let n = f64::from(chips);
                 2.0 * (n - 1.0) / n * bytes / self.island_injection()
+                    + 2.0 * (n - 1.0) * self.island_alpha_s
             }
         }
     }
 
     /// Hierarchical all-reduce time of `bytes` over `chips` chips:
     /// intra-island reduce-scatter + all-gather (costed together as one
-    /// intra all-reduce) around an inter-island ring all-reduce of the
-    /// 1/island shard, each chip driving its own NIC.
+    /// intra all-reduce) around an inter-island ring all-reduce, each
+    /// chip driving its own NIC, each ring step paying
+    /// [`SwitchedFabric::inter_step_alpha`].
+    ///
+    /// A fleet whose chip count is not a multiple of the island size gets
+    /// one partial island. Its `r` chips must still source and sink the
+    /// full payload through their own NICs, so the per-chip inter-island
+    /// shard is `bytes / r` — not `bytes / island_chips` — and the
+    /// intra-island phase is bounded by the slower of the full and
+    /// partial island (a 1×1×r ring is slower per byte than a 2×2×2
+    /// cube).
     pub fn all_reduce_time(&self, chips: u64, bytes: f64) -> f64 {
         let island = u64::from(self.island_chips);
         if chips <= 1 {
@@ -141,12 +195,17 @@ impl SwitchedFabric {
             return self.intra_all_reduce_time(chips as u32, bytes);
         }
         let groups = chips.div_ceil(island);
-        let intra = self.intra_all_reduce_time(self.island_chips, bytes);
+        let remainder = chips % island;
+        let smallest_island = if remainder == 0 { island } else { remainder };
+        let intra = self
+            .intra_all_reduce_time(self.island_chips, bytes)
+            .max(self.intra_all_reduce_time(smallest_island as u32, bytes));
         let g = groups as f64;
-        let shard = bytes / island as f64;
-        let inter = 2.0 * (g - 1.0) / g * shard
+        let shard = bytes / smallest_island as f64;
+        let inter_bw = 2.0 * (g - 1.0) / g * shard
             / (self.fat_tree.per_chip_injection() * self.fat_tree.all_reduce_utilization);
-        intra + inter
+        let inter_alpha = 2.0 * (g - 1.0) * self.inter_step_alpha(chips);
+        intra + inter_bw + inter_alpha
     }
 
     /// All-to-all time of the intra-island traffic (the `island - 1`
@@ -160,12 +219,19 @@ impl SwitchedFabric {
         }
         match self.island_kind {
             IslandKind::Torus => {
-                let graph = Torus::new(island_shape(chips)).into_graph();
-                AllToAll::analyze(&graph, bytes_per_pair.round() as u64, self.island_rate)
+                // Fractional per-pair payloads stay fractional (the load
+                // model is linear): a sub-byte pair budget must not round
+                // to a free collective while the crossbar/NIC branches
+                // charge for it.
+                let shape = island_shape(chips);
+                let graph = Torus::new(shape).into_graph();
+                AllToAll::analyze_fractional(&graph, bytes_per_pair, self.island_rate)
                     .completion_time()
+                    + f64::from(torus_diameter_hops(shape)) * self.island_alpha_s
             }
             IslandKind::Crossbar => {
                 bytes_per_pair * (f64::from(chips) - 1.0) / self.island_injection()
+                    + self.island_alpha_s
             }
         }
     }
@@ -175,6 +241,12 @@ impl SwitchedFabric {
     /// island bandwidth, torus-scheduled on ICI islands) and the
     /// NIC-injection bound on traffic leaving the island (the fat tree
     /// itself is full-bisection).
+    ///
+    /// The alpha term is the *pipeline depth* of the longest path (island
+    /// diameter hops, or NIC + switch stages), not a per-destination
+    /// cost: bulk all-to-all streams to all peers concurrently, and §8's
+    /// tens of thousands of outstanding requests hide every latency
+    /// except the first arrival's.
     pub fn all_to_all_time(&self, chips: u64, bytes_per_pair: f64) -> f64 {
         if chips <= 1 {
             return 0.0;
@@ -182,8 +254,12 @@ impl SwitchedFabric {
         let island = u64::from(self.island_chips).min(chips);
         let remote_bytes = bytes_per_pair * (chips - island) as f64;
         let local = self.intra_all_to_all_time(island as u32, bytes_per_pair);
+        if chips <= island {
+            return local;
+        }
         let remote = remote_bytes
-            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization);
+            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_to_all_utilization)
+            + self.inter_step_alpha(chips);
         local.max(remote)
     }
 
@@ -228,24 +304,38 @@ pub(crate) fn island_shape(chips: u32) -> SliceShape {
 /// the `tpu-bench` §7 tables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CollectiveBackend {
-    /// An ICI torus at a per-link rate (OCS-stitched or statically
+    /// An ICI torus at a per-link alpha-beta (OCS-stitched or statically
     /// cabled — steady-state collective cost is identical).
     Torus {
-        /// Per-link rate, one direction.
-        rate: LinkRate,
+        /// Per-hop latency + per-link rate, one direction.
+        link: AlphaBeta,
     },
     /// A switched island + fat-tree machine.
     Switched(SwitchedFabric),
 }
 
 impl CollectiveBackend {
-    /// The backend a machine spec describes.
+    /// The backend a machine spec describes, at the spec's declared
+    /// latency calibration (DESIGN.md §7 reference when omitted).
     pub fn for_spec(spec: &MachineSpec) -> CollectiveBackend {
         match SwitchedFabric::for_spec(spec) {
             Some(fabric) => CollectiveBackend::Switched(fabric),
             None => CollectiveBackend::Torus {
-                rate: LinkRate::for_spec(spec),
+                link: AlphaBeta::for_spec(spec),
             },
+        }
+    }
+
+    /// This backend with every alpha zeroed: the pure-bandwidth
+    /// (infinite-message) asymptote the pre-latency model computed.
+    pub fn bandwidth_only(&self) -> CollectiveBackend {
+        match self {
+            CollectiveBackend::Torus { link } => CollectiveBackend::Torus {
+                link: AlphaBeta::new(0.0, link.rate),
+            },
+            CollectiveBackend::Switched(fabric) => {
+                CollectiveBackend::Switched(fabric.bandwidth_only())
+            }
         }
     }
 
@@ -259,25 +349,40 @@ impl CollectiveBackend {
     /// geometry).
     pub fn all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
         match self {
-            CollectiveBackend::Torus { rate } => {
-                torus_all_reduce_time(shape, bytes, *rate, AllReduceSchedule::MultiPath)
+            CollectiveBackend::Torus { link } => {
+                link.torus_all_reduce_time(shape, bytes, AllReduceSchedule::MultiPath)
             }
             CollectiveBackend::Switched(fabric) => fabric.all_reduce_time(shape.volume(), bytes),
         }
     }
 
     /// Uniform all-to-all time with `bytes_per_pair` between every
-    /// ordered pair of chips in a slice of `shape`.
+    /// ordered pair of chips in a slice of `shape`. Fractional per-pair
+    /// payloads are kept fractional on every branch (torus, crossbar and
+    /// NIC); the torus alpha term is the slice diameter's pipeline depth.
     pub fn all_to_all_time(&self, shape: SliceShape, bytes_per_pair: f64) -> f64 {
         match self {
-            CollectiveBackend::Torus { rate } => {
+            CollectiveBackend::Torus { link } => {
                 let graph = Torus::new(shape).into_graph();
-                AllToAll::analyze(&graph, bytes_per_pair.round() as u64, *rate).completion_time()
+                AllToAll::analyze_fractional(&graph, bytes_per_pair, link.rate).completion_time()
+                    + f64::from(torus_diameter_hops(shape)) * link.alpha_s
             }
             CollectiveBackend::Switched(fabric) => {
                 fabric.all_to_all_time(shape.volume(), bytes_per_pair)
             }
         }
+    }
+
+    /// The all-reduce payload at which latency and bandwidth terms are
+    /// equal on a slice of `shape` — below it the collective is
+    /// latency-bound, the regime where the switched and torus fabrics of
+    /// §7.3 stop being distinguishable by bandwidth arithmetic.
+    pub fn all_reduce_crossover_bytes(&self, shape: SliceShape) -> f64 {
+        let per_byte = self.bandwidth_only().all_reduce_time(shape, 1.0);
+        if per_byte <= 0.0 {
+            return 0.0;
+        }
+        self.all_reduce_time(shape, 0.0) / per_byte
     }
 }
 
@@ -372,16 +477,22 @@ mod tests {
         let t4096 = f.all_reduce_time(4096, 1e9);
         assert!(t512 > 0.0);
         assert!(t4096 >= t512);
+        // Bytes scale the bandwidth term exactly; the alpha floor makes
+        // the full doubling only approximate (within 1% at 1 GB).
         let t2x = f.all_reduce_time(512, 2e9);
-        assert!((t2x / t512 - 2.0).abs() < 1e-9);
+        assert!((t2x / t512 - 2.0).abs() < 0.02);
+        let bw = f.bandwidth_only();
+        assert!((bw.all_reduce_time(512, 2e9) / bw.all_reduce_time(512, 1e9) - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn nvlink_island_is_fast_but_nic_dominates_at_scale() {
         let f = SwitchedFabric::nvlink_a100();
-        // Intra-island all-reduce runs at the 300 GB/s NVLink injection.
+        // Intra-island all-reduce runs at the 300 GB/s NVLink injection,
+        // plus 2(n-1) ring steps of one switch hop each.
         let intra = f.all_reduce_time(4, 1e9);
-        assert!((intra - 2.0 * 0.75 * 1e9 / 300e9).abs() < 1e-12);
+        let expect = 2.0 * 0.75 * 1e9 / 300e9 + 6.0 * f.island_alpha_s;
+        assert!((intra - expect).abs() < 1e-12, "{intra} vs {expect}");
         // At 512 chips the 25 GB/s NIC ring dominates the island term.
         let full = f.all_reduce_time(512, 1e9);
         assert!(full > 3.0 * intra);
@@ -391,24 +502,24 @@ mod tests {
     fn all_to_all_nic_bound_at_scale() {
         let f = SwitchedFabric::nvlink_a100();
         // 512 chips: 508 remote destinations of 4 KiB over a 0.8-utilized
-        // 25 GB/s NIC.
+        // 25 GB/s NIC, one NIC + 5-stage Clos crossing deep in latency.
         let t = f.all_to_all_time(512, 4096.0);
-        let expect = 4096.0 * 508.0 / (25e9 * 0.8);
+        let expect = 4096.0 * 508.0 / (25e9 * 0.8) + f.inter_step_alpha(512);
         assert!((t - expect).abs() / expect < 1e-12, "{t} vs {expect}");
-        // Confined to one island: NVLink-bound instead.
+        // Confined to one island: NVLink-bound instead, one switch hop.
         let intra = f.all_to_all_time(4, 4096.0);
-        assert!((intra - 4096.0 * 3.0 / 300e9).abs() < 1e-15);
+        let expect = 4096.0 * 3.0 / 300e9 + f.island_alpha_s;
+        assert!((intra - expect).abs() < 1e-15);
     }
 
     #[test]
     fn torus_island_all_to_all_matches_torus_baseline() {
         // A slice confined to one 2x2x2 ICI island is physically the
         // same wiring as the OCS-torus slice of that shape — the models
-        // must agree.
+        // (both latency-aware) must agree.
         let f = SwitchedFabric::v4_ib_reference();
         let s = shape(2, 2, 2);
-        let baseline = AllToAll::analyze(&Torus::new(s).into_graph(), 4096, LinkRate::TPU_V4_ICI)
-            .completion_time();
+        let baseline = CollectiveBackend::for_spec(&MachineSpec::v4()).all_to_all_time(s, 4096.0);
         let switched = f.all_to_all_time(8, 4096.0);
         assert!(
             (switched - baseline).abs() < 1e-15,
@@ -421,8 +532,11 @@ mod tests {
         let s = shape(8, 8, 8);
         let torus = CollectiveBackend::for_spec(&MachineSpec::v4());
         assert!(!torus.is_switched());
-        let direct =
-            torus_all_reduce_time(s, 1e9, LinkRate::TPU_V4_ICI, AllReduceSchedule::MultiPath);
+        let direct = AlphaBeta::for_spec(&MachineSpec::v4()).torus_all_reduce_time(
+            s,
+            1e9,
+            AllReduceSchedule::MultiPath,
+        );
         assert_eq!(torus.all_reduce_time(s, 1e9), direct);
 
         let switched = CollectiveBackend::for_spec(&MachineSpec::a100());
@@ -431,6 +545,69 @@ mod tests {
             switched.all_reduce_time(s, 1e9),
             SwitchedFabric::nvlink_a100().all_reduce_time(512, 1e9)
         );
+    }
+
+    #[test]
+    fn partial_island_carries_the_right_shard() {
+        // Regression: 10 chips on 8-chip islands used to be costed as if
+        // both islands were full (shard = bytes/8). The 2-chip partial
+        // island's chips each have to push bytes/2 through their NICs.
+        let f = SwitchedFabric::v4_ib_reference();
+        let bytes = 1e9;
+        let inj = f.fat_tree.per_chip_injection() * f.fat_tree.all_reduce_utilization;
+
+        // Crossing the island boundary can never get cheaper.
+        assert!(f.all_reduce_time(9, bytes) >= f.all_reduce_time(8, bytes));
+        // 9 chips = one full island + a 1-chip island that moves the
+        // whole payload through a single NIC: the inter term is the full
+        // 2(g-1)/g · bytes / injection, far above the full-shard model.
+        let t9 = f.all_reduce_time(9, bytes);
+        let inter_right_shard = 2.0 * 0.5 * bytes / inj;
+        assert!(
+            t9 >= f.all_reduce_time(8, bytes) + 0.99 * inter_right_shard,
+            "t9 = {t9}"
+        );
+        // Two full islands share the load properly again — so 16 chips
+        // all-reduce *faster* than the pathological 9-chip split.
+        assert!(f.all_reduce_time(16, bytes) < t9);
+        // And divisible fleets are unchanged by the fix: shard = bytes/8.
+        let t16 = f.bandwidth_only().all_reduce_time(16, bytes);
+        let intra = f.bandwidth_only().all_reduce_time(8, bytes);
+        let expect = intra + 2.0 * 0.5 * (bytes / 8.0) / inj;
+        assert!((t16 - expect).abs() / expect < 1e-12, "{t16} vs {expect}");
+    }
+
+    #[test]
+    fn fractional_all_to_all_payloads_are_not_free() {
+        // Regression: the torus branches rounded bytes_per_pair to u64,
+        // so sub-byte per-pair budgets cost 0 on tori while the
+        // crossbar/NIC branches charged for them.
+        let ib = CollectiveBackend::for_spec(&MachineSpec::v4_ib_hybrid()).bandwidth_only();
+        let torus = CollectiveBackend::for_spec(&MachineSpec::v4()).bandwidth_only();
+        let s = shape(2, 2, 2);
+        for backend in [&torus, &ib] {
+            let t_half = backend.all_to_all_time(s, 0.4);
+            assert!(t_half > 0.0, "0.4 B/pair must not round to free");
+            // The load model is linear in the payload.
+            let t_full = backend.all_to_all_time(s, 0.8);
+            assert!((t_full / t_half - 2.0).abs() < 1e-9);
+        }
+        // Both island branches agree with each other on the same wiring.
+        assert_eq!(ib.all_to_all_time(s, 0.4), torus.all_to_all_time(s, 0.4));
+    }
+
+    #[test]
+    fn crossover_payloads_sit_between_regimes() {
+        for spec in [MachineSpec::a100(), MachineSpec::v4_ib_hybrid()] {
+            let backend = CollectiveBackend::for_spec(&spec);
+            let s = shape(8, 8, 8);
+            let crossover = backend.all_reduce_crossover_bytes(s);
+            assert!(crossover > 0.0, "{}", spec.generation);
+            // At the crossover, latency and bandwidth terms are equal.
+            let total = backend.all_reduce_time(s, crossover);
+            let bw = backend.bandwidth_only().all_reduce_time(s, crossover);
+            assert!((total / bw - 2.0).abs() < 1e-9, "{}", total / bw);
+        }
     }
 
     #[test]

@@ -36,6 +36,11 @@ impl GoodputSim {
     /// The fleet a machine spec describes, with its blocks arranged in
     /// the most cubic grid (v4: 64 blocks → 4×4×4).
     ///
+    /// Goodput is pure capacity accounting, so the spec's optional
+    /// `latency` block is deliberately ignored here — alphas change how
+    /// fast a slice's collectives run (`Supercomputer::collective_time`,
+    /// `StepCollectives`), never whether the slice schedules.
+    ///
     /// Switched machines (`torus_dims == 0`) schedule per glueless
     /// island instead of per 4³ block: an island is lost when any of its
     /// hosts fails, and — like the OCS plugboard — the full-bisection fat

@@ -49,6 +49,47 @@ impl BlockGeometry {
     }
 }
 
+/// Per-hop latency (alpha) calibration of a machine's interconnect —
+/// the fixed per-message costs that dominate small collectives (§7.9's
+/// fixed-overhead scaling wall; §8's "tens of thousands of outstanding
+/// memory requests" exist to hide exactly these).
+///
+/// Optional on [`MachineSpec`]: specs that omit it get
+/// [`LatencySpec::reference`], the calibrated defaults of DESIGN.md §7.
+/// All values are seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySpec {
+    /// Per-hop latency on a direct chip-to-chip link (ICI, NVLink):
+    /// DMA setup + wire + router, per message per hop.
+    pub ici_hop_s: f64,
+    /// Per-message NIC/endpoint overhead on the inter-island fat-tree
+    /// path (send + receive side combined).
+    pub nic_s: f64,
+    /// Per-switch-stage traversal latency on the fat tree (a 3-level
+    /// Clos adds up to 5 switch traversals per message).
+    pub switch_hop_s: f64,
+}
+
+impl LatencySpec {
+    /// Default ICI/island per-hop latency: ~1 µs (DESIGN.md §7).
+    pub const ICI_HOP_S: f64 = 1.0e-6;
+    /// Default InfiniBand NIC per-message overhead: 0.4 µs (DESIGN.md §7).
+    pub const NIC_S: f64 = 0.4e-6;
+    /// Default per-switch-stage latency: 0.1 µs (QM8790-class port-to-port
+    /// latency is ~130 ns; DESIGN.md §7).
+    pub const SWITCH_HOP_S: f64 = 0.1e-6;
+
+    /// The calibrated reference values of DESIGN.md §7, used whenever a
+    /// spec does not declare its own.
+    pub fn reference() -> LatencySpec {
+        LatencySpec {
+            ici_hop_s: LatencySpec::ICI_HOP_S,
+            nic_s: LatencySpec::NIC_S,
+            switch_hop_s: LatencySpec::SWITCH_HOP_S,
+        }
+    }
+}
+
 /// The optical-circuit-switch layer of a machine (§2.1), absent on the
 /// statically-cabled generations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,6 +147,10 @@ pub struct MachineSpec {
     pub fleet_chips: u64,
     /// The OCS layer, if the machine has one.
     pub ocs: Option<OcsSpec>,
+    /// Per-hop latency calibration, if the machine declares one;
+    /// `None` means the DESIGN.md §7 reference values apply (see
+    /// [`MachineSpec::collective_latency`]).
+    pub latency: Option<LatencySpec>,
 }
 
 impl MachineSpec {
@@ -121,6 +166,7 @@ impl MachineSpec {
             block: BlockGeometry::v4(),
             fleet_chips: consts::V4_FLEET_CHIPS,
             ocs: Some(OcsSpec::palomar()),
+            latency: None,
         }
     }
 
@@ -138,6 +184,7 @@ impl MachineSpec {
             },
             fleet_chips: u64::from(chip.largest_config),
             ocs: None,
+            latency: None,
             chip,
         }
     }
@@ -156,6 +203,7 @@ impl MachineSpec {
             },
             fleet_chips: u64::from(chip.largest_config),
             ocs: None,
+            latency: None,
             chip,
         }
     }
@@ -174,6 +222,7 @@ impl MachineSpec {
             },
             fleet_chips: u64::from(chip.largest_config),
             ocs: None,
+            latency: None,
             chip,
         }
     }
@@ -200,6 +249,7 @@ impl MachineSpec {
             },
             fleet_chips: consts::V4_FLEET_CHIPS,
             ocs: None,
+            latency: None,
         }
     }
 
@@ -217,6 +267,7 @@ impl MachineSpec {
             },
             fleet_chips: u64::from(chip.largest_config),
             ocs: None,
+            latency: None,
             chip,
         }
     }
@@ -253,6 +304,13 @@ impl MachineSpec {
         } else {
             self.block.tpus_per_host.max(1)
         }
+    }
+
+    /// The latency calibration collective models should use: the spec's
+    /// own [`LatencySpec`] when declared, otherwise the DESIGN.md §7
+    /// reference values ([`LatencySpec::reference`]).
+    pub fn collective_latency(&self) -> LatencySpec {
+        self.latency.unwrap_or_else(LatencySpec::reference)
     }
 
     /// ICI link rate, bytes per second per link per direction.
@@ -394,6 +452,15 @@ impl MachineSpec {
             ]),
         };
 
+        let latency = match &self.latency {
+            None => JsonValue::Null,
+            Some(lat) => JsonValue::Obj(vec![
+                ("ici_hop_s".to_string(), JsonValue::Num(lat.ici_hop_s)),
+                ("nic_s".to_string(), JsonValue::Num(lat.nic_s)),
+                ("switch_hop_s".to_string(), JsonValue::Num(lat.switch_hop_s)),
+            ]),
+        };
+
         JsonValue::Obj(vec![
             (
                 "generation".to_string(),
@@ -418,6 +485,7 @@ impl MachineSpec {
                 JsonValue::Num(self.fleet_chips as f64),
             ),
             ("ocs".to_string(), ocs),
+            ("latency".to_string(), latency),
         ])
         .to_string()
     }
@@ -479,6 +547,16 @@ impl MachineSpec {
                 reconfig_ms: json::get_num(ocs_obj, "ocs.reconfig_ms")?,
             }),
         };
+        // `latency` is optional *and* may be absent entirely: spec files
+        // written before the field existed must keep parsing.
+        let latency = match root.key("latency") {
+            None | Some(JsonValue::Null) => None,
+            Some(lat_obj) => Some(LatencySpec {
+                ici_hop_s: json::get_num(lat_obj, "latency.ici_hop_s")?,
+                nic_s: json::get_num(lat_obj, "latency.nic_s")?,
+                switch_hop_s: json::get_num(lat_obj, "latency.switch_hop_s")?,
+            }),
+        };
         Ok(MachineSpec {
             generation,
             chip,
@@ -488,6 +566,7 @@ impl MachineSpec {
             block,
             fleet_chips: json::get_u64(&root, "fleet_chips")?,
             ocs,
+            latency,
         })
     }
 }
@@ -574,6 +653,38 @@ mod tests {
             let back = MachineSpec::from_json(&text).unwrap();
             assert_eq!(back, spec, "{text}");
         }
+    }
+
+    #[test]
+    fn latency_field_round_trips_and_may_be_omitted() {
+        // Explicit alphas survive the round trip.
+        let mut spec = MachineSpec::a100();
+        spec.latency = Some(LatencySpec {
+            ici_hop_s: 2.5e-7,
+            nic_s: 1.5e-6,
+            switch_hop_s: 9e-8,
+        });
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.collective_latency().nic_s, 1.5e-6);
+
+        // A pre-latency spec file (no "latency" key at all) still parses,
+        // as None, and resolves to the reference calibration.
+        let stripped = MachineSpec::v4().to_json().replace(",\"latency\":null", "");
+        assert!(!stripped.contains("latency"));
+        let old = MachineSpec::from_json(&stripped).unwrap();
+        assert_eq!(old, MachineSpec::v4());
+        assert_eq!(old.collective_latency(), LatencySpec::reference());
+
+        // A malformed latency object is a positioned error, not a default.
+        let bad = MachineSpec::v4()
+            .to_json()
+            .replace("\"latency\":null", "\"latency\":{\"ici_hop_s\":1e-6}");
+        let err = MachineSpec::from_json(&bad).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::MissingField { field } if field == "latency.nic_s"),
+            "{err}"
+        );
     }
 
     #[test]

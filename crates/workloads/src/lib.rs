@@ -12,6 +12,9 @@
 //!   weights ×4.2, embeddings ×3.8 over five years).
 //! * [`mlperf`] — the MLPerf Training 2.0 comparison of Figures 14/15
 //!   (TPU v4 vs NVIDIA A100 vs Graphcore IPU Bow).
+//! * [`tail`] — Figure 15's large-scale tail re-derived from per-step
+//!   collective times through the latency-aware backend (no anchor
+//!   interpolation), exposing the fitted log-log exponents.
 //! * [`interconnect`] — per-class collective demand timed through the
 //!   shared torus/switched backend dispatch (the §7.2–§7.3 TPU-vs-A100
 //!   interconnect story).
@@ -36,6 +39,7 @@ pub mod mlperf;
 pub mod palm;
 pub mod scaling;
 pub mod suite;
+pub mod tail;
 
 pub use evolution::Dlrm0Evolution;
 pub use interconnect::StepCollectives;
@@ -44,3 +48,4 @@ pub use mlperf::{MlperfBenchmark, MlperfSystem};
 pub use palm::LlmCampaign;
 pub use scaling::ScalingCurve;
 pub use suite::{ProductionSuite, Workload, WorkloadKind};
+pub use tail::{ScalingTail, TailPoint};

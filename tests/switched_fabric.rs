@@ -68,12 +68,16 @@ fn supercomputer_reproduces_the_bands_end_to_end() {
     assert!((1.8..=2.4).contains(&ar_slow), "all-reduce: {ar_slow}");
 
     // The all-to-all band depends on slice size (§7.3: "1.2x-2.4x
-    // slower"); a 1024-chip slice sits inside it.
+    // slower"); a 1024-chip slice sits inside it. The published band is
+    // a bandwidth-regime statement (the paper's simulator "ignores
+    // protocol processing"), so compare at a bulk per-pair payload —
+    // at latency-bound payloads the fabrics correctly converge toward
+    // parity instead (see the crossover tests below).
     let slice = SliceSpec::regular(shape(8, 8, 16));
     let jt = torus.submit(JobSpec::new("torus2", slice)).unwrap();
     let ji = ib.submit(JobSpec::new("ib2", slice)).unwrap();
     let a2a = Collective::AllToAll {
-        bytes_per_pair: 4096,
+        bytes_per_pair: 65536,
     };
     let a2a_slow = ib.collective_time(ji, a2a).unwrap() / torus.collective_time(jt, a2a).unwrap();
     assert!((1.2..=2.4).contains(&a2a_slow), "all-to-all: {a2a_slow}");
@@ -151,4 +155,94 @@ fn v4_ib_round_trips_through_json() {
     let loaded = MachineSpec::from_json(&spec.to_json()).unwrap();
     assert_eq!(loaded, spec);
     assert_eq!(loaded.glueless_island_chips(), 8);
+}
+
+/// Latency-regime acceptance for the switched machines: with the
+/// default alphas, small messages are latency-bound (≥10× the
+/// bandwidth-only estimate) and ≥1 GB payloads converge to it within
+/// 1% — on the same backends that regenerate the §7.3 bands above.
+#[test]
+fn latency_regimes_bracket_the_crossover() {
+    let s = shape(8, 8, 8);
+    for spec in [MachineSpec::a100(), MachineSpec::v4_ib_hybrid()] {
+        let backend = CollectiveBackend::for_spec(&spec);
+        let bandwidth = backend.bandwidth_only();
+        let label = spec.generation.label().to_string();
+
+        let crossover = backend.all_reduce_crossover_bytes(s);
+        assert!(
+            (1e6..100e6).contains(&crossover),
+            "{label}: crossover {crossover}"
+        );
+
+        // Small messages: latency-bound by an order of magnitude, for
+        // both collectives.
+        let small_ar = backend.all_reduce_time(s, 1024.0);
+        assert!(
+            small_ar >= 10.0 * bandwidth.all_reduce_time(s, 1024.0),
+            "{label}: small all-reduce not latency-bound"
+        );
+        let small_a2a = backend.all_to_all_time(s, 1.0);
+        assert!(
+            small_a2a >= 10.0 * bandwidth.all_to_all_time(s, 1.0),
+            "{label}: small all-to-all not latency-bound"
+        );
+
+        // Large messages: the infinite-message asymptote within 1%.
+        let big = (1u64 << 30) as f64;
+        let ar = backend.all_reduce_time(s, big) / bandwidth.all_reduce_time(s, big);
+        assert!((1.0..1.01).contains(&ar), "{label}: all-reduce {ar}");
+        let a2a_pair = 2e6; // ~1 GB leaving each chip
+        let a2a = backend.all_to_all_time(s, a2a_pair) / bandwidth.all_to_all_time(s, a2a_pair);
+        assert!((1.0..1.01).contains(&a2a), "{label}: all-to-all {a2a}");
+    }
+}
+
+/// With the default alphas, every built-in spec's ≥1 GB all-reduce
+/// matches the pre-latency bandwidth-only model within 1% (the tori
+/// included), so existing large-transfer results are unchanged.
+#[test]
+fn large_payloads_match_bandwidth_model_on_all_builtins() {
+    let s = shape(8, 8, 8);
+    let big = (1u64 << 30) as f64;
+    for label in ["v2", "v3", "v4", "a100", "ipu-bow", "v4-ib"] {
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).unwrap();
+        let backend = CollectiveBackend::for_spec(&spec);
+        let ratio =
+            backend.all_reduce_time(s, big) / backend.bandwidth_only().all_reduce_time(s, big);
+        assert!((1.0..1.01).contains(&ratio), "{label}: {ratio}");
+    }
+}
+
+/// The optional `latency` block round-trips through the spec-file
+/// format and actually drives the backend: explicit alphas change the
+/// crossover; specs that omit the block keep the reference calibration.
+#[test]
+fn latency_spec_round_trips_and_drives_the_backend() {
+    use tpuv4::spec::LatencySpec;
+
+    let s = shape(8, 8, 8);
+    let reference = CollectiveBackend::for_spec(&MachineSpec::a100());
+
+    // Explicit alphas: 10x the reference latency => 10x the crossover.
+    let mut spec = MachineSpec::a100();
+    spec.latency = Some(LatencySpec {
+        ici_hop_s: 10.0 * LatencySpec::ICI_HOP_S,
+        nic_s: 10.0 * LatencySpec::NIC_S,
+        switch_hop_s: 10.0 * LatencySpec::SWITCH_HOP_S,
+    });
+    let loaded = MachineSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(loaded, spec);
+    let slow = CollectiveBackend::for_spec(&loaded);
+    let ratio = slow.all_reduce_crossover_bytes(s) / reference.all_reduce_crossover_bytes(s);
+    assert!((ratio - 10.0).abs() < 1e-9, "{ratio}");
+
+    // Omission: stripping the key entirely still parses (pre-latency
+    // spec files) and resolves to the reference backend.
+    let stripped = MachineSpec::a100()
+        .to_json()
+        .replace(",\"latency\":null", "");
+    let old = MachineSpec::from_json(&stripped).unwrap();
+    assert_eq!(old.latency, None);
+    assert_eq!(CollectiveBackend::for_spec(&old), reference);
 }
