@@ -1,9 +1,11 @@
 //! Regenerators for the interconnect figures (1, 4, 5, 6).
 
 use std::fmt::Write;
+use tpu_core::{JobSpec, Supercomputer};
 use tpu_net::{AllToAll, LinkRate};
-use tpu_ocs::{wiring, Fabric, SliceSpec};
+use tpu_ocs::{wiring, BlockId, Fabric, SliceSpec};
 use tpu_sched::GoodputSim;
+use tpu_spec::{FabricKind, Generation, MachineSpec};
 use tpu_topology::{Coord3, Dim, Direction, SliceShape, Torus, TwistedTorus};
 
 /// Figure 1: audits the block-to-OCS wiring rule.
@@ -48,7 +50,7 @@ pub fn fig1() -> String {
 pub fn fig4() -> String {
     let mut out = String::new();
     let trials = if cfg!(debug_assertions) { 60 } else { 400 };
-    let sim = GoodputSim::tpu_v4(trials, 2023);
+    let sim = GoodputSim::for_generation(&Generation::V4, trials, 2023);
     let _ = writeln!(
         out,
         "{:>8} | {:>22} | {:>22}",
@@ -60,18 +62,102 @@ pub fn fig4() -> String {
         "chips", "99.0%", "99.5%", "99.9%", "99.0%", "99.5%", "99.9%"
     );
     for chips in sim.slice_axis() {
-        let g = |avail, ocs| sim.goodput(chips, avail, ocs) * 100.0;
+        let g = |avail, fabric| sim.goodput(chips, avail, fabric) * 100.0;
         let _ = writeln!(
             out,
             "{chips:>8} | {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1}",
-            g(0.990, true),
-            g(0.995, true),
-            g(0.999, true),
-            g(0.990, false),
-            g(0.995, false),
-            g(0.999, false)
+            g(0.990, FabricKind::Ocs),
+            g(0.995, FabricKind::Ocs),
+            g(0.999, FabricKind::Ocs),
+            g(0.990, FabricKind::Static),
+            g(0.995, FabricKind::Static),
+            g(0.999, FabricKind::Static)
         );
     }
+    out
+}
+
+/// Figure 4 from fleet simulation: the same v4 fleet brought up twice
+/// through `Supercomputer::for_spec` — once behind OCSes, once
+/// statically cabled (`with_fabric(FabricKind::Static)`) — with every
+/// slice placed by real `submit` calls rather than the closed-form
+/// healthy-block count.
+///
+/// Part 1 is deterministic: one dead host per all-even-coordinate block
+/// leaves 56/64 blocks healthy, which the OCS machine stitches into
+/// 8-block slices freely while the static machine cannot place even one
+/// (every contiguous 2×2×2 box, wraparound included, contains a dead
+/// corner). Part 2 is the Monte Carlo goodput gap over availabilities,
+/// through the same two fabric arms.
+pub fn fig4_fleet() -> String {
+    let mut out = String::new();
+    let spec = MachineSpec::v4();
+    let mut ocs = Supercomputer::for_spec(&spec);
+    let mut fixed = Supercomputer::for_spec(&spec.clone().with_fabric(FabricKind::Static));
+    for z in [0u32, 2] {
+        for y in [0u32, 2] {
+            for x in [0u32, 2] {
+                let block = BlockId::new(x + 4 * (y + 4 * z));
+                ocs.inject_host_failure(block, 0).expect("block in range");
+                fixed.inject_host_failure(block, 0).expect("block in range");
+            }
+        }
+    }
+    let shape = SliceShape::new(8, 8, 8).expect("valid");
+    let placed = |machine: &mut Supercomputer| -> (u32, String) {
+        let mut n = 0;
+        loop {
+            match machine.submit(JobSpec::new("fig4", SliceSpec::regular(shape))) {
+                Ok(_) => n += 1,
+                Err(e) => return (n, e.to_string()),
+            }
+        }
+    };
+    let (n_ocs, why_ocs) = placed(&mut ocs);
+    let (n_fixed, why_fixed) = placed(&mut fixed);
+    let _ = writeln!(
+        out,
+        "same failure pattern (8 scattered dead hosts, 56/64 blocks healthy), 512-chip slices:"
+    );
+    let _ = writeln!(
+        out,
+        "  OCS fleet:    {n_ocs} slices placed, then: {why_ocs}"
+    );
+    let _ = writeln!(
+        out,
+        "  static fleet: {n_fixed} slices placed, then: {why_fixed}"
+    );
+    let _ = writeln!(out);
+
+    let trials = if cfg!(debug_assertions) { 30 } else { 200 };
+    let sim = GoodputSim::for_spec(&spec, trials, 2023);
+    let _ = writeln!(
+        out,
+        "goodput from fleet simulation (Supercomputer submit / StaticCluster packing):"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} | {:>10} {:>10} {:>10}",
+        "chips", "avail", "OCS", "static", "gap"
+    );
+    for &chips in &[1024u64, 2048, 3072] {
+        for &avail in &[0.990, 0.995, 0.999] {
+            let g_ocs = sim.goodput(chips, avail, FabricKind::Ocs);
+            let g_fixed = sim.goodput(chips, avail, FabricKind::Static);
+            let _ = writeln!(
+                out,
+                "{chips:>8} {:>7.1}% | {:>9.1}% {:>9.1}% {:>9.1}%",
+                avail * 100.0,
+                g_ocs * 100.0,
+                g_fixed * 100.0,
+                (g_ocs - g_fixed) * 100.0
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(paper: without OCSes, host availability must be 99.9% for reasonable goodput)"
+    );
     out
 }
 

@@ -50,6 +50,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: figures_net::fig4,
         },
         Experiment {
+            id: "fig4_fleet",
+            title: "Figure 4 from fleet simulation: submit on OCS vs static fabrics",
+            run: figures_net::fig4_fleet,
+        },
+        Experiment {
             id: "table2",
             title: "Table 2: production slice popularity",
             run: tables::table2,
@@ -188,6 +193,7 @@ mod tests {
             "table6",
             "fig1",
             "fig4",
+            "fig4_fleet",
             "fig5",
             "fig6",
             "fig8",
@@ -224,9 +230,9 @@ mod tests {
     #[test]
     fn every_experiment_produces_output() {
         for e in all_experiments() {
-            // Skip the slowest Monte Carlo in debug test runs; it has its
-            // own integration coverage.
-            if e.id == "fig4" && cfg!(debug_assertions) {
+            // Skip the slowest Monte Carlos in debug test runs; they have
+            // their own integration coverage.
+            if (e.id == "fig4" || e.id == "fig4_fleet") && cfg!(debug_assertions) {
                 continue;
             }
             let out = (e.run)();

@@ -8,7 +8,7 @@ use tpu_net::fattree::FatTree;
 use tpu_net::{BackendComparison, CollectiveBackend};
 use tpu_ocs::SliceSpec;
 use tpu_sched::SliceMix;
-use tpu_spec::{Generation, MachineSpec};
+use tpu_spec::{FabricKind, Generation, MachineSpec};
 use tpu_topology::SliceShape;
 use tpu_workloads::{StepCollectives, WorkloadKind};
 
@@ -269,18 +269,10 @@ pub fn spec_report(spec: &MachineSpec) -> String {
     let _ = writeln!(
         out,
         "fabric:       {}",
-        if spec.torus_dims == 0 {
-            "switched (islands + fat tree)".to_string()
-        } else {
-            format!(
-                "{}D torus, {}",
-                spec.torus_dims,
-                if spec.ocs.is_some() {
-                    "OCS-stitched"
-                } else {
-                    "statically cabled"
-                }
-            )
+        match spec.fabric {
+            FabricKind::Switched => "switched (islands + fat tree)".to_string(),
+            FabricKind::Ocs => format!("{}D torus, OCS-stitched", spec.torus_dims),
+            FabricKind::Static => format!("{}D torus, statically cabled", spec.torus_dims),
         }
     );
     let _ = writeln!(

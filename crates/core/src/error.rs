@@ -29,6 +29,32 @@ pub enum SupercomputerError {
         /// What was attempted (e.g. `"reconfigure"`).
         operation: &'static str,
     },
+    /// The operation needs the OCS layer's reconfigurability, which a
+    /// statically-cabled torus does not have (§2.7: twists and per-job
+    /// rewiring are OCS capabilities).
+    OcsOnly {
+        /// What was attempted (e.g. `"twisted slice"`).
+        operation: &'static str,
+    },
+    /// A statically-cabled machine has no contiguous healthy free box of
+    /// blocks for the requested slice — capacity is fragmented, the
+    /// failure mode Figure 4 charges against static cabling.
+    NoContiguousSlice {
+        /// The slice's block-box request (blocks per axis).
+        needed_blocks: (u32, u32, u32),
+    },
+    /// No block with this index exists in the static cluster.
+    UnknownBlock {
+        /// The offending block index.
+        block: u64,
+    },
+    /// The static-cluster block exists but has no host with this index.
+    UnknownBlockHost {
+        /// The block.
+        block: u64,
+        /// The offending host index.
+        host: u32,
+    },
     /// No island with this index exists in the switched cluster.
     UnknownIsland {
         /// The offending island index.
@@ -56,6 +82,27 @@ impl fmt::Display for SupercomputerError {
             SupercomputerError::TorusOnly { operation } => {
                 write!(f, "{operation} is only supported on torus machines")
             }
+            SupercomputerError::OcsOnly { operation } => {
+                write!(
+                    f,
+                    "{operation} requires an OCS-reconfigurable fabric (this machine is \
+                     statically cabled)"
+                )
+            }
+            SupercomputerError::NoContiguousSlice { needed_blocks } => {
+                let (x, y, z) = needed_blocks;
+                write!(
+                    f,
+                    "no contiguous healthy {x}x{y}x{z}-block sub-torus is free in the \
+                     statically-cabled machine"
+                )
+            }
+            SupercomputerError::UnknownBlock { block } => {
+                write!(f, "no block {block} in the static cluster")
+            }
+            SupercomputerError::UnknownBlockHost { block, host } => {
+                write!(f, "static-cluster block {block} has no host {host}")
+            }
             SupercomputerError::UnknownIsland { island } => {
                 write!(f, "no island {island} in the switched cluster")
             }
@@ -74,6 +121,10 @@ impl Error for SupercomputerError {
             SupercomputerError::UnknownJob { .. } => None,
             SupercomputerError::InsufficientChips { .. } => None,
             SupercomputerError::TorusOnly { .. } => None,
+            SupercomputerError::OcsOnly { .. } => None,
+            SupercomputerError::NoContiguousSlice { .. } => None,
+            SupercomputerError::UnknownBlock { .. } => None,
+            SupercomputerError::UnknownBlockHost { .. } => None,
             SupercomputerError::UnknownIsland { .. } => None,
             SupercomputerError::UnknownIslandHost { .. } => None,
         }

@@ -1,20 +1,26 @@
 //! The supercomputer object: fabric + job table + performance queries.
 //!
-//! Two fabric families share the object ([`MachineFabric`]): OCS-stitched
-//! tori (the paper's machine) and switched NVLink-island + fat-tree
-//! clusters (`torus_dims == 0` specs such as the Table 5 A100 and the
-//! §7.3 `"v4-ib"` counterfactual). `submit`, failure injection and
+//! Three fabric families share the object ([`MachineFabric`]),
+//! dispatched on the spec's `fabric` discriminator: OCS-stitched tori
+//! (the paper's machine), statically-cabled tori (TPU v2/v3 — a slice
+//! needs an axis-aligned contiguous healthy sub-torus, so a dead host
+//! fragments capacity instead of being routed around), and switched
+//! NVLink-island + fat-tree clusters (the Table 5 A100 and the §7.3
+//! `"v4-ib"` counterfactual). `submit`, failure injection and
 //! `collective_time` dispatch on the family; torus-only operations
-//! (twists, in-place reconfiguration) return
-//! [`SupercomputerError::TorusOnly`] on switched machines.
+//! return [`SupercomputerError::TorusOnly`] on switched machines, and
+//! OCS-only operations (twists, in-place reconfiguration) return
+//! [`SupercomputerError::OcsOnly`] on static ones.
 
+use crate::StaticCluster;
 use crate::{Result, SupercomputerError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tpu_net::{collectives, torus_diameter_hops, AllToAll, AlphaBeta, LinkRate, SwitchedFabric};
 use tpu_ocs::{BlockId, Fabric, MaterializedSlice, SliceSpec};
-use tpu_spec::{Generation, LatencySpec, MachineSpec};
+use tpu_spec::{FabricKind, Generation, LatencySpec, MachineSpec};
+use tpu_topology::Torus;
 
 /// Identifier of a running job.
 #[derive(
@@ -74,6 +80,15 @@ pub enum Placement {
         /// Chips allocated.
         chips: u64,
     },
+    /// A contiguous box of blocks on a statically-cabled torus, in
+    /// placement order (the geometry is the request's shape; there are
+    /// no circuits to program).
+    Static {
+        /// Block indices occupied, in placement order.
+        blocks: Vec<u32>,
+        /// Chips backing the job.
+        chips: u64,
+    },
 }
 
 impl Placement {
@@ -82,6 +97,7 @@ impl Placement {
         match self {
             Placement::Torus(slice) => slice.chips(),
             Placement::Switched { chips } => *chips,
+            Placement::Static { chips, .. } => *chips,
         }
     }
 
@@ -89,7 +105,7 @@ impl Placement {
     pub fn slice(&self) -> Option<&MaterializedSlice> {
         match self {
             Placement::Torus(slice) => Some(slice),
-            Placement::Switched { .. } => None,
+            Placement::Switched { .. } | Placement::Static { .. } => None,
         }
     }
 }
@@ -167,12 +183,12 @@ impl SwitchedCluster {
     /// `fleet_chips` exactly.
     pub fn for_spec(spec: &MachineSpec) -> Option<SwitchedCluster> {
         let model = SwitchedFabric::for_spec(spec)?;
-        let island_chips = spec.glueless_island_chips();
+        let (islands, island_chips, hosts_per_island) = spec.scheduling_units();
         Some(SwitchedCluster {
             model,
-            islands: spec.fleet_chips.div_ceil(u64::from(island_chips)).max(1),
+            islands,
             island_chips,
-            hosts_per_island: (island_chips / spec.block.tpus_per_host.max(1)).max(1),
+            hosts_per_island,
             fleet_chips: spec.fleet_chips,
             down_hosts: BTreeSet::new(),
         })
@@ -242,11 +258,15 @@ impl SwitchedCluster {
 }
 
 /// The interconnect backing a [`Supercomputer`]: the paper's OCS torus,
-/// or the switched alternative it is compared against in §7.
+/// the statically-cabled torus it replaced (§2.7), or the switched
+/// alternative it is compared against in §7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MachineFabric {
     /// OCS-stitched torus blocks (the TPU machine).
     Torus(Fabric),
+    /// Statically-cabled torus blocks (TPU v2/v3): contiguous placement,
+    /// no twisting, no route-around.
+    StaticTorus(StaticCluster),
     /// Switched islands behind a fat tree (A100-style, `"v4-ib"`).
     Switched(SwitchedCluster),
 }
@@ -265,28 +285,35 @@ pub struct Supercomputer {
 impl Supercomputer {
     /// The full 4096-chip machine.
     ///
-    /// Convenience alias for `for_generation(Generation::V4)`; prefer
-    /// [`Supercomputer::for_generation`] or [`Supercomputer::for_spec`]
-    /// in new code — this alias is kept for the paper's headline machine
-    /// and will eventually be deprecated in their favor.
+    /// Deprecated alias for `for_generation(Generation::V4)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Supercomputer::for_generation(Generation::V4) or Supercomputer::for_spec"
+    )]
     pub fn tpu_v4() -> Supercomputer {
         Supercomputer::for_generation(Generation::V4)
     }
 
     /// The fleet-scale machine a spec describes.
     ///
-    /// Torus specs get an OCS fabric holding `fleet_blocks()` blocks with
-    /// collectives at the spec's ICI link rate; for pre-OCS generations
-    /// this models their fleet behind the reconfigurable fabric (the §2.7
-    /// counterfactual), which is the apples-to-apples basis the paper's
-    /// cross-generation comparisons assume. Specs with `torus_dims == 0`
-    /// (the Table 5 A100, the §7.3 `"v4-ib"` hybrid) get the switched
-    /// island + fat-tree backend instead, so `submit` → `collective_time`
-    /// runs end-to-end on every built-in machine.
+    /// Dispatches on the spec's `fabric` discriminator. `FabricKind::Ocs`
+    /// specs get an OCS fabric holding `fleet_blocks()` blocks with
+    /// collectives at the spec's ICI link rate (the `"v3-ocs"`
+    /// counterfactual models a pre-OCS fleet behind the reconfigurable
+    /// fabric this way). `FabricKind::Static` specs — the real TPU v2/v3
+    /// machines — get a [`StaticCluster`] with contiguous-placement
+    /// semantics. `FabricKind::Switched` specs (the Table 5 A100, the
+    /// §7.3 `"v4-ib"` hybrid) get the switched island + fat-tree
+    /// backend. `submit` → `collective_time` runs end-to-end on every
+    /// built-in machine.
     pub fn for_spec(spec: &MachineSpec) -> Supercomputer {
-        let fabric = match SwitchedCluster::for_spec(spec) {
-            Some(cluster) => MachineFabric::Switched(cluster),
-            None => MachineFabric::Torus(Fabric::for_spec(spec)),
+        let fabric = match spec.fabric {
+            FabricKind::Switched => MachineFabric::Switched(
+                SwitchedCluster::for_spec(spec)
+                    .expect("FabricKind::Switched implies torus_dims == 0"),
+            ),
+            FabricKind::Static => MachineFabric::StaticTorus(StaticCluster::for_spec(spec)),
+            FabricKind::Ocs => MachineFabric::Torus(Fabric::for_spec(spec)),
         };
         Supercomputer {
             fabric,
@@ -325,19 +352,29 @@ impl Supercomputer {
         &self.fabric
     }
 
-    /// The underlying OCS fabric (`None` on a switched machine).
+    /// The underlying OCS fabric (`None` on static and switched
+    /// machines).
     pub fn fabric(&self) -> Option<&Fabric> {
         match &self.fabric {
             MachineFabric::Torus(fabric) => Some(fabric),
-            MachineFabric::Switched(_) => None,
+            MachineFabric::StaticTorus(_) | MachineFabric::Switched(_) => None,
+        }
+    }
+
+    /// The static cluster (`None` unless this machine is statically
+    /// cabled).
+    pub fn static_cluster(&self) -> Option<&StaticCluster> {
+        match &self.fabric {
+            MachineFabric::StaticTorus(cluster) => Some(cluster),
+            _ => None,
         }
     }
 
     /// The switched cluster (`None` on a torus machine).
     pub fn switched(&self) -> Option<&SwitchedCluster> {
         match &self.fabric {
-            MachineFabric::Torus(_) => None,
             MachineFabric::Switched(cluster) => Some(cluster),
+            _ => None,
         }
     }
 
@@ -346,10 +383,16 @@ impl Supercomputer {
         matches!(self.fabric, MachineFabric::Switched(_))
     }
 
+    /// Whether this machine is a statically-cabled torus.
+    pub fn is_static(&self) -> bool {
+        matches!(self.fabric, MachineFabric::StaticTorus(_))
+    }
+
     /// Total chips installed.
     pub fn total_chips(&self) -> u64 {
         match &self.fabric {
             MachineFabric::Torus(fabric) => fabric.chip_count(),
+            MachineFabric::StaticTorus(cluster) => cluster.total_chips(),
             MachineFabric::Switched(cluster) => cluster.total_chips(),
         }
     }
@@ -372,23 +415,56 @@ impl Supercomputer {
         self.jobs.values()
     }
 
-    /// Submits a job. On a torus machine this allocates blocks anywhere
+    /// Submits a job. On an OCS machine this allocates blocks anywhere
     /// in the machine and programs the OCSes (§2.5: "it can pick four 4³
-    /// blocks from anywhere in the supercomputer"); on a switched machine
-    /// it reserves the slice's chip count behind the fat tree (islands
-    /// are interchangeable, so only capacity matters).
+    /// blocks from anywhere in the supercomputer"); on a statically-cabled
+    /// machine it must find an axis-aligned contiguous box of healthy free
+    /// blocks (wraparound allowed); on a switched machine it reserves the
+    /// slice's chip count behind the fat tree (islands are
+    /// interchangeable, so only capacity matters).
     ///
     /// # Errors
     ///
     /// Propagates fabric errors (insufficient healthy blocks, bad shape)
-    /// on tori; returns [`SupercomputerError::InsufficientChips`] when a
-    /// switched machine is out of healthy capacity and
-    /// [`SupercomputerError::TorusOnly`] for a twisted request on a
-    /// switched machine (a switched fabric has no torus to twist).
+    /// on OCS tori; returns [`SupercomputerError::NoContiguousSlice`]
+    /// when a static machine's capacity is too fragmented and
+    /// [`SupercomputerError::OcsOnly`] for a twisted request on one (the
+    /// wiring is fixed at install time); returns
+    /// [`SupercomputerError::InsufficientChips`] when a switched machine
+    /// is out of healthy capacity and [`SupercomputerError::TorusOnly`]
+    /// for a twisted request on a switched machine (a switched fabric has
+    /// no torus to twist).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId> {
         let in_use = self.chips_in_use();
         let placement = match &mut self.fabric {
             MachineFabric::Torus(fabric) => Placement::Torus(fabric.allocate(spec.slice())?),
+            MachineFabric::StaticTorus(cluster) => {
+                if spec.slice().twist().is_some() {
+                    return Err(SupercomputerError::OcsOnly {
+                        operation: "twisted slice",
+                    });
+                }
+                // The box is measured in this machine's own block edge
+                // (4 on the shipped generations, but custom static specs
+                // may cable a different electrical block).
+                let shape = spec.slice().shape();
+                let e = cluster.block_edge();
+                if !(shape.x().is_multiple_of(e)
+                    && shape.y().is_multiple_of(e)
+                    && shape.z().is_multiple_of(e))
+                {
+                    return Err(SupercomputerError::Fabric(
+                        tpu_ocs::OcsError::NotBlockAligned {
+                            shape: (shape.x(), shape.y(), shape.z()),
+                        },
+                    ));
+                }
+                let blocks = cluster.allocate((shape.x() / e, shape.y() / e, shape.z() / e))?;
+                Placement::Static {
+                    blocks,
+                    chips: shape.volume(),
+                }
+            }
             MachineFabric::Switched(cluster) => {
                 if spec.slice().twist().is_some() {
                     return Err(SupercomputerError::TorusOnly {
@@ -416,8 +492,9 @@ impl Supercomputer {
         Ok(id)
     }
 
-    /// Finishes a job, releasing its blocks and circuits (torus) or its
-    /// reserved capacity (switched).
+    /// Finishes a job, releasing its blocks and circuits (OCS torus),
+    /// its contiguous box (static torus) or its reserved capacity
+    /// (switched).
     ///
     /// # Errors
     ///
@@ -428,8 +505,12 @@ impl Supercomputer {
             .jobs
             .remove(&id)
             .ok_or(SupercomputerError::UnknownJob { job: id })?;
-        if let (MachineFabric::Torus(fabric), Some(slice)) = (&mut self.fabric, job.slice()) {
-            fabric.release(slice)?;
+        match (&mut self.fabric, job.placement()) {
+            (MachineFabric::Torus(fabric), Placement::Torus(slice)) => fabric.release(slice)?,
+            (MachineFabric::StaticTorus(cluster), Placement::Static { blocks, .. }) => {
+                cluster.release(blocks);
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -442,8 +523,9 @@ impl Supercomputer {
     /// # Errors
     ///
     /// Fabric errors if the new spec needs a different block count or an
-    /// inexpressible twist; [`SupercomputerError::TorusOnly`] on a
-    /// switched machine (there are no OCS routing tables to reprogram).
+    /// inexpressible twist; [`SupercomputerError::OcsOnly`] on a static
+    /// machine and [`SupercomputerError::TorusOnly`] on a switched one
+    /// (neither has OCS routing tables to reprogram).
     pub fn reconfigure(&mut self, id: JobId, new_slice: SliceSpec) -> Result<()> {
         let job = self
             .jobs
@@ -451,6 +533,11 @@ impl Supercomputer {
             .ok_or(SupercomputerError::UnknownJob { job: id })?;
         let fabric = match &mut self.fabric {
             MachineFabric::Torus(fabric) => fabric,
+            MachineFabric::StaticTorus(_) => {
+                return Err(SupercomputerError::OcsOnly {
+                    operation: "reconfigure",
+                })
+            }
             MachineFabric::Switched(_) => {
                 return Err(SupercomputerError::TorusOnly {
                     operation: "reconfigure",
@@ -496,26 +583,21 @@ impl Supercomputer {
             .ok_or(SupercomputerError::UnknownJob { job: id })
     }
 
-    /// Marks a CPU host down. On a torus, running jobs keep their
+    /// Marks a CPU host down. On an OCS torus, running jobs keep their
     /// circuits (HPC-style checkpoint/restore handles mid-job failures)
-    /// and new jobs route around the block. On a switched machine the
-    /// block id names an island (a DGX-style box); the whole island stops
-    /// accepting new work while any of its hosts is down, and failures
-    /// are tracked per host so repairs must balance them.
+    /// and new jobs route around the block. On a statically-cabled torus
+    /// the block goes unhealthy in place — there is no routing around, so
+    /// the failure *fragments* the contiguous capacity (the Figure 4
+    /// effect). On a switched machine the block id names an island (a
+    /// DGX-style box); the whole island stops accepting new work while
+    /// any of its hosts is down. Failures are tracked per host on every
+    /// family, so repairs must balance them.
     ///
     /// # Errors
     ///
     /// Fabric errors for an unknown block/island/host.
     pub fn inject_host_failure(&mut self, block: BlockId, host: u32) -> Result<()> {
-        match &mut self.fabric {
-            MachineFabric::Torus(fabric) => {
-                fabric.set_host_up(block, host, false)?;
-                Ok(())
-            }
-            MachineFabric::Switched(cluster) => {
-                cluster.set_host_up(block.index() as u64, host, false)
-            }
-        }
+        self.set_host_up(block, host, false)
     }
 
     /// Repairs a CPU host.
@@ -524,27 +606,35 @@ impl Supercomputer {
     ///
     /// Fabric errors for an unknown block/island/host.
     pub fn repair_host(&mut self, block: BlockId, host: u32) -> Result<()> {
+        self.set_host_up(block, host, true)
+    }
+
+    fn set_host_up(&mut self, block: BlockId, host: u32, up: bool) -> Result<()> {
         match &mut self.fabric {
             MachineFabric::Torus(fabric) => {
-                fabric.set_host_up(block, host, true)?;
+                fabric.set_host_up(block, host, up)?;
                 Ok(())
             }
-            MachineFabric::Switched(cluster) => {
-                cluster.set_host_up(block.index() as u64, host, true)
+            MachineFabric::StaticTorus(cluster) => {
+                cluster.set_host_up(block.index() as u32, host, up)
             }
+            MachineFabric::Switched(cluster) => cluster.set_host_up(block.index() as u64, host, up),
         }
     }
 
     /// Steady-state time of a collective on a job's slice, seconds —
     /// latency-aware on both fabric families (DESIGN.md §7 alphas).
     ///
-    /// On a torus machine, all-reduce uses the analytic multi-ring torus
+    /// On a torus machine — OCS-stitched or statically cabled; static
+    /// cabling changes placement, not steady-state link performance
+    /// (DESIGN.md §9) — all-reduce uses the analytic multi-ring torus
     /// schedule (with per-hop alpha on every ring step) and all-to-all
-    /// the per-link load model over the job's actual (possibly twisted)
-    /// chip graph plus the slice diameter's pipeline latency. On a
-    /// switched machine both dispatch to the hierarchical island +
-    /// fat-tree schedules of [`tpu_net::switched`] — the §7.3 comparison
-    /// is these two arms.
+    /// the per-link load model over the job's chip graph (the actual,
+    /// possibly twisted, materialized graph on OCS machines; the regular
+    /// torus of the request's shape on static ones) plus the slice
+    /// diameter's pipeline latency. On a switched machine both dispatch
+    /// to the hierarchical island + fat-tree schedules of
+    /// [`tpu_net::switched`] — the §7.3 comparison is these arms.
     ///
     /// # Errors
     ///
@@ -552,7 +642,15 @@ impl Supercomputer {
     pub fn collective_time(&self, id: JobId, op: Collective) -> Result<f64> {
         let job = self.job(id)?;
         match (&self.fabric, job.placement()) {
-            (MachineFabric::Torus(_), Placement::Torus(slice)) => {
+            (
+                MachineFabric::Torus(_) | MachineFabric::StaticTorus(_),
+                placement @ (Placement::Torus(_) | Placement::Static { .. }),
+            ) => {
+                // One torus cost model for both cabling styles — static
+                // cabling changes placement, not the links. Only the
+                // all-to-all graph differs: the materialized (possibly
+                // twisted) graph on OCS slices, the plain torus of the
+                // request's shape on static ones (always regularly wired).
                 let rate = LinkRate::from_gb_per_s(self.link_rate_gbps);
                 let link = AlphaBeta::new(self.ici_alpha_s, rate);
                 let shape = job.spec().slice().shape();
@@ -563,7 +661,16 @@ impl Supercomputer {
                         collectives::AllReduceSchedule::MultiPath,
                     )),
                     Collective::AllToAll { bytes_per_pair } => {
-                        let analysis = AllToAll::analyze(slice.chip_graph(), bytes_per_pair, rate);
+                        let analysis = match placement {
+                            Placement::Torus(slice) => {
+                                AllToAll::analyze(slice.chip_graph(), bytes_per_pair, rate)
+                            }
+                            _ => AllToAll::analyze(
+                                &Torus::new(shape).into_graph(),
+                                bytes_per_pair,
+                                rate,
+                            ),
+                        };
                         // The twist changes link loads, not the pipeline
                         // depth: the alpha term is the shape diameter.
                         Ok(analysis.completion_time()
@@ -582,9 +689,7 @@ impl Supercomputer {
                         .all_to_all_time(chips, bytes_per_pair as f64)),
                 }
             }
-            (MachineFabric::Torus(_), Placement::Switched { .. }) => {
-                unreachable!("torus machines only create torus placements")
-            }
+            _ => unreachable!("each fabric family only creates its own placements"),
         }
     }
 }
@@ -600,7 +705,7 @@ mod tests {
 
     #[test]
     fn submit_run_finish() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         assert_eq!(sc.total_chips(), 4096);
         let id = sc
             .submit(JobSpec::new("a", SliceSpec::regular(shape(8, 8, 8))))
@@ -637,7 +742,7 @@ mod tests {
 
     #[test]
     fn unknown_job_errors() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let err = sc.finish(JobId::new(99)).unwrap_err();
         assert_eq!(
             err,
@@ -649,7 +754,7 @@ mod tests {
 
     #[test]
     fn many_jobs_share_the_machine() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let mut ids = Vec::new();
         // 64 single-block jobs fill the machine.
         for i in 0..64 {
@@ -674,7 +779,7 @@ mod tests {
 
     #[test]
     fn failure_routes_around_block() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         sc.inject_host_failure(BlockId::new(0), 3).unwrap();
         // A 63-block machine still fits 63 block-jobs but not 64.
         for i in 0..63 {
@@ -695,7 +800,7 @@ mod tests {
 
     #[test]
     fn reconfigure_to_twisted_keeps_blocks() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let id = sc
             .submit(JobSpec::new("t", SliceSpec::regular(shape(4, 4, 8))))
             .unwrap();
@@ -709,7 +814,7 @@ mod tests {
 
     #[test]
     fn reconfigure_rolls_back_on_failure() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let id = sc
             .submit(JobSpec::new("t", SliceSpec::regular(shape(4, 4, 8))))
             .unwrap();
@@ -724,7 +829,7 @@ mod tests {
 
     #[test]
     fn twisted_all_to_all_beats_regular() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let reg = sc
             .submit(JobSpec::new("r", SliceSpec::regular(shape(4, 4, 8))))
             .unwrap();
@@ -869,7 +974,7 @@ mod tests {
 
     #[test]
     fn all_reduce_time_positive_and_scales() {
-        let mut sc = Supercomputer::tpu_v4();
+        let mut sc = Supercomputer::for_generation(Generation::V4);
         let id = sc
             .submit(JobSpec::new("ar", SliceSpec::regular(shape(8, 8, 8))))
             .unwrap();
@@ -882,5 +987,121 @@ mod tests {
         assert!(t1 > 0.0);
         // The fixed alpha steps keep the doubling just shy of exact.
         assert!((t2 / t1 - 2.0).abs() < 0.02, "{}", t2 / t1);
+    }
+
+    #[test]
+    fn v3_machine_is_static_end_to_end() {
+        // The acceptance flow on the static arm: for_spec(v3) -> submit
+        // -> collective_time -> failure handling -> finish.
+        let mut sc = Supercomputer::for_spec(&MachineSpec::v3());
+        assert!(sc.is_static());
+        assert!(!sc.is_switched());
+        assert!(sc.fabric().is_none());
+        assert!(sc.static_cluster().is_some());
+        assert_eq!(sc.total_chips(), 1024);
+        let id = sc
+            .submit(JobSpec::new("v3", SliceSpec::regular(shape(8, 8, 8))))
+            .unwrap();
+        assert_eq!(sc.chips_in_use(), 512);
+        let ar = sc
+            .collective_time(id, Collective::AllReduce { bytes: 1 << 30 })
+            .unwrap();
+        let a2a = sc
+            .collective_time(
+                id,
+                Collective::AllToAll {
+                    bytes_per_pair: 4096,
+                },
+            )
+            .unwrap();
+        assert!(ar > 0.0 && ar.is_finite());
+        assert!(a2a > 0.0 && a2a.is_finite());
+        sc.finish(id).unwrap();
+        assert_eq!(sc.chips_in_use(), 0);
+    }
+
+    #[test]
+    fn static_machine_rejects_ocs_only_operations() {
+        let mut sc = Supercomputer::for_spec(&MachineSpec::v3());
+        let err = sc
+            .submit(JobSpec::new(
+                "t",
+                SliceSpec::twisted(shape(4, 4, 8)).unwrap(),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::OcsOnly { .. }));
+        let id = sc
+            .submit(JobSpec::new("r", SliceSpec::regular(shape(4, 4, 8))))
+            .unwrap();
+        let err = sc
+            .reconfigure(id, SliceSpec::regular(shape(4, 4, 8)))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::OcsOnly { .. }));
+        // Non-block-aligned shapes fail the same way they do on OCS tori.
+        let err = sc
+            .submit(JobSpec::new("s", SliceSpec::regular(shape(2, 2, 2))))
+            .unwrap_err();
+        assert!(matches!(err, SupercomputerError::Fabric(_)));
+    }
+
+    #[test]
+    fn static_failure_fragments_while_ocs_routes_around() {
+        // The §2.7/Figure 4 mechanism as a deterministic experiment: the
+        // same v4 fleet, OCS vs statically cabled, same failure pattern.
+        // Killing one host in each all-even-coordinate block of the 4^3
+        // block grid leaves 56/64 blocks healthy, but every contiguous
+        // 2x2x2 box (wraparound included) contains one dead corner.
+        let mut ocs = Supercomputer::for_spec(&MachineSpec::v4());
+        let mut fixed = Supercomputer::for_spec(&MachineSpec::v4().with_fabric(FabricKind::Static));
+        assert!(fixed.is_static());
+        assert_eq!(fixed.total_chips(), 4096);
+        for z in [0u32, 2] {
+            for y in [0u32, 2] {
+                for x in [0u32, 2] {
+                    let block = BlockId::new(x + 4 * (y + 4 * z));
+                    ocs.inject_host_failure(block, 0).unwrap();
+                    fixed.inject_host_failure(block, 0).unwrap();
+                }
+            }
+        }
+        let job = JobSpec::new("8cube", SliceSpec::regular(shape(8, 8, 8)));
+        // 56 healthy blocks: the OCS machine stitches 8 of them freely...
+        let id = ocs.submit(job.clone()).unwrap();
+        assert_eq!(ocs.job(id).unwrap().chips(), 512);
+        // ...the static machine cannot find a contiguous healthy box.
+        let err = fixed.submit(job).unwrap_err();
+        assert!(
+            matches!(err, SupercomputerError::NoContiguousSlice { .. }),
+            "{err}"
+        );
+        // Repair one corner: a 2x2x2 box opens up around it.
+        fixed.repair_host(BlockId::new(0), 0).unwrap();
+        assert!(fixed
+            .submit(JobSpec::new("again", SliceSpec::regular(shape(8, 8, 8))))
+            .is_ok());
+    }
+
+    #[test]
+    fn static_and_ocs_slices_share_collective_performance() {
+        // Static cabling changes placement, not steady-state link
+        // performance (DESIGN.md §9): identical times on both arms.
+        let mut ocs = Supercomputer::for_spec(&MachineSpec::v3_ocs());
+        let mut fixed = Supercomputer::for_spec(&MachineSpec::v3());
+        let s = SliceSpec::regular(shape(8, 8, 8));
+        let jo = ocs.submit(JobSpec::new("o", s)).unwrap();
+        let jf = fixed.submit(JobSpec::new("f", s)).unwrap();
+        for op in [
+            Collective::AllReduce { bytes: 1 << 30 },
+            Collective::AllToAll {
+                bytes_per_pair: 4096,
+            },
+        ] {
+            let to = ocs.collective_time(jo, op).unwrap();
+            let tf = fixed.collective_time(jf, op).unwrap();
+            assert!(
+                ((to - tf) / to).abs() < 1e-9,
+                "{op:?}: ocs {to} vs static {tf}"
+            );
+        }
     }
 }

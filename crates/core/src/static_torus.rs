@@ -1,0 +1,374 @@
+//! The statically-cabled fleet: contiguous-placement block accounting.
+//!
+//! This is the machine the paper's §2.7/Figure 4 argument is *against*:
+//! the same torus blocks as the OCS machine, but wired once at install
+//! time. A slice must therefore occupy an axis-aligned contiguous box of
+//! healthy blocks (wraparound placements allowed — the full machine is a
+//! torus), so a single dead CPU host fragments capacity instead of being
+//! routed around, and the OCS-only "cigar" shapes of Table 2 (4×4×32 and
+//! longer) may be inexpressible outright.
+//!
+//! Steady-state link performance is identical to the OCS torus — static
+//! cabling changes *placement*, not the links (DESIGN.md §9) — so
+//! collective times on a placed slice come from the same
+//! [`AlphaBeta`](tpu_net::AlphaBeta) torus models the OCS arm uses.
+
+use crate::{Result, SupercomputerError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tpu_spec::MachineSpec;
+use tpu_topology::most_cubic_box;
+
+/// A statically-cabled cluster: a fixed grid of torus blocks with
+/// per-host health and per-block occupancy. The allocation unit is one
+/// block (4³ chips on the TPU generations); for `torus_dims == 0` specs
+/// used counterfactually the unit is one glueless island.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticCluster {
+    grid: (u32, u32, u32),
+    block_edge: u32,
+    chips_per_block: u32,
+    hosts_per_block: u32,
+    down_hosts: BTreeSet<(u32, u32)>,
+    in_use: Vec<bool>,
+}
+
+impl StaticCluster {
+    /// The statically-cabled fleet a machine spec describes, with unit
+    /// accounting from [`MachineSpec::scheduling_units`].
+    ///
+    /// Geometric units — electrical blocks whose `edge³` equals the unit
+    /// size, i.e. every torus spec and v4-ib's 2³ islands — are arranged
+    /// in the most cubic grid (v3: 16 blocks → 2×2×4). Geometry-less
+    /// islands (a100/ipu-bow hosts, the static *counterfactual* of a
+    /// switched machine) sit on a 1×1×n linear rail instead: "contiguous"
+    /// then means a run of adjacent islands, not a 3-D box — a most-cubic
+    /// grid of an arbitrary island count (1054 = 2×17×31) would make
+    /// placement feasibility an artifact of the fleet's prime
+    /// factorization rather than of availability.
+    pub fn for_spec(spec: &MachineSpec) -> StaticCluster {
+        let (blocks, chips_per_block, hosts_per_block) = spec.scheduling_units();
+        let block_edge = spec.block.edge.max(1);
+        let grid = if u64::from(block_edge).pow(3) == u64::from(chips_per_block) {
+            most_cubic_box(blocks as u32)
+        } else {
+            (1, 1, blocks as u32)
+        };
+        StaticCluster {
+            grid,
+            block_edge,
+            chips_per_block,
+            hosts_per_block,
+            down_hosts: BTreeSet::new(),
+            in_use: vec![false; blocks as usize],
+        }
+    }
+
+    /// The block grid (x, y, z), in blocks.
+    pub fn grid(&self) -> (u32, u32, u32) {
+        self.grid
+    }
+
+    /// Total blocks in the machine.
+    pub fn blocks(&self) -> u32 {
+        self.in_use.len() as u32
+    }
+
+    /// Chips along one edge of a block — the divisor that converts a
+    /// chip-level slice shape into a block box (4 on the shipped TPU
+    /// generations).
+    pub fn block_edge(&self) -> u32 {
+        self.block_edge
+    }
+
+    /// Chips per block (the allocation unit).
+    pub fn chips_per_block(&self) -> u32 {
+        self.chips_per_block
+    }
+
+    /// CPU hosts per block (a block is schedulable only when all its
+    /// hosts are up).
+    pub fn hosts_per_block(&self) -> u32 {
+        self.hosts_per_block
+    }
+
+    /// Total chips installed.
+    pub fn total_chips(&self) -> u64 {
+        u64::from(self.blocks()) * u64::from(self.chips_per_block)
+    }
+
+    /// Chips on blocks whose hosts are all currently up.
+    pub fn healthy_chips(&self) -> u64 {
+        let mut down_blocks: Vec<u32> = self.down_hosts.iter().map(|&(b, _)| b).collect();
+        down_blocks.dedup();
+        self.total_chips() - down_blocks.len() as u64 * u64::from(self.chips_per_block)
+    }
+
+    /// Whether every host of one block is up.
+    pub fn block_healthy(&self, block: u32) -> bool {
+        self.down_hosts
+            .range((block, 0)..(block, self.hosts_per_block))
+            .next()
+            .is_none()
+    }
+
+    /// Whether a box of blocks could *ever* be placed in this grid (some
+    /// axis orientation fits), regardless of health or occupancy — the
+    /// "can the scheduler even advertise this topology" check that
+    /// rejects Table 2's OCS-only cigar shapes on static machines.
+    pub fn fits(&self, bbox: (u32, u32, u32)) -> bool {
+        let (gx, gy, gz) = self.grid;
+        orientations(bbox)
+            .iter()
+            .any(|&(x, y, z)| x <= gx && y <= gy && z <= gz)
+    }
+
+    /// Failure and repair are tracked per host, so a block with two
+    /// failed hosts only comes back after both are repaired.
+    ///
+    /// # Errors
+    ///
+    /// [`SupercomputerError::UnknownBlock`] / [`UnknownBlockHost`] for
+    /// indices outside the cluster.
+    ///
+    /// [`UnknownBlockHost`]: SupercomputerError::UnknownBlockHost
+    pub fn set_host_up(&mut self, block: u32, host: u32, up: bool) -> Result<()> {
+        if block >= self.blocks() {
+            return Err(SupercomputerError::UnknownBlock {
+                block: u64::from(block),
+            });
+        }
+        if host >= self.hosts_per_block {
+            return Err(SupercomputerError::UnknownBlockHost {
+                block: u64::from(block),
+                host,
+            });
+        }
+        if up {
+            self.down_hosts.remove(&(block, host));
+        } else {
+            self.down_hosts.insert((block, host));
+        }
+        Ok(())
+    }
+
+    /// Allocates the first contiguous box of healthy free blocks that
+    /// satisfies the request, scanning anchors in index order and axis
+    /// orientations in a fixed order, wraparound allowed. Returns the
+    /// block indices in placement order and marks them busy.
+    ///
+    /// # Errors
+    ///
+    /// [`SupercomputerError::NoContiguousSlice`] when no placement
+    /// exists — including when the box cannot fit the grid at all.
+    pub fn allocate(&mut self, bbox: (u32, u32, u32)) -> Result<Vec<u32>> {
+        let (gx, gy, gz) = self.grid;
+        let orients = orientations(bbox);
+        for z in 0..gz {
+            for y in 0..gy {
+                for x in 0..gx {
+                    'orient: for &(bx, by, bz) in &orients {
+                        if bx > gx || by > gy || bz > gz {
+                            continue;
+                        }
+                        let mut cells = Vec::with_capacity((bx * by * bz) as usize);
+                        for dz in 0..bz {
+                            for dy in 0..by {
+                                for dx in 0..bx {
+                                    let i = self.index(x + dx, y + dy, z + dz);
+                                    if !self.block_healthy(i) || self.in_use[i as usize] {
+                                        continue 'orient;
+                                    }
+                                    cells.push(i);
+                                }
+                            }
+                        }
+                        for &i in &cells {
+                            self.in_use[i as usize] = true;
+                        }
+                        return Ok(cells);
+                    }
+                }
+            }
+        }
+        Err(SupercomputerError::NoContiguousSlice {
+            needed_blocks: bbox,
+        })
+    }
+
+    /// Releases a previously allocated set of blocks.
+    pub fn release(&mut self, blocks: &[u32]) {
+        for &b in blocks {
+            if let Some(slot) = self.in_use.get_mut(b as usize) {
+                *slot = false;
+            }
+        }
+    }
+
+    /// Linear block index of a (wrapped) grid coordinate.
+    fn index(&self, x: u32, y: u32, z: u32) -> u32 {
+        let (gx, gy, _) = self.grid;
+        (x % gx) + gx * ((y % gy) + gy * (z % self.grid.2))
+    }
+}
+
+/// The distinct axis orientations of a box, in first-occurrence order
+/// (a cube has one, not six — the Monte Carlo packing loop scans each
+/// candidate exactly once).
+fn orientations(b: (u32, u32, u32)) -> Vec<(u32, u32, u32)> {
+    let all = [
+        (b.0, b.1, b.2),
+        (b.0, b.2, b.1),
+        (b.1, b.0, b.2),
+        (b.1, b.2, b.0),
+        (b.2, b.0, b.1),
+        (b.2, b.1, b.0),
+    ];
+    let mut distinct = Vec::with_capacity(6);
+    for o in all {
+        if !distinct.contains(&o) {
+            distinct.push(o);
+        }
+    }
+    distinct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4_static() -> StaticCluster {
+        StaticCluster::for_spec(&MachineSpec::v4())
+    }
+
+    #[test]
+    fn v3_fleet_dimensions() {
+        let c = StaticCluster::for_spec(&MachineSpec::v3());
+        assert_eq!(c.grid(), (2, 2, 4));
+        assert_eq!(c.blocks(), 16);
+        assert_eq!(c.chips_per_block(), 64);
+        assert_eq!(c.hosts_per_block(), 8);
+        assert_eq!(c.total_chips(), 1024);
+    }
+
+    #[test]
+    fn switched_spec_counterfactual_uses_islands_on_a_rail() {
+        let mut c = StaticCluster::for_spec(&MachineSpec::a100());
+        assert_eq!(c.blocks(), 1054);
+        assert_eq!(c.chips_per_block(), 4);
+        assert_eq!(c.hosts_per_block(), 1);
+        // Geometry-less islands form a 1x1x1054 rail, so any run up to
+        // the fleet size places when everything is healthy — placement
+        // feasibility must not depend on 1054's prime factorization.
+        assert_eq!(c.grid(), (1, 1, 1054));
+        assert_eq!(c.allocate((1, 1, 128)).unwrap().len(), 128);
+        // v4-ib's 2^3 islands keep real geometry.
+        let c = StaticCluster::for_spec(&MachineSpec::v4_ib_hybrid());
+        assert_eq!(c.grid(), (8, 8, 8));
+    }
+
+    #[test]
+    fn cubic_boxes_have_one_distinct_orientation() {
+        assert_eq!(orientations((2, 2, 2)), vec![(2, 2, 2)]);
+        assert_eq!(orientations((1, 2, 2)).len(), 3);
+        assert_eq!(orientations((1, 2, 3)).len(), 6);
+    }
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let mut c = v4_static();
+        assert_eq!(c.grid(), (4, 4, 4));
+        let a = c.allocate((2, 2, 2)).unwrap();
+        assert_eq!(a.len(), 8);
+        let b = c.allocate((4, 4, 4)).unwrap_err();
+        assert!(matches!(b, SupercomputerError::NoContiguousSlice { .. }));
+        c.release(&a);
+        assert_eq!(c.allocate((4, 4, 4)).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn orientation_fallback_places_rotated_boxes() {
+        // A 1x1x4 box fits a (2,2,4) grid only along z; a 4x1x1 request
+        // must rotate into it.
+        let mut c = StaticCluster::for_spec(&MachineSpec::v3());
+        assert!(c.fits((4, 1, 1)));
+        assert_eq!(c.allocate((4, 1, 1)).unwrap().len(), 4);
+        // A 1x1x5 cigar can never fit.
+        assert!(!c.fits((1, 1, 5)));
+        assert!(c.allocate((1, 1, 5)).is_err());
+    }
+
+    #[test]
+    fn one_dead_host_fragments_capacity() {
+        let mut c = v4_static();
+        // Kill one host in every all-even-coordinate block: every 2x2x2
+        // box (wraparound included) contains exactly one such corner, so
+        // an 8-block slice becomes unplaceable even though 56 of 64
+        // blocks are healthy.
+        for z in [0u32, 2] {
+            for y in [0u32, 2] {
+                for x in [0u32, 2] {
+                    c.set_host_up(x + 4 * (y + 4 * z), 0, false).unwrap();
+                }
+            }
+        }
+        assert_eq!(c.healthy_chips(), 56 * 64);
+        assert!(matches!(
+            c.allocate((2, 2, 2)),
+            Err(SupercomputerError::NoContiguousSlice { .. })
+        ));
+        // Single blocks still place on the healthy remainder.
+        assert_eq!(c.allocate((1, 1, 1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repair_must_balance_every_failure() {
+        let mut c = v4_static();
+        c.set_host_up(5, 0, false).unwrap();
+        c.set_host_up(5, 7, false).unwrap();
+        assert!(!c.block_healthy(5));
+        c.set_host_up(5, 0, true).unwrap();
+        assert!(!c.block_healthy(5));
+        c.set_host_up(5, 7, true).unwrap();
+        assert!(c.block_healthy(5));
+    }
+
+    #[test]
+    fn unknown_indices_are_rejected() {
+        let mut c = v4_static();
+        assert!(matches!(
+            c.set_host_up(64, 0, false),
+            Err(SupercomputerError::UnknownBlock { block: 64 })
+        ));
+        assert!(matches!(
+            c.set_host_up(0, 16, false),
+            Err(SupercomputerError::UnknownBlockHost { block: 0, host: 16 })
+        ));
+    }
+
+    #[test]
+    fn wraparound_placements_are_legal() {
+        let mut c = v4_static();
+        // Occupy the 2-wide slab x in {1, 2}; a 2x4x4 box must wrap
+        // through x = 3, 0 to place.
+        let mut slab = Vec::new();
+        for z in 0..4u32 {
+            for y in 0..4u32 {
+                for x in [1u32, 2] {
+                    slab.push(x + 4 * (y + 4 * z));
+                }
+            }
+        }
+        // Mark the slab busy through the public API: allocate 1x1x1
+        // boxes would not target specific blocks, so simulate occupancy
+        // with failures instead (same exclusion rule).
+        for &b in &slab {
+            c.set_host_up(b, 0, false).unwrap();
+        }
+        let placed = c.allocate((2, 4, 4)).unwrap();
+        assert_eq!(placed.len(), 32);
+        for b in placed {
+            assert!(!slab.contains(&b));
+        }
+    }
+}

@@ -34,9 +34,8 @@ impl AlphaBeta {
     /// of thousands of outstanding memory requests" precisely to hide
     /// this latency).
     ///
-    /// Convenience alias for `for_spec(&MachineSpec::v4())`; prefer
-    /// [`AlphaBeta::for_spec`] in new code — this alias is kept for the
-    /// paper's headline machine and will eventually be deprecated.
+    /// Deprecated alias for `for_spec(&MachineSpec::v4())`.
+    #[deprecated(since = "0.1.0", note = "use AlphaBeta::for_spec(&MachineSpec::v4())")]
     pub fn tpu_v4_ici() -> AlphaBeta {
         AlphaBeta {
             alpha_s: tpu_spec::LatencySpec::ICI_HOP_S,
@@ -124,10 +123,11 @@ pub fn torus_diameter_hops(shape: SliceShape) -> u32 {
 mod tests {
     use super::*;
     use crate::collectives::torus_all_reduce_time;
+    use tpu_spec::MachineSpec;
 
     #[test]
     fn large_messages_converge_to_bandwidth_model() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 10e9;
         for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
@@ -143,7 +143,7 @@ mod tests {
         // Regression: the old model hard-coded the Sequential schedule
         // while the backend costs tori with MultiPath — a 3x gap on a
         // cube. Passing the schedule through closes it.
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 10e9;
         let seq = ab.torus_all_reduce_time(shape, bytes, AllReduceSchedule::Sequential);
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn small_messages_are_latency_bound() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 1024.0;
         for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn rings_split_bandwidth_but_not_latency() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let one = ab.ring_all_reduce_time(64, 1e9, 1);
         let three = ab.ring_all_reduce_time(64, 1e9, 3);
         let alpha = 2.0 * 63.0 * ab.alpha_s;
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn crossover_scales_with_ring_size() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         // Crossover ≈ 2·p·alpha·rate: 100 KB for p=?? — check monotone.
         let small = ab.crossover_bytes(4);
         let large = ab.crossover_bytes(64);
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn latency_grows_with_node_count_at_tiny_payloads() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let t_small = ab.ring_all_reduce_time(8, 128.0, 1);
         let t_large = ab.ring_all_reduce_time(64, 128.0, 1);
         assert!(t_large > 7.0 * t_small, "{t_small} vs {t_large}");
@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn single_node_is_free() {
-        let ab = AlphaBeta::tpu_v4_ici();
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         assert_eq!(ab.ring_all_reduce_time(1, 1e9, 1), 0.0);
         assert_eq!(ab.crossover_bytes(1), 0.0);
     }

@@ -6,8 +6,10 @@
 //! experiment) joined by a 3-level InfiniBand fat tree. This module models
 //! that family of machines behind one type, [`SwitchedFabric`], and
 //! exposes [`CollectiveBackend`] — the single dispatch point every layer
-//! above (`tpu-core`, `tpu-workloads`, `tpu-bench`) uses, keyed off
-//! `MachineSpec::torus_dims == 0`.
+//! above (`tpu-core`, `tpu-workloads`, `tpu-bench`) uses, keyed off the
+//! spec's `fabric` discriminator (`FabricKind::Switched`; OCS-stitched
+//! and statically-cabled tori both take the torus arm, since static
+//! cabling changes placement, not steady-state link performance).
 //!
 //! Calibration (see `DESIGN.md` §6): islands are non-blocking internally;
 //! the fat tree is full-bisection with all-reduce utilization 1.0 and
@@ -31,7 +33,7 @@ use crate::latency::{torus_diameter_hops, AlphaBeta};
 use crate::load::AllToAll;
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
-use tpu_spec::{LatencySpec, MachineSpec, ProcessorStyle};
+use tpu_spec::{FabricKind, LatencySpec, MachineSpec, ProcessorStyle};
 use tpu_topology::{SliceShape, Torus};
 
 /// How the chips inside one glueless island are wired.
@@ -72,14 +74,16 @@ pub struct SwitchedFabric {
 
 impl SwitchedFabric {
     /// The switched backend a machine spec describes, or `None` for
-    /// torus machines (`torus_dims > 0`).
+    /// torus machines (OCS-stitched or statically cabled — the spec's
+    /// `fabric` discriminator decides; `FabricKind::Switched` implies
+    /// `torus_dims == 0`).
     ///
     /// Island size comes from [`MachineSpec::glueless_island_chips`];
     /// TPU-style (`si2d`) chips form torus islands, switch-connected GPUs
     /// and IPUs form crossbar islands; island link count and rate come
     /// from the chip record; the fat tree is the §7.3 HDR reference.
     pub fn for_spec(spec: &MachineSpec) -> Option<SwitchedFabric> {
-        if spec.torus_dims != 0 {
+        if spec.fabric != FabricKind::Switched {
             return None;
         }
         let island_kind = match spec.chip.style {
@@ -435,9 +439,10 @@ mod tests {
     }
 
     #[test]
-    fn for_spec_keys_off_torus_dims() {
+    fn for_spec_keys_off_the_fabric_discriminator() {
         assert!(SwitchedFabric::for_spec(&MachineSpec::v4()).is_none());
         assert!(SwitchedFabric::for_spec(&MachineSpec::v3()).is_none());
+        assert!(SwitchedFabric::for_spec(&MachineSpec::v3_ocs()).is_none());
         assert_eq!(
             SwitchedFabric::for_spec(&MachineSpec::a100()),
             Some(SwitchedFabric::nvlink_a100())

@@ -125,10 +125,11 @@ pub struct Fabric {
 impl Fabric {
     /// A full TPU v4 fabric: 64 deployed blocks (4096 chips), 48 OCSes.
     ///
-    /// Convenience alias for `for_generation(&Generation::V4)`; prefer
-    /// [`Fabric::for_generation`] or [`Fabric::for_spec`] in new code —
-    /// this alias is kept for the paper's headline machine and will
-    /// eventually be deprecated.
+    /// Deprecated alias for `for_generation(&Generation::V4)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Fabric::for_generation(&Generation::V4) or Fabric::for_spec"
+    )]
     pub fn tpu_v4() -> Fabric {
         Fabric::for_generation(&Generation::V4)
     }
@@ -457,7 +458,7 @@ mod tests {
     #[test]
     fn regular_slice_matches_topology_torus() {
         // The Figure 1 / Figure 5 audit: OCS materialization == abstract torus.
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         for shape in [
             SliceShape::new(4, 4, 4).unwrap(),
             SliceShape::new(4, 4, 8).unwrap(),
@@ -476,7 +477,7 @@ mod tests {
 
     #[test]
     fn twisted_slice_matches_topology_twisted_torus() {
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         for shape in [
             SliceShape::new(4, 4, 8).unwrap(),
             SliceShape::new(4, 8, 8).unwrap(),
@@ -496,7 +497,7 @@ mod tests {
 
     #[test]
     fn full_machine_slice_uses_all_ports() {
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         let shape = SliceShape::new(16, 16, 16).unwrap();
         let slice = fabric.allocate(&SliceSpec::regular(shape)).unwrap();
         assert_eq!(slice.chips(), 4096);
@@ -511,7 +512,7 @@ mod tests {
 
     #[test]
     fn concurrent_slices_share_switches() {
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         let a = fabric
             .allocate(&SliceSpec::regular(SliceShape::new(4, 4, 8).unwrap()))
             .unwrap();
@@ -553,7 +554,7 @@ mod tests {
 
     #[test]
     fn non_block_aligned_rejected() {
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         let err = fabric
             .allocate(&SliceSpec::regular(SliceShape::new(2, 2, 4).unwrap()))
             .unwrap_err();
@@ -573,7 +574,7 @@ mod tests {
 
     #[test]
     fn graph_degree_is_six_everywhere() {
-        let mut fabric = Fabric::tpu_v4();
+        let mut fabric = Fabric::for_generation(&Generation::V4);
         let slice = fabric
             .allocate(&SliceSpec::regular(SliceShape::new(8, 8, 8).unwrap()))
             .unwrap();

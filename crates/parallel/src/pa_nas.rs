@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use tpu_embedding::DlrmConfig;
 use tpu_sparsecore::{EmbeddingSystem, Placement, StepBreakdown};
+use tpu_spec::Generation;
 
 /// A PA-NAS run over one DLRM on one system.
 #[derive(Debug, Clone)]
@@ -67,7 +68,10 @@ impl PaNas {
         let model = DlrmConfig::dlrm0().scaled(10.0, 1.0);
         // Global batch = 32 examples/chip x 128 chips, as in Figure 8.
         (
-            PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 32 * 128),
+            PaNas::new(
+                EmbeddingSystem::for_generation(&Generation::V4, 128),
+                32 * 128,
+            ),
             model,
         )
     }
@@ -164,7 +168,7 @@ mod tests {
     fn already_balanced_model_gains_little() {
         // Plain DLRM0 (sparse-bound on v4) cannot be improved by growing
         // dense — the search should keep a mild shift at most.
-        let nas = PaNas::new(EmbeddingSystem::tpu_v4_slice(128), 4096);
+        let nas = PaNas::new(EmbeddingSystem::for_generation(&Generation::V4, 128), 4096);
         let model = DlrmConfig::dlrm0();
         let result = nas.run(&model);
         // Speedup bounded: the sparse side is already the bottleneck and

@@ -2,6 +2,12 @@
 //! comparing the OCS plugboard (any free blocks form a slice) against
 //! contiguous placement (the scheduler "had to find 256 contiguous chips
 //! that were idle" on TPU v3-style machines).
+//!
+//! Both placement arms run through the core fabric — real
+//! [`Supercomputer`] submissions on the reconfigurable arm, core
+//! [`StaticCluster`] contiguous allocation on the static arm — so the
+//! utilization gap is produced by the same allocators the rest of the
+//! stack uses, not a private occupancy model.
 
 use crate::slice_mix::SliceMix;
 use rand::rngs::StdRng;
@@ -9,22 +15,15 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tpu_spec::{Generation, MachineSpec};
-
-/// Placement policy under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PlacementPolicy {
-    /// OCS: a slice takes any free blocks anywhere.
-    AnyBlocks,
-    /// Static cabling: a slice needs a contiguous free box of blocks
-    /// (wraparound placements allowed).
-    Contiguous,
-}
+use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
+use tpu_ocs::SliceSpec;
+use tpu_spec::{FabricKind, Generation, MachineSpec};
+use tpu_topology::SliceShape;
 
 /// Result of one cluster simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterReport {
-    /// Mean fraction of blocks busy over the horizon.
+    /// Mean fraction of the machine's chips busy over the horizon.
     pub utilization: f64,
     /// Jobs completed.
     pub completed: u64,
@@ -38,11 +37,19 @@ pub struct ClusterReport {
     pub rejected: u64,
 }
 
-/// A discrete-event simulation of one 64-block machine fed by the
+/// What one running job holds on its fabric arm.
+enum Held {
+    /// A `Supercomputer` job on the reconfigurable arm, with its chips.
+    Job(JobId, u64),
+    /// A contiguous block box on the static arm.
+    Blocks(Vec<u32>),
+}
+
+/// A discrete-event simulation of one fleet-scale machine fed by the
 /// Table 2 slice mix.
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
-    grid: (u32, u32, u32),
+    spec: MachineSpec,
     horizon: f64,
     arrival_interval: f64,
     mean_duration: f64,
@@ -54,9 +61,11 @@ impl ClusterSim {
     /// jobs arrive every `arrival_interval` time units and run for an
     /// exponential-ish duration with the given mean.
     ///
-    /// Convenience alias; prefer [`ClusterSim::for_generation`] or
-    /// [`ClusterSim::for_spec`] in new code — this alias is kept for the
-    /// paper's headline machine and will eventually be deprecated.
+    /// Deprecated alias for `for_generation(&Generation::V4, ..)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ClusterSim::for_generation(&Generation::V4, ..) or ClusterSim::for_spec"
+    )]
     pub fn tpu_v4(
         horizon: f64,
         arrival_interval: f64,
@@ -82,7 +91,7 @@ impl ClusterSim {
         seed: u64,
     ) -> ClusterSim {
         ClusterSim {
-            grid: crate::goodput::block_box(spec.fleet_blocks() as u32),
+            spec: spec.clone(),
             horizon,
             arrival_interval,
             mean_duration,
@@ -107,10 +116,23 @@ impl ClusterSim {
         ClusterSim::for_spec(&spec, horizon, arrival_interval, mean_duration, seed)
     }
 
-    /// Runs the simulation under a policy.
-    pub fn run(&self, policy: PlacementPolicy) -> ClusterReport {
-        let (gx, gy, gz) = self.grid;
-        let total_blocks = (gx * gy * gz) as usize;
+    /// Runs the simulation under a fleet-fabric kind:
+    /// [`FabricKind::Static`] places each job on a contiguous box of the
+    /// core [`StaticCluster`]; any other kind places it through real
+    /// [`Supercomputer::submit`] on the machine's own reconfigurable
+    /// fabric — the OCS plugboard for torus specs (any free blocks form
+    /// a slice), the switched island cluster for `torus_dims == 0`
+    /// specs (pure capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics for torus fleets beyond the 64-block OCS port budget on
+    /// the reconfigurable arm (the shipped fleets all fit; switched
+    /// specs take the capacity path instead).
+    pub fn run(&self, fabric: FabricKind) -> ClusterReport {
+        let cluster = StaticCluster::for_spec(&self.spec);
+        let total_chips = cluster.total_chips();
+        let chips_per_block = u64::from(cluster.chips_per_block());
         let mix = SliceMix::table2();
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -120,98 +142,105 @@ impl ClusterSim {
             blocks_box: (u32, u32, u32),
             duration: f64,
         }
+        // Whether one scheduling unit is the geometric electrical block
+        // (edge^3 chips — every torus spec, and v4-ib's 2^3 islands) or a
+        // geometry-less island (a100/ipu-bow hosts): geometric units keep
+        // the request's box shape, island units only its ceil'd count.
+        let edge = self.spec.block.edge.max(1);
+        let geometric = u64::from(edge).pow(3) == chips_per_block;
         let mut stream = Vec::new();
         let mut t = 0.0;
         while t < self.horizon {
             let usage = mix.sample(&mut rng);
-            // Sub-4^3 requests round up to one block (they occupy part of
-            // a rack exclusively in this model).
+            // Sub-unit requests round up to one block/island (they occupy
+            // it exclusively in this model).
             let shape = usage.shape;
-            let bx = shape.x().div_ceil(4);
-            let by = shape.y().div_ceil(4);
-            let bz = shape.z().div_ceil(4);
+            let blocks_box = if geometric {
+                (
+                    shape.x().div_ceil(edge),
+                    shape.y().div_ceil(edge),
+                    shape.z().div_ceil(edge),
+                )
+            } else {
+                // Geometry-less islands: a contiguous run on the linear
+                // rail StaticCluster arranges them on.
+                let units = shape.volume().div_ceil(chips_per_block).max(1) as u32;
+                (1, 1, units)
+            };
             let duration = -self.mean_duration * (1.0 - rng.random::<f64>()).ln();
             stream.push(Pending {
                 arrival: t,
-                blocks_box: (bx, by, bz),
+                blocks_box,
                 duration,
             });
             t += self.arrival_interval;
         }
 
-        let idx = |x: u32, y: u32, z: u32| -> usize {
-            (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize
+        // The two fabric arms behind one alloc/free interface. Torus
+        // specs take the OCS plugboard (pre-OCS generations become their
+        // §2.7 counterfactual); switched specs keep their own fabric.
+        let mut static_arm = cluster;
+        let mut reconfigurable_arm = if fabric == FabricKind::Static {
+            None
+        } else {
+            let spec = if self.spec.torus_dims == 0 {
+                self.spec.clone()
+            } else {
+                self.spec.clone().with_fabric(FabricKind::Ocs)
+            };
+            Some(Supercomputer::for_spec(&spec))
         };
-        let mut busy = vec![false; total_blocks];
-        let mut busy_count = 0usize;
+        // On the reconfigurable arm a geometric box submits its chip
+        // shape; an island box submits its chip count (islands have no
+        // geometry), rounded up to whole islands like the static arm.
+        let chip_edge = if geometric { edge } else { 1 };
+        let box_shape = move |b: (u32, u32, u32)| -> SliceShape {
+            if geometric {
+                SliceShape::new(b.0 * chip_edge, b.1 * chip_edge, b.2 * chip_edge)
+                    .expect("boxes are positive")
+            } else {
+                let chips = u64::from(b.0) * u64::from(b.1) * u64::from(b.2) * chips_per_block;
+                SliceShape::new(1, 1, chips as u32).expect("positive chip count")
+            }
+        };
+        let try_place = |static_arm: &mut StaticCluster,
+                         reconfigurable_arm: &mut Option<Supercomputer>,
+                         b: (u32, u32, u32)|
+         -> Option<Held> {
+            match reconfigurable_arm {
+                None => static_arm.allocate(b).ok().map(Held::Blocks),
+                Some(machine) => {
+                    let shape = box_shape(b);
+                    machine
+                        .submit(JobSpec::new("cluster", SliceSpec::regular(shape)))
+                        .ok()
+                        .map(|id| Held::Job(id, shape.volume()))
+                }
+            }
+        };
+        // Whether the machine can offer this shape at all under the
+        // fabric: a static machine never advertises a box no orientation
+        // of which fits its grid (Table 2's cigar shapes).
+        let offerable = |b: (u32, u32, u32), static_arm: &StaticCluster| -> bool {
+            match fabric {
+                FabricKind::Static => static_arm.fits(b),
+                _ => {
+                    u64::from(b.0) * u64::from(b.1) * u64::from(b.2) * chips_per_block
+                        <= total_chips
+                }
+            }
+        };
 
-        // Completion events: (Reverse(time-bits), blocks to free).
-        let mut completions: BinaryHeap<(Reverse<u64>, Vec<usize>)> = BinaryHeap::new();
+        // Completion events: (Reverse(time-bits), slab slot).
+        let mut completions: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+        let mut slab: Vec<Option<Held>> = Vec::new();
         let time_key = |t: f64| Reverse(t.to_bits());
-
-        let orientations = |b: (u32, u32, u32)| {
-            [
-                (b.0, b.1, b.2),
-                (b.0, b.2, b.1),
-                (b.1, b.0, b.2),
-                (b.1, b.2, b.0),
-                (b.2, b.0, b.1),
-                (b.2, b.1, b.0),
-            ]
-        };
-        // Whether the machine can offer this shape at all under the policy.
-        let offerable = |b: (u32, u32, u32)| -> bool {
-            match policy {
-                PlacementPolicy::AnyBlocks => (b.0 * b.1 * b.2) as usize <= total_blocks,
-                PlacementPolicy::Contiguous => orientations(b)
-                    .iter()
-                    .any(|&(x, y, z)| x <= gx && y <= gy && z <= gz),
-            }
-        };
-        let try_place = |busy: &[bool], b: (u32, u32, u32)| -> Option<Vec<usize>> {
-            let need = (b.0 * b.1 * b.2) as usize;
-            match policy {
-                PlacementPolicy::AnyBlocks => {
-                    let free: Vec<usize> =
-                        (0..busy.len()).filter(|&i| !busy[i]).take(need).collect();
-                    (free.len() == need).then_some(free)
-                }
-                PlacementPolicy::Contiguous => {
-                    for (bx, by, bz) in orientations(b) {
-                        if bx > gx || by > gy || bz > gz {
-                            continue;
-                        }
-                        for z in 0..gz {
-                            for y in 0..gy {
-                                for x in 0..gx {
-                                    let mut cells = Vec::with_capacity(need);
-                                    'box_scan: {
-                                        for dz in 0..bz {
-                                            for dy in 0..by {
-                                                for dx in 0..bx {
-                                                    let i = idx(x + dx, y + dy, z + dz);
-                                                    if busy[i] {
-                                                        break 'box_scan;
-                                                    }
-                                                    cells.push(i);
-                                                }
-                                            }
-                                        }
-                                        return Some(cells);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    None
-                }
-            }
-        };
 
         let mut queue: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
         let mut stream_iter = stream.into_iter().peekable();
         let mut now = 0.0f64;
-        let mut busy_time = 0.0f64; // block-time integral
+        let mut busy_chips = 0u64;
+        let mut busy_time = 0.0f64; // chip-time integral
         let mut completed = 0u64;
         let mut total_wait = 0.0f64;
         let mut rejected = 0u64;
@@ -231,7 +260,7 @@ impl ClusterSim {
             if next > self.horizon {
                 break;
             }
-            busy_time += busy_count as f64 * (next - now);
+            busy_time += busy_chips as f64 * (next - now);
             now = next;
 
             // Process completions at `now`.
@@ -239,10 +268,20 @@ impl ClusterSim {
                 if f64::from_bits(*bits) > now {
                     break;
                 }
-                let (_, blocks) = completions.pop().expect("peeked");
-                for b in blocks {
-                    busy[b] = false;
-                    busy_count -= 1;
+                let (_, slot) = completions.pop().expect("peeked");
+                match slab[slot].take().expect("each slot completes once") {
+                    Held::Blocks(blocks) => {
+                        busy_chips -= blocks.len() as u64 * chips_per_block;
+                        static_arm.release(&blocks);
+                    }
+                    Held::Job(id, chips) => {
+                        busy_chips -= chips;
+                        reconfigurable_arm
+                            .as_mut()
+                            .expect("job placements imply the reconfigurable arm")
+                            .finish(id)
+                            .expect("job is running");
+                    }
                 }
             }
             // Process arrivals at `now`; topologies the machine cannot
@@ -253,7 +292,7 @@ impl ClusterSim {
                     break;
                 }
                 let job = stream_iter.next().expect("peeked");
-                if offerable(job.blocks_box) {
+                if offerable(job.blocks_box, &static_arm) {
                     queue.push_back(job);
                 } else {
                     rejected += 1;
@@ -262,23 +301,26 @@ impl ClusterSim {
             // FIFO with head-of-line blocking (production schedulers keep
             // ordering fairness).
             while let Some(head) = queue.front() {
-                let Some(cells) = try_place(&busy, head.blocks_box) else {
+                let Some(held) =
+                    try_place(&mut static_arm, &mut reconfigurable_arm, head.blocks_box)
+                else {
                     break;
                 };
                 let job = queue.pop_front().expect("nonempty");
-                for &c in &cells {
-                    busy[c] = true;
-                    busy_count += 1;
-                }
+                busy_chips += match &held {
+                    Held::Blocks(blocks) => blocks.len() as u64 * chips_per_block,
+                    Held::Job(_, chips) => *chips,
+                };
                 total_wait += now - job.arrival;
                 completed += 1;
-                completions.push((time_key(now + job.duration), cells));
+                slab.push(Some(held));
+                completions.push((time_key(now + job.duration), slab.len() - 1));
             }
         }
-        busy_time += busy_count as f64 * (self.horizon - now).max(0.0);
+        busy_time += busy_chips as f64 * (self.horizon - now).max(0.0);
 
         ClusterReport {
-            utilization: busy_time / (total_blocks as f64 * self.horizon),
+            utilization: busy_time / (total_chips as f64 * self.horizon),
             completed,
             mean_wait: if completed > 0 {
                 total_wait / completed as f64
@@ -298,15 +340,15 @@ mod tests {
     fn sim() -> ClusterSim {
         // Offered load around the saturation point so placement quality
         // matters: ~10-block mean request every 1.2 units, 8-unit runs.
-        ClusterSim::tpu_v4(2000.0, 1.2, 8.0, 42)
+        ClusterSim::for_generation(&Generation::V4, 2000.0, 1.2, 8.0, 42)
     }
 
     #[test]
     fn ocs_scheduling_raises_utilization() {
         // §2.6 benefit 6: "Simplified scheduling to improve utilization."
         let s = sim();
-        let ocs = s.run(PlacementPolicy::AnyBlocks);
-        let contiguous = s.run(PlacementPolicy::Contiguous);
+        let ocs = s.run(FabricKind::Ocs);
+        let contiguous = s.run(FabricKind::Static);
         assert!(
             ocs.utilization > contiguous.utilization,
             "ocs {} <= contiguous {}",
@@ -322,8 +364,8 @@ mod tests {
         // 4x4x32 -> 1x1x8, ...) that no contiguous box of a 4x4x4-block
         // machine can realize.
         let s = sim();
-        let ocs = s.run(PlacementPolicy::AnyBlocks);
-        let contiguous = s.run(PlacementPolicy::Contiguous);
+        let ocs = s.run(FabricKind::Ocs);
+        let contiguous = s.run(FabricKind::Static);
         assert_eq!(ocs.rejected, 0);
         assert!(contiguous.rejected > 0, "cigar shapes must be rejected");
     }
@@ -331,8 +373,8 @@ mod tests {
     #[test]
     fn ocs_completes_more_work_under_load() {
         let s = sim();
-        let ocs = s.run(PlacementPolicy::AnyBlocks);
-        let contiguous = s.run(PlacementPolicy::Contiguous);
+        let ocs = s.run(FabricKind::Ocs);
+        let contiguous = s.run(FabricKind::Static);
         assert!(
             ocs.completed > contiguous.completed,
             "ocs {} <= contiguous {}",
@@ -344,9 +386,9 @@ mod tests {
     #[test]
     fn light_load_equalizes_policies() {
         // With almost no contention both policies place everything.
-        let s = ClusterSim::tpu_v4(2000.0, 40.0, 5.0, 7);
-        let ocs = s.run(PlacementPolicy::AnyBlocks);
-        let contiguous = s.run(PlacementPolicy::Contiguous);
+        let s = ClusterSim::for_generation(&Generation::V4, 2000.0, 40.0, 5.0, 7);
+        let ocs = s.run(FabricKind::Ocs);
+        let contiguous = s.run(FabricKind::Static);
         // Apart from the never-offerable shapes, both policies place
         // every job immediately at light load.
         assert_eq!(ocs.completed, contiguous.completed + contiguous.rejected);
@@ -356,15 +398,39 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = sim().run(PlacementPolicy::AnyBlocks);
-        let b = sim().run(PlacementPolicy::AnyBlocks);
+        let a = sim().run(FabricKind::Ocs);
+        let b = sim().run(FabricKind::Ocs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn switched_spec_runs_the_capacity_arm_without_panicking() {
+        // Regression: a torus_dims == 0 spec must take its own switched
+        // fabric on the reconfigurable arm, not be forced into the
+        // 64-block OCS fabric (which would panic on 1054 islands).
+        let s = ClusterSim::for_spec(&MachineSpec::a100(), 200.0, 2.0, 6.0, 5);
+        for fabric in [FabricKind::Switched, FabricKind::Ocs, FabricKind::Static] {
+            let r = s.run(fabric);
+            assert!(r.completed > 0, "{fabric:?}: {r:?}");
+            assert!((0.0..=1.0).contains(&r.utilization), "{fabric:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn v3_fleet_runs_both_arms() {
+        // The real statically-cabled generation: its own fabric is the
+        // static arm; the OCS arm is the §2.7 counterfactual.
+        let s = ClusterSim::for_spec(&MachineSpec::v3(), 500.0, 2.0, 6.0, 9);
+        let ocs = s.run(FabricKind::Ocs);
+        let fixed = s.run(FabricKind::Static);
+        assert!(ocs.completed >= fixed.completed);
+        assert!(fixed.rejected >= ocs.rejected);
     }
 
     #[test]
     fn conservation_of_jobs() {
         let s = sim();
-        let r = s.run(PlacementPolicy::AnyBlocks);
+        let r = s.run(FabricKind::Ocs);
         // Every drawn job was either completed (placed) or left queued.
         let drawn = (2000.0 / 1.2) as u64 + 1;
         assert!(r.completed + r.left_in_queue as u64 <= drawn);

@@ -1,4 +1,4 @@
-//! The Figure 4 goodput experiment.
+//! The Figure 4 goodput experiment, driven through the core fabric.
 //!
 //! A 4096-chip machine has 1024 CPU hosts; a slice is only schedulable on
 //! blocks whose 16 hosts are all up. With OCSes any healthy blocks can be
@@ -6,17 +6,28 @@
 //! healthy sub-box of the fixed 4×4×4 block grid.
 //!
 //! Goodput = expected fraction of the machine's chips deliverable as
-//! slices of the requested size.
+//! slices of the requested size. Each Monte Carlo trial draws per-host
+//! health, injects the failures into a real machine —
+//! [`Supercomputer::for_spec`] with the fabric kind under test — and
+//! counts how many slices actually `submit`, so both arms of the Figure 4
+//! comparison run the same placement code production would
+//! (`tpu_core::Fabric` allocation on the OCS arm,
+//! [`tpu_core::StaticCluster`] contiguous packing on the static arm),
+//! not a private closed-form curve.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tpu_spec::{Generation, MachineSpec};
+use tpu_core::{JobSpec, StaticCluster, Supercomputer};
+use tpu_ocs::{BlockId, SliceSpec};
+use tpu_spec::{FabricKind, Generation, MachineSpec};
+use tpu_topology::{most_cubic_box, SliceShape};
 
-/// Monte Carlo goodput simulator.
+/// Monte Carlo goodput simulator over the core fabric.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GoodputSim {
-    block_grid: (u32, u32, u32),
+    spec: MachineSpec,
+    blocks: u32,
     hosts_per_block: u32,
     chips_per_block: u32,
     trials: u32,
@@ -26,15 +37,16 @@ pub struct GoodputSim {
 impl GoodputSim {
     /// The TPU v4 machine: 64 blocks in a 4×4×4 grid, 16 hosts per block.
     ///
-    /// Convenience alias; prefer [`GoodputSim::for_generation`] or
-    /// [`GoodputSim::for_spec`] in new code — this alias is kept for the
-    /// paper's headline machine and will eventually be deprecated.
+    /// Deprecated alias for `for_generation(&Generation::V4, ..)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GoodputSim::for_generation(&Generation::V4, ..) or GoodputSim::for_spec"
+    )]
     pub fn tpu_v4(trials: u32, seed: u64) -> GoodputSim {
         GoodputSim::for_generation(&Generation::V4, trials, seed)
     }
 
-    /// The fleet a machine spec describes, with its blocks arranged in
-    /// the most cubic grid (v4: 64 blocks → 4×4×4).
+    /// The fleet a machine spec describes.
     ///
     /// Goodput is pure capacity accounting, so the spec's optional
     /// `latency` block is deliberately ignored here — alphas change how
@@ -44,29 +56,18 @@ impl GoodputSim {
     /// Switched machines (`torus_dims == 0`) schedule per glueless
     /// island instead of per 4³ block: an island is lost when any of its
     /// hosts fails, and — like the OCS plugboard — the full-bisection fat
-    /// tree lets *any* healthy islands form a slice, so the `ocs = true`
-    /// arm of [`GoodputSim::goodput`] is the physical one and the static
-    /// arm is the counterfactual.
+    /// tree lets *any* healthy islands form a slice, so the machine's own
+    /// fabric is the "reconfigurable" arm of [`GoodputSim::goodput`] and
+    /// [`FabricKind::Static`] is the counterfactual (a partial trailing
+    /// island is modelled as full, ≤ island−1 chips of overcount on
+    /// non-divisible fleets).
     pub fn for_spec(spec: &MachineSpec, trials: u32, seed: u64) -> GoodputSim {
-        if spec.torus_dims == 0 {
-            let island = spec.glueless_island_chips();
-            // div_ceil matches SwitchedCluster::for_spec's island count;
-            // the Monte Carlo works in whole islands, so a partial
-            // trailing island is modelled as full (≤ island-1 chips of
-            // overcount on non-divisible fleets).
-            let islands = spec.fleet_chips.div_ceil(u64::from(island)).max(1);
-            return GoodputSim {
-                block_grid: block_box(islands as u32),
-                hosts_per_block: (island / spec.block.tpus_per_host.max(1)).max(1),
-                chips_per_block: island,
-                trials,
-                seed,
-            };
-        }
+        let (blocks, chips_per_block, hosts_per_block) = spec.scheduling_units();
         GoodputSim {
-            block_grid: block_box(spec.fleet_blocks() as u32),
-            hosts_per_block: spec.block.hosts(),
-            chips_per_block: spec.block.chips(),
+            spec: spec.clone(),
+            blocks: blocks as u32,
+            hosts_per_block,
+            chips_per_block,
             trials,
             seed,
         }
@@ -83,31 +84,41 @@ impl GoodputSim {
         GoodputSim::for_spec(&spec, trials, seed)
     }
 
-    /// Total chips in the machine.
+    /// Total chips in the machine (whole blocks/islands).
     pub fn total_chips(&self) -> u64 {
-        let (x, y, z) = self.block_grid;
-        u64::from(x) * u64::from(y) * u64::from(z) * u64::from(self.chips_per_block)
+        u64::from(self.blocks) * u64::from(self.chips_per_block)
     }
 
     /// Total CPU hosts.
     pub fn total_hosts(&self) -> u64 {
-        let (x, y, z) = self.block_grid;
-        u64::from(x) * u64::from(y) * u64::from(z) * u64::from(self.hosts_per_block)
+        u64::from(self.blocks) * u64::from(self.hosts_per_block)
     }
 
     /// Expected goodput for slices of `slice_chips` chips when each host
-    /// is independently up with probability `availability`.
+    /// is independently up with probability `availability`, on the given
+    /// fleet-fabric kind.
     ///
-    /// `ocs = true` models the reconfigurable machine (any healthy blocks
-    /// form a slice); `ocs = false` the statically-cabled one (greedy
-    /// packing of contiguous healthy boxes, wraparound placements
-    /// allowed).
+    /// `FabricKind::Ocs` models the reconfigurable machine (any healthy
+    /// blocks form a slice, through `Supercomputer::submit` on the OCS
+    /// fabric); `FabricKind::Static` the statically-cabled one (greedy
+    /// first-fit contiguous packing through [`StaticCluster`], wraparound
+    /// placements allowed). For a `torus_dims == 0` spec,
+    /// `FabricKind::Switched` and `FabricKind::Ocs` both mean "the
+    /// machine's own switched fabric" — islands are interchangeable
+    /// behind the fat tree exactly like blocks behind the plugboard.
     ///
     /// # Panics
     ///
-    /// Panics if `slice_chips` is not a positive multiple of 64 chips or
-    /// exceeds the machine, or if `availability` is outside (0, 1].
-    pub fn goodput(&self, slice_chips: u64, availability: f64, ocs: bool) -> f64 {
+    /// Panics if `slice_chips` is not a positive multiple of the block
+    /// (island) size or exceeds the machine, if `availability` is
+    /// outside (0, 1], or if [`FabricKind::Switched`] is requested for a
+    /// torus spec (a torus machine has no switched counterfactual here —
+    /// that comparison is `BackendComparison`'s job, not goodput's).
+    pub fn goodput(&self, slice_chips: u64, availability: f64, fabric: FabricKind) -> f64 {
+        assert!(
+            fabric != FabricKind::Switched || self.spec.torus_dims == 0,
+            "FabricKind::Switched goodput is only defined for torus_dims == 0 specs"
+        );
         let block = u64::from(self.chips_per_block);
         assert!(
             slice_chips > 0
@@ -120,15 +131,43 @@ impl GoodputSim {
             "availability must be in (0, 1]"
         );
         let blocks_needed = (slice_chips / block) as u32;
-        let slice_box = block_box(blocks_needed);
-        let (gx, gy, gz) = self.block_grid;
-        let total_blocks = (gx * gy * gz) as usize;
+        // Geometric blocks request their most cubic box; geometry-less
+        // islands request a contiguous run on the linear rail
+        // (StaticCluster arranges them the same way).
+        let geometric =
+            u64::from(self.spec.block.edge.max(1)).pow(3) == u64::from(self.chips_per_block);
+        let slice_box = if geometric {
+            most_cubic_box(blocks_needed)
+        } else {
+            (1, 1, blocks_needed)
+        };
+        let total_blocks = self.blocks as usize;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut total_goodput = 0.0;
 
+        // Build the fabric arm once and reset it between trials (finish
+        // every job, repair every host), so the per-trial work is only
+        // the failures and submissions themselves.
+        let mut arm = match fabric {
+            FabricKind::Static => FabricArm::Static(StaticCluster::for_spec(&self.spec)),
+            FabricKind::Ocs | FabricKind::Switched => {
+                // Torus fleets behind the plugboard; pre-OCS generations
+                // become their §2.7 "behind OCSes" counterfactual, while
+                // `torus_dims == 0` specs keep their own switched fabric.
+                let spec = if self.spec.torus_dims == 0 {
+                    self.spec.clone()
+                } else {
+                    self.spec.clone().with_fabric(FabricKind::Ocs)
+                };
+                FabricArm::Reconfigurable(Supercomputer::for_spec(&spec))
+            }
+        };
+        let shape = self.submit_shape(slice_box, blocks_needed);
+
+        let mut healthy = Vec::with_capacity(total_blocks);
         for _ in 0..self.trials {
             // Draw block health: a block is healthy when all hosts are up.
-            let mut healthy = Vec::with_capacity(total_blocks);
+            healthy.clear();
             for _ in 0..total_blocks {
                 let mut up = true;
                 for _ in 0..self.hosts_per_block {
@@ -139,16 +178,31 @@ impl GoodputSim {
                 }
                 healthy.push(up);
             }
-            let healthy_count = healthy.iter().filter(|&&h| h).count() as u32;
-
-            let slices = if ocs {
-                healthy_count / blocks_needed
-            } else {
-                pack_static(&healthy, self.block_grid, slice_box)
+            let placed_blocks = match &mut arm {
+                FabricArm::Static(cluster) => {
+                    place_static(cluster, &healthy, slice_box, blocks_needed)
+                }
+                FabricArm::Reconfigurable(machine) => {
+                    place_reconfigurable(machine, &healthy, shape, blocks_needed)
+                }
             };
-            total_goodput += f64::from(slices * blocks_needed) / total_blocks as f64;
+            total_goodput += placed_blocks as f64 / total_blocks as f64;
         }
         total_goodput / f64::from(self.trials)
+    }
+
+    /// The chip-level shape submitted for a slice of `blocks_needed`
+    /// blocks: the most cubic block box scaled by the block edge on torus
+    /// machines; on switched machines only the chip count matters.
+    fn submit_shape(&self, slice_box: (u32, u32, u32), blocks_needed: u32) -> SliceShape {
+        if self.spec.torus_dims == 0 {
+            SliceShape::new(1, 1, blocks_needed * self.chips_per_block)
+                .expect("positive chip count")
+        } else {
+            let e = self.spec.block.edge;
+            SliceShape::new(slice_box.0 * e, slice_box.1 * e, slice_box.2 * e)
+                .expect("positive box")
+        }
     }
 
     /// The Figure 4 slice-size axis for this machine, in chips:
@@ -156,8 +210,7 @@ impl GoodputSim {
     /// caption's counterintuitive goodput recovery appears) and the full
     /// machine. For the v4 fleet this is 64..4096.
     pub fn slice_axis(&self) -> Vec<u64> {
-        let (x, y, z) = self.block_grid;
-        let total_blocks = u64::from(x) * u64::from(y) * u64::from(z);
+        let total_blocks = u64::from(self.blocks);
         let mut blocks: Vec<u64> = Vec::new();
         let mut b = 1u64;
         while b < total_blocks {
@@ -185,92 +238,96 @@ impl GoodputSim {
             .map(|s| {
                 (
                     s,
-                    self.goodput(s, availability, true),
-                    self.goodput(s, availability, false),
+                    self.goodput(s, availability, FabricKind::Ocs),
+                    self.goodput(s, availability, FabricKind::Static),
                 )
             })
             .collect()
     }
 }
 
-/// The most cubic box of `blocks` blocks (slices are 4i×4j×4k chips).
-pub(crate) fn block_box(blocks: u32) -> (u32, u32, u32) {
-    let mut best = (1, 1, blocks);
-    let mut spread = u32::MAX;
-    for x in 1..=blocks {
-        if x * x * x > blocks {
-            break;
-        }
-        if !blocks.is_multiple_of(x) {
-            continue;
-        }
-        let rest = blocks / x;
-        for y in x..=rest {
-            if y * y > rest {
-                break;
-            }
-            if !rest.is_multiple_of(y) {
-                continue;
-            }
-            let z = rest / y;
-            if z - x < spread {
-                spread = z - x;
-                best = (x, y, z);
-            }
-        }
-    }
-    best
+/// One goodput arm, built once per [`GoodputSim::goodput`] call and
+/// reused across every Monte Carlo trial.
+enum FabricArm {
+    /// The statically-cabled grid (the machine itself for static specs,
+    /// the counterfactual otherwise).
+    Static(StaticCluster),
+    /// A real [`Supercomputer`] on the spec's any-healthy-capacity
+    /// fabric (OCS plugboard / switched islands).
+    Reconfigurable(Supercomputer),
 }
 
-/// Greedy packing of contiguous healthy `slice_box` boxes into the block
-/// grid (wraparound placements allowed — the full machine is a torus).
-/// Tries all axis orientations of the box at each anchor.
-fn pack_static(healthy: &[bool], grid: (u32, u32, u32), slice_box: (u32, u32, u32)) -> u32 {
-    let (gx, gy, gz) = grid;
-    let idx =
-        |x: u32, y: u32, z: u32| -> usize { (x % gx + gx * ((y % gy) + gy * (z % gz))) as usize };
-    let mut taken = vec![false; healthy.len()];
-    let orientations = [
-        (slice_box.0, slice_box.1, slice_box.2),
-        (slice_box.0, slice_box.2, slice_box.1),
-        (slice_box.1, slice_box.0, slice_box.2),
-        (slice_box.1, slice_box.2, slice_box.0),
-        (slice_box.2, slice_box.0, slice_box.1),
-        (slice_box.2, slice_box.1, slice_box.0),
-    ];
-    let mut count = 0;
-    for z in 0..gz {
-        for y in 0..gy {
-            for x in 0..gx {
-                'orient: for &(bx, by, bz) in &orientations {
-                    if bx > gx || by > gy || bz > gz {
-                        continue;
-                    }
-                    // Check the whole box is healthy and free.
-                    for dz in 0..bz {
-                        for dy in 0..by {
-                            for dx in 0..bx {
-                                let i = idx(x + dx, y + dy, z + dz);
-                                if !healthy[i] || taken[i] {
-                                    continue 'orient;
-                                }
-                            }
-                        }
-                    }
-                    for dz in 0..bz {
-                        for dy in 0..by {
-                            for dx in 0..bx {
-                                taken[idx(x + dx, y + dy, z + dz)] = true;
-                            }
-                        }
-                    }
-                    count += 1;
-                    break;
-                }
-            }
+/// One trial of the reconfigurable arm: inject the drawn failures,
+/// submit slices until the machine refuses, then finish every job and
+/// repair every host so the next trial starts clean.
+fn place_reconfigurable(
+    machine: &mut Supercomputer,
+    healthy: &[bool],
+    shape: SliceShape,
+    blocks_needed: u32,
+) -> u32 {
+    for (b, up) in healthy.iter().enumerate() {
+        if !up {
+            machine
+                .inject_host_failure(BlockId::new(b as u32), 0)
+                .expect("block indices are in range");
         }
     }
-    count
+    let mut placed = 0;
+    while machine
+        .submit(JobSpec::new("goodput", SliceSpec::regular(shape)))
+        .is_ok()
+    {
+        placed += blocks_needed;
+    }
+    let jobs: Vec<_> = machine.jobs().map(|j| j.id()).collect();
+    for id in jobs {
+        machine.finish(id).expect("job is running");
+    }
+    for (b, up) in healthy.iter().enumerate() {
+        if !up {
+            machine
+                .repair_host(BlockId::new(b as u32), 0)
+                .expect("block indices are in range");
+        }
+    }
+    placed
+}
+
+/// One trial of the statically-cabled arm: greedy first-fit of
+/// contiguous boxes through the core [`StaticCluster`] (which also
+/// serves as the static *counterfactual* grid for switched specs, one
+/// "block" per island), released and repaired for the next trial.
+fn place_static(
+    cluster: &mut StaticCluster,
+    healthy: &[bool],
+    slice_box: (u32, u32, u32),
+    blocks_needed: u32,
+) -> u32 {
+    for (b, up) in healthy.iter().enumerate() {
+        if !up {
+            cluster
+                .set_host_up(b as u32, 0, false)
+                .expect("block indices are in range");
+        }
+    }
+    let mut placed = 0;
+    let mut held = Vec::new();
+    while let Ok(blocks) = cluster.allocate(slice_box) {
+        placed += blocks_needed;
+        held.push(blocks);
+    }
+    for blocks in held {
+        cluster.release(&blocks);
+    }
+    for (b, up) in healthy.iter().enumerate() {
+        if !up {
+            cluster
+                .set_host_up(b as u32, 0, true)
+                .expect("block indices are in range");
+        }
+    }
+    placed
 }
 
 #[cfg(test)]
@@ -278,7 +335,7 @@ mod tests {
     use super::*;
 
     fn sim() -> GoodputSim {
-        GoodputSim::tpu_v4(300, 42)
+        GoodputSim::for_generation(&Generation::V4, 300, 42)
     }
 
     #[test]
@@ -287,7 +344,7 @@ mod tests {
         let sim = GoodputSim::for_spec(&MachineSpec::a100(), 50, 7);
         assert_eq!(sim.total_chips(), 4216);
         assert_eq!(sim.total_hosts(), 1054);
-        let g = sim.goodput(512, 0.99, true);
+        let g = sim.goodput(512, 0.99, FabricKind::Switched);
         assert!(g > 0.9 && g <= 1.0, "{g}");
 
         // The v4-ib hybrid keeps 2-host 8-chip islands.
@@ -307,8 +364,8 @@ mod tests {
     fn perfect_availability_gives_full_goodput() {
         let s = sim();
         for &chips in &[64u64, 512, 4096] {
-            assert!((s.goodput(chips, 1.0, true) - 1.0).abs() < 1e-9);
-            assert!((s.goodput(chips, 1.0, false) - 1.0).abs() < 1e-9);
+            assert!((s.goodput(chips, 1.0, FabricKind::Ocs) - 1.0).abs() < 1e-9);
+            assert!((s.goodput(chips, 1.0, FabricKind::Static) - 1.0).abs() < 1e-9);
         }
     }
 
@@ -318,7 +375,7 @@ mod tests {
         // 99.5% is 75%, as 3 slices occupy ¾ of the chips."
         let s = sim();
         for &avail in &[0.990, 0.995] {
-            let g = s.goodput(1024, avail, true);
+            let g = s.goodput(1024, avail, FabricKind::Ocs);
             assert!((0.68..0.80).contains(&g), "availability {avail}: {g}");
         }
     }
@@ -328,7 +385,7 @@ mod tests {
         // Caption: "With one 2k node slice (50% of 4k) ... it will have
         // 50% goodput."
         let s = sim();
-        let g = s.goodput(2048, 0.995, true);
+        let g = s.goodput(2048, 0.995, FabricKind::Ocs);
         assert!((0.40..0.56).contains(&g), "{g}");
     }
 
@@ -337,18 +394,18 @@ mod tests {
         let s = sim();
         // At 99% host availability a full-machine slice essentially never
         // schedules (0.99^1024 ≈ 3e-5).
-        assert!(s.goodput(4096, 0.99, true) < 0.01);
+        assert!(s.goodput(4096, 0.99, FabricKind::Ocs) < 0.01);
         // At 99.99% it usually does.
-        assert!(s.goodput(4096, 0.9999, true) > 0.7);
+        assert!(s.goodput(4096, 0.9999, FabricKind::Ocs) > 0.7);
     }
 
     #[test]
     fn ocs_dominates_static_everywhere() {
-        let s = GoodputSim::tpu_v4(150, 7);
+        let s = GoodputSim::for_generation(&Generation::V4, 100, 7);
         for &avail in &[0.99, 0.995, 0.999] {
             for &chips in &[256u64, 512, 1024, 2048] {
-                let ocs = s.goodput(chips, avail, true);
-                let fixed = s.goodput(chips, avail, false);
+                let ocs = s.goodput(chips, avail, FabricKind::Ocs);
+                let fixed = s.goodput(chips, avail, FabricKind::Static);
                 assert!(
                     ocs >= fixed - 1e-9,
                     "chips {chips} avail {avail}: ocs {ocs} < static {fixed}"
@@ -362,8 +419,8 @@ mod tests {
         // "Without OCSes, host availability must be 99.9% to offer
         // reasonable slice goodput."
         let s = sim();
-        let at_99 = s.goodput(1024, 0.99, false);
-        let at_999 = s.goodput(1024, 0.999, false);
+        let at_99 = s.goodput(1024, 0.99, FabricKind::Static);
+        let at_999 = s.goodput(1024, 0.999, FabricKind::Static);
         assert!(at_999 > 0.7, "static at 99.9%: {at_999}");
         assert!(
             at_999 - at_99 > 0.25,
@@ -376,7 +433,7 @@ mod tests {
         // 64-chip slices: OCS goodput ≈ share of healthy blocks =
         // availability^16.
         let s = sim();
-        let g = s.goodput(64, 0.99, true);
+        let g = s.goodput(64, 0.99, FabricKind::Ocs);
         let expect = 0.99f64.powi(16);
         assert!((g - expect).abs() < 0.03, "{g} vs {expect}");
     }
@@ -386,7 +443,7 @@ mod tests {
         // Figure 4 caption: "Goodput is counterintuitive at large
         // slices": 2K slices drop to ~50% (one slice + 50% stranded
         // spares) while 3K slices recover to ~75% (25% spares).
-        let s = GoodputSim::tpu_v4(200, 3);
+        let s = GoodputSim::for_generation(&Generation::V4, 150, 3);
         let rows = s.sweep(0.995);
         assert_eq!(rows.len(), 8);
         let at = |chips: u64| rows.iter().find(|r| r.0 == chips).unwrap().1;
@@ -400,27 +457,57 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of 64")]
     fn rejects_sub_block_slices() {
-        let _ = sim().goodput(32, 0.99, true);
+        let _ = sim().goodput(32, 0.99, FabricKind::Ocs);
     }
 
     #[test]
     #[should_panic(expected = "availability")]
     fn rejects_bad_availability() {
-        let _ = sim().goodput(64, 0.0, true);
+        let _ = sim().goodput(64, 0.0, FabricKind::Ocs);
     }
 
     #[test]
-    fn block_box_shapes() {
-        assert_eq!(block_box(1), (1, 1, 1));
-        assert_eq!(block_box(8), (2, 2, 2));
-        assert_eq!(block_box(16), (2, 2, 4));
-        assert_eq!(block_box(64), (4, 4, 4));
+    #[should_panic(expected = "torus_dims == 0")]
+    fn rejects_switched_arm_on_torus_specs() {
+        // A torus machine has no switched counterfactual in goodput
+        // terms; silently answering with the OCS number would mislead.
+        let _ = sim().goodput(512, 0.99, FabricKind::Switched);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = GoodputSim::tpu_v4(50, 9).goodput(512, 0.99, true);
-        let b = GoodputSim::tpu_v4(50, 9).goodput(512, 0.99, true);
-        assert_eq!(a, b);
+        let mk = || GoodputSim::for_generation(&Generation::V4, 50, 9);
+        for fabric in [FabricKind::Ocs, FabricKind::Static] {
+            let a = mk().goodput(512, 0.99, fabric);
+            let b = mk().goodput(512, 0.99, fabric);
+            assert_eq!(a, b, "{fabric:?}");
+        }
+    }
+
+    #[test]
+    fn island_static_counterfactual_tracks_availability_not_factorization() {
+        // Regression: a100's 1054 islands are 2x17x31; the static
+        // counterfactual must not return 0 goodput just because a cubic
+        // box cannot fit that grid — islands sit on a linear rail.
+        let sim = GoodputSim::for_spec(&MachineSpec::a100(), 30, 7);
+        let perfect = sim.goodput(512, 1.0, FabricKind::Static);
+        assert!(perfect > 0.9, "perfect-availability static: {perfect}");
+        let fixed = sim.goodput(512, 0.99, FabricKind::Static);
+        let any = sim.goodput(512, 0.99, FabricKind::Switched);
+        assert!(fixed > 0.0, "static arm must place something");
+        assert!(any >= fixed - 1e-9, "switched {any} < static {fixed}");
+    }
+
+    #[test]
+    fn static_arm_of_a_static_spec_is_the_physical_machine() {
+        // For the real v3 the static arm is the machine itself, and the
+        // OCS arm is the "v3-ocs" counterfactual: at high availability
+        // they agree, under failures OCS wins.
+        let s = GoodputSim::for_spec(&MachineSpec::v3(), 120, 11);
+        assert_eq!(s.total_chips(), 1024);
+        assert!((s.goodput(256, 1.0, FabricKind::Static) - 1.0).abs() < 1e-9);
+        let ocs = s.goodput(256, 0.99, FabricKind::Ocs);
+        let fixed = s.goodput(256, 0.99, FabricKind::Static);
+        assert!(ocs >= fixed - 1e-9, "ocs {ocs} < static {fixed}");
     }
 }

@@ -3,7 +3,9 @@
 //! * [`goodput`] — the Figure 4 experiment: Monte Carlo goodput of slice
 //!   scheduling under CPU-host failures, with the OCS plugboard (any
 //!   healthy blocks form a slice) versus a statically-cabled machine
-//!   (slices need contiguous healthy sub-boxes).
+//!   (slices need contiguous healthy sub-boxes). Both arms run through
+//!   the core fabric (`Supercomputer` submissions / `StaticCluster`
+//!   contiguous packing), selected by `tpu_spec::FabricKind`.
 //! * [`slice_mix`] — the Table 2 production slice distribution, its
 //!   sampler, and the §2.9 twist-adoption statistics.
 //! * [`deploy`] — the §2.4 incremental-deployment benefit: OCS-attached
@@ -14,10 +16,11 @@
 //!
 //! ```
 //! use tpu_sched::GoodputSim;
+//! use tpu_spec::{FabricKind, Generation};
 //!
-//! let sim = GoodputSim::tpu_v4(200, 7);
-//! let ocs = sim.goodput(1024, 0.995, true);
-//! let fixed = sim.goodput(1024, 0.995, false);
+//! let sim = GoodputSim::for_generation(&Generation::V4, 200, 7);
+//! let ocs = sim.goodput(1024, 0.995, FabricKind::Ocs);
+//! let fixed = sim.goodput(1024, 0.995, FabricKind::Static);
 //! assert!(ocs > fixed, "the OCS must raise goodput: {ocs} vs {fixed}");
 //! ```
 
@@ -29,7 +32,7 @@ pub mod deploy;
 pub mod goodput;
 pub mod slice_mix;
 
-pub use cluster::{ClusterReport, ClusterSim, PlacementPolicy};
+pub use cluster::{ClusterReport, ClusterSim};
 pub use deploy::DeploymentModel;
 pub use goodput::GoodputSim;
 pub use slice_mix::{SliceMix, SliceUsage, TopologyChoice};

@@ -184,9 +184,11 @@ impl ScGeneration {
 
     /// TPU v4's SparseCore (Figure 7).
     ///
-    /// Convenience alias for `for_spec(&MachineSpec::v4())`; prefer
-    /// [`ScGeneration::for_spec`] in new code — the per-generation
-    /// aliases will eventually be deprecated.
+    /// Deprecated alias for `for_spec(&MachineSpec::v4())`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ScGeneration::for_spec(&MachineSpec::v4())"
+    )]
     pub fn tpu_v4() -> ScGeneration {
         ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores")
     }
@@ -229,13 +231,18 @@ mod tests {
     fn generation_sc_counts_match_table4() {
         assert_eq!(ScGeneration::tpu_v2().sc_per_chip, 1);
         assert_eq!(ScGeneration::tpu_v3().sc_per_chip, 2);
-        assert_eq!(ScGeneration::tpu_v4().sc_per_chip, 4);
+        assert_eq!(
+            ScGeneration::for_spec(&tpu_spec::MachineSpec::v4())
+                .expect("v4 has SparseCores")
+                .sc_per_chip,
+            4
+        );
     }
 
     #[test]
     fn v4_spmem_matches_table4() {
         // Table 4: 10 MiB spMEM per chip.
-        let v4 = ScGeneration::tpu_v4();
+        let v4 = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         assert!((v4.spmem_per_chip() - 10.0 * 1024.0 * 1024.0).abs() < 1.0);
         // v3: 5 MiB.
         let v3 = ScGeneration::tpu_v3();
@@ -244,7 +251,9 @@ mod tests {
 
     #[test]
     fn v4_throughput_exceeds_v3() {
-        let r = ScGeneration::tpu_v4().lookups_per_second()
+        let r = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4())
+            .expect("v4 has SparseCores")
+            .lookups_per_second()
             / ScGeneration::tpu_v3().lookups_per_second();
         // 2x SCs * 2x tiles * 1.12x clock ≈ 4.5x per-chip lookup engine.
         assert!((4.0..5.0).contains(&r), "{r}");
@@ -252,7 +261,7 @@ mod tests {
 
     #[test]
     fn issue_time_is_fixed_per_instruction() {
-        let v4 = ScGeneration::tpu_v4();
+        let v4 = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let t1 = v4.issue_time_s(100);
         let t2 = v4.issue_time_s(200);
         assert!((t2 / t1 - 2.0).abs() < 1e-12);
@@ -260,7 +269,7 @@ mod tests {
 
     #[test]
     fn sort_is_superlinear_unique_is_linear() {
-        let v4 = ScGeneration::tpu_v4();
+        let v4 = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let sort_small = ScInstruction::SortIds { count: 1_000 }.cycles(&v4);
         let sort_big = ScInstruction::SortIds { count: 10_000 }.cycles(&v4);
         assert!(sort_big / sort_small > 10.0);
@@ -271,7 +280,7 @@ mod tests {
 
     #[test]
     fn segment_sum_scales_with_row_elements() {
-        let v4 = ScGeneration::tpu_v4();
+        let v4 = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let narrow = ScInstruction::SegmentSum {
             count: 100,
             elements: 32,
@@ -294,7 +303,7 @@ mod tests {
 
     #[test]
     fn execute_time_parallel_across_scs() {
-        let v4 = ScGeneration::tpu_v4();
+        let v4 = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let v2 = ScGeneration::tpu_v2();
         let instr = ScInstruction::Unique { count: 100_000 };
         // v4 has 4 SCs to v2's 1 plus a faster clock.

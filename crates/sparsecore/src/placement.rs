@@ -197,9 +197,11 @@ impl EmbeddingSystem {
 
     /// A TPU v4 slice of `chips` chips on its canonical 3D torus.
     ///
-    /// Convenience alias; prefer [`EmbeddingSystem::for_generation`] or
-    /// [`EmbeddingSystem::for_spec`] in new code — the per-generation
-    /// aliases will eventually be deprecated.
+    /// Deprecated alias for `for_generation(&Generation::V4, chips)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EmbeddingSystem::for_generation(&Generation::V4, chips) or for_spec"
+    )]
     pub fn tpu_v4_slice(chips: u64) -> EmbeddingSystem {
         EmbeddingSystem::for_generation(&Generation::V4, chips)
     }
@@ -471,7 +473,7 @@ mod tests {
     #[test]
     fn sparse_core_beats_all_other_placements() {
         let model = DlrmConfig::dlrm0();
-        let sys = EmbeddingSystem::tpu_v4_slice(128);
+        let sys = EmbeddingSystem::for_generation(&Generation::V4, 128);
         let sc = sys.step_time(&model, 4096, Placement::SparseCore).total_s();
         for placement in [
             Placement::TensorCore,
@@ -488,7 +490,7 @@ mod tests {
         // "When embeddings are placed in CPU memory for TPU v4,
         // performance drops by 5x-7x."
         let model = DlrmConfig::dlrm0();
-        let sys = EmbeddingSystem::tpu_v4_slice(128);
+        let sys = EmbeddingSystem::for_generation(&Generation::V4, 128);
         let sc = sys.step_time(&model, 4096, Placement::SparseCore).total_s();
         let cpu = sys.step_time(&model, 4096, Placement::HostCpu).total_s();
         let slowdown = cpu / sc;
@@ -499,7 +501,7 @@ mod tests {
     fn figure9_v4_vs_v3_band() {
         // "TPU v4 beats TPU v3 by 3.1x" on DLRM0 at 128 chips.
         let model = DlrmConfig::dlrm0();
-        let v4 = EmbeddingSystem::tpu_v4_slice(128)
+        let v4 = EmbeddingSystem::for_generation(&Generation::V4, 128)
             .step_time(&model, 4096, Placement::SparseCore)
             .total_s();
         let v3 = EmbeddingSystem::tpu_v3_slice(128)
@@ -527,7 +529,7 @@ mod tests {
     fn figure9_v4_vs_cpu_band() {
         // "TPU v4 ... beats CPUs by 30.1x."
         let model = DlrmConfig::dlrm0();
-        let v4 = EmbeddingSystem::tpu_v4_slice(128)
+        let v4 = EmbeddingSystem::for_generation(&Generation::V4, 128)
             .step_time(&model, 4096, Placement::SparseCore)
             .total_s();
         let cpu = EmbeddingSystem::cpu_cluster()
@@ -546,7 +548,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(EmbeddingSystem::tpu_v4_slice(128).name(), "TPU v4 x128");
+        assert_eq!(
+            EmbeddingSystem::for_generation(&Generation::V4, 128).name(),
+            "TPU v4 x128"
+        );
         assert_eq!(EmbeddingSystem::cpu_cluster().name(), "CPU x576");
     }
 }

@@ -103,7 +103,7 @@ mod tests {
     fn mlperf_dlrm_fits_128_per_sc() {
         // The 64k cap is a *model-quality* cap; spmem itself must allow
         // at least 128 examples of the small MLPerf model per SC.
-        let gen = ScGeneration::tpu_v4();
+        let gen = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let spmem = SpmemModel::of_generation(&gen);
         let model = DlrmConfig::mlperf_dlrm();
         let max = spmem.max_batch_per_sc(&model, 1.5);
@@ -114,7 +114,7 @@ mod tests {
     fn production_dlrm_stages_fewer_examples() {
         // DLRM0's hundreds of multivalent features stage far more bytes
         // per example than MLPerf-DLRM's 26 univalent ones.
-        let gen = ScGeneration::tpu_v4();
+        let gen = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let spmem = SpmemModel::of_generation(&gen);
         let prod = spmem.max_batch_per_sc(&DlrmConfig::dlrm0(), 2.5);
         let mlperf = spmem.max_batch_per_sc(&DlrmConfig::mlperf_dlrm(), 1.5);
@@ -128,7 +128,7 @@ mod tests {
         // production workloads". At the 128-chip cap MLPerf DLRM runs 128
         // examples/SC; at 1024 chips only 16 — the overhead fraction must
         // rise sharply.
-        let gen = ScGeneration::tpu_v4();
+        let gen = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let spmem = SpmemModel::of_generation(&gen);
         let model = DlrmConfig::mlperf_dlrm();
         let at_128 = spmem.overhead_fraction(&gen, &model, 128);
@@ -145,7 +145,7 @@ mod tests {
     fn production_model_amortizes_overhead() {
         // DLRM0 at production batch (32/chip = 8/SC) still amortizes well
         // because each example carries thousands of lookups.
-        let gen = ScGeneration::tpu_v4();
+        let gen = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let spmem = SpmemModel::of_generation(&gen);
         let f = spmem.overhead_fraction(&gen, &DlrmConfig::dlrm0(), 8);
         assert!(f < 0.35, "production overhead fraction {f}");
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn usable_bytes_below_capacity() {
-        let gen = ScGeneration::tpu_v4();
+        let gen = ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores");
         let spmem = SpmemModel::of_generation(&gen);
         assert!(spmem.usable_bytes() < spmem.spmem_bytes);
         assert!(spmem.usable_bytes() > 0.0);

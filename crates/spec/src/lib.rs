@@ -48,4 +48,4 @@ mod machine;
 pub use chip::{ChipSpec, ProcessorStyle};
 pub use error::SpecError;
 pub use generation::Generation;
-pub use machine::{BlockGeometry, LatencySpec, MachineSpec, OcsSpec};
+pub use machine::{BlockGeometry, FabricKind, LatencySpec, MachineSpec, OcsSpec};

@@ -90,6 +90,50 @@ impl LatencySpec {
     }
 }
 
+/// How a machine's torus (or islands) are joined at fleet scale — the
+/// §2.7 design axis the paper's Figure 4 argues over.
+///
+/// This is the backend-dispatch discriminator `Supercomputer::for_spec`
+/// and `CollectiveBackend::for_spec` key off: `Ocs` and `Static` are both
+/// ICI tori at the link level (identical steady-state collective cost),
+/// but differ in *placement* — an OCS machine stitches a slice from any
+/// healthy blocks, a statically-cabled one must find a contiguous healthy
+/// sub-torus, so a single dead host fragments capacity instead of being
+/// routed around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// OCS-stitched torus blocks (TPU v4): any healthy blocks form a
+    /// slice, twists are programmable per job.
+    Ocs,
+    /// Statically-cabled torus (TPU v2/v3): slices need an axis-aligned
+    /// contiguous healthy box of blocks; no twisting, no route-around.
+    Static,
+    /// Switched islands behind a fat tree (A100-style); requires
+    /// `torus_dims == 0`.
+    Switched,
+}
+
+impl FabricKind {
+    /// The JSON label (`"ocs"`, `"static"`, `"switched"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricKind::Ocs => "ocs",
+            FabricKind::Static => "static",
+            FabricKind::Switched => "switched",
+        }
+    }
+
+    /// Parses a JSON label.
+    pub fn from_label(label: &str) -> Option<FabricKind> {
+        match label {
+            "ocs" => Some(FabricKind::Ocs),
+            "static" => Some(FabricKind::Static),
+            "switched" => Some(FabricKind::Switched),
+            _ => None,
+        }
+    }
+}
+
 /// The optical-circuit-switch layer of a machine (§2.1), absent on the
 /// statically-cabled generations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -145,6 +189,10 @@ pub struct MachineSpec {
     pub block: BlockGeometry,
     /// Chips in the full fleet-scale machine.
     pub fleet_chips: u64,
+    /// How the fleet's blocks (or islands) are joined: OCS plugboard,
+    /// static cabling, or a switched fat tree. Drives the
+    /// `Supercomputer::for_spec` backend dispatch.
+    pub fabric: FabricKind,
     /// The OCS layer, if the machine has one.
     pub ocs: Option<OcsSpec>,
     /// Per-hop latency calibration, if the machine declares one;
@@ -165,12 +213,15 @@ impl MachineSpec {
             torus_dims: 3,
             block: BlockGeometry::v4(),
             fleet_chips: consts::V4_FLEET_CHIPS,
+            fabric: FabricKind::Ocs,
             ocs: Some(OcsSpec::palomar()),
             latency: None,
         }
     }
 
-    /// The TPU v3 machine: 1024 chips on a statically-cabled 2D torus.
+    /// The TPU v3 machine: 1024 chips on a statically-cabled 2D torus —
+    /// slices need contiguous healthy blocks (§2.5: the scheduler "had to
+    /// find 256 contiguous chips that were idle").
     pub fn v3() -> MachineSpec {
         let chip = ChipSpec::tpu_v3();
         MachineSpec {
@@ -183,13 +234,27 @@ impl MachineSpec {
                 tpus_per_host: chip.chips_per_host,
             },
             fleet_chips: u64::from(chip.largest_config),
+            fabric: FabricKind::Static,
             ocs: None,
             latency: None,
             chip,
         }
     }
 
-    /// The TPU v2 machine: 256 chips on a 2D torus.
+    /// The §2.7 counterfactual of the v3 fleet *behind* OCSes: identical
+    /// chips, links and fleet, but the reconfigurable fabric in place of
+    /// static cabling. Comparing this against [`MachineSpec::v3`] at equal
+    /// host availability isolates the Figure 4 goodput gap.
+    pub fn v3_ocs() -> MachineSpec {
+        MachineSpec {
+            generation: Generation::custom("v3-ocs"),
+            fabric: FabricKind::Ocs,
+            ocs: Some(OcsSpec::palomar()),
+            ..MachineSpec::v3()
+        }
+    }
+
+    /// The TPU v2 machine: 256 chips on a statically-cabled 2D torus.
     pub fn v2() -> MachineSpec {
         let chip = ChipSpec::tpu_v2();
         MachineSpec {
@@ -202,6 +267,7 @@ impl MachineSpec {
                 tpus_per_host: chip.chips_per_host,
             },
             fleet_chips: u64::from(chip.largest_config),
+            fabric: FabricKind::Static,
             ocs: None,
             latency: None,
             chip,
@@ -221,6 +287,7 @@ impl MachineSpec {
                 tpus_per_host: chip.chips_per_host,
             },
             fleet_chips: u64::from(chip.largest_config),
+            fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
             chip,
@@ -248,6 +315,7 @@ impl MachineSpec {
                 tpus_per_host: consts::V4_TPUS_PER_HOST,
             },
             fleet_chips: consts::V4_FLEET_CHIPS,
+            fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
         }
@@ -266,6 +334,7 @@ impl MachineSpec {
                 tpus_per_host: chip.chips_per_host,
             },
             fleet_chips: u64::from(chip.largest_config),
+            fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
             chip,
@@ -276,7 +345,7 @@ impl MachineSpec {
     ///
     /// V2/V3/V4 always resolve; [`Generation::Custom`] resolves for the
     /// well-known Table 5 labels `"a100"` and `"ipu-bow"` and for the
-    /// §7.3 counterfactual `"v4-ib"`.
+    /// counterfactuals `"v4-ib"` (§7.3) and `"v3-ocs"` (§2.7).
     pub fn for_generation(generation: &Generation) -> Option<MachineSpec> {
         match generation {
             Generation::V2 => Some(MachineSpec::v2()),
@@ -286,6 +355,7 @@ impl MachineSpec {
                 "a100" => Some(MachineSpec::a100()),
                 "ipu-bow" => Some(MachineSpec::ipu_bow()),
                 "v4-ib" => Some(MachineSpec::v4_ib_hybrid()),
+                "v3-ocs" => Some(MachineSpec::v3_ocs()),
                 _ => None,
             },
         }
@@ -303,6 +373,49 @@ impl MachineSpec {
             self.block.chips()
         } else {
             self.block.tpus_per_host.max(1)
+        }
+    }
+
+    /// This spec with a different fleet-fabric kind — the one-line way to
+    /// build the §2.7 counterfactuals (`v4().with_fabric(FabricKind::
+    /// Static)` is "the same machine, statically cabled"). Switching to
+    /// `Static` also drops any declared OCS layer, keeping the
+    /// static-excludes-ocs invariant [`MachineSpec::from_json`] enforces,
+    /// so that result always round-trips through JSON.
+    ///
+    /// `with_fabric(FabricKind::Switched)` on a torus spec is a usable
+    /// in-memory counterfactual (the electrical blocks become the
+    /// glueless islands behind a fat tree), but is deliberately not
+    /// expressible as a spec *file* — the JSON format requires
+    /// `"switched"` ⇔ `torus_dims == 0`, the way `specs/v4-ib.json`
+    /// states that machine.
+    pub fn with_fabric(mut self, fabric: FabricKind) -> MachineSpec {
+        self.fabric = fabric;
+        if fabric == FabricKind::Static {
+            self.ocs = None;
+        }
+        self
+    }
+
+    /// The fleet's scheduling-unit accounting, shared by every placement
+    /// model: `(units, chips_per_unit, hosts_per_unit)`.
+    ///
+    /// On torus machines the unit is the electrical block (v4: 64 units
+    /// of 64 chips / 16 hosts). On `torus_dims == 0` machines it is the
+    /// glueless island, with a partial trailing island counted as full
+    /// (matching `SwitchedCluster`'s island count; ≤ island−1 chips of
+    /// overcount on non-divisible fleets) and hosts derived from
+    /// `tpus_per_host`.
+    pub fn scheduling_units(&self) -> (u64, u32, u32) {
+        if self.torus_dims == 0 {
+            let island = self.glueless_island_chips();
+            (
+                self.fleet_chips.div_ceil(u64::from(island)).max(1),
+                island,
+                (island / self.block.tpus_per_host.max(1)).max(1),
+            )
+        } else {
+            (self.fleet_blocks(), self.block.chips(), self.block.hosts())
         }
     }
 
@@ -484,6 +597,10 @@ impl MachineSpec {
                 "fleet_chips".to_string(),
                 JsonValue::Num(self.fleet_chips as f64),
             ),
+            (
+                "fabric".to_string(),
+                JsonValue::Str(self.fabric.label().to_string()),
+            ),
             ("ocs".to_string(), ocs),
             ("latency".to_string(), latency),
         ])
@@ -557,14 +674,54 @@ impl MachineSpec {
                 switch_hop_s: json::get_num(lat_obj, "latency.switch_hop_s")?,
             }),
         };
+        let torus_dims = json::get_u32(&root, "torus_dims")?;
+        // `fabric` is optional: spec files written before the field
+        // existed keep parsing with the pre-fabric dispatch semantics
+        // (torus specs behind the OCS slice fabric, `torus_dims == 0`
+        // switched). When present it must agree with `torus_dims`, and a
+        // statically-cabled machine cannot also declare an OCS layer.
+        let fabric = match root.key("fabric") {
+            None | Some(JsonValue::Null) => {
+                if torus_dims == 0 {
+                    FabricKind::Switched
+                } else {
+                    FabricKind::Ocs
+                }
+            }
+            Some(JsonValue::Str(label)) => {
+                FabricKind::from_label(label).ok_or_else(|| SpecError::InvalidField {
+                    field: "fabric".to_string(),
+                    expected: "one of ocs/static/switched".to_string(),
+                })?
+            }
+            Some(_) => {
+                return Err(SpecError::InvalidField {
+                    field: "fabric".to_string(),
+                    expected: "a string label (ocs/static/switched)".to_string(),
+                })
+            }
+        };
+        if (fabric == FabricKind::Switched) != (torus_dims == 0) {
+            return Err(SpecError::InvalidField {
+                field: "fabric".to_string(),
+                expected: "switched if and only if torus_dims == 0".to_string(),
+            });
+        }
+        if fabric == FabricKind::Static && ocs.is_some() {
+            return Err(SpecError::InvalidField {
+                field: "fabric".to_string(),
+                expected: "no ocs layer on a statically-cabled machine".to_string(),
+            });
+        }
         Ok(MachineSpec {
             generation,
             chip,
             mxus_per_core: json::get_u32(&root, "mxus_per_core")?,
             mxu_dim: json::get_u32(&root, "mxu_dim")?,
-            torus_dims: json::get_u32(&root, "torus_dims")?,
+            torus_dims,
             block,
             fleet_chips: json::get_u64(&root, "fleet_chips")?,
+            fabric,
             ocs,
             latency,
         })
@@ -600,7 +757,122 @@ mod tests {
         assert!(MachineSpec::for_generation(&Generation::custom("a100")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("ipu-bow")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("v4-ib")).is_some());
+        assert!(MachineSpec::for_generation(&Generation::custom("v3-ocs")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("h100")).is_none());
+    }
+
+    #[test]
+    fn fabric_kinds_of_builtins() {
+        assert_eq!(MachineSpec::v4().fabric, FabricKind::Ocs);
+        assert_eq!(MachineSpec::v3().fabric, FabricKind::Static);
+        assert_eq!(MachineSpec::v2().fabric, FabricKind::Static);
+        assert_eq!(MachineSpec::a100().fabric, FabricKind::Switched);
+        assert_eq!(MachineSpec::ipu_bow().fabric, FabricKind::Switched);
+        assert_eq!(MachineSpec::v4_ib_hybrid().fabric, FabricKind::Switched);
+        assert_eq!(MachineSpec::v3_ocs().fabric, FabricKind::Ocs);
+    }
+
+    #[test]
+    fn v3_ocs_is_the_v3_fleet_behind_ocses() {
+        let spec = MachineSpec::v3_ocs();
+        let v3 = MachineSpec::v3();
+        assert_eq!(spec.generation, Generation::custom("v3-ocs"));
+        assert_eq!(spec.chip, v3.chip);
+        assert_eq!(spec.fleet_chips, v3.fleet_chips);
+        assert_eq!(spec.torus_dims, v3.torus_dims);
+        assert_eq!(spec.ocs, Some(OcsSpec::palomar()));
+        // with_fabric alone recovers the static machine's placement
+        // semantics (the fabric discriminator is the only axis).
+        let mut back = spec.clone().with_fabric(FabricKind::Static);
+        back.generation = Generation::V3;
+        back.ocs = None;
+        assert_eq!(back, v3);
+    }
+
+    #[test]
+    fn fabric_field_round_trips_and_may_be_omitted() {
+        // Every built-in's label survives the round trip (covered again by
+        // json_roundtrip_all_builtins, but here for the field itself).
+        for (spec, label) in [
+            (MachineSpec::v4(), "\"fabric\":\"ocs\""),
+            (MachineSpec::v3(), "\"fabric\":\"static\""),
+            (MachineSpec::a100(), "\"fabric\":\"switched\""),
+        ] {
+            assert!(spec.to_json().contains(label), "{}", spec.to_json());
+        }
+
+        // A pre-fabric spec file (no "fabric" key) keeps parsing with the
+        // legacy dispatch: torus specs behind the OCS slice fabric,
+        // torus_dims == 0 switched.
+        let stripped = MachineSpec::v3()
+            .to_json()
+            .replace(",\"fabric\":\"static\"", "");
+        assert!(!stripped.contains("fabric"));
+        let old = MachineSpec::from_json(&stripped).unwrap();
+        assert_eq!(old.fabric, FabricKind::Ocs);
+        let stripped = MachineSpec::a100()
+            .to_json()
+            .replace(",\"fabric\":\"switched\"", "");
+        let old = MachineSpec::from_json(&stripped).unwrap();
+        assert_eq!(old.fabric, FabricKind::Switched);
+
+        // Unknown labels are positioned errors, not defaults.
+        let bad = MachineSpec::v4()
+            .to_json()
+            .replace("\"fabric\":\"ocs\"", "\"fabric\":\"mesh\"");
+        let err = MachineSpec::from_json(&bad).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::InvalidField { field, .. } if field == "fabric"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn with_fabric_static_drops_the_ocs_layer_and_round_trips() {
+        // The v4 static counterfactual must satisfy the same invariants
+        // from_json enforces on files, so it can be persisted/reloaded.
+        let counterfactual = MachineSpec::v4().with_fabric(FabricKind::Static);
+        assert_eq!(counterfactual.fabric, FabricKind::Static);
+        assert!(counterfactual.ocs.is_none());
+        let back = MachineSpec::from_json(&counterfactual.to_json()).unwrap();
+        assert_eq!(back, counterfactual);
+        // Units are unchanged: same blocks, chips and hosts either way.
+        assert_eq!(
+            counterfactual.scheduling_units(),
+            MachineSpec::v4().scheduling_units()
+        );
+    }
+
+    #[test]
+    fn scheduling_units_of_builtins() {
+        assert_eq!(MachineSpec::v4().scheduling_units(), (64, 64, 16));
+        assert_eq!(MachineSpec::v3().scheduling_units(), (16, 64, 8));
+        assert_eq!(MachineSpec::a100().scheduling_units(), (1054, 4, 1));
+        assert_eq!(MachineSpec::v4_ib_hybrid().scheduling_units(), (512, 8, 2));
+    }
+
+    #[test]
+    fn fabric_field_must_agree_with_the_rest_of_the_spec() {
+        // switched <=> torus_dims == 0, both directions.
+        let bad = MachineSpec::v3()
+            .to_json()
+            .replace("\"fabric\":\"static\"", "\"fabric\":\"switched\"");
+        assert!(MachineSpec::from_json(&bad).is_err());
+        let bad = MachineSpec::a100()
+            .to_json()
+            .replace("\"fabric\":\"switched\"", "\"fabric\":\"ocs\"");
+        assert!(MachineSpec::from_json(&bad).is_err());
+        // A statically-cabled machine cannot also declare an OCS layer.
+        let bad = MachineSpec::v4()
+            .to_json()
+            .replace("\"fabric\":\"ocs\"", "\"fabric\":\"static\"");
+        assert!(MachineSpec::from_json(&bad).is_err());
+        // But an OCS-fabric spec without an explicit ocs object is fine
+        // (pre-OCS fleets modelled behind the reconfigurable fabric).
+        let ok = MachineSpec::v3()
+            .to_json()
+            .replace("\"fabric\":\"static\"", "\"fabric\":\"ocs\"");
+        assert_eq!(MachineSpec::from_json(&ok).unwrap().fabric, FabricKind::Ocs);
     }
 
     #[test]
@@ -648,6 +920,7 @@ mod tests {
             MachineSpec::a100(),
             MachineSpec::ipu_bow(),
             MachineSpec::v4_ib_hybrid(),
+            MachineSpec::v3_ocs(),
         ] {
             let text = spec.to_json();
             let back = MachineSpec::from_json(&text).unwrap();

@@ -54,7 +54,7 @@ pub use routing::{
     all_pairs_distances, bfs_distances, edge_betweenness, shortest_path, DimensionOrdered,
     RoutingTable,
 };
-pub use shape::{SliceShape, Twistability};
+pub use shape::{most_cubic_box, SliceShape, Twistability};
 pub use torus::Torus;
 pub use twisted::{TwistSpec, TwistedTorus};
 

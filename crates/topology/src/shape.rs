@@ -199,6 +199,41 @@ impl fmt::Display for SliceShape {
     }
 }
 
+/// The most cubic `x×y×z` factorization of `n` (minimal `z − x` over all
+/// `x ≤ y ≤ z` with `x·y·z = n`): how a fleet of `n` blocks is arranged
+/// into a block grid (64 → 4×4×4), and how a slice of `n` blocks is
+/// boxed for contiguous placement on a statically-cabled machine.
+///
+/// Returns `(1, 1, 0)` shaped degenerately for `n == 0` — callers pass
+/// positive counts.
+pub fn most_cubic_box(n: u32) -> (u32, u32, u32) {
+    let mut best = (1, 1, n);
+    let mut spread = u32::MAX;
+    for x in 1..=n {
+        if x * x * x > n {
+            break;
+        }
+        if !n.is_multiple_of(x) {
+            continue;
+        }
+        let rest = n / x;
+        for y in x..=rest {
+            if y * y > rest {
+                break;
+            }
+            if !rest.is_multiple_of(y) {
+                continue;
+            }
+            let z = rest / y;
+            if z - x < spread {
+                spread = z - x;
+                best = (x, y, z);
+            }
+        }
+    }
+    best
+}
+
 impl TryFrom<(u32, u32, u32)> for SliceShape {
     type Error = TopologyError;
 

@@ -11,6 +11,7 @@
 
 use tpuv4::embedding::{BatchGenerator, DlrmConfig, ShardingPlan};
 use tpuv4::sparsecore::{EmbeddingSystem, Placement, WorkloadProfile};
+use tpuv4::Generation;
 
 fn main() {
     let model = DlrmConfig::dlrm0();
@@ -45,7 +46,7 @@ fn main() {
     );
 
     // Step time under each placement (Figure 9).
-    let system = EmbeddingSystem::tpu_v4_slice(chips as u64);
+    let system = EmbeddingSystem::for_generation(&Generation::V4, chips as u64);
     let profile = WorkloadProfile::from_batch(&model, &batch);
     println!(
         "\nplacement comparison on {} (global batch 4096):",

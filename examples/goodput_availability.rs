@@ -5,9 +5,10 @@
 //! ```
 
 use tpuv4::sched::{DeploymentModel, GoodputSim};
+use tpuv4::spec::{FabricKind, Generation};
 
 fn main() {
-    let sim = GoodputSim::tpu_v4(400, 2023);
+    let sim = GoodputSim::for_generation(&Generation::V4, 400, 2023);
     println!(
         "goodput of a {}-chip machine ({} hosts), Monte Carlo:",
         sim.total_chips(),
@@ -22,15 +23,15 @@ fn main() {
         "chips", "99.0%", "99.5%", "99.9%", "99.0%", "99.5%", "99.9%"
     );
     for &chips in &[64u64, 128, 256, 512, 1024, 2048, 3072, 4096] {
-        let g = |avail, ocs| sim.goodput(chips, avail, ocs) * 100.0;
+        let g = |avail, fabric| sim.goodput(chips, avail, fabric) * 100.0;
         println!(
             "{chips:>8} | {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1}",
-            g(0.990, true),
-            g(0.995, true),
-            g(0.999, true),
-            g(0.990, false),
-            g(0.995, false),
-            g(0.999, false),
+            g(0.990, FabricKind::Ocs),
+            g(0.995, FabricKind::Ocs),
+            g(0.999, FabricKind::Ocs),
+            g(0.990, FabricKind::Static),
+            g(0.995, FabricKind::Static),
+            g(0.999, FabricKind::Static),
         );
     }
 

@@ -75,7 +75,7 @@ pub use tpu_topology::{SliceShape, Torus, TwistedTorus};
 mod tests {
     #[test]
     fn facade_reexports_compose() {
-        let machine = crate::Supercomputer::tpu_v4();
+        let machine = crate::Supercomputer::for_generation(crate::Generation::V4);
         assert_eq!(machine.total_chips(), 4096);
         let mix = crate::sched::SliceMix::table2();
         assert!(mix.total_share() > 0.9);

@@ -132,7 +132,7 @@ fn shipped_spec_files_match_their_builtins() {
     // tpu-spec constant cannot silently strand stale spec files (the
     // doc-drift failure mode DESIGN.md exists to prevent).
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
-    for label in ["v2", "v3", "v4", "a100", "ipu-bow", "v4-ib"] {
+    for label in ["v2", "v3", "v4", "a100", "ipu-bow", "v4-ib", "v3-ocs"] {
         let text = std::fs::read_to_string(dir.join(format!("{label}.json")))
             .unwrap_or_else(|e| panic!("specs/{label}.json unreadable: {e}"));
         let loaded = MachineSpec::from_json(&text)
