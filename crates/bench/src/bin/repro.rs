@@ -47,7 +47,7 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--emit-spec") {
         let Some(label) = args.get(i + 1) else {
             eprintln!(
-                "--emit-spec needs a generation label (v2, v3, v4, a100, ipu-bow, v4-ib, v3-ocs)"
+                "--emit-spec needs a generation label (v2, v3, v4, a100, h100, ipu-bow, v4-ib, v3-ocs)"
             );
             std::process::exit(2);
         };

@@ -173,8 +173,13 @@ pub fn fig15_tail() -> String {
     );
     let _ = writeln!(
         out,
-        "speed relative to the 128-chip point; exponent fit over >=512 chips\n"
+        "speed relative to the 128-chip point; exponent fit over >=512 chips"
     );
+    let _ = writeln!(
+        out,
+        "(collectives under the specs' auto ring/tree selection, DESIGN.md \u{a7}10;"
+    );
+    let _ = writeln!(out, " schedule_crossover prints the selection surface)\n");
     for benchmark in [
         MlperfBenchmark::Bert,
         MlperfBenchmark::ResNet,

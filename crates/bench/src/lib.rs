@@ -170,6 +170,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: sections::crossover,
         },
         Experiment {
+            id: "schedule_crossover",
+            title: "Ring/tree schedule crossover surface per machine spec",
+            run: sections::schedule_crossover,
+        },
+        Experiment {
             id: "sec7_6",
             title: "Section 7.6: energy and CO2e (4Ms)",
             run: sections::sec7_6,
@@ -213,6 +218,7 @@ mod tests {
             "sec7_6",
             "sweep",
             "crossover",
+            "schedule_crossover",
         ] {
             assert!(ids.contains(&want), "{want} missing from the registry");
         }

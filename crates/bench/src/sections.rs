@@ -253,6 +253,100 @@ pub fn crossover() -> String {
     out
 }
 
+/// The ring/tree crossover surface per machine spec: for every switched
+/// machine, the all-reduce payload below which `auto` selection runs the
+/// inter-island phase as a double binary tree instead of the flat ring
+/// (`tpu_net::SwitchedFabric::ring_tree_crossover_bytes`), across slice
+/// sizes — plus what `auto` actually picks for the §6.3 BERT gradient
+/// and for a latency-bound 1 MiB payload. Torus machines close the
+/// table: per-hop alpha makes `auto` resolve to the ring at every size
+/// and payload (DESIGN.md §10).
+pub fn schedule_crossover() -> String {
+    use tpu_net::SwitchedFabric;
+
+    let mut out = String::new();
+    let sizes: [u64; 5] = [64, 256, 512, 1024, 4096];
+    let bert_bytes = 680e6; // §6.3: 340M bf16 gradients
+    let small_bytes = 1048576.0;
+
+    let _ = writeln!(
+        out,
+        "ring/tree crossover payload by slice size (tree wins below; '-' = ring always):"
+    );
+    let _ = write!(out, "{:<10} {:>8}", "machine", "island");
+    for chips in sizes {
+        let _ = write!(out, " {:>10}", format!("{chips} chips"));
+    }
+    let _ = writeln!(out);
+    for label in ["v4-ib", "a100", "h100", "ipu-bow"] {
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec");
+        let _ = write!(out, "{:<10} {:>8}", label, fabric.island_chips);
+        for chips in sizes {
+            let crossover = fabric.ring_tree_crossover_bytes(chips);
+            let cell = if crossover <= 0.0 {
+                "-".to_string()
+            } else if crossover >= 1e9 {
+                format!("{:.1} GB", crossover / 1e9)
+            } else {
+                format!("{:.1} MB", crossover / 1e6)
+            };
+            let _ = write!(out, " {cell:>10}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(
+        out,
+        "\nauto selection at the BERT gradient (680 MB) / at 1 MiB:"
+    );
+    for label in ["v4-ib", "a100", "h100", "ipu-bow"] {
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec");
+        let _ = write!(out, "{label:<10}");
+        for chips in sizes {
+            let pick = |bytes: f64| {
+                fabric
+                    .inter_island_algorithm(chips, bytes)
+                    .map_or("intra", |algo| algo.label())
+            };
+            let _ = write!(
+                out,
+                " {:>13}",
+                format!("{}/{}", pick(bert_bytes), pick(small_bytes))
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(
+        out,
+        "\ntorus machines (per-hop alpha: a tree pass crosses every hop, so"
+    );
+    let _ = writeln!(out, " auto == ring at every size and payload):");
+    for label in ["v2", "v3", "v4"] {
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let link = tpu_net::AlphaBeta::for_spec(&spec);
+        let shape = SliceShape::new(8, 8, 8).expect("valid");
+        let mut picks = Vec::new();
+        for bytes in [1024.0, small_bytes, bert_bytes] {
+            let (algorithm, _) = link.torus_all_reduce_schedule(
+                shape,
+                bytes,
+                tpu_net::TorusPaths::MultiPath,
+                spec.collective_schedule(),
+            );
+            picks.push(algorithm.label());
+        }
+        let _ = writeln!(
+            out,
+            "  {label:<8} 1 KiB/1 MiB/680 MB -> {}",
+            picks.join("/")
+        );
+    }
+    out
+}
+
 /// A machine report for an arbitrary spec file (the `repro --spec`
 /// path): identity, derived fleet numbers and a collective table through
 /// `Supercomputer::for_spec`.
@@ -288,6 +382,30 @@ pub fn spec_report(spec: &MachineSpec) -> String {
         latency.nic_s * 1e6,
         latency.switch_hop_s * 1e6,
         if spec.latency.is_some() {
+            ""
+        } else {
+            " (reference)"
+        }
+    );
+    let collective = spec.collective_schedule();
+    let _ = writeln!(
+        out,
+        "schedule:     {}{}{}",
+        collective.schedule.label(),
+        match collective.crossover_bytes {
+            // Only report the threshold where a costed collective
+            // actually consults it: auto selection (forced schedules
+            // are rejected by the parser) on a switched machine (the
+            // torus arm deliberately ignores the override — the
+            // crossover is an inter-island knob, DESIGN.md §10).
+            Some(bytes)
+                if collective.schedule == tpu_spec::SchedulePolicy::Auto
+                    && spec.fabric == FabricKind::Switched =>
+                format!(", ring/tree crossover forced at {:.1} MB", bytes / 1e6),
+            Some(_) => ", crossover override ignored (torus arms stay ring)".to_string(),
+            None => String::new(),
+        },
+        if spec.collective.is_some() {
             ""
         } else {
             " (reference)"
@@ -430,11 +548,26 @@ mod tests {
         }
         assert!(spec_report(&MachineSpec::a100()).contains("switched"));
         assert!(spec_report(&MachineSpec::v4()).contains("OCS-stitched"));
-        // A spec with explicit alphas reports them as its own.
+        // A spec with explicit alphas and an explicit schedule block
+        // reports both as its own (no "(reference)" tags left).
         let mut spec = MachineSpec::v4();
-        assert!(spec_report(&spec).contains("(reference)"));
+        assert_eq!(spec_report(&spec).matches("(reference)").count(), 2);
+        assert!(spec_report(&spec).contains("schedule:     auto (reference)"));
         spec.latency = Some(tpu_spec::LatencySpec::reference());
-        assert!(!spec_report(&spec).contains("(reference)"));
+        spec.collective = Some(tpu_spec::CollectiveSpec {
+            schedule: tpu_spec::SchedulePolicy::Auto,
+            crossover_bytes: Some(8e6),
+        });
+        // On a torus the override is never consulted — the report must
+        // say so instead of claiming a threshold is in force.
+        let report = spec_report(&spec);
+        assert!(!report.contains("(reference)"), "{report}");
+        assert!(report.contains("crossover override ignored"), "{report}");
+        // On a switched machine the same block genuinely drives auto.
+        let mut switched = MachineSpec::a100();
+        switched.collective = spec.collective;
+        let report = spec_report(&switched);
+        assert!(report.contains("crossover forced at 8.0 MB"), "{report}");
     }
 
     #[test]
@@ -452,6 +585,37 @@ mod tests {
             // Printed at 2 decimals, so within-1% shows as at most 1.01.
             assert!((1.0..=1.01).contains(&ratio), "{line}");
         }
+    }
+
+    #[test]
+    fn schedule_crossover_covers_switched_and_torus_machines() {
+        let out = schedule_crossover();
+        for label in ["v4-ib", "a100", "h100", "ipu-bow", "v2", "v3", "v4"] {
+            assert!(out.contains(label), "{label} missing:\n{out}");
+        }
+        // Assert on the computed table rows, not the header prose: a
+        // machine's own line must carry real crossover cells.
+        let row = |label: &str| {
+            out.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap_or_else(|| panic!("no {label} row:\n{out}"))
+                .to_string()
+        };
+        // a100 surface row: crossovers in MB and GB, growing with size.
+        let a100 = row("a100");
+        assert!(a100.contains("MB") && a100.contains("GB"), "{a100}");
+        // h100's 64-chip column is one island — ring-always '-' cell.
+        let h100 = row("h100");
+        assert!(h100.contains('-'), "{h100}");
+        // Selection rows (second a100/h100 occurrence): auto picks the
+        // tree at scale and still rings bulk payloads at small sizes.
+        let selection: Vec<&str> = out.lines().filter(|l| l.starts_with("a100")).collect();
+        assert_eq!(selection.len(), 2, "{out}");
+        assert!(selection[1].contains("tree/tree"), "{}", selection[1]);
+        assert!(selection[1].contains("ring/tree"), "{}", selection[1]);
+        // Torus machines never leave the ring.
+        assert!(out.contains("ring/ring/ring"), "{out}");
+        assert!(!row("  v4 ").contains("tree"), "{out}");
     }
 
     #[test]

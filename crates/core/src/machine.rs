@@ -17,9 +17,9 @@ use crate::{Result, SupercomputerError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use tpu_net::{collectives, torus_diameter_hops, AllToAll, AlphaBeta, LinkRate, SwitchedFabric};
+use tpu_net::{torus_diameter_hops, AllToAll, AlphaBeta, LinkRate, SwitchedFabric, TorusPaths};
 use tpu_ocs::{BlockId, Fabric, MaterializedSlice, SliceSpec};
-use tpu_spec::{FabricKind, Generation, LatencySpec, MachineSpec};
+use tpu_spec::{CollectiveSpec, FabricKind, Generation, LatencySpec, MachineSpec};
 use tpu_topology::Torus;
 
 /// Identifier of a running job.
@@ -280,6 +280,7 @@ pub struct Supercomputer {
     next_id: u64,
     link_rate_gbps: f64,
     ici_alpha_s: f64,
+    collective: CollectiveSpec,
 }
 
 impl Supercomputer {
@@ -321,6 +322,7 @@ impl Supercomputer {
             next_id: 0,
             link_rate_gbps: LinkRate::for_spec(spec).gb_per_s(),
             ici_alpha_s: spec.collective_latency().ici_hop_s,
+            collective: spec.collective_schedule(),
         }
     }
 
@@ -343,7 +345,8 @@ impl Supercomputer {
             jobs: BTreeMap::new(),
             next_id: 0,
             link_rate_gbps: LinkRate::TPU_V4_ICI.gb_per_s(),
-            ici_alpha_s: LatencySpec::ICI_HOP_S,
+            ici_alpha_s: LatencySpec::reference().ici_hop_s,
+            collective: CollectiveSpec::reference(),
         }
     }
 
@@ -623,7 +626,10 @@ impl Supercomputer {
     }
 
     /// Steady-state time of a collective on a job's slice, seconds —
-    /// latency-aware on both fabric families (DESIGN.md §7 alphas).
+    /// latency-aware on both fabric families (DESIGN.md §7 alphas),
+    /// through the collective-schedule IR: the spec's `ring`/`tree`/
+    /// `auto` policy selects a schedule and this method prices it
+    /// (DESIGN.md §10).
     ///
     /// On a torus machine — OCS-stitched or statically cabled; static
     /// cabling changes placement, not steady-state link performance
@@ -655,11 +661,18 @@ impl Supercomputer {
                 let link = AlphaBeta::new(self.ici_alpha_s, rate);
                 let shape = job.spec().slice().shape();
                 match op {
-                    Collective::AllReduce { bytes } => Ok(link.torus_all_reduce_time(
-                        shape,
-                        bytes as f64,
-                        collectives::AllReduceSchedule::MultiPath,
-                    )),
+                    Collective::AllReduce { bytes } => {
+                        // The spec's ring/tree/auto policy selects the
+                        // schedule; the IR prices it (on a torus, auto
+                        // resolves to the multi-path ring).
+                        let (_, schedule) = link.torus_all_reduce_schedule(
+                            shape,
+                            bytes as f64,
+                            TorusPaths::MultiPath,
+                            self.collective,
+                        );
+                        Ok(schedule.time())
+                    }
                     Collective::AllToAll { bytes_per_pair } => {
                         let analysis = match placement {
                             Placement::Torus(slice) => {

@@ -1,26 +1,22 @@
-//! Closed-form collective cost models on tori and meshes.
+//! Closed-form bandwidth-only collective costs on tori and meshes.
 //!
-//! These are the bandwidth-optimal schedules the paper's analysis assumes:
-//! dimension-sequential reduce-scatter + all-gather rings for all-reduce
-//! (§2.7 "all-reduce ... maps well to 2D and 3D tori"), with both directions
-//! of each ring driven simultaneously, and an optional multi-path variant
-//! that splits the payload across the three dimension orderings so all six
-//! ICI links stay busy.
+//! These are thin wrappers over the schedule IR of [`crate::schedule`]
+//! with every alpha at zero: the builders emit the bandwidth-optimal
+//! dimension-ring schedules the paper's analysis assumes (§2.7
+//! "all-reduce ... maps well to 2D and 3D tori", both directions of each
+//! ring driven simultaneously), and these functions just cost them.
+//! They are exact for the large transfers of Figure 6; the latency-aware
+//! consumers ([`crate::latency`], [`crate::switched`]) cost the same
+//! schedules with their alphas filled in.
+//!
+//! The old two-variant `AllReduceSchedule` enum is gone: link
+//! concurrency is the [`TorusPaths`] builder input, and the ring-vs-tree
+//! algorithm choice is a first-class, spec-driven selection
+//! ([`crate::schedule::select`]).
 
+use crate::schedule::{self, ScheduleAlgorithm, TorusPaths};
 use crate::units::LinkRate;
-use serde::{Deserialize, Serialize};
 use tpu_topology::SliceShape;
-
-/// Which all-reduce schedule to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AllReduceSchedule {
-    /// Reduce-scatter then all-gather, one torus dimension at a time; at
-    /// any moment only one dimension's links are busy.
-    Sequential,
-    /// Payload split across the dimension orderings so every dimension's
-    /// links run concurrently (the "optimized all-reduce" of §7.3).
-    MultiPath,
-}
 
 /// Time for a bandwidth-optimal ring all-reduce of `bytes` over `nodes`
 /// ring members, with `rings` independent rings sharing the payload and
@@ -31,61 +27,37 @@ pub fn ring_all_reduce_time(nodes: u64, bytes: f64, rate: LinkRate, rings: u32) 
     if nodes < 2 || rings == 0 {
         return 0.0;
     }
-    let p = nodes as f64;
-    // Reduce-scatter + all-gather each move (p-1)/p of the payload past
-    // every node; two directions double the effective rate.
-    2.0 * (p - 1.0) / p * bytes / (2.0 * rate.bytes_per_s() * f64::from(rings))
+    let wire = 2.0 * rate.bytes_per_s() * f64::from(rings);
+    schedule::ring_all_reduce(nodes, bytes, wire, 0.0).time()
 }
 
 /// All-reduce time of `bytes` on a 3D torus of the given shape.
 ///
-/// Sequential schedule: reduce-scatter x, y, z then all-gather z, y, x; the
-/// payload shrinks by each dimension's extent as it is scattered.
-/// Multi-path: the same cost divided by the number of non-degenerate
-/// dimensions, modelling payload split across dimension orderings.
+/// [`TorusPaths::Sequential`]: reduce-scatter x, y, z then all-gather
+/// z, y, x; the payload shrinks by each dimension's extent as it is
+/// scattered. [`TorusPaths::MultiPath`]: the payload split across the
+/// dimension orderings so every dimension's links run concurrently.
 pub fn torus_all_reduce_time(
     shape: SliceShape,
     bytes: f64,
     rate: LinkRate,
-    schedule: AllReduceSchedule,
+    paths: TorusPaths,
 ) -> f64 {
-    let extents = [shape.x(), shape.y(), shape.z()];
-    let active = extents.iter().filter(|&&k| k > 1).count();
-    if active == 0 {
-        return 0.0;
-    }
-    let mut time = 0.0;
-    let mut volume = bytes;
-    for &k in extents.iter().filter(|&&k| k > 1) {
-        time += ring_all_reduce_time(u64::from(k), volume, rate, 1);
-        volume /= f64::from(k);
-    }
-    match schedule {
-        AllReduceSchedule::Sequential => time,
-        AllReduceSchedule::MultiPath => time / active as f64,
-    }
+    schedule::torus_all_reduce(shape, bytes, rate, 0.0, paths, ScheduleAlgorithm::Ring).time()
 }
 
 /// All-gather time of `bytes` total gathered volume on a torus.
 ///
-/// Each dimension's ring moves the (growing) payload once; this is half an
-/// all-reduce (no reduce-scatter pass).
+/// Each dimension's ring moves the (growing) payload once; this is half
+/// an all-reduce (no reduce-scatter pass).
 pub fn torus_all_gather_time(shape: SliceShape, bytes: f64, rate: LinkRate) -> f64 {
-    let extents = [shape.x(), shape.y(), shape.z()];
-    let mut time = 0.0;
-    let mut volume = bytes;
-    for &k in extents.iter().filter(|&&k| k > 1) {
-        let p = f64::from(k);
-        time += (p - 1.0) / p * volume / (2.0 * rate.bytes_per_s());
-        volume /= p;
-    }
-    time
+    schedule::torus_all_gather(shape, bytes, rate, 0.0).time()
 }
 
 /// All-reduce on a mesh (no wraparound): the missing wrap links halve the
 /// usable collective bandwidth (§2.6), so the cost is twice the torus's.
 pub fn mesh_all_reduce_time(shape: SliceShape, bytes: f64, rate: LinkRate) -> f64 {
-    2.0 * torus_all_reduce_time(shape, bytes, rate, AllReduceSchedule::Sequential)
+    schedule::mesh_all_reduce(shape, bytes, rate, 0.0).time()
 }
 
 #[cfg(test)]
@@ -99,7 +71,7 @@ mod tests {
         assert_eq!(ring_all_reduce_time(1, 1e9, RATE, 1), 0.0);
         let s = SliceShape::new(1, 1, 1).unwrap();
         assert_eq!(
-            torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential),
+            torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential),
             0.0
         );
     }
@@ -121,7 +93,7 @@ mod tests {
     #[test]
     fn torus_first_dimension_dominates() {
         let s = SliceShape::new(8, 8, 8).unwrap();
-        let total = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let total = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential);
         let first = ring_all_reduce_time(8, 1e9, RATE, 1);
         // Later dimensions operate on payload/8 and payload/64.
         assert!(total > first && total < first * 1.3, "total = {total}");
@@ -130,15 +102,15 @@ mod tests {
     #[test]
     fn multipath_is_three_times_faster_on_cube() {
         let s = SliceShape::new(8, 8, 8).unwrap();
-        let seq = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
-        let par = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::MultiPath);
+        let seq = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential);
+        let par = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::MultiPath);
         assert!((seq / par - 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn mesh_is_twice_torus() {
         let s = SliceShape::new(4, 4, 4).unwrap();
-        let torus = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let torus = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential);
         let mesh = mesh_all_reduce_time(s, 1e9, RATE);
         assert!((mesh / torus - 2.0).abs() < 1e-9);
     }
@@ -146,7 +118,7 @@ mod tests {
     #[test]
     fn all_gather_is_half_all_reduce() {
         let s = SliceShape::new(4, 8, 8).unwrap();
-        let ar = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
+        let ar = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential);
         let ag = torus_all_gather_time(s, 1e9, RATE);
         assert!((ar / ag - 2.0).abs() < 1e-9);
     }
@@ -155,15 +127,15 @@ mod tests {
     fn degenerate_dimensions_skipped() {
         let s3 = SliceShape::new(4, 1, 1).unwrap();
         let ring = ring_all_reduce_time(4, 1e9, RATE, 1);
-        let torus = torus_all_reduce_time(s3, 1e9, RATE, AllReduceSchedule::Sequential);
+        let torus = torus_all_reduce_time(s3, 1e9, RATE, TorusPaths::Sequential);
         assert!((ring - torus).abs() < 1e-12);
     }
 
     #[test]
     fn bigger_payload_takes_longer() {
         let s = SliceShape::new(4, 4, 8).unwrap();
-        let a = torus_all_reduce_time(s, 1e9, RATE, AllReduceSchedule::Sequential);
-        let b = torus_all_reduce_time(s, 2e9, RATE, AllReduceSchedule::Sequential);
+        let a = torus_all_reduce_time(s, 1e9, RATE, TorusPaths::Sequential);
+        let b = torus_all_reduce_time(s, 2e9, RATE, TorusPaths::Sequential);
         assert!((b / a - 2.0).abs() < 1e-9);
     }
 }

@@ -103,15 +103,17 @@ impl HybridIciIb {
     /// This hybrid as a general [`SwitchedFabric`] (torus islands; the
     /// physics lives there — this type is kept as the §7.3-named view).
     pub fn as_switched(self) -> SwitchedFabric {
+        let latency = tpu_spec::LatencySpec::reference();
         SwitchedFabric {
             island_chips: self.ici_island,
             island_kind: IslandKind::Torus,
             island_rate: self.ici_rate,
             island_links: 6,
             fat_tree: self.fat_tree,
-            island_alpha_s: tpu_spec::LatencySpec::ICI_HOP_S,
-            nic_alpha_s: tpu_spec::LatencySpec::NIC_S,
-            switch_alpha_s: tpu_spec::LatencySpec::SWITCH_HOP_S,
+            island_alpha_s: latency.ici_hop_s,
+            nic_alpha_s: latency.nic_s,
+            switch_alpha_s: latency.switch_hop_s,
+            selection: tpu_spec::CollectiveSpec::reference(),
         }
     }
 

@@ -1,18 +1,21 @@
-//! Alpha-beta (latency + bandwidth) collective costs.
+//! Alpha-beta (latency + bandwidth) collective costs on tori.
 //!
-//! The steady-state models in [`crate::collectives`] are pure-bandwidth;
+//! The models in [`crate::collectives`] are the pure-bandwidth asymptote;
 //! they are exact for the large transfers of Figure 6 but underestimate
 //! small-message collectives, where per-hop latency dominates — the same
 //! fixed-overhead regime that §7.9 blames for MLPerf-DLRM's scaling wall.
-//! This module adds the `alpha` term, on exactly the schedules the
-//! bandwidth models cost: `torus_all_reduce_time` takes the same
-//! [`AllReduceSchedule`] as [`crate::collectives::torus_all_reduce_time`]
-//! and converges to it as the payload grows, so latency-aware and
-//! bandwidth-only numbers are always comparable.
+//! [`AlphaBeta`] builds the *same* schedules through the IR of
+//! [`crate::schedule`] with the alpha filled in, so latency-aware and
+//! bandwidth-only numbers are always comparable (they converge as the
+//! payload grows), and applies the spec's `ring`/`tree`/`auto` policy via
+//! [`AlphaBeta::torus_all_reduce_schedule`] — on a torus the per-hop
+//! alpha makes `auto` resolve to the ring at every payload, which is the
+//! paper's §2.7 point that all-reduce "maps well" to tori.
 
-use crate::collectives::{self, AllReduceSchedule};
+use crate::schedule::{self, CollectiveSchedule, ScheduleAlgorithm, TorusPaths};
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
+use tpu_spec::CollectiveSpec;
 use tpu_topology::SliceShape;
 
 /// Latency/bandwidth parameters of one link hop.
@@ -38,7 +41,7 @@ impl AlphaBeta {
     #[deprecated(since = "0.1.0", note = "use AlphaBeta::for_spec(&MachineSpec::v4())")]
     pub fn tpu_v4_ici() -> AlphaBeta {
         AlphaBeta {
-            alpha_s: tpu_spec::LatencySpec::ICI_HOP_S,
+            alpha_s: tpu_spec::LatencySpec::reference().ici_hop_s,
             rate: LinkRate::TPU_V4_ICI,
         }
     }
@@ -61,17 +64,18 @@ impl AlphaBeta {
         if nodes < 2 || rings == 0 {
             return 0.0;
         }
-        let steps = 2.0 * (nodes as f64 - 1.0);
-        steps * self.alpha_s + collectives::ring_all_reduce_time(nodes, bytes, self.rate, rings)
+        let wire = 2.0 * self.rate.bytes_per_s() * f64::from(rings);
+        schedule::ring_all_reduce(nodes, bytes, wire, self.alpha_s).time()
     }
 
     /// The pure-latency cost of a torus all-reduce on `shape`: every
     /// non-degenerate dimension's ring serializes `2(k−1)` alpha steps.
     ///
     /// This is schedule-independent: the multi-path schedule runs the
-    /// dimension *orderings* concurrently, but each ordering still
-    /// traverses every dimension, so its critical path pays the same
-    /// step count as the sequential schedule.
+    /// dimension *orderings* concurrently (each ordering still traverses
+    /// every dimension), and a tree pass still crosses every hop of the
+    /// dimension it reduces, so ring, tree and both path policies share
+    /// this critical path.
     pub fn torus_alpha_seconds(&self, shape: SliceShape) -> f64 {
         [shape.x(), shape.y(), shape.z()]
             .iter()
@@ -80,22 +84,76 @@ impl AlphaBeta {
             .sum()
     }
 
-    /// Torus all-reduce with latency, under the given schedule.
-    ///
-    /// The bandwidth term is exactly
-    /// [`crate::collectives::torus_all_reduce_time`] for the same
-    /// schedule (so the two models converge at large payloads — the
-    /// backend costs tori with [`AllReduceSchedule::MultiPath`], and this
-    /// model must be comparable with it); the latency term adds the
-    /// serialized alpha steps of [`AlphaBeta::torus_alpha_seconds`].
-    pub fn torus_all_reduce_time(
+    /// Builds the latency-aware ring all-reduce schedule of `bytes` on a
+    /// torus of `shape` under the given path policy — the schedule
+    /// [`AlphaBeta::torus_all_reduce_time`] prices.
+    pub fn torus_ring_schedule(
         &self,
         shape: SliceShape,
         bytes: f64,
-        schedule: AllReduceSchedule,
-    ) -> f64 {
-        collectives::torus_all_reduce_time(shape, bytes, self.rate, schedule)
-            + self.torus_alpha_seconds(shape)
+        paths: TorusPaths,
+    ) -> CollectiveSchedule {
+        schedule::torus_all_reduce(
+            shape,
+            bytes,
+            self.rate,
+            self.alpha_s,
+            paths,
+            ScheduleAlgorithm::Ring,
+        )
+    }
+
+    /// Builds the all-reduce schedule a spec's `collective` policy
+    /// selects on this torus: ring and double-binary-tree candidates are
+    /// emitted lazily and [`schedule::select_with`] picks per the policy.
+    ///
+    /// With per-hop alpha the tree candidate pays the same latency at a
+    /// worse bandwidth term, so `auto` resolves to the ring on every
+    /// torus — the selection only bites on switched fabrics, where alpha
+    /// is per message (DESIGN.md §10). For the same reason, an `auto`
+    /// `crossover_bytes` override is *ignored* here: it is an
+    /// inter-island threshold, and honoring it on a torus would force
+    /// the provably-slower tree below the threshold, breaking the
+    /// documented auto-equals-ring guarantee. A forced `tree` policy
+    /// remains an explicit (honestly worse) choice.
+    pub fn torus_all_reduce_schedule(
+        &self,
+        shape: SliceShape,
+        bytes: f64,
+        paths: TorusPaths,
+        selection: CollectiveSpec,
+    ) -> (ScheduleAlgorithm, CollectiveSchedule) {
+        let selection = CollectiveSpec {
+            crossover_bytes: None,
+            ..selection
+        };
+        schedule::select_with(
+            selection,
+            bytes,
+            || self.torus_ring_schedule(shape, bytes, paths),
+            || {
+                schedule::torus_all_reduce(
+                    shape,
+                    bytes,
+                    self.rate,
+                    self.alpha_s,
+                    paths,
+                    ScheduleAlgorithm::Tree,
+                )
+            },
+        )
+    }
+
+    /// Torus all-reduce time with latency, on the ring schedule.
+    ///
+    /// The bandwidth term is exactly
+    /// [`crate::collectives::torus_all_reduce_time`] for the same path
+    /// policy (so the two models converge at large payloads — the
+    /// backend costs tori with [`TorusPaths::MultiPath`], and this model
+    /// must be comparable with it); the latency term adds the serialized
+    /// alpha steps of [`AlphaBeta::torus_alpha_seconds`].
+    pub fn torus_all_reduce_time(&self, shape: SliceShape, bytes: f64, paths: TorusPaths) -> f64 {
+        self.torus_ring_schedule(shape, bytes, paths).time()
     }
 
     /// The payload size at which latency and bandwidth terms are equal
@@ -123,32 +181,76 @@ pub fn torus_diameter_hops(shape: SliceShape) -> u32 {
 mod tests {
     use super::*;
     use crate::collectives::torus_all_reduce_time;
-    use tpu_spec::MachineSpec;
+    use tpu_spec::{MachineSpec, SchedulePolicy};
 
     #[test]
     fn large_messages_converge_to_bandwidth_model() {
         let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 10e9;
-        for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
-            let with_latency = ab.torus_all_reduce_time(shape, bytes, schedule);
-            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, schedule);
+        for paths in [TorusPaths::Sequential, TorusPaths::MultiPath] {
+            let with_latency = ab.torus_all_reduce_time(shape, bytes, paths);
+            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, paths);
             let overhead = with_latency / bandwidth_only;
-            assert!((1.0..1.01).contains(&overhead), "{schedule:?}: {overhead}");
+            assert!((1.0..1.01).contains(&overhead), "{paths:?}: {overhead}");
         }
     }
 
     #[test]
-    fn multipath_schedule_matches_the_backend_not_sequential() {
+    fn multipath_matches_the_backend_not_sequential() {
         // Regression: the old model hard-coded the Sequential schedule
         // while the backend costs tori with MultiPath — a 3x gap on a
-        // cube. Passing the schedule through closes it.
+        // cube. Passing the path policy through closes it.
         let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 10e9;
-        let seq = ab.torus_all_reduce_time(shape, bytes, AllReduceSchedule::Sequential);
-        let par = ab.torus_all_reduce_time(shape, bytes, AllReduceSchedule::MultiPath);
+        let seq = ab.torus_all_reduce_time(shape, bytes, TorusPaths::Sequential);
+        let par = ab.torus_all_reduce_time(shape, bytes, TorusPaths::MultiPath);
         assert!((seq / par - 3.0).abs() < 0.01, "{}", seq / par);
+    }
+
+    #[test]
+    fn auto_selection_resolves_to_the_ring_on_tori() {
+        // Per-hop alpha: the tree candidate saves no latency and pays a
+        // bandwidth penalty, so auto == ring at every payload — which
+        // also keeps every pre-IR torus number bit-identical.
+        let ab = AlphaBeta::for_spec(&MachineSpec::v4());
+        let shape = SliceShape::new(8, 8, 8).unwrap();
+        for bytes in [1e3, 1e6, 1e9] {
+            let (algo, schedule) = ab.torus_all_reduce_schedule(
+                shape,
+                bytes,
+                TorusPaths::MultiPath,
+                CollectiveSpec::reference(),
+            );
+            assert_eq!(algo, ScheduleAlgorithm::Ring, "at {bytes}");
+            assert_eq!(
+                schedule.time(),
+                ab.torus_all_reduce_time(shape, bytes, TorusPaths::MultiPath)
+            );
+        }
+        // A crossover override is an inter-island threshold — on a torus
+        // it must not flip auto to the (provably slower) tree.
+        let overridden = CollectiveSpec {
+            schedule: SchedulePolicy::Auto,
+            crossover_bytes: Some(f64::INFINITY),
+        };
+        let (algo, schedule) =
+            ab.torus_all_reduce_schedule(shape, 1e6, TorusPaths::MultiPath, overridden);
+        assert_eq!(algo, ScheduleAlgorithm::Ring);
+        assert_eq!(
+            schedule.time(),
+            ab.torus_all_reduce_time(shape, 1e6, TorusPaths::MultiPath)
+        );
+        // A forced tree is expressible (and honestly worse).
+        let (algo, forced) = ab.torus_all_reduce_schedule(
+            shape,
+            1e6,
+            TorusPaths::MultiPath,
+            CollectiveSpec::forced(SchedulePolicy::Tree),
+        );
+        assert_eq!(algo, ScheduleAlgorithm::Tree);
+        assert!(forced.time() >= ab.torus_all_reduce_time(shape, 1e6, TorusPaths::MultiPath));
     }
 
     #[test]
@@ -156,9 +258,9 @@ mod tests {
         let ab = AlphaBeta::for_spec(&MachineSpec::v4());
         let shape = SliceShape::new(8, 8, 8).unwrap();
         let bytes = 1024.0;
-        for schedule in [AllReduceSchedule::Sequential, AllReduceSchedule::MultiPath] {
-            let with_latency = ab.torus_all_reduce_time(shape, bytes, schedule);
-            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, schedule);
+        for paths in [TorusPaths::Sequential, TorusPaths::MultiPath] {
+            let with_latency = ab.torus_all_reduce_time(shape, bytes, paths);
+            let bandwidth_only = torus_all_reduce_time(shape, bytes, ab.rate, paths);
             assert!(
                 with_latency > 10.0 * bandwidth_only,
                 "{with_latency} vs {bandwidth_only}"

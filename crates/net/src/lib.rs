@@ -13,6 +13,13 @@
 //!    flows over explicit paths at DMA granularity, used to validate the
 //!    load model and to study dynamic effects.
 //!
+//! Every analytic collective cost flows through the schedule IR of
+//! [`schedule`]: ring, double-binary-tree and reduce-scatter/all-gather
+//! builders emit [`CollectiveSchedule`]s (phases of steps × alpha +
+//! bytes-on-wire) and consumers price them, with the spec-driven
+//! `ring`/`tree`/`auto` selection of `tpu_spec::CollectiveSpec` choosing
+//! between algorithms per payload and scale (DESIGN.md §10).
+//!
 //! The InfiniBand alternative of §7.3 is modelled in [`fattree`]; the
 //! general switched (NVLink-island + fat-tree) backend that machines with
 //! `torus_dims == 0` dispatch to — and the [`CollectiveBackend`] selector
@@ -43,6 +50,7 @@ pub mod flows;
 pub mod latency;
 pub mod load;
 pub mod rings;
+pub mod schedule;
 pub mod switched;
 mod units;
 
@@ -53,5 +61,6 @@ pub use flows::{all_to_all_flows, ring_all_reduce_flows, Flow};
 pub use latency::{torus_diameter_hops, AlphaBeta};
 pub use load::{AllToAll, LinkLoads};
 pub use rings::DimensionRings;
+pub use schedule::{CollectiveSchedule, ScheduleAlgorithm, SchedulePhase, TorusPaths};
 pub use switched::{BackendComparison, CollectiveBackend, IslandKind, SwitchedFabric};
 pub use units::LinkRate;

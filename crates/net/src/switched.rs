@@ -27,13 +27,13 @@
 //! [`CollectiveBackend::bandwidth_only`] recovers the infinite-message
 //! asymptote, and the two agree within 1% at ≥1 GB payloads.
 
-use crate::collectives::AllReduceSchedule;
 use crate::fattree::FatTree;
 use crate::latency::{torus_diameter_hops, AlphaBeta};
 use crate::load::AllToAll;
+use crate::schedule::{self, CollectiveSchedule, ScheduleAlgorithm, TorusPaths};
 use crate::units::LinkRate;
 use serde::{Deserialize, Serialize};
-use tpu_spec::{FabricKind, LatencySpec, MachineSpec, ProcessorStyle};
+use tpu_spec::{CollectiveSpec, FabricKind, LatencySpec, MachineSpec, ProcessorStyle};
 use tpu_topology::{SliceShape, Torus};
 
 /// How the chips inside one glueless island are wired.
@@ -70,6 +70,10 @@ pub struct SwitchedFabric {
     /// Per-switch-stage latency on the fat tree, seconds (stage count
     /// from [`FatTree::switch_stages`]).
     pub switch_alpha_s: f64,
+    /// The spec's `ring`/`tree`/`auto` policy for the inter-island
+    /// all-reduce phase (islands keep their native schedules — a torus
+    /// island is already ring-optimal, see DESIGN.md §10).
+    pub selection: CollectiveSpec,
 }
 
 impl SwitchedFabric {
@@ -100,6 +104,7 @@ impl SwitchedFabric {
             island_alpha_s: latency.ici_hop_s,
             nic_alpha_s: latency.nic_s,
             switch_alpha_s: latency.switch_hop_s,
+            selection: spec.collective_schedule(),
         })
     }
 
@@ -107,15 +112,17 @@ impl SwitchedFabric {
     /// links) over an HDR fat tree. Equals
     /// `for_spec(&MachineSpec::v4_ib_hybrid())`.
     pub fn v4_ib_reference() -> SwitchedFabric {
+        let latency = LatencySpec::reference();
         SwitchedFabric {
             island_chips: 8,
             island_kind: IslandKind::Torus,
             island_rate: LinkRate::TPU_V4_ICI,
             island_links: 6,
             fat_tree: FatTree::hdr_reference(),
-            island_alpha_s: LatencySpec::ICI_HOP_S,
-            nic_alpha_s: LatencySpec::NIC_S,
-            switch_alpha_s: LatencySpec::SWITCH_HOP_S,
+            island_alpha_s: latency.ici_hop_s,
+            nic_alpha_s: latency.nic_s,
+            switch_alpha_s: latency.switch_hop_s,
+            selection: CollectiveSpec::reference(),
         }
     }
 
@@ -123,15 +130,17 @@ impl SwitchedFabric {
     /// through NVSwitch) over an HDR fat tree. Equals
     /// `for_spec(&MachineSpec::a100())`.
     pub fn nvlink_a100() -> SwitchedFabric {
+        let latency = LatencySpec::reference();
         SwitchedFabric {
             island_chips: 4,
             island_kind: IslandKind::Crossbar,
             island_rate: LinkRate::from_gb_per_s(25.0),
             island_links: 12,
             fat_tree: FatTree::hdr_reference(),
-            island_alpha_s: LatencySpec::ICI_HOP_S,
-            nic_alpha_s: LatencySpec::NIC_S,
-            switch_alpha_s: LatencySpec::SWITCH_HOP_S,
+            island_alpha_s: latency.ici_hop_s,
+            nic_alpha_s: latency.nic_s,
+            switch_alpha_s: latency.switch_hop_s,
+            selection: CollectiveSpec::reference(),
         }
     }
 
@@ -159,57 +168,140 @@ impl SwitchedFabric {
         self.nic_alpha_s + f64::from(self.fat_tree.switch_stages(chips)) * self.switch_alpha_s
     }
 
-    /// All-reduce time of `bytes` confined to (up to) one island.
-    fn intra_all_reduce_time(&self, chips: u32, bytes: f64) -> f64 {
+    /// The all-reduce schedule of `bytes` confined to (up to) one
+    /// island: the multi-path torus ring schedule on ICI islands, a ring
+    /// through the non-blocking switch (`2(n−1)` steps, each one switch
+    /// hop, at full per-chip injection) on crossbars.
+    fn intra_all_reduce_schedule(&self, chips: u32, bytes: f64) -> CollectiveSchedule {
         if chips <= 1 {
-            return 0.0;
+            return CollectiveSchedule::empty();
         }
         match self.island_kind {
             IslandKind::Torus => AlphaBeta::new(self.island_alpha_s, self.island_rate)
-                .torus_all_reduce_time(island_shape(chips), bytes, AllReduceSchedule::MultiPath),
-            IslandKind::Crossbar => {
-                // A ring through the non-blocking switch: 2(n−1) steps,
-                // each one switch hop, at full per-chip injection.
-                let n = f64::from(chips);
-                2.0 * (n - 1.0) / n * bytes / self.island_injection()
-                    + 2.0 * (n - 1.0) * self.island_alpha_s
-            }
+                .torus_ring_schedule(island_shape(chips), bytes, TorusPaths::MultiPath),
+            IslandKind::Crossbar => schedule::ring_all_reduce(
+                u64::from(chips),
+                bytes,
+                self.island_injection(),
+                self.island_alpha_s,
+            ),
         }
     }
 
-    /// Hierarchical all-reduce time of `bytes` over `chips` chips:
-    /// intra-island reduce-scatter + all-gather (costed together as one
-    /// intra all-reduce) around an inter-island ring all-reduce, each
-    /// chip driving its own NIC, each ring step paying
-    /// [`SwitchedFabric::inter_step_alpha`].
+    /// The island count, smallest-island size, inter-island shard bytes,
+    /// and per-step wire of an all-reduce over `chips` chips, or `None`
+    /// when it never leaves one island.
     ///
-    /// A fleet whose chip count is not a multiple of the island size gets
-    /// one partial island. Its `r` chips must still source and sink the
-    /// full payload through their own NICs, so the per-chip inter-island
-    /// shard is `bytes / r` — not `bytes / island_chips` — and the
-    /// intra-island phase is bounded by the slower of the full and
-    /// partial island (a 1×1×r ring is slower per byte than a 2×2×2
-    /// cube).
-    pub fn all_reduce_time(&self, chips: u64, bytes: f64) -> f64 {
+    /// A fleet whose chip count is not a multiple of the island size
+    /// gets one partial island. Its `r` chips must still source and sink
+    /// the full payload through their own NICs, so the per-chip
+    /// inter-island shard is `bytes / r` — not `bytes / island_chips`
+    /// (DESIGN.md §7.2). This is the single definition of that rule;
+    /// the schedule builder, the algorithm query and the closed-form
+    /// crossover all read it from here.
+    fn inter_phase_terms(&self, chips: u64, bytes: f64) -> Option<(u64, u64, f64, f64)> {
         let island = u64::from(self.island_chips);
-        if chips <= 1 {
-            return 0.0;
+        if chips <= island.max(1) {
+            return None;
         }
-        if chips <= island {
-            return self.intra_all_reduce_time(chips as u32, bytes);
-        }
-        let groups = chips.div_ceil(island);
         let remainder = chips % island;
         let smallest_island = if remainder == 0 { island } else { remainder };
-        let intra = self
-            .intra_all_reduce_time(self.island_chips, bytes)
-            .max(self.intra_all_reduce_time(smallest_island as u32, bytes));
-        let g = groups as f64;
-        let shard = bytes / smallest_island as f64;
-        let inter_bw = 2.0 * (g - 1.0) / g * shard
-            / (self.fat_tree.per_chip_injection() * self.fat_tree.all_reduce_utilization);
-        let inter_alpha = 2.0 * (g - 1.0) * self.inter_step_alpha(chips);
-        intra + inter_bw + inter_alpha
+        let wire = self.fat_tree.per_chip_injection() * self.fat_tree.all_reduce_utilization;
+        Some((
+            chips.div_ceil(island),
+            smallest_island,
+            bytes / smallest_island as f64,
+            wire,
+        ))
+    }
+
+    /// The complete hierarchical all-reduce schedule of `bytes` over
+    /// `chips` chips: intra-island reduce-scatter + all-gather (emitted
+    /// as one intra all-reduce, bounded by the slower of the full and
+    /// partial island — a 1×1×r ring is slower per byte than a 2×2×2
+    /// cube) around an inter-island phase where every chip drives its own
+    /// NIC and each step pays [`SwitchedFabric::inter_step_alpha`].
+    ///
+    /// The inter-island phase is where the spec's `ring`/`tree`/`auto`
+    /// policy bites: the flat ring serializes `2(g−1)` alpha steps, the
+    /// double binary tree `2⌈log₂g⌉` at a `g/(g−1)` bandwidth penalty,
+    /// and `auto` picks per payload — at 1k+ islands the tree wins
+    /// everything below hundreds of gigabytes, which is exactly the
+    /// NCCL-style behavior the Figure 15 tail needs (DESIGN.md §10).
+    pub fn all_reduce_schedule(&self, chips: u64, bytes: f64) -> CollectiveSchedule {
+        if chips <= 1 {
+            return CollectiveSchedule::empty();
+        }
+        let Some((_, smallest_island, _, _)) = self.inter_phase_terms(chips, bytes) else {
+            return self.intra_all_reduce_schedule(chips as u32, bytes);
+        };
+        let intra_full = self.intra_all_reduce_schedule(self.island_chips, bytes);
+        let intra_partial = self.intra_all_reduce_schedule(smallest_island as u32, bytes);
+        let mut out = if intra_partial.time() > intra_full.time() {
+            intra_partial
+        } else {
+            intra_full
+        };
+        let (_, inter) = self
+            .inter_island_schedule(chips, bytes)
+            .expect("inter_phase_terms above proved the inter phase exists");
+        out.extend(inter);
+        out
+    }
+
+    /// The selected inter-island phase of an all-reduce of `bytes` over
+    /// `chips` chips — the one place the ring/tree candidates are built
+    /// and the policy applied, shared by the schedule builder and the
+    /// algorithm query so they cannot drift. `None` when the collective
+    /// never leaves one island.
+    fn inter_island_schedule(
+        &self,
+        chips: u64,
+        bytes: f64,
+    ) -> Option<(ScheduleAlgorithm, CollectiveSchedule)> {
+        let (groups, _, shard, wire) = self.inter_phase_terms(chips, bytes)?;
+        let alpha = self.inter_step_alpha(chips);
+        Some(schedule::select_with(
+            self.selection,
+            bytes,
+            || schedule::ring_all_reduce(groups, shard, wire, alpha),
+            || schedule::tree_all_reduce(groups, shard, wire, alpha),
+        ))
+    }
+
+    /// Which algorithm the inter-island phase of an all-reduce of
+    /// `bytes` over `chips` chips runs, or `None` when the collective
+    /// never leaves one island.
+    pub fn inter_island_algorithm(&self, chips: u64, bytes: f64) -> Option<ScheduleAlgorithm> {
+        Some(self.inter_island_schedule(chips, bytes)?.0)
+    }
+
+    /// The all-reduce payload at which the inter-island ring and tree
+    /// schedules cost the same for `chips` chips — the `auto` flip point
+    /// (tree below, ring above). Returns 0 when the tree never wins:
+    /// with few islands `⌈log₂g⌉ = g−1` saves no steps, and a collective
+    /// confined to one island has no inter phase at all.
+    ///
+    /// Closed form from equating the two schedules: the shard crossover
+    /// is `alpha · wire · g · (g − 1 − ⌈log₂g⌉)`, scaled back to the
+    /// full payload by the partial-island shard rule of DESIGN.md §7.2.
+    pub fn ring_tree_crossover_bytes(&self, chips: u64) -> f64 {
+        let Some((groups, smallest_island, _, wire)) = self.inter_phase_terms(chips, 1.0) else {
+            return 0.0;
+        };
+        let steps = f64::from(schedule::log2_ceil(groups));
+        let margin = groups as f64 - 1.0 - steps;
+        if margin <= 0.0 {
+            return 0.0;
+        }
+        let alpha = self.inter_step_alpha(chips);
+        alpha * wire * groups as f64 * margin * smallest_island as f64
+    }
+
+    /// Hierarchical all-reduce time of `bytes` over `chips` chips — the
+    /// priced [`SwitchedFabric::all_reduce_schedule`].
+    pub fn all_reduce_time(&self, chips: u64, bytes: f64) -> f64 {
+        self.all_reduce_schedule(chips, bytes).time()
     }
 
     /// All-to-all time of the intra-island traffic (the `island - 1`
@@ -313,6 +405,10 @@ pub enum CollectiveBackend {
     Torus {
         /// Per-hop latency + per-link rate, one direction.
         link: AlphaBeta,
+        /// The spec's `ring`/`tree`/`auto` policy (per-hop alpha makes
+        /// `auto` resolve to the ring on tori; a forced tree is still
+        /// expressible).
+        selection: CollectiveSpec,
     },
     /// A switched island + fat-tree machine.
     Switched(SwitchedFabric),
@@ -320,12 +416,14 @@ pub enum CollectiveBackend {
 
 impl CollectiveBackend {
     /// The backend a machine spec describes, at the spec's declared
-    /// latency calibration (DESIGN.md §7 reference when omitted).
+    /// latency and schedule calibrations (DESIGN.md §7/§10 references
+    /// when omitted).
     pub fn for_spec(spec: &MachineSpec) -> CollectiveBackend {
         match SwitchedFabric::for_spec(spec) {
             Some(fabric) => CollectiveBackend::Switched(fabric),
             None => CollectiveBackend::Torus {
                 link: AlphaBeta::for_spec(spec),
+                selection: spec.collective_schedule(),
             },
         }
     }
@@ -334,8 +432,9 @@ impl CollectiveBackend {
     /// (infinite-message) asymptote the pre-latency model computed.
     pub fn bandwidth_only(&self) -> CollectiveBackend {
         match self {
-            CollectiveBackend::Torus { link } => CollectiveBackend::Torus {
+            CollectiveBackend::Torus { link, selection } => CollectiveBackend::Torus {
                 link: AlphaBeta::new(0.0, link.rate),
+                selection: *selection,
             },
             CollectiveBackend::Switched(fabric) => {
                 CollectiveBackend::Switched(fabric.bandwidth_only())
@@ -348,16 +447,27 @@ impl CollectiveBackend {
         matches!(self, CollectiveBackend::Switched(_))
     }
 
-    /// All-reduce time of `bytes` on a slice of `shape` (the switched
-    /// backend only uses the shape's chip count — a switched slice has no
-    /// geometry).
-    pub fn all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
+    /// The all-reduce schedule of `bytes` on a slice of `shape` under
+    /// the backend's policy (the switched backend only uses the shape's
+    /// chip count — a switched slice has no geometry). Every consumer
+    /// prices this IR; [`CollectiveBackend::all_reduce_time`] is its
+    /// [`CollectiveSchedule::time`].
+    pub fn all_reduce_schedule(&self, shape: SliceShape, bytes: f64) -> CollectiveSchedule {
         match self {
-            CollectiveBackend::Torus { link } => {
-                link.torus_all_reduce_time(shape, bytes, AllReduceSchedule::MultiPath)
+            CollectiveBackend::Torus { link, selection } => {
+                link.torus_all_reduce_schedule(shape, bytes, TorusPaths::MultiPath, *selection)
+                    .1
             }
-            CollectiveBackend::Switched(fabric) => fabric.all_reduce_time(shape.volume(), bytes),
+            CollectiveBackend::Switched(fabric) => {
+                fabric.all_reduce_schedule(shape.volume(), bytes)
+            }
         }
+    }
+
+    /// All-reduce time of `bytes` on a slice of `shape` — the priced
+    /// [`CollectiveBackend::all_reduce_schedule`].
+    pub fn all_reduce_time(&self, shape: SliceShape, bytes: f64) -> f64 {
+        self.all_reduce_schedule(shape, bytes).time()
     }
 
     /// Uniform all-to-all time with `bytes_per_pair` between every
@@ -366,7 +476,7 @@ impl CollectiveBackend {
     /// NIC); the torus alpha term is the slice diameter's pipeline depth.
     pub fn all_to_all_time(&self, shape: SliceShape, bytes_per_pair: f64) -> f64 {
         match self {
-            CollectiveBackend::Torus { link } => {
+            CollectiveBackend::Torus { link, .. } => {
                 let graph = Torus::new(shape).into_graph();
                 AllToAll::analyze_fractional(&graph, bytes_per_pair, link.rate).completion_time()
                     + f64::from(torus_diameter_hops(shape)) * link.alpha_s
@@ -381,12 +491,36 @@ impl CollectiveBackend {
     /// equal on a slice of `shape` — below it the collective is
     /// latency-bound, the regime where the switched and torus fabrics of
     /// §7.3 stop being distinguishable by bandwidth arithmetic.
+    ///
+    /// Found by bisection on `t(B) = 2 · t_bandwidth(B)`: with `auto`
+    /// selection the schedule in force can change with the payload, so
+    /// there is no single closed form, but `t(B)/B` is still strictly
+    /// decreasing (each candidate is affine with a non-negative
+    /// intercept and min/max preserve that), so the root is unique.
     pub fn all_reduce_crossover_bytes(&self, shape: SliceShape) -> f64 {
-        let per_byte = self.bandwidth_only().all_reduce_time(shape, 1.0);
-        if per_byte <= 0.0 {
+        let bandwidth = self.bandwidth_only();
+        let per_byte = bandwidth.all_reduce_time(shape, 1.0);
+        let alpha_floor = self.all_reduce_time(shape, 0.0);
+        if per_byte <= 0.0 || alpha_floor <= 0.0 {
             return 0.0;
         }
-        self.all_reduce_time(shape, 0.0) / per_byte
+        // Bracket the root of R(B) = t(B) − 2·per_byte·B (positive at 0,
+        // eventually negative); the ring-only closed form alpha/per_byte
+        // is within a small factor of it on every real machine.
+        let mut lo = 0.0_f64;
+        let mut hi = alpha_floor / per_byte;
+        while self.all_reduce_time(shape, hi) > 2.0 * bandwidth.all_reduce_time(shape, hi) {
+            hi *= 2.0;
+        }
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + hi);
+            if self.all_reduce_time(shape, mid) > 2.0 * bandwidth.all_reduce_time(shape, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
     }
 }
 
@@ -540,7 +674,7 @@ mod tests {
         let direct = AlphaBeta::for_spec(&MachineSpec::v4()).torus_all_reduce_time(
             s,
             1e9,
-            AllReduceSchedule::MultiPath,
+            TorusPaths::MultiPath,
         );
         assert_eq!(torus.all_reduce_time(s, 1e9), direct);
 
@@ -643,6 +777,144 @@ mod tests {
         let torus = CollectiveBackend::for_spec(&MachineSpec::v4());
         assert!(ar > torus.all_reduce_time(s, 1e9));
         assert!(a2a > torus.all_to_all_time(s, 4096.0));
+    }
+
+    #[test]
+    fn auto_selection_switches_ring_to_tree_at_scale() {
+        use tpu_spec::SchedulePolicy;
+
+        // 4096 A100s = 1024 islands: the flat ring's 2(g−1) NIC alphas
+        // are ~1.8 ms, the double binary tree's 2·log2(g) are ~18 µs, at
+        // a bandwidth penalty of g/(g−1) ≈ 0.1%. Auto must pick the tree
+        // for any realistic payload at this scale...
+        let f = SwitchedFabric::nvlink_a100();
+        assert_eq!(
+            f.inter_island_algorithm(4096, 680e6),
+            Some(ScheduleAlgorithm::Tree)
+        );
+        // ...and stick with the ring at few islands and bulk payloads
+        // (two islands: the tree saves no steps at a bandwidth cost).
+        assert_eq!(
+            f.inter_island_algorithm(8, 1e9),
+            Some(ScheduleAlgorithm::Ring)
+        );
+        assert_eq!(f.inter_island_algorithm(4, 1e9), None);
+
+        // The auto time is never worse than either forced policy.
+        for chips in [16u64, 512, 4096] {
+            for bytes in [1e4, 1e6, 1e9] {
+                let mut ring = f;
+                ring.selection = CollectiveSpec::forced(SchedulePolicy::Ring);
+                let mut tree = f;
+                tree.selection = CollectiveSpec::forced(SchedulePolicy::Tree);
+                let auto = f.all_reduce_time(chips, bytes);
+                let best = ring
+                    .all_reduce_time(chips, bytes)
+                    .min(tree.all_reduce_time(chips, bytes));
+                assert!(
+                    (auto - best).abs() <= 1e-12 * best.max(1e-30),
+                    "{chips} chips, {bytes} B: auto {auto} vs best {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_tree_crossover_surface_grows_with_island_count() {
+        // The analytic flip point alpha·wire·g·(g−1−log2 g)·island: a
+        // quadratically growing payload window where the tree wins —
+        // the "crossover surface" repro -- schedule_crossover prints.
+        let f = SwitchedFabric::nvlink_a100();
+        assert_eq!(f.ring_tree_crossover_bytes(4), 0.0); // one island
+        assert_eq!(f.ring_tree_crossover_bytes(8), 0.0); // g=2: no step saving
+        let c64 = f.ring_tree_crossover_bytes(64); // 16 islands
+        let c512 = f.ring_tree_crossover_bytes(512); // 128 islands
+        let c4096 = f.ring_tree_crossover_bytes(4096); // 1024 islands
+        assert!(c64 > 0.0);
+        assert!(c512 > 10.0 * c64, "{c512} vs {c64}");
+        assert!(c4096 > 10.0 * c512, "{c4096} vs {c512}");
+
+        // The closed form and the selection agree on both sides of the
+        // flip (1% margin keeps the check off the knife edge).
+        for chips in [64u64, 512, 4096] {
+            let crossover = f.ring_tree_crossover_bytes(chips);
+            assert_eq!(
+                f.inter_island_algorithm(chips, crossover * 0.99),
+                Some(ScheduleAlgorithm::Tree),
+                "{chips}"
+            );
+            assert_eq!(
+                f.inter_island_algorithm(chips, crossover * 1.01),
+                Some(ScheduleAlgorithm::Ring),
+                "{chips}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_tree_spec_drives_the_backend() {
+        use tpu_spec::SchedulePolicy;
+
+        // A spec whose collective block forces the tree changes the
+        // backend; the crossover override flips auto by payload alone.
+        let mut spec = MachineSpec::a100();
+        spec.collective = Some(CollectiveSpec::forced(SchedulePolicy::Tree));
+        let CollectiveBackend::Switched(forced) = CollectiveBackend::for_spec(&spec) else {
+            panic!("a100 is switched");
+        };
+        assert_eq!(
+            forced.inter_island_algorithm(16, 1e12),
+            Some(ScheduleAlgorithm::Tree)
+        );
+
+        let mut spec = MachineSpec::a100();
+        spec.collective = Some(CollectiveSpec {
+            schedule: SchedulePolicy::Auto,
+            crossover_bytes: Some(1e9),
+        });
+        let CollectiveBackend::Switched(overridden) = CollectiveBackend::for_spec(&spec) else {
+            panic!("a100 is switched");
+        };
+        assert_eq!(
+            overridden.inter_island_algorithm(8, 0.5e9),
+            Some(ScheduleAlgorithm::Tree)
+        );
+        assert_eq!(
+            overridden.inter_island_algorithm(8, 2e9),
+            Some(ScheduleAlgorithm::Ring)
+        );
+    }
+
+    #[test]
+    fn schedules_price_identically_to_times() {
+        // The IR is the single costing path: schedule().time() IS the
+        // time, on both arms, and its alpha/bandwidth decomposition is
+        // exact.
+        let s = shape(8, 8, 8);
+        for spec in [MachineSpec::v4(), MachineSpec::a100()] {
+            let backend = CollectiveBackend::for_spec(&spec);
+            let schedule = backend.all_reduce_schedule(s, 1e9);
+            assert_eq!(schedule.time(), backend.all_reduce_time(s, 1e9));
+            assert!(
+                (schedule.alpha_seconds() + schedule.bandwidth_seconds() - schedule.time()).abs()
+                    < 1e-15
+            );
+            assert!(schedule.total_steps() > 0);
+        }
+    }
+
+    #[test]
+    fn h100_islands_span_hosts_and_keep_collectives_fast() {
+        // The §6.1 island-inference case where the NVLink-switch domain
+        // beats the host boundary: 64-GPU islands over 8-GPU hosts.
+        let h100 = SwitchedFabric::for_spec(&MachineSpec::h100()).unwrap();
+        assert_eq!(h100.island_chips, 64);
+        assert_eq!(h100.island_kind, IslandKind::Crossbar);
+        assert_eq!(h100.island_injection(), 18.0 * 25e9);
+        // Bigger islands shard the NIC phase 16x finer than the A100's
+        // 4-GPU hosts: at 4096 chips the H100 all-reduce is faster.
+        let a100 = SwitchedFabric::nvlink_a100();
+        assert!(h100.all_reduce_time(4096, 1e9) < a100.all_reduce_time(4096, 1e9));
     }
 
     #[test]

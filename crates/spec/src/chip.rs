@@ -221,6 +221,42 @@ impl ChipSpec {
         }
     }
 
+    /// NVIDIA H100 SXM5 (post-paper comparison point; datasheet values).
+    ///
+    /// The `ici_*` fields carry NVLink4: 18 links × 25 GB/s per
+    /// direction = 450 GB/s per GPU, reachable across the whole
+    /// NVLink-switch domain — which is why the H100 machine spec's
+    /// glueless island spans *multiple* hosts (DESIGN.md §6.1).
+    pub fn h100() -> ChipSpec {
+        ChipSpec {
+            name: "NVIDIA H100".into(),
+            deployed: 2022,
+            peak_tflops: 989.0,
+            peak_tops_int8: 1979.0,
+            clock_mhz: 1590.0,
+            boost_clock_mhz: 1980.0,
+            tech_nm: 4,
+            die_mm2: 814.0,
+            transistors_b: 80.0,
+            chips_per_host: 8,
+            tdp_w: Some(700.0),
+            idle_w: None,
+            power_min_mean_max_w: None,
+            ici_links: 18,
+            ici_gbps_per_link: 25.0,
+            largest_config: 4096,
+            style: ProcessorStyle::SingleInstructionMultipleThreads,
+            processors: 132,
+            threads_per_core: 32,
+            sparse_cores: 0,
+            on_chip_mib: 50.0,
+            cmem_mib: 0.0,
+            regfile_mib: 33.0,
+            hbm_gib: 80.0,
+            hbm_gbps: 3350.0,
+        }
+    }
+
     /// Graphcore MK2 IPU Bow (Table 5).
     pub fn ipu_bow() -> ChipSpec {
         ChipSpec {

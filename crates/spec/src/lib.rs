@@ -48,4 +48,6 @@ mod machine;
 pub use chip::{ChipSpec, ProcessorStyle};
 pub use error::SpecError;
 pub use generation::Generation;
-pub use machine::{BlockGeometry, FabricKind, LatencySpec, MachineSpec, OcsSpec};
+pub use machine::{
+    BlockGeometry, CollectiveSpec, FabricKind, LatencySpec, MachineSpec, OcsSpec, SchedulePolicy,
+};

@@ -90,6 +90,81 @@ impl LatencySpec {
     }
 }
 
+/// Which all-reduce schedule family a machine's collectives should use —
+/// the NCCL-style ring-vs-tree axis the large-scale tail of Figure 15
+/// turns on (§7.9: fixed per-step overheads are what stall scaling).
+///
+/// `Ring` is the bandwidth-optimal flat schedule (`2(p−1)` alpha steps);
+/// `Tree` is the double-binary-tree schedule (`2⌈log₂p⌉` alpha steps at a
+/// `p/(p−1)` bandwidth penalty); `Auto` picks per collective, by payload
+/// and participant count — the selection real NCCL-class stacks perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Always the flat ring schedule (the pre-IR behavior).
+    Ring,
+    /// Always the double-binary-tree schedule.
+    Tree,
+    /// Crossover-aware selection: whichever schedule is faster for the
+    /// payload at hand (or the declared crossover override).
+    Auto,
+}
+
+impl SchedulePolicy {
+    /// The JSON label (`"ring"`, `"tree"`, `"auto"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulePolicy::Ring => "ring",
+            SchedulePolicy::Tree => "tree",
+            SchedulePolicy::Auto => "auto",
+        }
+    }
+
+    /// Parses a JSON label.
+    pub fn from_label(label: &str) -> Option<SchedulePolicy> {
+        match label {
+            "ring" => Some(SchedulePolicy::Ring),
+            "tree" => Some(SchedulePolicy::Tree),
+            "auto" => Some(SchedulePolicy::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// The collective-schedule calibration of a machine: which schedule
+/// family to run and (optionally) a forced ring→tree crossover payload.
+///
+/// Optional on [`MachineSpec`]: specs that omit the block get
+/// [`CollectiveSpec::reference`] — `auto` selection with the analytic
+/// crossover (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveSpec {
+    /// Schedule family (`ring`/`tree`/`auto`).
+    pub schedule: SchedulePolicy,
+    /// With `auto`: force tree below this all-reduce payload (bytes)
+    /// instead of the analytic equal-time crossover. `None` keeps the
+    /// analytic selection.
+    pub crossover_bytes: Option<f64>,
+}
+
+impl CollectiveSpec {
+    /// The default calibration when a spec omits its `collective` block:
+    /// `auto` selection at the analytic crossover.
+    pub fn reference() -> CollectiveSpec {
+        CollectiveSpec {
+            schedule: SchedulePolicy::Auto,
+            crossover_bytes: None,
+        }
+    }
+
+    /// A forced-schedule calibration (no crossover override).
+    pub fn forced(schedule: SchedulePolicy) -> CollectiveSpec {
+        CollectiveSpec {
+            schedule,
+            crossover_bytes: None,
+        }
+    }
+}
+
 /// How a machine's torus (or islands) are joined at fleet scale — the
 /// §2.7 design axis the paper's Figure 4 argues over.
 ///
@@ -199,6 +274,10 @@ pub struct MachineSpec {
     /// `None` means the DESIGN.md §7 reference values apply (see
     /// [`MachineSpec::collective_latency`]).
     pub latency: Option<LatencySpec>,
+    /// Collective-schedule calibration, if the machine declares one;
+    /// `None` means `auto` ring-vs-tree selection at the analytic
+    /// crossover (see [`MachineSpec::collective_schedule`]).
+    pub collective: Option<CollectiveSpec>,
 }
 
 impl MachineSpec {
@@ -216,6 +295,7 @@ impl MachineSpec {
             fabric: FabricKind::Ocs,
             ocs: Some(OcsSpec::palomar()),
             latency: None,
+            collective: None,
         }
     }
 
@@ -237,6 +317,7 @@ impl MachineSpec {
             fabric: FabricKind::Static,
             ocs: None,
             latency: None,
+            collective: None,
             chip,
         }
     }
@@ -270,6 +351,7 @@ impl MachineSpec {
             fabric: FabricKind::Static,
             ocs: None,
             latency: None,
+            collective: None,
             chip,
         }
     }
@@ -290,6 +372,7 @@ impl MachineSpec {
             fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
+            collective: None,
             chip,
         }
     }
@@ -318,6 +401,37 @@ impl MachineSpec {
             fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
+            collective: None,
+        }
+    }
+
+    /// An H100 NVLink-switch cluster (post-paper comparison point): the
+    /// island-inference stress case where the glueless NVLink domain
+    /// spans *more chips than one host* (DESIGN.md §6.1).
+    ///
+    /// Eight-GPU hosts, but NVLink4 reaches through NVLink switches
+    /// across a 4³ = 64-GPU domain (8 hosts), so `block.edge = 4` makes
+    /// the electrical block — not the host board — the glueless island:
+    /// `glueless_island_chips() == 64 > chips_per_host == 8`. Islands are
+    /// joined by the same HDR reference fat tree as every switched spec
+    /// (the paper's comparisons hold the IB layer fixed).
+    pub fn h100() -> MachineSpec {
+        let chip = ChipSpec::h100();
+        MachineSpec {
+            generation: Generation::custom("h100"),
+            mxus_per_core: 0,
+            mxu_dim: 0,
+            torus_dims: 0,
+            block: BlockGeometry {
+                edge: 4,
+                tpus_per_host: chip.chips_per_host,
+            },
+            fleet_chips: u64::from(chip.largest_config),
+            fabric: FabricKind::Switched,
+            ocs: None,
+            latency: None,
+            collective: None,
+            chip,
         }
     }
 
@@ -337,6 +451,7 @@ impl MachineSpec {
             fabric: FabricKind::Switched,
             ocs: None,
             latency: None,
+            collective: None,
             chip,
         }
     }
@@ -344,8 +459,9 @@ impl MachineSpec {
     /// The built-in spec for a generation, if one exists.
     ///
     /// V2/V3/V4 always resolve; [`Generation::Custom`] resolves for the
-    /// well-known Table 5 labels `"a100"` and `"ipu-bow"` and for the
-    /// counterfactuals `"v4-ib"` (§7.3) and `"v3-ocs"` (§2.7).
+    /// well-known Table 5 labels `"a100"` and `"ipu-bow"`, the post-paper
+    /// `"h100"` NVLink-switch cluster, and for the counterfactuals
+    /// `"v4-ib"` (§7.3) and `"v3-ocs"` (§2.7).
     pub fn for_generation(generation: &Generation) -> Option<MachineSpec> {
         match generation {
             Generation::V2 => Some(MachineSpec::v2()),
@@ -353,6 +469,7 @@ impl MachineSpec {
             Generation::V4 => Some(MachineSpec::v4()),
             Generation::Custom(name) => match name.as_str() {
                 "a100" => Some(MachineSpec::a100()),
+                "h100" => Some(MachineSpec::h100()),
                 "ipu-bow" => Some(MachineSpec::ipu_bow()),
                 "v4-ib" => Some(MachineSpec::v4_ib_hybrid()),
                 "v3-ocs" => Some(MachineSpec::v3_ocs()),
@@ -424,6 +541,14 @@ impl MachineSpec {
     /// reference values ([`LatencySpec::reference`]).
     pub fn collective_latency(&self) -> LatencySpec {
         self.latency.unwrap_or_else(LatencySpec::reference)
+    }
+
+    /// The collective-schedule calibration collective models should use:
+    /// the spec's own [`CollectiveSpec`] when declared, otherwise
+    /// [`CollectiveSpec::reference`] (`auto` ring-vs-tree selection at
+    /// the analytic crossover, DESIGN.md §10).
+    pub fn collective_schedule(&self) -> CollectiveSpec {
+        self.collective.unwrap_or_else(CollectiveSpec::reference)
     }
 
     /// ICI link rate, bytes per second per link per direction.
@@ -574,6 +699,20 @@ impl MachineSpec {
             ]),
         };
 
+        let collective = match &self.collective {
+            None => JsonValue::Null,
+            Some(col) => JsonValue::Obj(vec![
+                (
+                    "schedule".to_string(),
+                    JsonValue::Str(col.schedule.label().to_string()),
+                ),
+                (
+                    "crossover_bytes".to_string(),
+                    json::opt_num(col.crossover_bytes),
+                ),
+            ]),
+        };
+
         JsonValue::Obj(vec![
             (
                 "generation".to_string(),
@@ -603,6 +742,7 @@ impl MachineSpec {
             ),
             ("ocs".to_string(), ocs),
             ("latency".to_string(), latency),
+            ("collective".to_string(), collective),
         ])
         .to_string()
     }
@@ -674,6 +814,50 @@ impl MachineSpec {
                 switch_hop_s: json::get_num(lat_obj, "latency.switch_hop_s")?,
             }),
         };
+        // `collective` is likewise optional and may be absent entirely:
+        // spec files written before the schedule IR existed keep parsing
+        // (and resolve to `auto` selection via `collective_schedule`).
+        let collective = match root.key("collective") {
+            None | Some(JsonValue::Null) => None,
+            Some(col_obj) => {
+                let label = json::get_str(col_obj, "collective.schedule")?;
+                let schedule =
+                    SchedulePolicy::from_label(label).ok_or_else(|| SpecError::InvalidField {
+                        field: "collective.schedule".to_string(),
+                        expected: "one of ring/tree/auto".to_string(),
+                    })?;
+                // Absent and null both mean "analytic crossover", so a
+                // hand-written block can be just {"schedule": "tree"}.
+                let crossover_bytes = match col_obj.key("crossover_bytes") {
+                    None => None,
+                    Some(_) => json::get_opt_num(col_obj, "collective.crossover_bytes")?,
+                };
+                if let Some(bytes) = crossover_bytes {
+                    if !bytes.is_finite() || bytes < 0.0 {
+                        return Err(SpecError::InvalidField {
+                            field: "collective.crossover_bytes".to_string(),
+                            expected: "a finite non-negative payload in bytes".to_string(),
+                        });
+                    }
+                    // A forced ring/tree never consults the crossover;
+                    // accepting the combination would let a spec author
+                    // believe a threshold is in force when it has no
+                    // effect on any costed collective.
+                    if schedule != SchedulePolicy::Auto {
+                        return Err(SpecError::InvalidField {
+                            field: "collective.crossover_bytes".to_string(),
+                            expected: "null unless schedule is \"auto\" (a forced schedule \
+                                       ignores the crossover)"
+                                .to_string(),
+                        });
+                    }
+                }
+                Some(CollectiveSpec {
+                    schedule,
+                    crossover_bytes,
+                })
+            }
+        };
         let torus_dims = json::get_u32(&root, "torus_dims")?;
         // `fabric` is optional: spec files written before the field
         // existed keep parsing with the pre-fabric dispatch semantics
@@ -724,6 +908,7 @@ impl MachineSpec {
             fabric,
             ocs,
             latency,
+            collective,
         })
     }
 }
@@ -755,10 +940,11 @@ mod tests {
             assert_eq!(spec.generation, generation);
         }
         assert!(MachineSpec::for_generation(&Generation::custom("a100")).is_some());
+        assert!(MachineSpec::for_generation(&Generation::custom("h100")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("ipu-bow")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("v4-ib")).is_some());
         assert!(MachineSpec::for_generation(&Generation::custom("v3-ocs")).is_some());
-        assert!(MachineSpec::for_generation(&Generation::custom("h100")).is_none());
+        assert!(MachineSpec::for_generation(&Generation::custom("gb200")).is_none());
     }
 
     #[test]
@@ -912,12 +1098,110 @@ mod tests {
     }
 
     #[test]
+    fn h100_island_spans_multiple_hosts() {
+        // The §6.1 island-inference stress case: the NVLink-switch
+        // domain (the electrical block, 4³ = 64 GPUs) is the glueless
+        // island, and it is strictly larger than one 8-GPU host.
+        let spec = MachineSpec::h100();
+        assert_eq!(spec.fabric, FabricKind::Switched);
+        assert_eq!(spec.torus_dims, 0);
+        assert_eq!(spec.chip.chips_per_host, 8);
+        assert_eq!(spec.glueless_island_chips(), 64);
+        assert!(spec.glueless_island_chips() > spec.chip.chips_per_host);
+        // 4096 GPUs in 64 islands of 8 hosts each.
+        assert_eq!(spec.scheduling_units(), (64, 64, 8));
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn collective_field_round_trips_and_may_be_omitted() {
+        // Explicit schedule blocks survive the round trip: a forced
+        // tree (no crossover — the parser rejects that dead pair), and
+        // an auto policy with a declared crossover.
+        let mut spec = MachineSpec::a100();
+        spec.collective = Some(CollectiveSpec::forced(SchedulePolicy::Tree));
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.collective_schedule().schedule, SchedulePolicy::Tree);
+        spec.collective = Some(CollectiveSpec {
+            schedule: SchedulePolicy::Auto,
+            crossover_bytes: Some(8e6),
+        });
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.collective_schedule().crossover_bytes, Some(8e6));
+
+        // A pre-IR spec file (no "collective" key at all) still parses,
+        // as None, and resolves to auto selection.
+        let stripped = MachineSpec::v4()
+            .to_json()
+            .replace(",\"collective\":null", "");
+        assert!(!stripped.contains("collective"));
+        let old = MachineSpec::from_json(&stripped).unwrap();
+        assert_eq!(old, MachineSpec::v4());
+        assert_eq!(old.collective_schedule(), CollectiveSpec::reference());
+        assert_eq!(old.collective_schedule().schedule, SchedulePolicy::Auto);
+
+        // A block without the optional crossover key parses too.
+        let terse = MachineSpec::v4().to_json().replace(
+            "\"collective\":null",
+            "\"collective\":{\"schedule\":\"ring\"}",
+        );
+        let parsed = MachineSpec::from_json(&terse).unwrap();
+        assert_eq!(
+            parsed.collective,
+            Some(CollectiveSpec::forced(SchedulePolicy::Ring))
+        );
+
+        // Unknown schedule labels, negative crossovers, and a crossover
+        // on a forced schedule (which would silently never be consulted)
+        // are positioned errors, not defaults.
+        for (bad, field) in [
+            (
+                "\"collective\":{\"schedule\":\"butterfly\"}",
+                "collective.schedule",
+            ),
+            (
+                "\"collective\":{\"schedule\":\"auto\",\"crossover_bytes\":-1}",
+                "collective.crossover_bytes",
+            ),
+            (
+                "\"collective\":{\"schedule\":\"ring\",\"crossover_bytes\":8e6}",
+                "collective.crossover_bytes",
+            ),
+        ] {
+            let text = MachineSpec::v4()
+                .to_json()
+                .replace("\"collective\":null", bad);
+            let err = MachineSpec::from_json(&text).unwrap_err();
+            assert!(
+                matches!(&err, SpecError::InvalidField { field: f, .. } if f == field),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_policy_labels_round_trip() {
+        for policy in [
+            SchedulePolicy::Ring,
+            SchedulePolicy::Tree,
+            SchedulePolicy::Auto,
+        ] {
+            assert_eq!(SchedulePolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(SchedulePolicy::from_label("butterfly"), None);
+    }
+
+    #[test]
     fn json_roundtrip_all_builtins() {
         for spec in [
             MachineSpec::v2(),
             MachineSpec::v3(),
             MachineSpec::v4(),
             MachineSpec::a100(),
+            MachineSpec::h100(),
             MachineSpec::ipu_bow(),
             MachineSpec::v4_ib_hybrid(),
             MachineSpec::v3_ocs(),

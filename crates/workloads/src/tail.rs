@@ -97,10 +97,27 @@ impl ScalingTail {
     /// configuration. Returns `None` when the system did not submit the
     /// benchmark.
     pub fn derive(system: MlperfSystem, benchmark: MlperfBenchmark) -> Option<ScalingTail> {
+        ScalingTail::derive_with_schedule(system, benchmark, None)
+    }
+
+    /// [`ScalingTail::derive`] with the system spec's collective-schedule
+    /// policy overridden — `Some(CollectiveSpec::forced(Ring))`
+    /// reproduces the pre-IR flat-ring tail, `None` keeps the spec's own
+    /// policy (`auto` for every built-in). This is how the recalibration
+    /// is pinned: the ring→tree selection is exactly the difference
+    /// between the two derivations.
+    pub fn derive_with_schedule(
+        system: MlperfSystem,
+        benchmark: MlperfBenchmark,
+        schedule: Option<tpu_spec::CollectiveSpec>,
+    ) -> Option<ScalingTail> {
         if !system.submitted(benchmark) {
             return None;
         }
-        let spec = system.spec();
+        let mut spec = system.spec();
+        if let Some(selection) = schedule {
+            spec.collective = Some(selection);
+        }
         let backend = CollectiveBackend::for_spec(&spec);
         let demand = StepCollectives::for_kind(collective_class(benchmark));
         let a2a_total_bytes =
@@ -249,5 +266,54 @@ mod tests {
     fn published_exponents_are_exposed_for_comparison() {
         let t = ScalingTail::derive(MlperfSystem::TpuV4, MlperfBenchmark::Bert).unwrap();
         assert_eq!(t.published_exponent(), 0.93);
+    }
+
+    #[test]
+    fn schedule_selection_recalibrates_the_derived_exponents() {
+        use tpu_spec::{CollectiveSpec, SchedulePolicy};
+
+        let ring = Some(CollectiveSpec::forced(SchedulePolicy::Ring));
+        let derive = |system, benchmark, schedule: Option<CollectiveSpec>| -> f64 {
+            ScalingTail::derive_with_schedule(system, benchmark, schedule)
+                .unwrap()
+                .tail_exponent()
+        };
+
+        // The regression pins (DESIGN.md §10): auto ring→tree selection
+        // removes the flat inter-island ring's 2(g−1) alpha wall, so
+        // every A100 tail rises over its flat-ring derivation — BERT
+        // 0.70 → 0.73, ResNet 0.50 → 0.74, toward the published 0.93 /
+        // 0.90. The residual gap is the fixed per-NIC bandwidth floor
+        // (V/island per NIC, payload-independent of p), which no
+        // schedule choice can remove under fixed-global-batch scaling.
+        let a100_bert_ring = derive(MlperfSystem::A100, MlperfBenchmark::Bert, ring);
+        let a100_bert_auto = derive(MlperfSystem::A100, MlperfBenchmark::Bert, None);
+        assert!((0.69..=0.71).contains(&a100_bert_ring), "{a100_bert_ring}");
+        assert!((0.72..=0.75).contains(&a100_bert_auto), "{a100_bert_auto}");
+        assert!(a100_bert_auto > a100_bert_ring + 0.02);
+
+        let a100_resnet_ring = derive(MlperfSystem::A100, MlperfBenchmark::ResNet, ring);
+        let a100_resnet_auto = derive(MlperfSystem::A100, MlperfBenchmark::ResNet, None);
+        assert!(
+            (0.48..=0.52).contains(&a100_resnet_ring),
+            "{a100_resnet_ring}"
+        );
+        assert!(
+            (0.72..=0.76).contains(&a100_resnet_auto),
+            "{a100_resnet_auto}"
+        );
+
+        // On the torus arms auto resolves to the ring (per-hop alpha), so
+        // the v4 exponents are bit-stable across the refactor: BERT 0.91,
+        // ResNet within ±0.01 of the published 0.90.
+        let v4_bert_auto = derive(MlperfSystem::TpuV4, MlperfBenchmark::Bert, None);
+        let v4_bert_ring = derive(MlperfSystem::TpuV4, MlperfBenchmark::Bert, ring);
+        assert_eq!(v4_bert_auto, v4_bert_ring);
+        assert!((0.90..=0.92).contains(&v4_bert_auto), "{v4_bert_auto}");
+        let v4_resnet_auto = derive(MlperfSystem::TpuV4, MlperfBenchmark::ResNet, None);
+        assert!(
+            (v4_resnet_auto - 0.90).abs() <= 0.01,
+            "v4 ResNet {v4_resnet_auto}"
+        );
     }
 }

@@ -240,6 +240,177 @@ mod sharding_props {
     }
 }
 
+mod schedule_props {
+    use super::Cases;
+    use tpuv4::net::CollectiveBackend;
+    use tpuv4::spec::{CollectiveSpec, MachineSpec, SchedulePolicy};
+    use tpuv4::topology::SliceShape;
+
+    /// One spec per fabric arm (OCS torus, static torus, switched), each
+    /// under every schedule policy — the surface the invariants must
+    /// hold on.
+    fn arms() -> Vec<MachineSpec> {
+        let mut specs = Vec::new();
+        for base in [
+            MachineSpec::v4(),           // FabricKind::Ocs
+            MachineSpec::v3(),           // FabricKind::Static
+            MachineSpec::a100(),         // FabricKind::Switched, crossbar islands
+            MachineSpec::v4_ib_hybrid(), // switched, torus islands
+        ] {
+            for policy in [
+                SchedulePolicy::Ring,
+                SchedulePolicy::Tree,
+                SchedulePolicy::Auto,
+            ] {
+                let mut spec = base.clone();
+                spec.collective = Some(CollectiveSpec::forced(policy));
+                specs.push(spec);
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn all_reduce_time_is_monotone_in_bytes() {
+        let mut cases = Cases::new(0xE0);
+        for spec in arms() {
+            let backend = CollectiveBackend::for_spec(&spec);
+            for _ in 0..16 {
+                let shape = cases.small_shape();
+                let a = cases.int(1, 1_000_000) as f64;
+                let b = a + cases.int(1, 1_000_000_000) as f64;
+                let ta = backend.all_reduce_time(shape, a);
+                let tb = backend.all_reduce_time(shape, b);
+                assert!(
+                    tb >= ta - 1e-15,
+                    "{} {:?}: t({a}) = {ta} > t({b}) = {tb} on {shape}",
+                    spec.generation,
+                    spec.collective_schedule().schedule
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_time_is_monotone_in_participants() {
+        // More participants never make the same payload faster — on the
+        // lattice where that is physically true. Two real exceptions are
+        // deliberately outside it: growing a *degenerate* torus
+        // dimension adds a whole dimension of links (multipath gets
+        // faster), and a switched *partial* island is slower than the
+        // next full configuration (the pinned t(9) > t(16) regression),
+        // so tori grow an already-active dimension and switched fabrics
+        // step in whole islands. Forced-tree-on-torus is excluded: a
+        // halving-doubling pass moves the full volume regardless of the
+        // dimension's extent, so only its alpha grows — `auto` never
+        // picks it there (DESIGN.md §10).
+        let mut cases = Cases::new(0xE1);
+        for base in [MachineSpec::v4(), MachineSpec::v3()] {
+            for policy in [SchedulePolicy::Ring, SchedulePolicy::Auto] {
+                let mut spec = base.clone();
+                spec.collective = Some(CollectiveSpec::forced(policy));
+                let backend = CollectiveBackend::for_spec(&spec);
+                for _ in 0..16 {
+                    let bytes = cases.int(1, 1_000_000_000) as f64;
+                    let (x, y, z) = (
+                        cases.int(2, 6) as u32,
+                        cases.int(1, 6) as u32,
+                        cases.int(1, 6) as u32,
+                    );
+                    let small = SliceShape::new(x, y, z).expect("nonzero");
+                    let grown = SliceShape::new(x + cases.int(1, 6) as u32, y, z).expect("nonzero");
+                    let ts = backend.all_reduce_time(small, bytes);
+                    let tg = backend.all_reduce_time(grown, bytes);
+                    assert!(
+                        tg >= ts - 1e-15,
+                        "{} {policy:?}: t({small}) = {ts} > t({grown}) = {tg} at {bytes}",
+                        spec.generation
+                    );
+                }
+            }
+        }
+        for base in [MachineSpec::a100(), MachineSpec::v4_ib_hybrid()] {
+            for policy in [
+                SchedulePolicy::Ring,
+                SchedulePolicy::Tree,
+                SchedulePolicy::Auto,
+            ] {
+                let mut spec = base.clone();
+                spec.collective = Some(CollectiveSpec::forced(policy));
+                let backend = CollectiveBackend::for_spec(&spec);
+                for _ in 0..16 {
+                    let bytes = cases.int(1, 1_000_000_000) as f64;
+                    // Whole 8-chip steps: multiples of both island sizes
+                    // (a100: 4, v4-ib: 8), so no partial-island shard.
+                    let n = cases.int(1, 8) as u32;
+                    let m = n + cases.int(1, 8) as u32;
+                    let small = SliceShape::new(2, 2, 2 * n).expect("nonzero");
+                    let grown = SliceShape::new(2, 2, 2 * m).expect("nonzero");
+                    let ts = backend.all_reduce_time(small, bytes);
+                    let tg = backend.all_reduce_time(grown, bytes);
+                    assert!(
+                        tg >= ts - 1e-15,
+                        "{} {policy:?}: t({} chips) = {ts} > t({} chips) = {tg} at {bytes}",
+                        spec.generation,
+                        small.volume(),
+                        grown.volume()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_time_never_beats_the_bandwidth_lower_bound() {
+        // Alphas only add: every schedule's latency-aware time is at
+        // least its own zero-alpha (pure bandwidth) cost, and auto is
+        // never worse than the better forced policy.
+        let mut cases = Cases::new(0xE2);
+        for spec in arms() {
+            let backend = CollectiveBackend::for_spec(&spec);
+            let bound = backend.bandwidth_only();
+            for _ in 0..16 {
+                let shape = cases.small_shape();
+                let bytes = cases.int(1, 1_000_000_000) as f64;
+                let t = backend.all_reduce_time(shape, bytes);
+                let floor = bound.all_reduce_time(shape, bytes);
+                assert!(
+                    t >= floor - 1e-15,
+                    "{} {:?}: {t} < bandwidth bound {floor} on {shape} at {bytes}",
+                    spec.generation,
+                    spec.collective_schedule().schedule
+                );
+            }
+        }
+        for base in [MachineSpec::v4(), MachineSpec::v3(), MachineSpec::a100()] {
+            let mut cases = Cases::new(0xE3);
+            let auto = CollectiveBackend::for_spec(&base);
+            let forced: Vec<CollectiveBackend> = [SchedulePolicy::Ring, SchedulePolicy::Tree]
+                .iter()
+                .map(|&policy| {
+                    let mut spec = base.clone();
+                    spec.collective = Some(CollectiveSpec::forced(policy));
+                    CollectiveBackend::for_spec(&spec)
+                })
+                .collect();
+            for _ in 0..16 {
+                let shape = cases.small_shape();
+                let bytes = cases.int(1, 1_000_000_000) as f64;
+                let t = auto.all_reduce_time(shape, bytes);
+                let best = forced
+                    .iter()
+                    .map(|b| b.all_reduce_time(shape, bytes))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    t <= best + 1e-15 + 1e-12 * best,
+                    "{}: auto {t} > best forced {best} on {shape} at {bytes}",
+                    base.generation
+                );
+            }
+        }
+    }
+}
+
 mod goodput_props {
     use super::Cases;
     use tpuv4::sched::GoodputSim;

@@ -3,7 +3,7 @@
 //! end-to-end `Supercomputer` path, and switched machine specs must
 //! round-trip through the JSON spec-file format.
 
-use tpuv4::net::{BackendComparison, CollectiveBackend};
+use tpuv4::net::{BackendComparison, CollectiveBackend, IslandKind, SwitchedFabric};
 use tpuv4::topology::SliceShape;
 use tpuv4::{Collective, Generation, JobSpec, MachineSpec, SliceSpec, Supercomputer};
 
@@ -157,6 +157,55 @@ fn v4_ib_round_trips_through_json() {
     assert_eq!(loaded.glueless_island_chips(), 8);
 }
 
+/// Regression for the DESIGN.md §6.1 island-inference rules on the
+/// shipped `specs/h100.json` (ROADMAP "More switched machines as spec
+/// files"): an NVLink-switch machine whose glueless island spans
+/// *multiple hosts* must be placed by the electrical-block rule — the
+/// 4³ = 64-GPU NVLink domain, not the 8-GPU host board — and drive the
+/// crossbar island model end to end.
+#[test]
+fn h100_spec_file_places_the_island_above_the_host() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/h100.json"))
+        .expect("specs/h100.json ships with the repo");
+    let spec = MachineSpec::from_json(&text).unwrap();
+    assert_eq!(spec, MachineSpec::h100());
+
+    // §6.1 rule 1: block spans >1 chip => the block is the island.
+    assert!(spec.block.chips() > 1);
+    assert_eq!(spec.glueless_island_chips(), 64);
+    assert!(spec.glueless_island_chips() > spec.chip.chips_per_host);
+
+    // §6.1 rule 2: a simt chip makes it a crossbar (NVSwitch) island at
+    // the chip record's link count and rate.
+    let fabric = SwitchedFabric::for_spec(&spec).unwrap();
+    assert_eq!(fabric.island_kind, IslandKind::Crossbar);
+    assert_eq!(fabric.island_chips, 64);
+    assert_eq!(fabric.island_injection(), 450e9);
+
+    // End to end: islands are the scheduling unit (64 islands of 8
+    // hosts), and a 512-chip job answers collectives.
+    assert_eq!(spec.scheduling_units(), (64, 64, 8));
+    let mut sc = Supercomputer::for_spec(&spec);
+    assert!(sc.is_switched());
+    let job = sc
+        .submit(JobSpec::new("h100", SliceSpec::regular(shape(8, 8, 8))))
+        .unwrap();
+    let ar = sc
+        .collective_time(job, Collective::AllReduce { bytes: 1 << 30 })
+        .unwrap();
+    assert!(ar > 0.0 && ar.is_finite());
+    // The multi-host island shards the NIC phase 16x finer than the
+    // A100's 4-GPU hosts, so the same fleet-scale all-reduce is faster.
+    let mut a100 = Supercomputer::for_spec(&MachineSpec::a100());
+    let ja = a100
+        .submit(JobSpec::new("a100", SliceSpec::regular(shape(8, 8, 8))))
+        .unwrap();
+    let ar_a100 = a100
+        .collective_time(ja, Collective::AllReduce { bytes: 1 << 30 })
+        .unwrap();
+    assert!(ar < ar_a100, "h100 {ar} vs a100 {ar_a100}");
+}
+
 /// Latency-regime acceptance for the switched machines: with the
 /// default alphas, small messages are latency-bound (≥10× the
 /// bandwidth-only estimate) and ≥1 GB payloads converge to it within
@@ -169,10 +218,27 @@ fn latency_regimes_bracket_the_crossover() {
         let bandwidth = backend.bandwidth_only();
         let label = spec.generation.label().to_string();
 
+        // Auto ring→tree selection cut the 512-chip alpha floor (the
+        // flat ring's 2(g−1) steps became 2⌈log₂g⌉), so the crossover
+        // sits well below the flat-ring model's 6–9 MB; forcing the
+        // ring recovers the old regime (both pinned, DESIGN.md §10).
         let crossover = backend.all_reduce_crossover_bytes(s);
         assert!(
-            (1e6..100e6).contains(&crossover),
+            (0.1e6..100e6).contains(&crossover),
             "{label}: crossover {crossover}"
+        );
+        let mut ring_spec = spec.clone();
+        ring_spec.collective = Some(tpuv4::spec::CollectiveSpec::forced(
+            tpuv4::spec::SchedulePolicy::Ring,
+        ));
+        let ring_crossover = CollectiveBackend::for_spec(&ring_spec).all_reduce_crossover_bytes(s);
+        assert!(
+            ring_crossover > crossover,
+            "{label}: ring {ring_crossover} vs auto {crossover}"
+        );
+        assert!(
+            (1e6..100e6).contains(&ring_crossover),
+            "{label}: ring crossover {ring_crossover}"
         );
 
         // Small messages: latency-bound by an order of magnitude, for
