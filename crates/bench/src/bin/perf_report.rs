@@ -1,0 +1,227 @@
+//! The perf trajectory: times the Monte Carlo placement sims at fleet
+//! scale and writes `BENCH_goodput.json` so per-PR performance is a
+//! tracked artifact instead of an anecdote.
+//!
+//! ```sh
+//! cargo run --release -p tpu-bench --bin perf_report                 # full (1000 trials)
+//! cargo run --release -p tpu-bench --bin perf_report -- --trials 120 # CI smoke
+//! cargo run --release -p tpu-bench --bin perf_report -- --check BENCH_goodput.json
+//! ```
+//!
+//! Every bench runs a 4096-chip fleet: the v4 torus through both Figure 4
+//! arms (OCS plugboard submit, static contiguous packing) plus the v4-ib
+//! switched fleet, and the discrete-event cluster sim on both v4 arms.
+//! The output is a JSON array of
+//! `{bench, config, wall_s, trials_per_s, git_describe}` rows (format:
+//! DESIGN.md §11); `--check` re-parses an emitted file and validates that
+//! schema, which is what the CI perf-smoke leg asserts.
+
+use std::time::Instant;
+use tpu_sched::{ClusterSim, GoodputSim};
+use tpu_spec::json::{self, JsonValue};
+use tpu_spec::{FabricKind, MachineSpec};
+
+/// One timed bench: name, human-readable config, wall seconds, trials.
+struct BenchRow {
+    bench: &'static str,
+    config: String,
+    wall_s: f64,
+    trials: u32,
+}
+
+impl BenchRow {
+    fn trials_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            f64::from(self.trials) / self.wall_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn time_goodput(
+    bench: &'static str,
+    spec: &MachineSpec,
+    fabric: FabricKind,
+    trials: u32,
+    threads: usize,
+) -> BenchRow {
+    let sim = GoodputSim::for_spec(spec, trials, 2023).with_threads(threads);
+    let (slice, avail) = (1024, 0.995);
+    let start = Instant::now();
+    let g = sim.goodput(slice, avail, fabric);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!((0.0..=1.0).contains(&g), "{bench}: goodput {g}");
+    BenchRow {
+        bench,
+        config: format!(
+            "{} {} chips, slice={slice}, avail={avail}, trials={trials}, threads={threads}",
+            spec.generation,
+            sim.total_chips()
+        ),
+        wall_s,
+        trials,
+    }
+}
+
+fn time_cluster(
+    bench: &'static str,
+    spec: &MachineSpec,
+    fabric: FabricKind,
+    trials: u32,
+    threads: usize,
+) -> BenchRow {
+    let (horizon, arrival, duration) = (2000.0, 1.2, 8.0);
+    let sim = ClusterSim::for_spec(spec, horizon, arrival, duration, 2023).with_threads(threads);
+    let start = Instant::now();
+    let report = sim.run_trials(fabric, trials);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(report.completed > 0, "{bench}: no jobs completed");
+    BenchRow {
+        bench,
+        config: format!(
+            "{} horizon={horizon}, arrival={arrival}, duration={duration}, \
+             trials={trials}, threads={threads}",
+            spec.generation
+        ),
+        wall_s,
+        trials,
+    }
+}
+
+/// Best-effort `git describe` for provenance; "unknown" offline.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Validates an emitted report: a JSON array of rows, each carrying the
+/// five documented keys with sane values.
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let JsonValue::Arr(rows) = value else {
+        return Err(format!("{path}: top level must be a JSON array"));
+    };
+    if rows.is_empty() {
+        return Err(format!("{path}: no bench rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["bench", "config", "git_describe"] {
+            match row.key(key) {
+                Some(JsonValue::Str(s)) if !s.is_empty() => {}
+                _ => return Err(format!("{path}: row {i} missing string key '{key}'")),
+            }
+        }
+        for key in ["wall_s", "trials_per_s"] {
+            match row.key(key) {
+                Some(JsonValue::Num(n)) if *n >= 0.0 => {}
+                _ => return Err(format!("{path}: row {i} missing numeric key '{key}'")),
+            }
+        }
+    }
+    Ok(rows.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    if let Some(path) = flag("--check") {
+        match check(&path) {
+            Ok(rows) => println!("{path}: {rows} bench rows, schema ok"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let trials: u32 = flag("--trials")
+        .map(|v| v.parse().expect("--trials takes a positive integer"))
+        .unwrap_or(1000);
+    // Cluster trials are whole discrete-event runs (~1700 jobs each), so
+    // they tick at a much coarser grain than goodput trials.
+    let cluster_trials = (trials / 125).clamp(2, 16);
+    let threads: usize = flag("--threads")
+        .map(|v| v.parse().expect("--threads takes an integer (0 = auto)"))
+        .unwrap_or(0);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_goodput.json".to_string());
+
+    let v4 = MachineSpec::v4();
+    let v4_ib = MachineSpec::v4_ib_hybrid();
+    let rows = [
+        time_goodput("goodput_v4_ocs", &v4, FabricKind::Ocs, trials, threads),
+        time_goodput(
+            "goodput_v4_static",
+            &v4,
+            FabricKind::Static,
+            trials,
+            threads,
+        ),
+        time_goodput(
+            "goodput_v4ib_switched",
+            &v4_ib,
+            FabricKind::Switched,
+            trials,
+            threads,
+        ),
+        time_cluster(
+            "cluster_v4_ocs",
+            &v4,
+            FabricKind::Ocs,
+            cluster_trials,
+            threads,
+        ),
+        time_cluster(
+            "cluster_v4_static",
+            &v4,
+            FabricKind::Static,
+            cluster_trials,
+            threads,
+        ),
+    ];
+
+    let describe = git_describe();
+    let report = JsonValue::Arr(
+        rows.iter()
+            .map(|r| {
+                JsonValue::Obj(vec![
+                    ("bench".into(), JsonValue::Str(r.bench.into())),
+                    ("config".into(), JsonValue::Str(r.config.clone())),
+                    ("wall_s".into(), JsonValue::Num(r.wall_s)),
+                    ("trials_per_s".into(), JsonValue::Num(r.trials_per_s())),
+                    ("git_describe".into(), JsonValue::Str(describe.clone())),
+                ])
+            })
+            .collect(),
+    );
+    std::fs::write(&out, format!("{report}\n")).expect("write bench report");
+    check(&out).expect("emitted report must validate");
+
+    println!(
+        "{:<24} {:>10} {:>12}  config",
+        "bench", "wall_s", "trials/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>10.3} {:>12.1}  {}",
+            r.bench,
+            r.wall_s,
+            r.trials_per_s(),
+            r.config
+        );
+    }
+    println!("wrote {out} ({describe})");
+}

@@ -174,6 +174,11 @@ pub struct SwitchedCluster {
     hosts_per_island: u32,
     fleet_chips: u64,
     down_hosts: BTreeSet<(u64, u32)>,
+    /// Chips on islands with at least one down host, maintained
+    /// incrementally by [`SwitchedCluster::set_host_up`] so the
+    /// [`SwitchedCluster::healthy_chips`] probe on every switched-arm
+    /// submit is O(1) instead of a scan over `down_hosts`.
+    down_chips: u64,
 }
 
 impl SwitchedCluster {
@@ -191,6 +196,7 @@ impl SwitchedCluster {
             hosts_per_island,
             fleet_chips: spec.fleet_chips,
             down_hosts: BTreeSet::new(),
+            down_chips: 0,
         })
     }
 
@@ -231,16 +237,24 @@ impl SwitchedCluster {
         self.fleet_chips
     }
 
-    /// Chips on islands whose hosts are all currently up.
+    /// Chips on islands whose hosts are all currently up (O(1): the down
+    /// total is maintained across host transitions, not recounted).
     pub fn healthy_chips(&self) -> u64 {
-        let mut down_islands: Vec<u64> = self.down_hosts.iter().map(|&(i, _)| i).collect();
-        down_islands.dedup();
-        let down: u64 = down_islands.iter().map(|&i| self.island_size(i)).sum();
-        self.fleet_chips - down
+        self.fleet_chips - self.down_chips
+    }
+
+    /// Whether any host of one island is currently down.
+    fn island_down(&self, island: u64) -> bool {
+        self.down_hosts
+            .range((island, 0)..(island, self.hosts_per_island))
+            .next()
+            .is_some()
     }
 
     /// Failure and repair are tracked per host, so an island with two
-    /// failed hosts only comes back after both are repaired.
+    /// failed hosts only comes back after both are repaired. The
+    /// `down_chips` total moves only on an island's first down host and
+    /// last repair.
     fn set_host_up(&mut self, island: u64, host: u32, up: bool) -> Result<()> {
         if island >= self.islands {
             return Err(SupercomputerError::UnknownIsland { island });
@@ -249,9 +263,14 @@ impl SwitchedCluster {
             return Err(SupercomputerError::UnknownIslandHost { island, host });
         }
         if up {
-            self.down_hosts.remove(&(island, host));
+            if self.down_hosts.remove(&(island, host)) && !self.island_down(island) {
+                self.down_chips -= self.island_size(island);
+            }
         } else {
-            self.down_hosts.insert((island, host));
+            let was_down = self.island_down(island);
+            if self.down_hosts.insert((island, host)) && !was_down {
+                self.down_chips += self.island_size(island);
+            }
         }
         Ok(())
     }

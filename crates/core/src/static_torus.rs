@@ -23,7 +23,7 @@ use tpu_topology::most_cubic_box;
 /// per-host health and per-block occupancy. The allocation unit is one
 /// block (4³ chips on the TPU generations); for `torus_dims == 0` specs
 /// used counterfactually the unit is one glueless island.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StaticCluster {
     grid: (u32, u32, u32),
     block_edge: u32,
@@ -31,6 +31,169 @@ pub struct StaticCluster {
     hosts_per_block: u32,
     down_hosts: BTreeSet<(u32, u32)>,
     in_use: Vec<bool>,
+    /// Occupancy acceleration structure, derived from
+    /// `down_hosts`/`in_use` (the sources of truth): built on first use,
+    /// then maintained incrementally by every mutation — pure cache, so
+    /// it is skipped on the wire and excluded from equality.
+    #[serde(skip)]
+    occ: OccupancyIndex,
+}
+
+/// Equality is over the logical cluster state; the occupancy cache is
+/// derived and deliberately excluded (a cluster that has built its index
+/// still equals one that has not).
+impl PartialEq for StaticCluster {
+    fn eq(&self, other: &StaticCluster) -> bool {
+        self.grid == other.grid
+            && self.block_edge == other.block_edge
+            && self.chips_per_block == other.chips_per_block
+            && self.hosts_per_block == other.hosts_per_block
+            && self.down_hosts == other.down_hosts
+            && self.in_use == other.in_use
+    }
+}
+
+/// Boxes of at least this many cells are tested with the summed-area
+/// query; smaller boxes walk the free bitset directly. The SAT rebuild
+/// costs O(8·blocks) and a mutation invalidates it, so for the small
+/// boxes Monte Carlo packing requests most (a v4 1024-chip slice is 16
+/// blocks) the direct walk — O(volume) with early abort over a bitset
+/// that is *always* fresh — is the faster exact test; the SAT earns its
+/// rebuild on big boxes (long rail runs, near-machine slices) where a
+/// cell walk per anchor would dominate.
+const SAT_MIN_VOLUME: u32 = 32;
+
+/// The incremental occupancy structure behind [`StaticCluster::allocate`]:
+/// a flat free bitset (`free[i]` ⇔ block `i` is healthy and unallocated)
+/// maintained **incrementally** on every mutation, plus a lazily-rebuilt
+/// 3-D summed-area table over the 2×-tiled grid, so a large candidate
+/// box — wraparound included — is accepted or rejected with one
+/// 8-corner prefix-sum query instead of an O(box-volume) cell walk.
+///
+/// Invariants:
+/// * when `dirty == false` (every moment after the first probe; `dirty`
+///   only marks a fresh or freshly-deserialized cluster):
+///   `free.len() == gx·gy·gz`, `free[i] == block_healthy(i) && !in_use[i]`,
+///   and `free_total == free.iter().filter(|f| **f).count()` — mutations
+///   keep these exact via [`OccupancyIndex::set_free`], O(1) per block;
+/// * when additionally `sat_dirty == false`: `sat` holds inclusive
+///   prefix sums of the free bitset tiled twice along each axis (dims
+///   `2gx × 2gy × 2gz`, 1-padded), so the free count of
+///   `[x, x+bx) × [y, y+by) × [z, z+bz)` with `b ≤ g` is exact even when
+///   the box wraps. Any `set_free` change sets `sat_dirty`; the next
+///   large-box `allocate` rebuilds in O(8·blocks).
+#[derive(Debug, Clone)]
+struct OccupancyIndex {
+    free: Vec<bool>,
+    free_total: u32,
+    /// Down-host count per block — the O(1) health probe the hot paths
+    /// (`set_host_up`, `release`) use instead of a `BTreeSet` range scan.
+    down: Vec<u16>,
+    sat: Vec<u32>,
+    dirty: bool,
+    sat_dirty: bool,
+}
+
+impl Default for OccupancyIndex {
+    fn default() -> OccupancyIndex {
+        OccupancyIndex {
+            free: Vec::new(),
+            free_total: 0,
+            down: Vec::new(),
+            sat: Vec::new(),
+            dirty: true,
+            sat_dirty: true,
+        }
+    }
+}
+
+impl OccupancyIndex {
+    /// Rebuilds the free bitset and down-host counts from the sources of
+    /// truth (only needed on a fresh or freshly-deserialized cluster —
+    /// afterwards both are maintained incrementally).
+    fn rebuild_free(&mut self, down_hosts: &BTreeSet<(u32, u32)>, in_use: &[bool]) {
+        let blocks = in_use.len();
+        self.down.clear();
+        self.down.resize(blocks, 0);
+        for &(block, _) in down_hosts {
+            self.down[block as usize] += 1;
+        }
+        self.free.clear();
+        self.free.resize(blocks, false);
+        for (i, slot) in self.free.iter_mut().enumerate() {
+            *slot = !in_use[i] && self.down[i] == 0;
+        }
+        self.free_total = self.free.iter().filter(|f| **f).count() as u32;
+        self.dirty = false;
+        self.sat_dirty = true;
+    }
+
+    /// Point update of one block's free bit, keeping `free_total` exact
+    /// and invalidating the summed-area table when the bit changes.
+    fn set_free(&mut self, block: usize, free: bool) {
+        if self.free[block] != free {
+            self.free[block] = free;
+            if free {
+                self.free_total += 1;
+            } else {
+                self.free_total -= 1;
+            }
+            self.sat_dirty = true;
+        }
+    }
+
+    /// Rebuilds the summed-area table from the (fresh) free bitset.
+    fn rebuild_sat(&mut self, grid: (u32, u32, u32)) {
+        let (gx, gy, gz) = (grid.0 as usize, grid.1 as usize, grid.2 as usize);
+        let (tx, ty, tz) = (2 * gx, 2 * gy, 2 * gz);
+        // 1-padded inclusive prefix sums over the tiled grid.
+        self.sat.clear();
+        self.sat.resize((tx + 1) * (ty + 1) * (tz + 1), 0);
+        let stride_y = tx + 1;
+        let stride_z = (tx + 1) * (ty + 1);
+        for z in 1..=tz {
+            for y in 1..=ty {
+                let row = z * stride_z + y * stride_y;
+                let src_row = ((z - 1) % gz) * gy * gx + ((y - 1) % gy) * gx;
+                for x in 1..=tx {
+                    let cell = u32::from(self.free[src_row + (x - 1) % gx]);
+                    self.sat[row + x] = cell
+                        .wrapping_add(self.sat[row + x - 1])
+                        .wrapping_add(self.sat[row - stride_y + x])
+                        .wrapping_add(self.sat[row - stride_z + x])
+                        .wrapping_sub(self.sat[row - stride_y + x - 1])
+                        .wrapping_sub(self.sat[row - stride_z + x - 1])
+                        .wrapping_sub(self.sat[row - stride_z - stride_y + x])
+                        .wrapping_add(self.sat[row - stride_z - stride_y + x - 1]);
+                }
+            }
+        }
+        self.sat_dirty = false;
+    }
+
+    /// Free-cell count of the (possibly wrapping) box anchored at
+    /// `(x, y, z)` with extents `(bx, by, bz)`, extents ≤ grid dims.
+    fn box_free_count(
+        &self,
+        grid: (u32, u32, u32),
+        anchor: (u32, u32, u32),
+        b: (u32, u32, u32),
+    ) -> u32 {
+        let (gx, gy) = (grid.0 as usize, grid.1 as usize);
+        let stride_y = 2 * gx + 1;
+        let stride_z = (2 * gx + 1) * (2 * gy + 1);
+        let (x0, y0, z0) = (anchor.0 as usize, anchor.1 as usize, anchor.2 as usize);
+        let (x1, y1, z1) = (x0 + b.0 as usize, y0 + b.1 as usize, z0 + b.2 as usize);
+        let s = |x: usize, y: usize, z: usize| self.sat[z * stride_z + y * stride_y + x];
+        s(x1, y1, z1)
+            .wrapping_sub(s(x0, y1, z1))
+            .wrapping_sub(s(x1, y0, z1))
+            .wrapping_sub(s(x1, y1, z0))
+            .wrapping_add(s(x0, y0, z1))
+            .wrapping_add(s(x0, y1, z0))
+            .wrapping_add(s(x1, y0, z0))
+            .wrapping_sub(s(x0, y0, z0))
+    }
 }
 
 impl StaticCluster {
@@ -61,6 +224,7 @@ impl StaticCluster {
             hosts_per_block,
             down_hosts: BTreeSet::new(),
             in_use: vec![false; blocks as usize],
+            occ: OccupancyIndex::default(),
         }
     }
 
@@ -144,18 +308,44 @@ impl StaticCluster {
                 host,
             });
         }
-        if up {
-            self.down_hosts.remove(&(block, host));
+        let changed = if up {
+            self.down_hosts.remove(&(block, host))
         } else {
-            self.down_hosts.insert((block, host));
+            self.down_hosts.insert((block, host))
+        };
+        if changed && !self.occ.dirty {
+            let b = block as usize;
+            if up {
+                self.occ.down[b] -= 1;
+            } else {
+                self.occ.down[b] += 1;
+            }
+            let free = self.occ.down[b] == 0 && !self.in_use[b];
+            self.occ.set_free(b, free);
         }
         Ok(())
+    }
+
+    /// Makes the free bitset valid (a no-op except on a fresh or
+    /// freshly-deserialized cluster; every mutation afterwards keeps it
+    /// exact incrementally).
+    fn ensure_free(&mut self) {
+        if self.occ.dirty {
+            self.occ.rebuild_free(&self.down_hosts, &self.in_use);
+        }
     }
 
     /// Allocates the first contiguous box of healthy free blocks that
     /// satisfies the request, scanning anchors in index order and axis
     /// orientations in a fixed order, wraparound allowed. Returns the
     /// block indices in placement order and marks them busy.
+    ///
+    /// Placements are identical to a greedy cell-by-cell scan over
+    /// `BTreeSet` health probes (the anchor/orientation order is
+    /// unchanged); only the candidate test changed, to the always-fresh
+    /// free bitset of the internal `OccupancyIndex` — walked directly
+    /// for small boxes, answered by one O(1) summed-area query for
+    /// boxes of `SAT_MIN_VOLUME` cells and up (DESIGN.md §11).
     ///
     /// # Errors
     ///
@@ -164,29 +354,44 @@ impl StaticCluster {
     pub fn allocate(&mut self, bbox: (u32, u32, u32)) -> Result<Vec<u32>> {
         let (gx, gy, gz) = self.grid;
         let orients = orientations(bbox);
+        self.ensure_free();
+        let wanted = u64::from(bbox.0) * u64::from(bbox.1) * u64::from(bbox.2);
+        if wanted > u64::from(self.occ.free_total) {
+            return Err(SupercomputerError::NoContiguousSlice {
+                needed_blocks: bbox,
+            });
+        }
+        // Fits in u32: it is bounded by the free-block count just checked.
+        let volume = wanted as u32;
+        let use_sat = volume >= SAT_MIN_VOLUME;
+        if use_sat && self.occ.sat_dirty {
+            self.occ.rebuild_sat(self.grid);
+        }
+        // Anchors scan in linear index order (x fastest), so the index
+        // is a running counter — no per-anchor coordinate arithmetic.
+        let mut anchor_idx = 0usize;
         for z in 0..gz {
             for y in 0..gy {
                 for x in 0..gx {
-                    'orient: for &(bx, by, bz) in &orients {
+                    let idx = anchor_idx;
+                    anchor_idx += 1;
+                    // The anchor cell belongs to every orientation's box,
+                    // so an occupied anchor rejects all of them at once.
+                    if !self.occ.free[idx] {
+                        continue;
+                    }
+                    for &(bx, by, bz) in orients.iter() {
                         if bx > gx || by > gy || bz > gz {
                             continue;
                         }
-                        let mut cells = Vec::with_capacity((bx * by * bz) as usize);
-                        for dz in 0..bz {
-                            for dy in 0..by {
-                                for dx in 0..bx {
-                                    let i = self.index(x + dx, y + dy, z + dz);
-                                    if !self.block_healthy(i) || self.in_use[i as usize] {
-                                        continue 'orient;
-                                    }
-                                    cells.push(i);
-                                }
+                        if let Some(cells) = self.try_box((x, y, z), (bx, by, bz), volume, use_sat)
+                        {
+                            for &i in &cells {
+                                self.in_use[i as usize] = true;
+                                self.occ.set_free(i as usize, false);
                             }
+                            return Ok(cells);
                         }
-                        for &i in &cells {
-                            self.in_use[i as usize] = true;
-                        }
-                        return Ok(cells);
                     }
                 }
             }
@@ -196,6 +401,62 @@ impl StaticCluster {
         })
     }
 
+    /// Tests one candidate box and, when every cell is free, returns its
+    /// cells in placement (dz/dy/dx) order. The SAT path answers with a
+    /// single prefix-sum query before walking the accepted box; the
+    /// direct path checks each grid row of the box as at most two
+    /// contiguous runs of the free bitset (the second when the row wraps
+    /// in x) with early abort — both are exact, so which one runs never
+    /// changes the placement.
+    fn try_box(
+        &self,
+        anchor: (u32, u32, u32),
+        b: (u32, u32, u32),
+        volume: u32,
+        use_sat: bool,
+    ) -> Option<Vec<u32>> {
+        let (gx, gy, gz) = self.grid;
+        let (x, y, z) = anchor;
+        if use_sat {
+            if self.occ.box_free_count(self.grid, anchor, b) != volume {
+                return None;
+            }
+        } else {
+            // Reject before the cells Vec exists: candidates fail far
+            // more often than they succeed, and a heap allocation (or a
+            // modulo per cell) on every rejected box would dominate the
+            // scan itself.
+            let (xu, gxu) = (x as usize, gx as usize);
+            let end = xu + b.0 as usize;
+            let split = end.min(gxu);
+            for dz in 0..b.2 {
+                let zi = (z + dz) % gz;
+                for dy in 0..b.1 {
+                    let yi = (y + dy) % gy;
+                    let row = (gx * (yi + gy * zi)) as usize;
+                    if !self.occ.free[row + xu..row + split].iter().all(|&f| f) {
+                        return None;
+                    }
+                    if end > gxu && !self.occ.free[row..row + end - gxu].iter().all(|&f| f) {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut cells = Vec::with_capacity(volume as usize);
+        for dz in 0..b.2 {
+            let zi = (z + dz) % gz;
+            for dy in 0..b.1 {
+                let yi = (y + dy) % gy;
+                let row = gx * (yi + gy * zi);
+                for dx in 0..b.0 {
+                    cells.push(row + (x + dx) % gx);
+                }
+            }
+        }
+        Some(cells)
+    }
+
     /// Releases a previously allocated set of blocks.
     pub fn release(&mut self, blocks: &[u32]) {
         for &b in blocks {
@@ -203,19 +464,42 @@ impl StaticCluster {
                 *slot = false;
             }
         }
+        if !self.occ.dirty {
+            for &b in blocks {
+                if (b as usize) < self.in_use.len() {
+                    let free = self.occ.down[b as usize] == 0;
+                    self.occ.set_free(b as usize, free);
+                }
+            }
+        }
+    }
+}
+
+/// The distinct axis orientations of a box, inline (at most 6, no heap
+/// allocation — `allocate` computes this once per call inside the Monte
+/// Carlo packing loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Orientations {
+    items: [(u32, u32, u32); 6],
+    len: usize,
+}
+
+impl Orientations {
+    /// The distinct orientations, in first-occurrence order.
+    fn as_slice(&self) -> &[(u32, u32, u32)] {
+        &self.items[..self.len]
     }
 
-    /// Linear block index of a (wrapped) grid coordinate.
-    fn index(&self, x: u32, y: u32, z: u32) -> u32 {
-        let (gx, gy, _) = self.grid;
-        (x % gx) + gx * ((y % gy) + gy * (z % self.grid.2))
+    /// Iterates the distinct orientations.
+    fn iter(&self) -> std::slice::Iter<'_, (u32, u32, u32)> {
+        self.as_slice().iter()
     }
 }
 
 /// The distinct axis orientations of a box, in first-occurrence order
 /// (a cube has one, not six — the Monte Carlo packing loop scans each
 /// candidate exactly once).
-fn orientations(b: (u32, u32, u32)) -> Vec<(u32, u32, u32)> {
+fn orientations(b: (u32, u32, u32)) -> Orientations {
     let all = [
         (b.0, b.1, b.2),
         (b.0, b.2, b.1),
@@ -224,13 +508,17 @@ fn orientations(b: (u32, u32, u32)) -> Vec<(u32, u32, u32)> {
         (b.2, b.0, b.1),
         (b.2, b.1, b.0),
     ];
-    let mut distinct = Vec::with_capacity(6);
+    let mut out = Orientations {
+        items: [(0, 0, 0); 6],
+        len: 0,
+    };
     for o in all {
-        if !distinct.contains(&o) {
-            distinct.push(o);
+        if !out.as_slice().contains(&o) {
+            out.items[out.len] = o;
+            out.len += 1;
         }
     }
-    distinct
+    out
 }
 
 #[cfg(test)]
@@ -269,9 +557,25 @@ mod tests {
 
     #[test]
     fn cubic_boxes_have_one_distinct_orientation() {
-        assert_eq!(orientations((2, 2, 2)), vec![(2, 2, 2)]);
-        assert_eq!(orientations((1, 2, 2)).len(), 3);
-        assert_eq!(orientations((1, 2, 3)).len(), 6);
+        assert_eq!(orientations((2, 2, 2)).as_slice(), &[(2, 2, 2)]);
+        assert_eq!(orientations((1, 2, 2)).as_slice().len(), 3);
+        assert_eq!(orientations((1, 2, 3)).as_slice().len(), 6);
+    }
+
+    #[test]
+    fn orientation_counts_are_pinned_per_box_class() {
+        // Cube: one orientation; slab (two equal edges) and cigar
+        // (1×1×n): three; scalene: six. The distinct list is what the
+        // allocate loop scans, so these counts are load-bearing for both
+        // correctness and the anchor-scan cost.
+        assert_eq!(orientations((4, 4, 4)).as_slice().len(), 1); // cube
+        assert_eq!(orientations((2, 4, 4)).as_slice().len(), 3); // slab
+        assert_eq!(orientations((4, 4, 2)).as_slice().len(), 3); // slab, rotated
+        assert_eq!(orientations((1, 1, 48)).as_slice().len(), 3); // Table 2 cigar
+        assert_eq!(orientations((1, 2, 3)).as_slice().len(), 6); // scalene
+                                                                 // First orientation is always the request itself (first-fit
+                                                                 // prefers the caller's shape).
+        assert_eq!(orientations((2, 4, 4)).as_slice()[0], (2, 4, 4));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::switch::{OcsSwitch, PortId};
 use crate::wiring::{block_port, ocs_index, OCS_COUNT};
 use crate::OcsError;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tpu_spec::{Generation, MachineSpec};
 use tpu_topology::{
     Coord3, Dim, Direction, LinkGraph, NodeId, SliceShape, TwistSpec, TwistedTorus,
@@ -77,14 +78,28 @@ pub struct Circuit {
     pub minus: PortId,
 }
 
-/// A live slice: physical blocks, programmed circuits, and the resulting
-/// chip-level link graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A live slice: physical blocks, programmed circuits, and (on first
+/// use) the resulting chip-level link graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MaterializedSlice {
     spec: SliceSpec,
     blocks: Vec<BlockId>,
     circuits: Vec<Circuit>,
-    graph: LinkGraph,
+    /// Built lazily: Monte Carlo placement loops submit and release
+    /// thousands of slices without ever asking for chip-level routes, and
+    /// the graph is the expensive part of materialization (6 edges per
+    /// chip). Derived entirely from `spec`, so it is skipped on the wire.
+    #[serde(skip)]
+    graph: OnceLock<LinkGraph>,
+}
+
+/// Equality is over the physical placement (spec, blocks, circuits); the
+/// chip graph is derived from `spec` and deliberately excluded so a
+/// slice that has materialized its graph still equals one that has not.
+impl PartialEq for MaterializedSlice {
+    fn eq(&self, other: &MaterializedSlice) -> bool {
+        self.spec == other.spec && self.blocks == other.blocks && self.circuits == other.circuits
+    }
 }
 
 impl MaterializedSlice {
@@ -103,9 +118,23 @@ impl MaterializedSlice {
         &self.circuits
     }
 
-    /// The chip-level link graph (slice-local coordinates).
+    /// The chip-level link graph (slice-local coordinates), built on
+    /// first use and cached for the slice's lifetime.
     pub fn chip_graph(&self) -> &LinkGraph {
-        &self.graph
+        self.graph.get_or_init(|| {
+            let block_shape = self
+                .spec
+                .shape()
+                .in_blocks()
+                .expect("allocation validated block alignment");
+            let block_twist =
+                block_level_twist(&self.spec, block_shape).expect("allocation validated the twist");
+            build_chip_graph(
+                &self.spec,
+                block_shape,
+                TwistedTorus::new(block_shape, block_twist),
+            )
+        })
     }
 
     /// Number of chips.
@@ -309,12 +338,11 @@ impl Fabric {
         for &id in &chosen {
             self.in_use[id.index()] = true;
         }
-        let graph = build_chip_graph(spec, block_shape, block_torus);
         Ok(MaterializedSlice {
             spec: *spec,
             blocks: chosen,
             circuits,
-            graph,
+            graph: OnceLock::new(),
         })
     }
 

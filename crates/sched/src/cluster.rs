@@ -10,6 +10,7 @@
 //! stack uses, not a private occupancy model.
 
 use crate::slice_mix::SliceMix;
+use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,9 @@ pub struct ClusterSim {
     arrival_interval: f64,
     mean_duration: f64,
     seed: u64,
+    /// Worker threads for [`ClusterSim::run_trials`] (0 = one per
+    /// available CPU).
+    threads: usize,
 }
 
 impl ClusterSim {
@@ -96,7 +100,17 @@ impl ClusterSim {
             arrival_interval,
             mean_duration,
             seed,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count for [`ClusterSim::run_trials`]
+    /// (0 = one per available CPU, the default). The aggregate report is
+    /// bit-identical for every setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ClusterSim {
+        self.threads = threads;
+        self
     }
 
     /// The fleet of a built-in generation under the given offered load.
@@ -331,6 +345,44 @@ impl ClusterSim {
             rejected,
         }
     }
+
+    /// Runs `trials` independent replications of the simulation — trial
+    /// `t` re-seeds the job stream from `(seed, t)` — across worker
+    /// threads, and aggregates: `utilization` and `mean_wait` are
+    /// unweighted means over trials, `completed`/`rejected`/
+    /// `left_in_queue` are per-trial means rounded down. One trial is a
+    /// whole discrete-event run, so this is the coarse-grained sibling
+    /// of [`GoodputSim::goodput`]'s chunked trials; like there, the
+    /// aggregate is bit-identical for any thread count (trial results
+    /// reduce in trial order).
+    ///
+    /// [`GoodputSim::goodput`]: crate::GoodputSim::goodput
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`, plus everything [`ClusterSim::run`]
+    /// panics for.
+    pub fn run_trials(&self, fabric: FabricKind, trials: u32) -> ClusterReport {
+        assert!(trials > 0, "at least one trial");
+        let reports = run_chunks(
+            trials as usize,
+            self.threads,
+            || (),
+            |t, ()| {
+                let mut replica = self.clone();
+                replica.seed = chunk_seed(self.seed, t as u64);
+                replica.run(fabric)
+            },
+        );
+        let n = f64::from(trials);
+        ClusterReport {
+            utilization: reports.iter().map(|r| r.utilization).sum::<f64>() / n,
+            completed: reports.iter().map(|r| r.completed).sum::<u64>() / u64::from(trials),
+            mean_wait: reports.iter().map(|r| r.mean_wait).sum::<f64>() / n,
+            left_in_queue: reports.iter().map(|r| r.left_in_queue).sum::<usize>() / trials as usize,
+            rejected: reports.iter().map(|r| r.rejected).sum::<u64>() / u64::from(trials),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +453,24 @@ mod tests {
         let a = sim().run(FabricKind::Ocs);
         let b = sim().run(FabricKind::Ocs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_trials_is_thread_count_invariant() {
+        // Replicated runs aggregate bit-identically for 1, 2 and 8
+        // workers: each trial derives its own seed from (seed, t) and
+        // results reduce in trial order.
+        let s = ClusterSim::for_generation(&Generation::V4, 400.0, 1.5, 6.0, 13);
+        let one = s.clone().with_threads(1).run_trials(FabricKind::Ocs, 5);
+        for threads in [2, 8] {
+            let other = s
+                .clone()
+                .with_threads(threads)
+                .run_trials(FabricKind::Ocs, 5);
+            assert_eq!(one, other, "{threads} threads");
+        }
+        assert!(one.completed > 0);
+        assert!((0.0..=1.0).contains(&one.utilization));
     }
 
     #[test]

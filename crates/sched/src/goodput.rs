@@ -15,13 +15,21 @@
 //! [`tpu_core::StaticCluster`] contiguous packing on the static arm),
 //! not a private closed-form curve.
 
+use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tpu_core::{JobSpec, StaticCluster, Supercomputer};
 use tpu_ocs::{BlockId, SliceSpec};
 use tpu_spec::{FabricKind, Generation, MachineSpec};
 use tpu_topology::{most_cubic_box, SliceShape};
+
+/// Trials per Monte Carlo chunk: the unit of parallel work *and* of RNG
+/// stream derivation. Fixed (never derived from the thread count), so
+/// the chunk decomposition — and therefore the result — is identical no
+/// matter how many workers run it.
+const TRIALS_PER_CHUNK: u32 = 32;
 
 /// Monte Carlo goodput simulator over the core fabric.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +40,23 @@ pub struct GoodputSim {
     chips_per_block: u32,
     trials: u32,
     seed: u64,
+    /// Worker threads for trial chunks (0 = one per available CPU).
+    /// Runtime tuning, not part of the simulator's identity on the wire.
+    #[serde(skip)]
+    threads: usize,
+    /// Lazily-built pristine fabric arms, cloned per worker at each
+    /// `goodput` call — sweep callers stop paying spec cloning and
+    /// fabric construction per grid point.
+    #[serde(skip)]
+    arms: ArmCache,
+}
+
+/// Cached arm prototypes (pure cache: rebuilt on demand, skipped on the
+/// wire, never mutated after init — trials mutate worker-local clones).
+#[derive(Debug, Clone, Default)]
+struct ArmCache {
+    fixed: OnceLock<StaticCluster>,
+    reconfigurable: OnceLock<Supercomputer>,
 }
 
 impl GoodputSim {
@@ -70,7 +95,19 @@ impl GoodputSim {
             chips_per_block,
             trials,
             seed,
+            threads: 0,
+            arms: ArmCache::default(),
         }
+    }
+
+    /// Sets the worker-thread count for Monte Carlo trials (0 = one per
+    /// available CPU, the default). Results are bit-identical for every
+    /// setting — trials are chunked and seeded per chunk, and partial
+    /// sums reduce in chunk order regardless of which thread ran them.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> GoodputSim {
+        self.threads = threads;
+        self
     }
 
     /// The fleet of a built-in generation.
@@ -107,6 +144,10 @@ impl GoodputSim {
     /// machine's own switched fabric" — islands are interchangeable
     /// behind the fat tree exactly like blocks behind the plugboard.
     ///
+    /// Trials run in fixed-size chunks across worker threads (see
+    /// [`GoodputSim::with_threads`] and [`crate::trials`]); for a given
+    /// seed the result is bit-identical no matter the thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `slice_chips` is not a positive multiple of the block
@@ -142,53 +183,79 @@ impl GoodputSim {
             (1, 1, blocks_needed)
         };
         let total_blocks = self.blocks as usize;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut total_goodput = 0.0;
-
-        // Build the fabric arm once and reset it between trials (finish
-        // every job, repair every host), so the per-trial work is only
-        // the failures and submissions themselves.
-        let mut arm = match fabric {
-            FabricKind::Static => FabricArm::Static(StaticCluster::for_spec(&self.spec)),
-            FabricKind::Ocs | FabricKind::Switched => {
-                // Torus fleets behind the plugboard; pre-OCS generations
-                // become their §2.7 "behind OCSes" counterfactual, while
-                // `torus_dims == 0` specs keep their own switched fabric.
-                let spec = if self.spec.torus_dims == 0 {
-                    self.spec.clone()
-                } else {
-                    self.spec.clone().with_fabric(FabricKind::Ocs)
-                };
-                FabricArm::Reconfigurable(Supercomputer::for_spec(&spec))
-            }
-        };
         let shape = self.submit_shape(slice_box, blocks_needed);
+        // Block health is one Bernoulli draw per block: a block is up
+        // when all of its hosts are, i.e. with probability
+        // availability^hosts — the per-host draws the old stream spent
+        // are statistically redundant.
+        let p_block = availability.powi(self.hosts_per_block as i32);
 
-        let mut healthy = Vec::with_capacity(total_blocks);
-        for _ in 0..self.trials {
-            // Draw block health: a block is healthy when all hosts are up.
-            healthy.clear();
-            for _ in 0..total_blocks {
-                let mut up = true;
-                for _ in 0..self.hosts_per_block {
-                    if rng.random::<f64>() > availability {
-                        up = false;
-                        // Keep drawing to preserve the random stream shape.
+        // Trials run in fixed-size chunks, each on its own RNG stream
+        // derived from (seed, chunk); every worker thread clones the
+        // lazily-cached pristine arm and resets it between trials
+        // (finish every job, repair every host), so per-trial work is
+        // only the failures and submissions themselves.
+        let prototype = self.arm_prototype(fabric);
+        let n_chunks = self.trials.div_ceil(TRIALS_PER_CHUNK) as usize;
+        let chunk_sums = run_chunks(
+            n_chunks,
+            self.threads,
+            || (prototype.clone(), Vec::with_capacity(total_blocks)),
+            |chunk, (arm, healthy)| {
+                let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, chunk as u64));
+                let chunk_trials =
+                    TRIALS_PER_CHUNK.min(self.trials - chunk as u32 * TRIALS_PER_CHUNK);
+                let mut sum = 0.0;
+                for _ in 0..chunk_trials {
+                    healthy.clear();
+                    for _ in 0..total_blocks {
+                        healthy.push(rng.random::<f64>() < p_block);
                     }
+                    let placed_blocks = match arm {
+                        FabricArm::Static(cluster) => {
+                            place_static(cluster, healthy, slice_box, blocks_needed)
+                        }
+                        FabricArm::Reconfigurable(machine) => {
+                            place_reconfigurable(machine, healthy, shape, blocks_needed)
+                        }
+                    };
+                    sum += placed_blocks as f64 / total_blocks as f64;
                 }
-                healthy.push(up);
-            }
-            let placed_blocks = match &mut arm {
-                FabricArm::Static(cluster) => {
-                    place_static(cluster, &healthy, slice_box, blocks_needed)
-                }
-                FabricArm::Reconfigurable(machine) => {
-                    place_reconfigurable(machine, &healthy, shape, blocks_needed)
-                }
-            };
-            total_goodput += placed_blocks as f64 / total_blocks as f64;
+                sum
+            },
+        );
+        // Reduce in chunk order: bit-identical for any thread count.
+        chunk_sums.into_iter().sum::<f64>() / f64::from(self.trials)
+    }
+
+    /// The pristine arm for a fabric kind, built once per sim and cloned
+    /// per worker thread afterwards.
+    fn arm_prototype(&self, fabric: FabricKind) -> FabricArm {
+        match fabric {
+            FabricKind::Static => FabricArm::Static(
+                self.arms
+                    .fixed
+                    .get_or_init(|| StaticCluster::for_spec(&self.spec))
+                    .clone(),
+            ),
+            FabricKind::Ocs | FabricKind::Switched => FabricArm::Reconfigurable(
+                self.arms
+                    .reconfigurable
+                    .get_or_init(|| {
+                        // Torus fleets behind the plugboard; pre-OCS
+                        // generations become their §2.7 "behind OCSes"
+                        // counterfactual, while `torus_dims == 0` specs
+                        // keep their own switched fabric.
+                        let spec = if self.spec.torus_dims == 0 {
+                            self.spec.clone()
+                        } else {
+                            self.spec.clone().with_fabric(FabricKind::Ocs)
+                        };
+                        Supercomputer::for_spec(&spec)
+                    })
+                    .clone(),
+            ),
         }
-        total_goodput / f64::from(self.trials)
     }
 
     /// The chip-level shape submitted for a slice of `blocks_needed`
@@ -246,8 +313,10 @@ impl GoodputSim {
     }
 }
 
-/// One goodput arm, built once per [`GoodputSim::goodput`] call and
-/// reused across every Monte Carlo trial.
+/// One goodput arm: built lazily once per sim, cloned per worker
+/// thread, and reused (reset between trials) across that worker's
+/// Monte Carlo chunks.
+#[derive(Clone)]
 enum FabricArm {
     /// The statically-cabled grid (the machine itself for static specs,
     /// the counterfactual otherwise).
@@ -481,6 +550,48 @@ mod tests {
             let a = mk().goodput(512, 0.99, fabric);
             let b = mk().goodput(512, 0.99, fabric);
             assert_eq!(a, b, "{fabric:?}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_answer() {
+        // The acceptance bar for parallel Monte Carlo: per-chunk RNG
+        // streams + chunk-ordered reduction make goodput bit-identical
+        // for 1, 2 and 8 workers — on both v4 arms and a switched fleet,
+        // and at a trial count that does not divide the chunk size.
+        let v4 = MachineSpec::v4();
+        let a100 = MachineSpec::a100();
+        for (spec, fabric, chips) in [
+            (&v4, FabricKind::Ocs, 512),
+            (&v4, FabricKind::Static, 512),
+            (&a100, FabricKind::Switched, 512),
+        ] {
+            let run = |threads| {
+                GoodputSim::for_spec(spec, 70, 9)
+                    .with_threads(threads)
+                    .goodput(chips, 0.99, fabric)
+            };
+            let one = run(1);
+            for threads in [2, 8] {
+                let other = run(threads);
+                assert!(
+                    one.to_bits() == other.to_bits(),
+                    "{fabric:?} with {threads} threads: {other} != {one}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_goodput_calls_reuse_the_cached_arm() {
+        // Same sim, same query, twice: the second call runs on a clone
+        // of the cached pristine arm and must agree exactly (a dirty
+        // prototype would skew every later sweep point).
+        let s = GoodputSim::for_generation(&Generation::V4, 60, 11);
+        for fabric in [FabricKind::Ocs, FabricKind::Static] {
+            let a = s.goodput(1024, 0.995, fabric);
+            let b = s.goodput(1024, 0.995, fabric);
+            assert_eq!(a.to_bits(), b.to_bits(), "{fabric:?}");
         }
     }
 

@@ -11,6 +11,9 @@
 //! * [`deploy`] — the §2.4 incremental-deployment benefit: OCS-attached
 //!   blocks enter production as they land; a static machine waits for the
 //!   last cable.
+//! * [`trials`] — deterministic parallel Monte Carlo: fixed-size trial
+//!   chunks with per-chunk RNG streams and chunk-ordered reduction, so
+//!   results are bit-identical for any worker-thread count.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@ pub mod cluster;
 pub mod deploy;
 pub mod goodput;
 pub mod slice_mix;
+pub mod trials;
 
 pub use cluster::{ClusterReport, ClusterSim};
 pub use deploy::DeploymentModel;

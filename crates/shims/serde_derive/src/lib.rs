@@ -11,14 +11,17 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; accepts anything `#[derive(Serialize)]` is put on.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; accepts anything `#[derive(Serialize)]` is put
+/// on, including `#[serde(...)]` field/container attributes (which the
+/// real derive also registers and consumes).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; accepts anything `#[derive(Deserialize)]` is put on.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; accepts anything `#[derive(Deserialize)]` is put
+/// on, including `#[serde(...)]` field/container attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
