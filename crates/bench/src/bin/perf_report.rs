@@ -17,9 +17,9 @@
 //! schema, which is what the CI perf-smoke leg asserts.
 
 use std::time::Instant;
-use tpu_sched::{ClusterSim, GoodputSim};
+use tpu_sched::{ClusterSim, FleetSim, GoodputSim};
 use tpu_spec::json::{self, JsonValue};
-use tpu_spec::{FabricKind, MachineSpec};
+use tpu_spec::{FabricKind, FleetSpec, MachineSpec};
 
 /// One timed bench: name, human-readable config, wall seconds, trials.
 struct BenchRow {
@@ -86,6 +86,34 @@ fn time_cluster(
         ),
         wall_s,
         trials,
+    }
+}
+
+/// The fleet-DES throughput row: one seeded v4 run on the OCS arm
+/// under a hot job mix, reported in *events per second* (`trials` is
+/// the processed heap-event count). At the default `--trials 1000` the
+/// horizon is 30 simulated days, which clears a million events; CI
+/// smoke scales the horizon down linearly.
+fn time_fleet(bench: &'static str, spec: &MachineSpec, trials: u32) -> BenchRow {
+    let horizon_s = 30.0 * 86_400.0 * (f64::from(trials) / 1000.0);
+    let sim = FleetSim::for_spec(spec, horizon_s, 2023).with_profile(FleetSpec {
+        arrival_interval_s: 2.5,
+        mean_duration_s: 17.0,
+        ..FleetSpec::reference()
+    });
+    let start = Instant::now();
+    let trace = sim.run(FabricKind::Ocs);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(trace.completions > 0, "{bench}: no jobs completed");
+    let events = u32::try_from(trace.events).expect("event count fits u32");
+    BenchRow {
+        bench,
+        config: format!(
+            "{} DES horizon={horizon_s:.0}s, arrival=2.5s, duration=17s, events={events}",
+            spec.generation
+        ),
+        wall_s,
+        trials: events,
     }
 }
 
@@ -191,6 +219,7 @@ fn main() {
             cluster_trials,
             threads,
         ),
+        time_fleet("fleet_des_v4_ocs", &v4, trials),
     ];
 
     let describe = git_describe();

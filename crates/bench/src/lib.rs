@@ -55,6 +55,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: figures_net::fig4_fleet,
         },
         Experiment {
+            id: "fleet_des",
+            title: "Figure 4 from discrete-event fleet traces, plus the operational view",
+            run: figures_net::fleet_des,
+        },
+        Experiment {
             id: "table2",
             title: "Table 2: production slice popularity",
             run: tables::table2,
@@ -199,6 +204,7 @@ mod tests {
             "fig1",
             "fig4",
             "fig4_fleet",
+            "fleet_des",
             "fig5",
             "fig6",
             "fig8",
@@ -238,7 +244,9 @@ mod tests {
         for e in all_experiments() {
             // Skip the slowest Monte Carlos in debug test runs; they have
             // their own integration coverage.
-            if (e.id == "fig4" || e.id == "fig4_fleet") && cfg!(debug_assertions) {
+            if (e.id == "fig4" || e.id == "fig4_fleet" || e.id == "fleet_des")
+                && cfg!(debug_assertions)
+            {
                 continue;
             }
             let out = (e.run)();

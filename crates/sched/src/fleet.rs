@@ -1,0 +1,1359 @@
+//! The discrete-event fleet simulator: months of Palomar-scale
+//! operation as one event script.
+//!
+//! [`GoodputSim`] and [`ClusterSim`] each answer one closed-form
+//! question (capacity under i.i.d. failures; queueing under a job mix).
+//! [`FleetSim`] generalizes both into a single event-driven simulation
+//! of a full fleet — the 4096-chip machine of the paper — running
+//! simulated months of operation:
+//!
+//! * **Job arrivals/departures**: Poisson arrivals drawn from the
+//!   Table 2 slice mix ([`SliceMix::table2`]), exponential durations,
+//!   FIFO queues per priority tier.
+//! * **Host failures and repairs**: every CPU host is an independent
+//!   alternating-renewal process — exponential up-times (MTBF),
+//!   exponential repair times optionally truncated by a repair SLO
+//!   (MTTR, [`tpu_spec::FleetSpec`]) — initialized *in its stationary
+//!   distribution*, so time averages match the closed-form
+//!   steady state from t = 0 with no warm-up cut.
+//! * **OCS reconfiguration windows**: on the plugboard arm each
+//!   placement spends the spec's `reconfig_ms` programming circuits
+//!   before compute starts.
+//! * **Priority tiers with preemption**: production jobs may evict the
+//!   newest best-effort jobs when blocked; evicted jobs re-queue at
+//!   the front of their tier with their remaining work (checkpoint
+//!   semantics).
+//!
+//! All three fabric arms run through the same production APIs the rest
+//! of the stack uses: [`Supercomputer::submit`] on the OCS plugboard
+//! and switched-island fabrics, [`StaticCluster::allocate`] contiguous
+//! packing on the static arm.
+//!
+//! # Determinism
+//!
+//! The engine is a binary-heap event queue ordered by
+//! `(time bits, kind rank, sequence)` — repairs before failures before
+//! job ends before arrivals at equal timestamps, insertion order as the
+//! final tie-break — with two SplitMix64-derived RNG streams (job
+//! stream, health stream) per run. [`FleetSim::run_trials`] reuses the
+//! [`crate::trials`] chunk seeding, so replicated runs are bit-identical
+//! for any worker-thread count (DESIGN.md §12).
+//!
+//! # Proven against the closed forms
+//!
+//! The derived metrics are cross-checked against the models they
+//! generalize (the `fleet_equivalence` integration test): measured host
+//! availability converges to [`tpu_spec::FleetSpec::steady_availability`]
+//! (renewal-reward), and measured goodput — a capacity probe through
+//! the *identical* `place_reconfigurable`/`place_static` functions
+//! [`GoodputSim`] uses, fed the DES's live block health — converges to
+//! [`GoodputSim::goodput`] at the same availability.
+//!
+//! [`GoodputSim`]: crate::GoodputSim
+//! [`GoodputSim::goodput`]: crate::GoodputSim::goodput
+//! [`ClusterSim`]: crate::ClusterSim
+
+use crate::goodput::{place_reconfigurable, place_static, reconfigurable_spec, slice_geometry};
+use crate::slice_mix::SliceMix;
+use crate::trials::{chunk_seed, run_chunks};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
+use tpu_ocs::{BlockId, SliceSpec};
+use tpu_spec::{consts, FabricKind, FleetSpec, MachineSpec};
+use tpu_topology::SliceShape;
+
+/// Stream discriminator for the job-arrival RNG.
+const STREAM_JOBS: u64 = 1;
+/// Stream discriminator for the host-health RNG.
+const STREAM_HEALTH: u64 = 2;
+
+/// The discrete-event fleet simulator (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    spec: MachineSpec,
+    horizon_s: f64,
+    seed: u64,
+    profile: FleetSpec,
+    production_share: f64,
+    probe_slice_chips: u64,
+    preemption: bool,
+    record_events: bool,
+    threads: usize,
+    units: u32,
+    hosts_per_unit: u32,
+    chips_per_unit: u32,
+}
+
+impl FleetSim {
+    /// A fleet simulation of the machine a spec describes, over
+    /// `horizon_s` seconds of simulated operation, with the spec's own
+    /// fleet-operations profile ([`MachineSpec::fleet_profile`]).
+    ///
+    /// The goodput probe slice defaults to a quarter of the machine
+    /// (rounded down to whole blocks) — the Figure 4 caption's headline
+    /// grid point.
+    pub fn for_spec(spec: &MachineSpec, horizon_s: f64, seed: u64) -> FleetSim {
+        let (units, chips_per_unit, hosts_per_unit) = spec.scheduling_units();
+        let units = units as u32;
+        let quarter_blocks = (units / 4).max(1);
+        FleetSim {
+            spec: spec.clone(),
+            horizon_s,
+            seed,
+            profile: spec.fleet_profile(),
+            production_share: 0.25,
+            probe_slice_chips: u64::from(quarter_blocks) * u64::from(chips_per_unit),
+            preemption: true,
+            record_events: false,
+            threads: 0,
+            units,
+            hosts_per_unit,
+            chips_per_unit,
+        }
+    }
+
+    /// Overrides the fleet-operations profile (offered load, MTBF/MTTR,
+    /// repair SLO). An infinite `arrival_interval_s` disables the job
+    /// stream entirely — the pure failure/repair process the
+    /// equivalence tests measure.
+    #[must_use]
+    pub fn with_profile(mut self, profile: FleetSpec) -> FleetSim {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the share of arriving jobs in the production tier (the rest
+    /// are best-effort). Must be in [0, 1].
+    #[must_use]
+    pub fn with_production_share(mut self, share: f64) -> FleetSim {
+        assert!((0.0..=1.0).contains(&share), "share must be in [0, 1]");
+        self.production_share = share;
+        self
+    }
+
+    /// Sets the goodput probe slice size in chips (a positive multiple
+    /// of the block/island size within the machine, validated at run).
+    #[must_use]
+    pub fn with_probe_slice(mut self, chips: u64) -> FleetSim {
+        self.probe_slice_chips = chips;
+        self
+    }
+
+    /// Enables or disables production-over-best-effort preemption
+    /// (enabled by default).
+    #[must_use]
+    pub fn with_preemption(mut self, on: bool) -> FleetSim {
+        self.preemption = on;
+        self
+    }
+
+    /// Records a [`TraceEvent`] per engine action into
+    /// [`FleetTrace::log`] (off by default — a month of the v4 fleet is
+    /// millions of events).
+    #[must_use]
+    pub fn with_recording(mut self, on: bool) -> FleetSim {
+        self.record_events = on;
+        self
+    }
+
+    /// Sets the worker-thread count for [`FleetSim::run_trials`]
+    /// (0 = one per available CPU, the default). The aggregate is
+    /// bit-identical for every setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> FleetSim {
+        self.threads = threads;
+        self
+    }
+
+    /// Total chips in the machine (whole blocks/islands).
+    pub fn total_chips(&self) -> u64 {
+        u64::from(self.units) * u64::from(self.chips_per_unit)
+    }
+
+    /// Total CPU hosts.
+    pub fn total_hosts(&self) -> u64 {
+        u64::from(self.units) * u64::from(self.hosts_per_unit)
+    }
+
+    /// Runs one simulation on a fleet-fabric arm and returns its trace.
+    ///
+    /// [`FabricKind::Static`] places contiguous boxes on the core
+    /// [`StaticCluster`]; any other kind places through real
+    /// [`Supercomputer::submit`] on the machine's reconfigurable fabric
+    /// (the OCS plugboard for torus specs, the switched island cluster
+    /// for `torus_dims == 0` specs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe slice is not a positive multiple of the
+    /// block size within the machine, if the profile is degenerate
+    /// (non-positive rates), or if [`FabricKind::Switched`] is
+    /// requested for a torus spec (as in [`crate::GoodputSim::goodput`]).
+    pub fn run(&self, fabric: FabricKind) -> FleetTrace {
+        self.run_seeded(fabric, self.seed)
+    }
+
+    /// Runs `trials` independent replications — trial `t` derives its
+    /// engine seed from `(seed, t)` — across worker threads and returns
+    /// the field-wise mean of their [`FleetMetrics`], reduced in trial
+    /// order (bit-identical for any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`, plus everything [`FleetSim::run`]
+    /// panics for.
+    pub fn run_trials(&self, fabric: FabricKind, trials: u32) -> FleetMetrics {
+        assert!(trials > 0, "at least one trial");
+        let per_trial = run_chunks(
+            trials as usize,
+            self.threads,
+            || (),
+            |t, ()| {
+                self.run_seeded(fabric, chunk_seed(self.seed, t as u64))
+                    .metrics()
+            },
+        );
+        let n = f64::from(trials);
+        let mean = |f: fn(&FleetMetrics) -> f64| per_trial.iter().map(f).sum::<f64>() / n;
+        FleetMetrics {
+            availability: mean(|m| m.availability),
+            goodput: mean(|m| m.goodput),
+            fragmentation: mean(|m| m.fragmentation),
+            utilization: mean(|m| m.utilization),
+            reconfig_overhead: mean(|m| m.reconfig_overhead),
+            mean_wait_s: mean(|m| m.mean_wait_s),
+            mean_wait_production_s: mean(|m| m.mean_wait_production_s),
+            mean_wait_best_effort_s: mean(|m| m.mean_wait_best_effort_s),
+            completions: mean(|m| m.completions),
+            preemptions: mean(|m| m.preemptions),
+            events: mean(|m| m.events),
+        }
+    }
+
+    fn run_seeded(&self, fabric: FabricKind, seed: u64) -> FleetTrace {
+        assert!(
+            fabric != FabricKind::Switched || self.spec.torus_dims == 0,
+            "FabricKind::Switched is only defined for torus_dims == 0 specs"
+        );
+        let block = u64::from(self.chips_per_unit);
+        assert!(
+            self.probe_slice_chips > 0
+                && self.probe_slice_chips.is_multiple_of(block)
+                && self.probe_slice_chips <= self.total_chips(),
+            "probe slice must be a positive multiple of {block} chips within the machine"
+        );
+        let p = &self.profile;
+        assert!(
+            p.arrival_interval_s > 0.0
+                && p.mean_duration_s > 0.0
+                && p.mtbf_h > 0.0
+                && p.mttr_h > 0.0
+                && p.repair_slo_h.is_none_or(|s| s > 0.0),
+            "fleet profile rates must be positive"
+        );
+        assert!(self.horizon_s >= 0.0, "horizon must be non-negative");
+
+        let mut engine = Engine::new(self, fabric, seed);
+        engine.drive();
+        engine.into_trace()
+    }
+}
+
+/// Everything one simulated run records; derived metrics come from
+/// [`FleetTrace::metrics`]. Counters count engine actions; the `_s`
+/// fields are time integrals (chip-seconds / host-seconds) over the
+/// horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Chips in the machine (whole blocks/islands).
+    pub total_chips: u64,
+    /// CPU hosts in the machine.
+    pub total_hosts: u64,
+    /// Probe slice size used for the goodput integral, chips.
+    pub probe_slice_chips: u64,
+    /// Heap events processed (arrivals, job ends incl. stale ones,
+    /// host failures, host repairs).
+    pub events: u64,
+    /// Jobs that arrived within the horizon.
+    pub arrivals: u64,
+    /// Placement episodes (a preempted job placed again counts again).
+    pub placements: u64,
+    /// Jobs that ran to completion.
+    pub completions: u64,
+    /// Best-effort jobs evicted by production preemption.
+    pub preemptions: u64,
+    /// Jobs killed because a host under them failed.
+    pub failure_kills: u64,
+    /// Jobs rejected because the fabric can never offer their topology.
+    pub rejected: u64,
+    /// Host failure events (in-progress repairs at t = 0 from the
+    /// stationary initialization are not failures *events*, so repairs
+    /// may exceed failures by up to the initially-down host count).
+    pub host_failures: u64,
+    /// Host repair events.
+    pub host_repairs: u64,
+    /// Capacity-probe recomputations (block-health transitions).
+    pub probes: u64,
+    /// Jobs still queued at the horizon.
+    pub left_in_queue: u64,
+    /// ∫ busy chips dt (chips allocated to jobs, reconfig included).
+    pub busy_chip_s: f64,
+    /// Σ chips × reconfig window over placements (OCS arm only).
+    pub reconfig_chip_s: f64,
+    /// ∫ hosts up dt.
+    pub up_host_s: f64,
+    /// ∫ chips on fully-healthy blocks dt.
+    pub healthy_chip_s: f64,
+    /// ∫ chips deliverable as probe slices dt (the goodput integral).
+    pub deliverable_chip_s: f64,
+    /// Σ queueing delay over production placements, seconds.
+    pub wait_production_s: f64,
+    /// Σ queueing delay over best-effort placements, seconds.
+    pub wait_best_effort_s: f64,
+    /// Production placement episodes.
+    pub placements_production: u64,
+    /// Best-effort placement episodes.
+    pub placements_best_effort: u64,
+    /// Per-action log; empty unless [`FleetSim::with_recording`].
+    pub log: Vec<TraceEvent>,
+}
+
+impl FleetTrace {
+    /// Derives the steady-state metrics from the trace integrals.
+    pub fn metrics(&self) -> FleetMetrics {
+        let chip_time = self.total_chips as f64 * self.horizon_s;
+        let host_time = self.total_hosts as f64 * self.horizon_s;
+        let frac = |integral: f64, denom: f64| if denom > 0.0 { integral / denom } else { 0.0 };
+        let wait = |sum: f64, n: u64| if n > 0 { sum / n as f64 } else { 0.0 };
+        FleetMetrics {
+            availability: frac(self.up_host_s, host_time),
+            goodput: frac(self.deliverable_chip_s, chip_time),
+            fragmentation: frac(self.healthy_chip_s - self.deliverable_chip_s, chip_time),
+            utilization: frac(self.busy_chip_s, chip_time),
+            reconfig_overhead: frac(self.reconfig_chip_s, chip_time),
+            mean_wait_s: wait(
+                self.wait_production_s + self.wait_best_effort_s,
+                self.placements,
+            ),
+            mean_wait_production_s: wait(self.wait_production_s, self.placements_production),
+            mean_wait_best_effort_s: wait(self.wait_best_effort_s, self.placements_best_effort),
+            completions: self.completions as f64,
+            preemptions: self.preemptions as f64,
+            events: self.events as f64,
+        }
+    }
+}
+
+/// Steady-state metrics derived from a [`FleetTrace`] (all fields are
+/// `f64` so [`FleetSim::run_trials`] can mean them exactly in trial
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Time-average fraction of hosts up. Converges to
+    /// [`tpu_spec::FleetSpec::steady_availability`].
+    pub availability: f64,
+    /// Time-average fraction of the machine deliverable as probe
+    /// slices. Converges to [`crate::GoodputSim::goodput`] at the
+    /// steady-state availability.
+    pub goodput: f64,
+    /// Time-average fraction of the machine on healthy blocks yet *not*
+    /// deliverable as probe slices — capacity stranded by fragmentation
+    /// and slice granularity.
+    pub fragmentation: f64,
+    /// Time-average fraction of chips allocated to jobs.
+    pub utilization: f64,
+    /// Fraction of chip-time spent inside OCS reconfiguration windows.
+    pub reconfig_overhead: f64,
+    /// Mean queueing delay per placement episode, seconds.
+    pub mean_wait_s: f64,
+    /// Mean production-tier queueing delay, seconds.
+    pub mean_wait_production_s: f64,
+    /// Mean best-effort-tier queueing delay, seconds.
+    pub mean_wait_best_effort_s: f64,
+    /// Jobs completed (mean per trial under [`FleetSim::run_trials`]).
+    pub completions: f64,
+    /// Preemptions (mean per trial under [`FleetSim::run_trials`]).
+    pub preemptions: f64,
+    /// Heap events processed (mean per trial under
+    /// [`FleetSim::run_trials`]).
+    pub events: f64,
+}
+
+/// One recorded engine action, with the post-action machine state — the
+/// invariants property tests replay (time monotone, chip/host
+/// conservation, failure/repair alternation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Chips allocated to jobs after the action.
+    pub busy_chips: u64,
+    /// Hosts down after the action.
+    pub down_hosts: u32,
+}
+
+/// The action behind one [`TraceEvent`]. `job` is the index into the
+/// run's arrival stream; `host` is a global host index
+/// (`unit * hosts_per_unit + host_in_unit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A job arrived (queued or rejected — see `Rejected`).
+    Arrival {
+        /// Stream index of the job.
+        job: u32,
+    },
+    /// A job's topology can never be offered on this fabric.
+    Rejected {
+        /// Stream index of the job.
+        job: u32,
+    },
+    /// A job was placed on the fabric.
+    Placed {
+        /// Stream index of the job.
+        job: u32,
+        /// Chips the placement holds.
+        chips: u64,
+        /// Whether the job is production-tier.
+        production: bool,
+    },
+    /// A job ran to completion and released its chips.
+    Completed {
+        /// Stream index of the job.
+        job: u32,
+    },
+    /// A best-effort job was evicted by production preemption.
+    Preempted {
+        /// Stream index of the job.
+        job: u32,
+    },
+    /// A job was killed because a host under it failed.
+    FailureKill {
+        /// Stream index of the job.
+        job: u32,
+    },
+    /// A host went down.
+    HostFailure {
+        /// Global host index.
+        host: u32,
+    },
+    /// A host came back up.
+    HostRepair {
+        /// Global host index.
+        host: u32,
+    },
+}
+
+/// Heap event payload. Variant order *is* the same-timestamp rank:
+/// repairs before failures (capacity returns before it leaves, so a
+/// simultaneous failure sees the repaired host), failures before job
+/// ends, ends before arrivals (freed chips are visible to the arriving
+/// job's scheduling pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    HostRepair { host: u32 },
+    HostFailure { host: u32 },
+    JobEnd { slot: u32 },
+    JobArrival { idx: u32 },
+}
+
+impl Ev {
+    fn rank(self) -> u8 {
+        match self {
+            Ev::HostRepair { .. } => 0,
+            Ev::HostFailure { .. } => 1,
+            Ev::JobEnd { .. } => 2,
+            Ev::JobArrival { .. } => 3,
+        }
+    }
+}
+
+/// One pre-drawn job.
+struct DrawnJob {
+    arrival: f64,
+    blocks_box: (u32, u32, u32),
+    shape: SliceShape,
+    chips: u64,
+    duration: f64,
+    production: bool,
+}
+
+/// A queued placement request (initially the drawn job; after a
+/// preemption or failure kill, the remainder of it).
+struct Queued {
+    idx: u32,
+    remaining: f64,
+    enqueued_t: f64,
+}
+
+/// What a placed job holds on its fabric arm.
+enum Hold {
+    /// Contiguous blocks on the static arm.
+    Blocks(Vec<u32>),
+    /// An OCS-fabric job and the block indices its slice stitched.
+    Slice(JobId, Vec<u32>),
+    /// A switched-fabric job (capacity only, no unit pinning).
+    Capacity(JobId),
+}
+
+/// A running (placed) job. Slots are never reused, so a stale
+/// `JobEnd` after preemption finds `None` and is ignored.
+struct Running {
+    idx: u32,
+    chips: u64,
+    hold: Hold,
+    placed_t: f64,
+    reconfig_s: f64,
+    remaining_at_start: f64,
+    order: u64,
+}
+
+/// The main fabric arm.
+enum Arm {
+    Fixed(StaticCluster),
+    Reconfigurable(Supercomputer),
+}
+
+/// One run's full mutable state.
+struct Engine<'a> {
+    sim: &'a FleetSim,
+    arm: Arm,
+    probe_static: Option<StaticCluster>,
+    probe_reconf: Option<Supercomputer>,
+    probe_box: (u32, u32, u32),
+    probe_shape: SliceShape,
+    probe_blocks: u32,
+    reconfig_s: f64,
+    mtbf_s: f64,
+    mttr_s: f64,
+    slo_s: Option<f64>,
+    stream: Vec<DrawnJob>,
+    health_rng: StdRng,
+    heap: BinaryHeap<Reverse<(u64, u8, u64, Ev)>>,
+    seq: u64,
+    now: f64,
+    up: Vec<bool>,
+    down_in_unit: Vec<u32>,
+    up_hosts: u32,
+    healthy_units: u32,
+    busy_chips: u64,
+    deliverable_chips: u64,
+    probe_dirty: bool,
+    slab: Vec<Option<Running>>,
+    /// Placement-ordered index of the currently running slots, so
+    /// eviction scans touch live jobs only (the slab is append-only).
+    running_by_order: BTreeMap<u64, u32>,
+    queues: [VecDeque<Queued>; 2],
+    preempt_exhausted: bool,
+    order: u64,
+    healthy_scratch: Vec<bool>,
+    trace: FleetTrace,
+}
+
+/// Queue index per tier.
+const PRODUCTION: usize = 0;
+const BEST_EFFORT: usize = 1;
+
+impl<'a> Engine<'a> {
+    fn new(sim: &'a FleetSim, fabric: FabricKind, seed: u64) -> Engine<'a> {
+        let profile = &sim.profile;
+        let arm = if fabric == FabricKind::Static {
+            Arm::Fixed(StaticCluster::for_spec(&sim.spec))
+        } else {
+            Arm::Reconfigurable(Supercomputer::for_spec(&reconfigurable_spec(&sim.spec)))
+        };
+        // The probe arm is a pristine twin of the main arm: it never
+        // holds jobs, so feeding it the live block health through the
+        // exact GoodputSim placement functions yields the capacity the
+        // closed-form model would report for this instant.
+        let (probe_static, probe_reconf) = match &arm {
+            Arm::Fixed(c) => (Some(c.clone()), None),
+            Arm::Reconfigurable(m) => (None, Some(m.clone())),
+        };
+        let (probe_box, probe_shape, probe_blocks) =
+            slice_geometry(&sim.spec, sim.chips_per_unit, sim.probe_slice_chips);
+        // The plugboard spends reconfig_ms programming circuits per
+        // placement; static cabling and packet-switched fabrics have no
+        // such window.
+        let reconfig_s = if matches!(arm, Arm::Reconfigurable(_)) && sim.spec.torus_dims > 0 {
+            sim.spec
+                .ocs
+                .as_ref()
+                .map_or(consts::OCS_RECONFIG_MS, |o| o.reconfig_ms)
+                / 1e3
+        } else {
+            0.0
+        };
+
+        // Pre-draw the job stream on its own RNG stream: Poisson
+        // arrivals over the slice mix, exponential durations, Bernoulli
+        // tier draws. Sub-unit requests round up to one block/island.
+        let mut jobs_rng = StdRng::seed_from_u64(chunk_seed(seed, STREAM_JOBS));
+        let mix = SliceMix::table2();
+        let edge = sim.spec.block.edge.max(1);
+        let chips_per_unit = u64::from(sim.chips_per_unit);
+        let geometric = u64::from(edge).pow(3) == chips_per_unit;
+        let mut stream = Vec::new();
+        if profile.arrival_interval_s.is_finite() {
+            let mut t = 0.0;
+            loop {
+                t += -profile.arrival_interval_s * (1.0 - jobs_rng.random::<f64>()).ln();
+                if t >= sim.horizon_s {
+                    break;
+                }
+                let shape = mix.sample(&mut jobs_rng).shape;
+                let blocks_box = if geometric {
+                    (
+                        shape.x().div_ceil(edge),
+                        shape.y().div_ceil(edge),
+                        shape.z().div_ceil(edge),
+                    )
+                } else {
+                    let units = shape.volume().div_ceil(chips_per_unit).max(1) as u32;
+                    (1, 1, units)
+                };
+                let chips = u64::from(blocks_box.0)
+                    * u64::from(blocks_box.1)
+                    * u64::from(blocks_box.2)
+                    * chips_per_unit;
+                let submit_shape = if geometric {
+                    SliceShape::new(
+                        blocks_box.0 * edge,
+                        blocks_box.1 * edge,
+                        blocks_box.2 * edge,
+                    )
+                    .expect("boxes are positive")
+                } else {
+                    SliceShape::new(1, 1, chips as u32).expect("positive chip count")
+                };
+                let duration = -profile.mean_duration_s * (1.0 - jobs_rng.random::<f64>()).ln();
+                let production = jobs_rng.random::<f64>() < sim.production_share;
+                stream.push(DrawnJob {
+                    arrival: t,
+                    blocks_box,
+                    shape: submit_shape,
+                    chips,
+                    duration,
+                    production,
+                });
+            }
+        }
+
+        let hosts = sim.total_hosts() as u32;
+        let trace = FleetTrace {
+            horizon_s: sim.horizon_s,
+            total_chips: sim.total_chips(),
+            total_hosts: sim.total_hosts(),
+            probe_slice_chips: sim.probe_slice_chips,
+            events: 0,
+            arrivals: 0,
+            placements: 0,
+            completions: 0,
+            preemptions: 0,
+            failure_kills: 0,
+            rejected: 0,
+            host_failures: 0,
+            host_repairs: 0,
+            probes: 0,
+            left_in_queue: 0,
+            busy_chip_s: 0.0,
+            reconfig_chip_s: 0.0,
+            up_host_s: 0.0,
+            healthy_chip_s: 0.0,
+            deliverable_chip_s: 0.0,
+            wait_production_s: 0.0,
+            wait_best_effort_s: 0.0,
+            placements_production: 0,
+            placements_best_effort: 0,
+            log: Vec::new(),
+        };
+        let mut engine = Engine {
+            sim,
+            arm,
+            probe_static,
+            probe_reconf,
+            probe_box,
+            probe_shape,
+            probe_blocks,
+            reconfig_s,
+            mtbf_s: profile.mtbf_h * 3600.0,
+            mttr_s: profile.mttr_h * 3600.0,
+            slo_s: profile.repair_slo_h.map(|s| s * 3600.0),
+            stream,
+            health_rng: StdRng::seed_from_u64(chunk_seed(seed, STREAM_HEALTH)),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            up: vec![true; hosts as usize],
+            down_in_unit: vec![0; sim.units as usize],
+            up_hosts: hosts,
+            healthy_units: sim.units,
+            busy_chips: 0,
+            deliverable_chips: 0,
+            probe_dirty: true,
+            slab: Vec::new(),
+            running_by_order: BTreeMap::new(),
+            queues: [VecDeque::new(), VecDeque::new()],
+            preempt_exhausted: false,
+            order: 0,
+            healthy_scratch: Vec::with_capacity(sim.units as usize),
+            trace,
+        };
+        engine.init_hosts();
+        engine
+    }
+
+    /// Draws every host's initial state from the *stationary*
+    /// distribution of its alternating-renewal process: up with
+    /// probability `steady_availability()`; an up host's residual
+    /// up-time is Exp(mtbf) (memoryless), a down host's residual repair
+    /// comes from the equilibrium residual distribution of
+    /// `min(Exp(mttr), slo)` by inversion. Time averages therefore
+    /// match the steady state from t = 0 — no warm-up transient to cut.
+    fn init_hosts(&mut self) {
+        let availability = self.sim.profile.steady_availability();
+        for host in 0..self.up.len() as u32 {
+            if self.health_rng.random::<f64>() < availability {
+                let residual = self.draw_up_time();
+                self.push(residual, Ev::HostFailure { host });
+            } else {
+                let residual = self.draw_equilibrium_repair();
+                self.up[host as usize] = false;
+                self.up_hosts -= 1;
+                let unit = host / self.sim.hosts_per_unit;
+                self.down_in_unit[unit as usize] += 1;
+                if self.down_in_unit[unit as usize] == 1 {
+                    self.healthy_units -= 1;
+                    self.set_arm_unit(unit, false);
+                }
+                self.push(residual, Ev::HostRepair { host });
+            }
+        }
+    }
+
+    fn draw_up_time(&mut self) -> f64 {
+        -self.mtbf_s * (1.0 - self.health_rng.random::<f64>()).ln()
+    }
+
+    fn draw_repair_time(&mut self) -> f64 {
+        let exp = -self.mttr_s * (1.0 - self.health_rng.random::<f64>()).ln();
+        match self.slo_s {
+            None => exp,
+            Some(slo) => exp.min(slo),
+        }
+    }
+
+    /// Inversion sampling of the equilibrium residual of one repair:
+    /// for R = min(Exp(m), s), P(R > x) = e^(-x/m) on [0, s), so the
+    /// residual CDF is (1 − e^(−x/m)) / (1 − e^(−s/m)) and
+    /// x = −m·ln(1 − u·(1 − e^(−s/m))).
+    fn draw_equilibrium_repair(&mut self) -> f64 {
+        let u = self.health_rng.random::<f64>();
+        match self.slo_s {
+            None => -self.mttr_s * (1.0 - u).ln(),
+            Some(slo) => {
+                let scale = 1.0 - (-slo / self.mttr_s).exp();
+                -self.mttr_s * (1.0 - u * scale).ln()
+            }
+        }
+    }
+
+    fn push(&mut self, at: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap
+            .push(Reverse((at.to_bits(), ev.rank(), self.seq, ev)));
+    }
+
+    fn drive(&mut self) {
+        if !self.stream.is_empty() {
+            let at = self.stream[0].arrival;
+            self.push(at, Ev::JobArrival { idx: 0 });
+        }
+        while let Some(&Reverse((bits, _, _, ev))) = self.heap.peek() {
+            let t = f64::from_bits(bits);
+            if t > self.sim.horizon_s {
+                break;
+            }
+            self.heap.pop();
+            if self.probe_dirty {
+                self.reprobe();
+            }
+            self.integrate(t);
+            self.handle(t, ev);
+        }
+        if self.probe_dirty {
+            self.reprobe();
+        }
+        let horizon = self.sim.horizon_s;
+        self.integrate(horizon);
+    }
+
+    /// Advances the state integrals to `to` with the current values —
+    /// callers must reprobe first if block health changed.
+    fn integrate(&mut self, to: f64) {
+        let dt = to - self.now;
+        if dt > 0.0 {
+            self.trace.busy_chip_s += self.busy_chips as f64 * dt;
+            self.trace.up_host_s += f64::from(self.up_hosts) * dt;
+            self.trace.healthy_chip_s +=
+                f64::from(self.healthy_units) * f64::from(self.sim.chips_per_unit) * dt;
+            self.trace.deliverable_chip_s += self.deliverable_chips as f64 * dt;
+        }
+        self.now = to;
+    }
+
+    /// Recomputes deliverable capacity by running the *pristine* probe
+    /// arm, with the live block health, through the exact placement
+    /// functions `GoodputSim` uses.
+    fn reprobe(&mut self) {
+        self.healthy_scratch.clear();
+        for &down in &self.down_in_unit {
+            self.healthy_scratch.push(down == 0);
+        }
+        let placed_blocks = if let Some(cluster) = self.probe_static.as_mut() {
+            place_static(
+                cluster,
+                &self.healthy_scratch,
+                self.probe_box,
+                self.probe_blocks,
+            )
+        } else {
+            let machine = self.probe_reconf.as_mut().expect("one probe arm");
+            place_reconfigurable(
+                machine,
+                &self.healthy_scratch,
+                self.probe_shape,
+                self.probe_blocks,
+            )
+        };
+        self.deliverable_chips = u64::from(placed_blocks) * u64::from(self.sim.chips_per_unit);
+        self.probe_dirty = false;
+        self.trace.probes += 1;
+    }
+
+    fn handle(&mut self, t: f64, ev: Ev) {
+        self.trace.events += 1;
+        match ev {
+            Ev::HostFailure { host } => self.host_failure(t, host),
+            Ev::HostRepair { host } => self.host_repair(t, host),
+            Ev::JobEnd { slot } => self.job_end(t, slot),
+            Ev::JobArrival { idx } => self.job_arrival(t, idx),
+        }
+    }
+
+    fn host_failure(&mut self, t: f64, host: u32) {
+        self.trace.host_failures += 1;
+        self.up[host as usize] = false;
+        self.up_hosts -= 1;
+        let repair_at = t + self.draw_repair_time();
+        self.push(repair_at, Ev::HostRepair { host });
+        let unit = host / self.sim.hosts_per_unit;
+        self.down_in_unit[unit as usize] += 1;
+        // Recorded before its consequences (kills) so a replayed ledger
+        // sees cause before effect.
+        self.record(t, TraceKind::HostFailure { host });
+        let mut killed = 0;
+        if self.down_in_unit[unit as usize] == 1 {
+            // The block (island) crossed healthy -> down: jobs on it die
+            // and re-queue (checkpoint/restore), the arm learns via the
+            // same host-0 proxy the goodput model uses, and the
+            // capacity probe is stale.
+            self.healthy_units -= 1;
+            killed = self.kill_jobs_for_failure(t, unit);
+            self.set_arm_unit(unit, false);
+            if let Arm::Reconfigurable(machine) = &self.arm {
+                // Switched fabrics have no job -> unit pinning; the
+                // failure displaces the newest jobs past capacity.
+                if machine.is_switched() {
+                    let healthy = machine.switched().expect("switched arm").healthy_chips();
+                    while self.busy_chips > healthy {
+                        let Some(slot) = self.newest_running(|_| true) else {
+                            break;
+                        };
+                        self.evict(t, slot, EvictReason::FailureKill);
+                        killed += 1;
+                    }
+                }
+            }
+            self.probe_dirty = true;
+        }
+        // Killed jobs freed chips on healthy blocks too, so queued work
+        // may now fit.
+        self.pass(t, killed > 0);
+    }
+
+    fn host_repair(&mut self, t: f64, host: u32) {
+        self.trace.host_repairs += 1;
+        self.up[host as usize] = true;
+        self.up_hosts += 1;
+        let fail_at = t + self.draw_up_time();
+        self.push(fail_at, Ev::HostFailure { host });
+        let unit = host / self.sim.hosts_per_unit;
+        self.down_in_unit[unit as usize] -= 1;
+        let recovered = self.down_in_unit[unit as usize] == 0;
+        if recovered {
+            self.healthy_units += 1;
+            self.set_arm_unit(unit, true);
+            self.probe_dirty = true;
+        }
+        self.record(t, TraceKind::HostRepair { host });
+        self.pass(t, recovered);
+    }
+
+    fn job_end(&mut self, t: f64, slot: u32) {
+        // Slots are never reused; a preempted or killed job left None
+        // behind and its end event is stale.
+        let Some(running) = self.slab[slot as usize].take() else {
+            return;
+        };
+        self.running_by_order.remove(&running.order);
+        self.release_hold(running.hold);
+        self.busy_chips -= running.chips;
+        self.trace.completions += 1;
+        self.record(t, TraceKind::Completed { job: running.idx });
+        self.pass(t, true);
+    }
+
+    fn job_arrival(&mut self, t: f64, idx: u32) {
+        self.trace.arrivals += 1;
+        if let Some(next) = self.stream.get(idx as usize + 1) {
+            let at = next.arrival;
+            self.push(at, Ev::JobArrival { idx: idx + 1 });
+        }
+        let job = &self.stream[idx as usize];
+        let offerable = match &self.arm {
+            Arm::Fixed(cluster) => cluster.fits(job.blocks_box),
+            Arm::Reconfigurable(_) => job.chips <= self.sim.total_chips(),
+        };
+        let (tier, remaining) = (tier_of(job.production), job.duration);
+        self.record(t, TraceKind::Arrival { job: idx });
+        if offerable {
+            self.queues[tier].push_back(Queued {
+                idx,
+                remaining,
+                enqueued_t: t,
+            });
+            self.pass(t, false);
+        } else {
+            self.trace.rejected += 1;
+            self.record(t, TraceKind::Rejected { job: idx });
+        }
+    }
+
+    /// The scheduling pass: place the production head (preempting
+    /// best-effort work once per capacity change if blocked), then
+    /// backfill best-effort. Repeats while progress is made.
+    fn pass(&mut self, t: f64, capacity_changed: bool) {
+        if capacity_changed {
+            self.preempt_exhausted = false;
+        }
+        loop {
+            let mut progressed = false;
+            while let Some(head) = self.queues[PRODUCTION].front() {
+                let idx = head.idx;
+                if self.try_place_head(t, PRODUCTION) {
+                    progressed = true;
+                    continue;
+                }
+                if self.sim.preemption && !self.preempt_exhausted {
+                    self.preempt_for(t, idx);
+                    self.preempt_exhausted = true;
+                    if self.try_place_head(t, PRODUCTION) {
+                        progressed = true;
+                        continue;
+                    }
+                }
+                break;
+            }
+            while let Some(_head) = self.queues[BEST_EFFORT].front() {
+                if self.try_place_head(t, BEST_EFFORT) {
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Evicts the newest best-effort jobs until the chips freed could
+    /// cover the blocked production job, then stops — placement is
+    /// retried by the caller (geometry may still refuse).
+    fn preempt_for(&mut self, t: f64, head_idx: u32) {
+        let needed = self.stream[head_idx as usize].chips;
+        let mut freed = 0u64;
+        while freed < needed {
+            let Some(slot) = self.newest_running(|r| !r.production) else {
+                break;
+            };
+            freed += self.slab[slot].as_ref().expect("running").chips;
+            self.evict(t, slot, EvictReason::Preempted);
+        }
+    }
+
+    /// The newest (latest-placed) running job matching a predicate on
+    /// `(production)` — the eviction order of preemption and switched
+    /// displacement. Walks the placement-ordered index of *running*
+    /// jobs, not the append-only slab, so million-event runs stay
+    /// linear.
+    fn newest_running(&self, keep: impl Fn(&RunningView) -> bool) -> Option<usize> {
+        for (_, &slot) in self.running_by_order.iter().rev() {
+            let r = self.slab[slot as usize].as_ref().expect("indexed jobs run");
+            let view = RunningView {
+                production: self.stream[r.idx as usize].production,
+            };
+            if keep(&view) {
+                return Some(slot as usize);
+            }
+        }
+        None
+    }
+
+    /// Kills every running job with a block on the failed unit
+    /// (torus arms — switched holds have no unit pinning and are
+    /// handled by capacity displacement instead). Returns the kill
+    /// count.
+    fn kill_jobs_for_failure(&mut self, t: f64, unit: u32) -> u64 {
+        let victims: Vec<usize> = self
+            .running_by_order
+            .values()
+            .filter_map(|&slot| {
+                let r = self.slab[slot as usize].as_ref().expect("indexed jobs run");
+                let on_unit = match &r.hold {
+                    Hold::Blocks(blocks) => blocks.contains(&unit),
+                    Hold::Slice(_, blocks) => blocks.contains(&unit),
+                    Hold::Capacity(_) => false,
+                };
+                on_unit.then_some(slot as usize)
+            })
+            .collect();
+        let killed = victims.len() as u64;
+        for slot in victims {
+            self.evict(t, slot, EvictReason::FailureKill);
+        }
+        killed
+    }
+
+    /// Removes a running job from the fabric and re-queues its
+    /// remainder at the front of its tier (checkpoint semantics: the
+    /// compute already done is kept).
+    fn evict(&mut self, t: f64, slot: usize, reason: EvictReason) {
+        let running = self.slab[slot].take().expect("evicting a running job");
+        self.running_by_order.remove(&running.order);
+        self.release_hold(running.hold);
+        self.busy_chips -= running.chips;
+        let compute_done = (t - running.placed_t - running.reconfig_s).max(0.0);
+        let remaining = (running.remaining_at_start - compute_done).max(0.0);
+        let job = &self.stream[running.idx as usize];
+        let kind = match reason {
+            EvictReason::Preempted => {
+                self.trace.preemptions += 1;
+                TraceKind::Preempted { job: running.idx }
+            }
+            EvictReason::FailureKill => {
+                self.trace.failure_kills += 1;
+                TraceKind::FailureKill { job: running.idx }
+            }
+        };
+        self.queues[tier_of(job.production)].push_front(Queued {
+            idx: running.idx,
+            remaining,
+            enqueued_t: t,
+        });
+        self.record(t, kind);
+    }
+
+    /// Tries to place the head of one tier queue; on success pops it,
+    /// schedules its end, and accounts the wait.
+    fn try_place_head(&mut self, t: f64, tier: usize) -> bool {
+        let head = self.queues[tier].front().expect("caller checked");
+        let job = &self.stream[head.idx as usize];
+        let hold = match &mut self.arm {
+            Arm::Fixed(cluster) => match cluster.allocate(job.blocks_box) {
+                Ok(blocks) => Hold::Blocks(blocks),
+                Err(_) => return false,
+            },
+            Arm::Reconfigurable(machine) => {
+                match machine.submit(JobSpec::new("fleet", SliceSpec::regular(job.shape))) {
+                    Ok(id) => {
+                        let slice_blocks: Option<Vec<u32>> = machine
+                            .job(id)
+                            .ok()
+                            .and_then(|j| j.slice())
+                            .map(|s| s.blocks().iter().map(|b| b.index() as u32).collect());
+                        match slice_blocks {
+                            Some(blocks) => Hold::Slice(id, blocks),
+                            None => Hold::Capacity(id),
+                        }
+                    }
+                    Err(_) => return false,
+                }
+            }
+        };
+        let queued = self.queues[tier].pop_front().expect("caller checked");
+        let job = &self.stream[queued.idx as usize];
+        let chips = job.chips;
+        let production = job.production;
+        self.busy_chips += chips;
+        self.order += 1;
+        let wait = t - queued.enqueued_t;
+        self.trace.placements += 1;
+        if tier == PRODUCTION {
+            self.trace.placements_production += 1;
+            self.trace.wait_production_s += wait;
+        } else {
+            self.trace.placements_best_effort += 1;
+            self.trace.wait_best_effort_s += wait;
+        }
+        self.trace.reconfig_chip_s += chips as f64 * self.reconfig_s;
+        let slot = self.slab.len() as u32;
+        self.slab.push(Some(Running {
+            idx: queued.idx,
+            chips,
+            hold,
+            placed_t: t,
+            reconfig_s: self.reconfig_s,
+            remaining_at_start: queued.remaining,
+            order: self.order,
+        }));
+        self.running_by_order.insert(self.order, slot);
+        let end_at = t + self.reconfig_s + queued.remaining;
+        self.push(end_at, Ev::JobEnd { slot });
+        self.record(
+            t,
+            TraceKind::Placed {
+                job: queued.idx,
+                chips,
+                production,
+            },
+        );
+        true
+    }
+
+    fn release_hold(&mut self, hold: Hold) {
+        match (&mut self.arm, hold) {
+            (Arm::Fixed(cluster), Hold::Blocks(blocks)) => cluster.release(&blocks),
+            (Arm::Reconfigurable(machine), Hold::Slice(id, _) | Hold::Capacity(id)) => {
+                machine.finish(id).expect("job is running");
+            }
+            _ => unreachable!("hold kind always matches the arm"),
+        }
+    }
+
+    /// Propagates one block's (island's) health to the main arm via the
+    /// host-0 proxy — the same convention `GoodputSim` injects with, so
+    /// the arm sees exactly the block health the probe measures.
+    fn set_arm_unit(&mut self, unit: u32, healthy: bool) {
+        match &mut self.arm {
+            Arm::Fixed(cluster) => {
+                cluster
+                    .set_host_up(unit, 0, healthy)
+                    .expect("unit indices are in range");
+            }
+            Arm::Reconfigurable(machine) => {
+                let block = BlockId::new(unit);
+                if healthy {
+                    machine.repair_host(block, 0).expect("unit in range");
+                } else {
+                    machine
+                        .inject_host_failure(block, 0)
+                        .expect("unit in range");
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, t: f64, kind: TraceKind) {
+        if self.sim.record_events {
+            let down_hosts = self.up.len() as u32 - self.up_hosts;
+            self.trace.log.push(TraceEvent {
+                t,
+                kind,
+                busy_chips: self.busy_chips,
+                down_hosts,
+            });
+        }
+    }
+
+    fn into_trace(mut self) -> FleetTrace {
+        self.trace.left_in_queue =
+            (self.queues[PRODUCTION].len() + self.queues[BEST_EFFORT].len()) as u64;
+        self.trace
+    }
+}
+
+/// Why a running job was evicted.
+enum EvictReason {
+    Preempted,
+    FailureKill,
+}
+
+/// The predicate view [`Engine::newest_running`] exposes.
+struct RunningView {
+    production: bool,
+}
+
+fn tier_of(production: bool) -> usize {
+    if production {
+        PRODUCTION
+    } else {
+        BEST_EFFORT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A month-scale v4 run small enough for debug-mode tests: higher
+    /// offered load and failure rate than the reference profile so
+    /// every engine path (queueing, preemption, kills) exercises.
+    fn sim() -> FleetSim {
+        FleetSim::for_spec(&MachineSpec::v4(), 50_000.0, 42).with_profile(FleetSpec {
+            arrival_interval_s: 40.0,
+            mean_duration_s: 260.0,
+            mtbf_h: 8.0,
+            mttr_h: 0.2,
+            repair_slo_h: None,
+        })
+    }
+
+    #[test]
+    fn v4_fleet_runs_and_derives_sane_metrics() {
+        let trace = sim().run(FabricKind::Ocs);
+        let m = trace.metrics();
+        assert!(trace.completions > 200, "{trace:?}");
+        assert!(trace.host_failures > 50);
+        assert!(trace.host_repairs > 50);
+        assert!((0.0..=1.0).contains(&m.availability), "{m:?}");
+        assert!((0.0..=1.0).contains(&m.goodput), "{m:?}");
+        assert!((0.0..=1.0).contains(&m.utilization), "{m:?}");
+        assert!(m.fragmentation >= 0.0, "{m:?}");
+        assert!(
+            m.reconfig_overhead > 0.0,
+            "the plugboard arm pays reconfig windows"
+        );
+        let expect = sim().profile.steady_availability();
+        assert!(
+            (m.availability - expect).abs() < 0.02,
+            "{} vs {expect}",
+            m.availability
+        );
+    }
+
+    #[test]
+    fn static_arm_pays_fragmentation_not_reconfig() {
+        let trace = sim().run(FabricKind::Static);
+        let m = trace.metrics();
+        assert_eq!(m.reconfig_overhead, 0.0);
+        assert!(trace.rejected > 0, "cigar shapes are never offerable");
+        let ocs = sim().run(FabricKind::Ocs).metrics();
+        assert!(
+            ocs.goodput > m.goodput,
+            "the Figure 4 gap: ocs {} <= static {}",
+            ocs.goodput,
+            m.goodput
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sim().run(FabricKind::Ocs);
+        let b = sim().run(FabricKind::Ocs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preemption_happens_and_can_be_disabled() {
+        let with = sim().run(FabricKind::Ocs);
+        assert!(with.preemptions > 0, "{with:?}");
+        let without = sim().with_preemption(false).run(FabricKind::Ocs);
+        assert_eq!(without.preemptions, 0);
+        // Production jobs wait less when they may preempt.
+        let m_with = with.metrics();
+        let m_without = without.metrics();
+        assert!(
+            m_with.mean_wait_production_s <= m_without.mean_wait_production_s,
+            "{} > {}",
+            m_with.mean_wait_production_s,
+            m_without.mean_wait_production_s
+        );
+    }
+
+    #[test]
+    fn host_failures_kill_overlapping_jobs() {
+        let trace = sim().run(FabricKind::Ocs);
+        assert!(trace.failure_kills > 0, "{trace:?}");
+    }
+
+    #[test]
+    fn switched_fleet_runs_capacity_displacement() {
+        let spec = MachineSpec::v4_ib_hybrid();
+        let sim = FleetSim::for_spec(&spec, 50_000.0, 7).with_profile(FleetSpec {
+            arrival_interval_s: 40.0,
+            mean_duration_s: 260.0,
+            mtbf_h: 8.0,
+            mttr_h: 0.2,
+            repair_slo_h: None,
+        });
+        let trace = sim.run(FabricKind::Switched);
+        assert!(trace.completions > 100, "{trace:?}");
+        assert!(
+            trace.rejected == 0,
+            "a switched fabric offers any chip count"
+        );
+        let m = trace.metrics();
+        assert_eq!(m.reconfig_overhead, 0.0, "no plugboard, no windows");
+    }
+
+    #[test]
+    fn run_trials_is_thread_count_invariant() {
+        let s = sim().with_threads(1);
+        let one = s.run_trials(FabricKind::Ocs, 3);
+        for threads in [2, 8] {
+            let other = sim().with_threads(threads).run_trials(FabricKind::Ocs, 3);
+            assert!(
+                one == other,
+                "{threads} threads diverged: {other:?} != {one:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recording_captures_every_action() {
+        let trace = sim().with_recording(true).run(FabricKind::Ocs);
+        assert!(!trace.log.is_empty());
+        // Time never goes backwards in the log.
+        for pair in trace.log.windows(2) {
+            assert!(pair[1].t >= pair[0].t, "{pair:?}");
+        }
+        // The log's placement count matches the counter.
+        let placed = trace
+            .log
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Placed { .. }))
+            .count() as u64;
+        assert_eq!(placed, trace.placements);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus_dims == 0")]
+    fn rejects_switched_arm_on_torus_specs() {
+        let _ = sim().run(FabricKind::Switched);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe slice")]
+    fn rejects_bad_probe_slice() {
+        let _ = sim().with_probe_slice(100).run(FabricKind::Ocs);
+    }
+}

@@ -171,19 +171,9 @@ impl GoodputSim {
             availability > 0.0 && availability <= 1.0,
             "availability must be in (0, 1]"
         );
-        let blocks_needed = (slice_chips / block) as u32;
-        // Geometric blocks request their most cubic box; geometry-less
-        // islands request a contiguous run on the linear rail
-        // (StaticCluster arranges them the same way).
-        let geometric =
-            u64::from(self.spec.block.edge.max(1)).pow(3) == u64::from(self.chips_per_block);
-        let slice_box = if geometric {
-            most_cubic_box(blocks_needed)
-        } else {
-            (1, 1, blocks_needed)
-        };
+        let (slice_box, shape, blocks_needed) =
+            slice_geometry(&self.spec, self.chips_per_block, slice_chips);
         let total_blocks = self.blocks as usize;
-        let shape = self.submit_shape(slice_box, blocks_needed);
         // Block health is one Bernoulli draw per block: a block is up
         // when all of its hosts are, i.e. with probability
         // availability^hosts — the per-host draws the old stream spent
@@ -241,34 +231,9 @@ impl GoodputSim {
             FabricKind::Ocs | FabricKind::Switched => FabricArm::Reconfigurable(
                 self.arms
                     .reconfigurable
-                    .get_or_init(|| {
-                        // Torus fleets behind the plugboard; pre-OCS
-                        // generations become their §2.7 "behind OCSes"
-                        // counterfactual, while `torus_dims == 0` specs
-                        // keep their own switched fabric.
-                        let spec = if self.spec.torus_dims == 0 {
-                            self.spec.clone()
-                        } else {
-                            self.spec.clone().with_fabric(FabricKind::Ocs)
-                        };
-                        Supercomputer::for_spec(&spec)
-                    })
+                    .get_or_init(|| Supercomputer::for_spec(&reconfigurable_spec(&self.spec)))
                     .clone(),
             ),
-        }
-    }
-
-    /// The chip-level shape submitted for a slice of `blocks_needed`
-    /// blocks: the most cubic block box scaled by the block edge on torus
-    /// machines; on switched machines only the chip count matters.
-    fn submit_shape(&self, slice_box: (u32, u32, u32), blocks_needed: u32) -> SliceShape {
-        if self.spec.torus_dims == 0 {
-            SliceShape::new(1, 1, blocks_needed * self.chips_per_block)
-                .expect("positive chip count")
-        } else {
-            let e = self.spec.block.edge;
-            SliceShape::new(slice_box.0 * e, slice_box.1 * e, slice_box.2 * e)
-                .expect("positive box")
         }
     }
 
@@ -326,10 +291,55 @@ enum FabricArm {
     Reconfigurable(Supercomputer),
 }
 
+/// The spec whose fabric backs the "reconfigurable" arm: torus fleets
+/// behind the plugboard (pre-OCS generations become their §2.7 "behind
+/// OCSes" counterfactual), while `torus_dims == 0` specs keep their own
+/// switched fabric. Shared with the discrete-event fleet simulator
+/// ([`crate::fleet`]), which must probe through the identical arm.
+pub(crate) fn reconfigurable_spec(spec: &MachineSpec) -> MachineSpec {
+    if spec.torus_dims == 0 {
+        spec.clone()
+    } else {
+        spec.clone().with_fabric(FabricKind::Ocs)
+    }
+}
+
+/// The placement geometry of a slice of `slice_chips` chips: the block
+/// box requested from the static arm, the chip-level shape submitted to
+/// the reconfigurable arm, and the block count. Geometric blocks request
+/// their most cubic box (scaled by the block edge for the submit shape);
+/// geometry-less islands request a contiguous run on the linear rail
+/// (StaticCluster arranges them the same way) and submit by chip count
+/// alone. Shared with [`crate::fleet`] so the DES capacity probe asks
+/// for *exactly* the shapes the closed-form model asks for.
+pub(crate) fn slice_geometry(
+    spec: &MachineSpec,
+    chips_per_block: u32,
+    slice_chips: u64,
+) -> ((u32, u32, u32), SliceShape, u32) {
+    let blocks_needed = (slice_chips / u64::from(chips_per_block)) as u32;
+    let geometric = u64::from(spec.block.edge.max(1)).pow(3) == u64::from(chips_per_block);
+    let slice_box = if geometric {
+        most_cubic_box(blocks_needed)
+    } else {
+        (1, 1, blocks_needed)
+    };
+    let shape = if spec.torus_dims == 0 {
+        SliceShape::new(1, 1, blocks_needed * chips_per_block).expect("positive chip count")
+    } else {
+        let e = spec.block.edge;
+        SliceShape::new(slice_box.0 * e, slice_box.1 * e, slice_box.2 * e).expect("positive box")
+    };
+    (slice_box, shape, blocks_needed)
+}
+
 /// One trial of the reconfigurable arm: inject the drawn failures,
 /// submit slices until the machine refuses, then finish every job and
-/// repair every host so the next trial starts clean.
-fn place_reconfigurable(
+/// repair every host so the next trial starts clean. Also the capacity
+/// probe of the discrete-event fleet simulator ([`crate::fleet`]): the
+/// DES hands its *current* block health to this exact function, so its
+/// goodput generalizes — never diverges from — the closed-form arm.
+pub(crate) fn place_reconfigurable(
     machine: &mut Supercomputer,
     healthy: &[bool],
     shape: SliceShape,
@@ -366,8 +376,9 @@ fn place_reconfigurable(
 /// One trial of the statically-cabled arm: greedy first-fit of
 /// contiguous boxes through the core [`StaticCluster`] (which also
 /// serves as the static *counterfactual* grid for switched specs, one
-/// "block" per island), released and repaired for the next trial.
-fn place_static(
+/// "block" per island), released and repaired for the next trial. Like
+/// [`place_reconfigurable`], doubles as the fleet DES capacity probe.
+pub(crate) fn place_static(
     cluster: &mut StaticCluster,
     healthy: &[bool],
     slice_box: (u32, u32, u32),

@@ -14,6 +14,10 @@
 //! * [`trials`] — deterministic parallel Monte Carlo: fixed-size trial
 //!   chunks with per-chunk RNG streams and chunk-ordered reduction, so
 //!   results are bit-identical for any worker-thread count.
+//! * [`fleet`] — the discrete-event fleet simulator: months of
+//!   Palomar-scale operation (job arrivals, host failures/repairs, OCS
+//!   reconfiguration windows, priority preemption) as one deterministic
+//!   event script, cross-checked against the closed-form models above.
 //!
 //! # Example
 //!
@@ -32,11 +36,13 @@
 
 pub mod cluster;
 pub mod deploy;
+pub mod fleet;
 pub mod goodput;
 pub mod slice_mix;
 pub mod trials;
 
 pub use cluster::{ClusterReport, ClusterSim};
 pub use deploy::DeploymentModel;
+pub use fleet::{FleetMetrics, FleetSim, FleetTrace, TraceEvent, TraceKind};
 pub use goodput::GoodputSim;
 pub use slice_mix::{SliceMix, SliceUsage, TopologyChoice};

@@ -1,0 +1,107 @@
+//! The DES analog of `occupancy_equivalence`: the fleet simulator's
+//! steady state must reproduce the closed-form models it generalizes,
+//! on every committed spec.
+//!
+//! With the job stream disabled (infinite arrival interval) the DES is a
+//! pure failure/repair process over stationary alternating-renewal
+//! hosts, so two identities must hold within Monte Carlo noise:
+//!
+//! * measured host availability = `FleetSpec::steady_availability()`
+//!   (renewal-reward theorem), and
+//! * measured time-average goodput = `GoodputSim::goodput` at that
+//!   availability — both sides probe capacity through the *same*
+//!   placement functions; the DES just feeds them a correlated-in-time
+//!   block-health trajectory instead of i.i.d. Bernoulli draws.
+
+use std::fs;
+use std::path::PathBuf;
+use tpu_sched::{FleetSim, GoodputSim};
+use tpu_spec::{FabricKind, MachineSpec};
+
+fn committed_specs() -> Vec<(String, MachineSpec)> {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs"));
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("specs/ directory exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 5,
+        "expected the committed spec corpus, found {paths:?}"
+    );
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&p).expect("readable spec");
+            (name, MachineSpec::from_json(&text).expect("valid spec"))
+        })
+        .collect()
+}
+
+/// Horizon long enough that the time average converges: ~400 block
+/// health correlation times, clamped to [200 h, 2000 h]. Debug builds
+/// (the fast tier-1 loop) run a quarter of that with looser tolerances;
+/// CI's release leg runs the full-rigor version.
+fn horizon_s(spec: &MachineSpec) -> f64 {
+    let profile = spec.fleet_profile();
+    let (_, _, hosts_per_unit) = spec.scheduling_units();
+    let tau_block_h = 1.0 / (f64::from(hosts_per_unit) / profile.mtbf_h + 1.0 / profile.mttr_h);
+    let multiplier = if cfg!(debug_assertions) { 100.0 } else { 400.0 };
+    (multiplier * tau_block_h).clamp(50.0, 2000.0) * 3600.0
+}
+
+const TRIALS: u32 = if cfg!(debug_assertions) { 3 } else { 8 };
+const GOODPUT_TOL: f64 = if cfg!(debug_assertions) { 0.04 } else { 0.02 };
+const AVAILABILITY_TOL: f64 = if cfg!(debug_assertions) { 0.008 } else { 0.003 };
+
+#[test]
+fn des_steady_state_matches_the_closed_forms_on_every_spec() {
+    for (name, spec) in committed_specs() {
+        let (units, chips_per_unit, _) = spec.scheduling_units();
+        let probe_chips = (units / 4).max(1) * u64::from(chips_per_unit);
+        let profile = spec.fleet_profile();
+        let availability = profile.steady_availability();
+        let reference = GoodputSim::for_spec(&spec, 600, 9).with_threads(0);
+        let reconfigurable = if spec.torus_dims == 0 {
+            FabricKind::Switched
+        } else {
+            FabricKind::Ocs
+        };
+        for fabric in [reconfigurable, FabricKind::Static] {
+            let sim = FleetSim::for_spec(&spec, horizon_s(&spec), 1337).with_profile(
+                tpu_spec::FleetSpec {
+                    arrival_interval_s: f64::INFINITY,
+                    ..profile
+                },
+            );
+            let trace = sim.run(fabric);
+            let metrics = sim.run_trials(fabric, TRIALS);
+            let closed_form = reference.goodput(probe_chips, availability, fabric);
+
+            assert!(
+                (metrics.availability - availability).abs() < AVAILABILITY_TOL,
+                "{name}/{fabric:?}: DES availability {} vs renewal closed form {availability}",
+                metrics.availability,
+            );
+            assert!(
+                (metrics.goodput - closed_form).abs() < GOODPUT_TOL,
+                "{name}/{fabric:?}: DES goodput {} vs GoodputSim {closed_form}",
+                metrics.goodput,
+            );
+            // Bookkeeping identities that must hold exactly.
+            assert_eq!(trace.arrivals, 0);
+            assert_eq!(trace.completions, 0);
+            assert!(
+                trace.host_failures > 0,
+                "{name}/{fabric:?}: horizon saw no failures"
+            );
+            assert!(
+                metrics.fragmentation >= -1e-12,
+                "{name}/{fabric:?}: negative fragmentation {}",
+                metrics.fragmentation
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Event-engine invariants, checked by replaying a recorded trace:
+//! time is monotone, chips and hosts are conserved across every event,
+//! repairs alternate with failures per host, and replicated runs are
+//! bit-identical for any worker-thread count.
+
+use std::collections::HashMap;
+use tpu_sched::{FleetSim, TraceKind};
+use tpu_spec::{FabricKind, FleetSpec, MachineSpec};
+
+/// A hot profile so every engine path appears in the log: queueing,
+/// preemption, failure kills, and plenty of repairs.
+fn recorded_sim(seed: u64) -> FleetSim {
+    FleetSim::for_spec(&MachineSpec::v4(), 40_000.0, seed)
+        .with_profile(FleetSpec {
+            arrival_interval_s: 50.0,
+            mean_duration_s: 300.0,
+            mtbf_h: 6.0,
+            mttr_h: 0.25,
+            repair_slo_h: Some(1.0),
+        })
+        .with_recording(true)
+}
+
+#[test]
+fn time_never_goes_backwards() {
+    for fabric in [FabricKind::Ocs, FabricKind::Static] {
+        let trace = recorded_sim(11).run(fabric);
+        assert!(!trace.log.is_empty());
+        let mut last = 0.0_f64;
+        for event in &trace.log {
+            assert!(
+                event.t >= last,
+                "{fabric:?}: time ran backwards: {} after {last}",
+                event.t
+            );
+            assert!(event.t <= trace.horizon_s);
+            last = event.t;
+        }
+    }
+}
+
+#[test]
+fn chips_and_hosts_are_conserved_across_every_event() {
+    for fabric in [FabricKind::Ocs, FabricKind::Static] {
+        let trace = recorded_sim(12).run(fabric);
+        let mut busy = 0u64;
+        // Signed: repairs of initially-down hosts drive the replayed
+        // delta below zero relative to the (unrecorded) t = 0 state.
+        let mut down_delta = 0i64;
+        // The initially-down population, recoverable as the constant
+        // offset between the recorded count and the replayed delta.
+        let mut initial_down: Option<i64> = None;
+        // Chips held per job, learned from its Placed events.
+        let mut held: HashMap<u32, u64> = HashMap::new();
+        for event in &trace.log {
+            match event.kind {
+                TraceKind::Arrival { .. } | TraceKind::Rejected { .. } => {}
+                TraceKind::Placed { job, chips, .. } => {
+                    busy += chips;
+                    let previous = held.insert(job, chips);
+                    assert_eq!(previous, None, "{fabric:?}: job {job} placed twice");
+                }
+                TraceKind::Completed { job }
+                | TraceKind::Preempted { job }
+                | TraceKind::FailureKill { job } => {
+                    busy -= held.remove(&job).expect("release follows a placement");
+                }
+                TraceKind::HostFailure { .. } => down_delta += 1,
+                TraceKind::HostRepair { .. } => down_delta -= 1,
+            }
+            assert_eq!(
+                event.busy_chips, busy,
+                "{fabric:?}: busy-chip ledger diverged at {event:?}"
+            );
+            assert!(
+                event.busy_chips <= trace.total_chips,
+                "{fabric:?}: more chips busy than exist"
+            );
+            // Host conservation: recorded − replayed is the constant
+            // t = 0 down population, within [0, hosts].
+            let offset = i64::from(event.down_hosts) - down_delta;
+            let expected = *initial_down.get_or_insert(offset);
+            assert_eq!(
+                offset, expected,
+                "{fabric:?}: down-host ledger diverged at {event:?}"
+            );
+            assert!((0..=trace.total_hosts as i64).contains(&offset));
+            assert!(u64::from(event.down_hosts) <= trace.total_hosts);
+        }
+        // Every chip is released or still held by a running job;
+        // nothing leaks.
+        let still_running: u64 = held.values().sum();
+        assert_eq!(
+            trace.log.last().expect("non-empty").busy_chips,
+            still_running
+        );
+    }
+}
+
+#[test]
+fn repair_always_follows_failure_per_host() {
+    let trace = recorded_sim(13).run(FabricKind::Ocs);
+    // None = unseen (unknown initial state), Some(up) afterwards.
+    let mut state: HashMap<u32, bool> = HashMap::new();
+    let mut initial_repairs = 0u64;
+    for event in &trace.log {
+        match event.kind {
+            TraceKind::HostFailure { host } => {
+                // A failure must hit an up host (or a never-seen one,
+                // which the stationary draw initialized up).
+                assert_ne!(state.get(&host), Some(&false), "double failure on {host}");
+                state.insert(host, false);
+            }
+            TraceKind::HostRepair { host } => {
+                match state.get(&host) {
+                    // First event for this host: the stationary draw
+                    // started it down, mid-repair. Legal exactly once.
+                    None => initial_repairs += 1,
+                    Some(false) => {}
+                    Some(true) => panic!("repair of an up host {host}"),
+                }
+                state.insert(host, true);
+            }
+            _ => {}
+        }
+    }
+    assert!(trace.host_failures > 0 && trace.host_repairs > 0);
+    // The alternating-renewal counting identity: per host,
+    // repairs − failures = [first event is a repair] − [ends down], so
+    // the totals balance against the initial repairs and the hosts the
+    // horizon leaves down.
+    let ending_down = state.values().filter(|up| !**up).count() as u64;
+    assert_eq!(
+        trace.host_repairs + ending_down,
+        trace.host_failures + initial_repairs
+    );
+}
+
+#[test]
+fn replay_is_bit_identical_across_thread_counts() {
+    // Single traces replay exactly.
+    let a = recorded_sim(14).run(FabricKind::Ocs);
+    let b = recorded_sim(14).run(FabricKind::Ocs);
+    assert_eq!(a, b);
+
+    // Aggregated replications are bit-identical at 1, 2 and 8 worker
+    // threads (chunk-seeded streams + trial-ordered reduction).
+    let sim = FleetSim::for_spec(&MachineSpec::v4(), 40_000.0, 14).with_profile(FleetSpec {
+        arrival_interval_s: 50.0,
+        mean_duration_s: 300.0,
+        mtbf_h: 6.0,
+        mttr_h: 0.25,
+        repair_slo_h: Some(1.0),
+    });
+    let reference = sim.clone().with_threads(1).run_trials(FabricKind::Ocs, 4);
+    for threads in [2, 8] {
+        let other = sim
+            .clone()
+            .with_threads(threads)
+            .run_trials(FabricKind::Ocs, 4);
+        assert!(
+            reference == other,
+            "{threads} threads diverged: {other:?} != {reference:?}"
+        );
+    }
+}

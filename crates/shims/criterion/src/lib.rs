@@ -7,11 +7,99 @@
 //! timed batches, and prints min/mean per-iteration times. No statistics
 //! engine, no HTML reports; point the workspace `criterion` dependency
 //! back at crates.io for those.
+//!
+//! When the `BENCH_JSON` environment variable names a file,
+//! `criterion_main!` additionally writes every timed benchmark as a
+//! `{bench, config, wall_s, trials_per_s, git_describe}` row — the same
+//! five-key schema `perf_report` emits (DESIGN.md §11) and validates
+//! with `--check` — so criterion benches and the perf trajectory share
+//! one artifact format:
+//!
+//! ```sh
+//! BENCH_JSON=BENCH_criterion.json cargo bench -p tpu-bench
+//! cargo run -p tpu-bench --bin perf_report -- --check BENCH_criterion.json
+//! ```
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, queued for `BENCH_JSON` emission.
+#[derive(Debug, Clone)]
+struct Row {
+    bench: String,
+    config: String,
+    wall_s: f64,
+    trials_per_s: f64,
+}
+
+/// Rows accumulate here as groups run; `criterion_main!` drains them.
+static ROWS: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Best-effort `git describe` for provenance; "unknown" offline.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes every benchmark timed so far to `path` in the `perf_report`
+/// row schema. Called by `criterion_main!` when `BENCH_JSON` is set;
+/// callable directly from tests.
+pub fn write_bench_json(path: &str) -> std::io::Result<usize> {
+    let rows = ROWS.lock().expect("bench row store").clone();
+    let describe = json_escape(&git_describe());
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"config\":\"{}\",\"wall_s\":{},\"trials_per_s\":{},\
+             \"git_describe\":\"{describe}\"}}",
+            json_escape(&r.bench),
+            json_escape(&r.config),
+            r.wall_s,
+            r.trials_per_s,
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)?;
+    Ok(rows.len())
+}
+
+/// The `criterion_main!` epilogue: honors `BENCH_JSON` when present.
+pub fn write_bench_json_if_requested() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        match write_bench_json(&path) {
+            Ok(rows) => eprintln!("wrote {rows} bench rows to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
 
 /// Harness entry point, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -112,6 +200,21 @@ impl BenchmarkGroup<'_> {
             fmt_time(min),
             per_iter.len()
         );
+        let wall_s: f64 = bencher
+            .samples
+            .iter()
+            .map(|(total, _)| total.as_secs_f64())
+            .sum();
+        ROWS.lock().expect("bench row store").push(Row {
+            bench: self.name.clone(),
+            config: format!("{label}, {} samples", per_iter.len()),
+            wall_s,
+            trials_per_s: if mean > 0.0 {
+                1.0 / mean
+            } else {
+                f64::INFINITY
+            },
+        });
     }
 
     /// Ends the group (kept for API compatibility; reporting is eager).
@@ -193,12 +296,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then emitting the
+/// `BENCH_JSON` trajectory rows when that variable names a file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json_if_requested();
         }
     };
 }
@@ -227,5 +332,38 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).into_label(), "f/8");
         assert_eq!(BenchmarkId::from_parameter(8).into_label(), "8");
+    }
+
+    #[test]
+    fn bench_json_rows_carry_the_perf_report_schema() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("emit");
+        g.sample_size(2);
+        g.bench_function("row", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        g.finish();
+
+        let path = std::env::temp_dir().join("criterion_shim_bench_rows.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let rows = write_bench_json(path).expect("writable temp file");
+        assert!(rows >= 1);
+        let text = std::fs::read_to_string(path).expect("written file");
+        std::fs::remove_file(path).ok();
+        // The five-key schema perf_report --check validates.
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'));
+        for key in [
+            "\"bench\":\"emit\"",
+            "\"config\":\"row, 2 samples\"",
+            "\"wall_s\":",
+            "\"trials_per_s\":",
+            "\"git_describe\":\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

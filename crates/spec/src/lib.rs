@@ -49,5 +49,6 @@ pub use chip::{ChipSpec, ProcessorStyle};
 pub use error::SpecError;
 pub use generation::Generation;
 pub use machine::{
-    BlockGeometry, CollectiveSpec, FabricKind, LatencySpec, MachineSpec, OcsSpec, SchedulePolicy,
+    BlockGeometry, CollectiveSpec, FabricKind, FleetSpec, LatencySpec, MachineSpec, OcsSpec,
+    SchedulePolicy,
 };

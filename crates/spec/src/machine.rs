@@ -165,6 +165,75 @@ impl CollectiveSpec {
     }
 }
 
+/// The fleet-operations calibration of a machine: the offered load and
+/// failure/repair process a discrete-event fleet simulation should run
+/// (`tpu_sched::fleet`). Times are wall-clock simulated time — seconds
+/// for the job stream, hours for the (much slower) hardware process.
+///
+/// Optional on [`MachineSpec`]: specs that omit the block get
+/// [`FleetSpec::reference`], a month-scale production profile whose
+/// steady-state host availability is exactly 0.995 — the middle
+/// availability column of the paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Mean job inter-arrival time, seconds (arrivals are Poisson).
+    pub arrival_interval_s: f64,
+    /// Mean job duration, seconds (durations are exponential).
+    pub mean_duration_s: f64,
+    /// Mean time between failures of one CPU host, hours (exponential
+    /// up-times, independent across hosts).
+    pub mtbf_h: f64,
+    /// Mean time to repair a failed host, hours (exponential, except
+    /// where truncated by the SLO below).
+    pub mttr_h: f64,
+    /// Repair SLO, hours: a hard bound on any single repair (the repair
+    /// time is `min(Exp(mttr), slo)`). `None` means no bound.
+    pub repair_slo_h: Option<f64>,
+}
+
+impl FleetSpec {
+    /// Default mean inter-arrival time: one job every 30 minutes.
+    pub const ARRIVAL_INTERVAL_S: f64 = 1800.0;
+    /// Default mean job duration: 3 hours.
+    pub const MEAN_DURATION_S: f64 = 10800.0;
+    /// Default host MTBF: 995 hours (~41 days).
+    pub const MTBF_H: f64 = 995.0;
+    /// Default host MTTR: 5 hours.
+    pub const MTTR_H: f64 = 5.0;
+
+    /// The reference month-scale production profile, used whenever a
+    /// spec does not declare its own `fleet` block. Its failure process
+    /// gives `steady_availability() == 0.995` exactly (995/(995+5)).
+    pub fn reference() -> FleetSpec {
+        FleetSpec {
+            arrival_interval_s: FleetSpec::ARRIVAL_INTERVAL_S,
+            mean_duration_s: FleetSpec::MEAN_DURATION_S,
+            mtbf_h: FleetSpec::MTBF_H,
+            mttr_h: FleetSpec::MTTR_H,
+            repair_slo_h: None,
+        }
+    }
+
+    /// Expected duration of one repair, hours: `E[min(Exp(mttr), slo)]
+    /// = mttr·(1 − e^(−slo/mttr))`, or plain `mttr` without an SLO.
+    pub fn mean_repair_h(&self) -> f64 {
+        match self.repair_slo_h {
+            None => self.mttr_h,
+            Some(slo) => self.mttr_h * (1.0 - (-slo / self.mttr_h).exp()),
+        }
+    }
+
+    /// Steady-state availability of one host under this failure/repair
+    /// process: `mtbf / (mtbf + E[repair])` (renewal-reward over the
+    /// alternating up/down cycle). This is the closed form the
+    /// discrete-event fleet simulation's measured availability — and,
+    /// through `availability^hosts`, its measured goodput — must
+    /// reproduce (the `fleet_equivalence` cross-check).
+    pub fn steady_availability(&self) -> f64 {
+        self.mtbf_h / (self.mtbf_h + self.mean_repair_h())
+    }
+}
+
 /// How a machine's torus (or islands) are joined at fleet scale — the
 /// §2.7 design axis the paper's Figure 4 argues over.
 ///
@@ -278,6 +347,11 @@ pub struct MachineSpec {
     /// `None` means `auto` ring-vs-tree selection at the analytic
     /// crossover (see [`MachineSpec::collective_schedule`]).
     pub collective: Option<CollectiveSpec>,
+    /// Fleet-operations calibration (job arrival rate, host MTBF/MTTR,
+    /// repair SLO), if the machine declares one; `None` means the
+    /// reference month-scale profile applies (see
+    /// [`MachineSpec::fleet_profile`]).
+    pub fleet: Option<FleetSpec>,
 }
 
 impl MachineSpec {
@@ -296,6 +370,7 @@ impl MachineSpec {
             ocs: Some(OcsSpec::palomar()),
             latency: None,
             collective: None,
+            fleet: None,
         }
     }
 
@@ -318,6 +393,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
             chip,
         }
     }
@@ -352,6 +428,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
             chip,
         }
     }
@@ -373,6 +450,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
             chip,
         }
     }
@@ -402,6 +480,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
         }
     }
 
@@ -431,6 +510,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
             chip,
         }
     }
@@ -452,6 +532,7 @@ impl MachineSpec {
             ocs: None,
             latency: None,
             collective: None,
+            fleet: None,
             chip,
         }
     }
@@ -549,6 +630,15 @@ impl MachineSpec {
     /// the analytic crossover, DESIGN.md §10).
     pub fn collective_schedule(&self) -> CollectiveSpec {
         self.collective.unwrap_or_else(CollectiveSpec::reference)
+    }
+
+    /// The fleet-operations calibration a discrete-event fleet
+    /// simulation should use: the spec's own [`FleetSpec`] when
+    /// declared, otherwise [`FleetSpec::reference`] (month-scale
+    /// production profile at 0.995 steady-state host availability,
+    /// DESIGN.md §12).
+    pub fn fleet_profile(&self) -> FleetSpec {
+        self.fleet.unwrap_or_else(FleetSpec::reference)
     }
 
     /// ICI link rate, bytes per second per link per direction.
@@ -713,6 +803,23 @@ impl MachineSpec {
             ]),
         };
 
+        let fleet = match &self.fleet {
+            None => JsonValue::Null,
+            Some(fl) => JsonValue::Obj(vec![
+                (
+                    "arrival_interval_s".to_string(),
+                    JsonValue::Num(fl.arrival_interval_s),
+                ),
+                (
+                    "mean_duration_s".to_string(),
+                    JsonValue::Num(fl.mean_duration_s),
+                ),
+                ("mtbf_h".to_string(), JsonValue::Num(fl.mtbf_h)),
+                ("mttr_h".to_string(), JsonValue::Num(fl.mttr_h)),
+                ("repair_slo_h".to_string(), json::opt_num(fl.repair_slo_h)),
+            ]),
+        };
+
         JsonValue::Obj(vec![
             (
                 "generation".to_string(),
@@ -743,6 +850,7 @@ impl MachineSpec {
             ("ocs".to_string(), ocs),
             ("latency".to_string(), latency),
             ("collective".to_string(), collective),
+            ("fleet".to_string(), fleet),
         ])
         .to_string()
     }
@@ -858,6 +966,52 @@ impl MachineSpec {
                 })
             }
         };
+        // `fleet` is likewise optional and may be absent entirely: spec
+        // files written before the fleet simulator existed keep parsing
+        // (and resolve to the reference profile via `fleet_profile`).
+        let fleet = match root.key("fleet") {
+            None | Some(JsonValue::Null) => None,
+            Some(fl_obj) => {
+                let arrival_interval_s = json::get_num(fl_obj, "fleet.arrival_interval_s")?;
+                let mean_duration_s = json::get_num(fl_obj, "fleet.mean_duration_s")?;
+                let mtbf_h = json::get_num(fl_obj, "fleet.mtbf_h")?;
+                let mttr_h = json::get_num(fl_obj, "fleet.mttr_h")?;
+                for (field, value) in [
+                    ("fleet.arrival_interval_s", arrival_interval_s),
+                    ("fleet.mean_duration_s", mean_duration_s),
+                    ("fleet.mtbf_h", mtbf_h),
+                    ("fleet.mttr_h", mttr_h),
+                ] {
+                    if !value.is_finite() || value <= 0.0 {
+                        return Err(SpecError::InvalidField {
+                            field: field.to_string(),
+                            expected: "a finite positive number".to_string(),
+                        });
+                    }
+                }
+                // Absent and null both mean "no repair-time bound", so a
+                // hand-written block may omit the key.
+                let repair_slo_h = match fl_obj.key("repair_slo_h") {
+                    None => None,
+                    Some(_) => json::get_opt_num(fl_obj, "fleet.repair_slo_h")?,
+                };
+                if let Some(slo) = repair_slo_h {
+                    if !slo.is_finite() || slo <= 0.0 {
+                        return Err(SpecError::InvalidField {
+                            field: "fleet.repair_slo_h".to_string(),
+                            expected: "a finite positive bound in hours, or null".to_string(),
+                        });
+                    }
+                }
+                Some(FleetSpec {
+                    arrival_interval_s,
+                    mean_duration_s,
+                    mtbf_h,
+                    mttr_h,
+                    repair_slo_h,
+                })
+            }
+        };
         let torus_dims = json::get_u32(&root, "torus_dims")?;
         // `fabric` is optional: spec files written before the field
         // existed keep parsing with the pre-fabric dispatch semantics
@@ -909,6 +1063,7 @@ impl MachineSpec {
             ocs,
             latency,
             collective,
+            fleet,
         })
     }
 }
@@ -1180,6 +1335,92 @@ mod tests {
                 "{bad}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn fleet_field_round_trips_and_may_be_omitted() {
+        // An explicit fleet block survives the round trip, with and
+        // without the optional repair SLO.
+        let mut spec = MachineSpec::v4();
+        spec.fleet = Some(FleetSpec {
+            arrival_interval_s: 600.0,
+            mean_duration_s: 7200.0,
+            mtbf_h: 500.0,
+            mttr_h: 2.0,
+            repair_slo_h: Some(24.0),
+        });
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        spec.fleet.as_mut().unwrap().repair_slo_h = None;
+        let back = MachineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        // A pre-DES spec file (no "fleet" key at all) still parses, as
+        // None, and resolves to the reference profile.
+        let stripped = MachineSpec::v4().to_json().replace(",\"fleet\":null", "");
+        assert!(!stripped.contains("\"fleet\":"));
+        let old = MachineSpec::from_json(&stripped).unwrap();
+        assert_eq!(old, MachineSpec::v4());
+        assert_eq!(old.fleet_profile(), FleetSpec::reference());
+
+        // A block without the optional repair_slo_h key parses too.
+        let terse = MachineSpec::v4().to_json().replace(
+            "\"fleet\":null",
+            "\"fleet\":{\"arrival_interval_s\":60,\"mean_duration_s\":600,\
+             \"mtbf_h\":995,\"mttr_h\":5}",
+        );
+        let parsed = MachineSpec::from_json(&terse).unwrap();
+        assert_eq!(parsed.fleet.unwrap().repair_slo_h, None);
+
+        // Non-positive or non-finite rates are positioned errors.
+        for (bad, field) in [
+            (
+                "\"fleet\":{\"arrival_interval_s\":0,\"mean_duration_s\":600,\
+                 \"mtbf_h\":995,\"mttr_h\":5}",
+                "fleet.arrival_interval_s",
+            ),
+            (
+                "\"fleet\":{\"arrival_interval_s\":60,\"mean_duration_s\":600,\
+                 \"mtbf_h\":-1,\"mttr_h\":5}",
+                "fleet.mtbf_h",
+            ),
+            (
+                "\"fleet\":{\"arrival_interval_s\":60,\"mean_duration_s\":600,\
+                 \"mtbf_h\":995,\"mttr_h\":5,\"repair_slo_h\":0}",
+                "fleet.repair_slo_h",
+            ),
+        ] {
+            let text = MachineSpec::v4().to_json().replace("\"fleet\":null", bad);
+            let err = MachineSpec::from_json(&text).unwrap_err();
+            assert!(
+                matches!(&err, SpecError::InvalidField { field: f, .. } if f == field),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_spec_availability_matches_the_renewal_closed_form() {
+        // The reference profile is tuned to the Figure 4 middle column.
+        let reference = FleetSpec::reference();
+        assert_eq!(reference.steady_availability(), 0.995);
+
+        // A repair SLO truncates the exponential repair time:
+        // E[min(Exp(m), s)] = m(1 - e^(-s/m)), so availability rises.
+        let bounded = FleetSpec {
+            repair_slo_h: Some(5.0),
+            ..reference
+        };
+        let expected_repair = 5.0 * (1.0 - (-1.0f64).exp());
+        assert!((bounded.mean_repair_h() - expected_repair).abs() < 1e-12);
+        assert!(bounded.steady_availability() > reference.steady_availability());
+
+        // A very loose SLO changes nothing measurable.
+        let loose = FleetSpec {
+            repair_slo_h: Some(5000.0),
+            ..reference
+        };
+        assert!((loose.steady_availability() - 0.995).abs() < 1e-9);
     }
 
     #[test]

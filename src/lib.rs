@@ -68,7 +68,8 @@ pub use tpu_core::{
     SupercomputerError, SwitchedCluster,
 };
 pub use tpu_ocs::{Fabric, SliceSpec};
-pub use tpu_spec::{ChipSpec, Generation, MachineSpec};
+pub use tpu_sched::{FleetMetrics, FleetSim, FleetTrace};
+pub use tpu_spec::{ChipSpec, FleetSpec, Generation, MachineSpec};
 pub use tpu_topology::{SliceShape, Torus, TwistedTorus};
 
 #[cfg(test)]

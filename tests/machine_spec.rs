@@ -2,7 +2,7 @@
 //! composition through the whole stack.
 
 use tpuv4::topology::SliceShape;
-use tpuv4::{Collective, Generation, JobSpec, MachineSpec, SliceSpec, Supercomputer};
+use tpuv4::{Collective, FleetSpec, Generation, JobSpec, MachineSpec, SliceSpec, Supercomputer};
 
 #[test]
 fn v4_spec_matches_table4() {
@@ -142,7 +142,9 @@ fn shipped_spec_files_match_their_builtins() {
         assert_eq!(loaded, builtin, "specs/{label}.json drifted from built-in");
     }
 
-    // The derated variant is the v4 spec with a relabel and half fleet.
+    // The derated variant is the v4 spec with a relabel, half fleet,
+    // and an explicit fleet profile (the docs/spec-format.md worked
+    // example of a repair SLO).
     let text = std::fs::read_to_string(dir.join("v4-half.json")).unwrap();
     let half = MachineSpec::from_json(&text).unwrap();
     assert_eq!(half.generation.label(), "v4-half");
@@ -150,5 +152,9 @@ fn shipped_spec_files_match_their_builtins() {
     let mut expect = MachineSpec::v4();
     expect.generation = Generation::custom("v4-half");
     expect.fleet_chips = 2048;
+    expect.fleet = Some(FleetSpec {
+        repair_slo_h: Some(24.0),
+        ..FleetSpec::reference()
+    });
     assert_eq!(half, expect, "specs/v4-half.json drifted from its recipe");
 }
