@@ -2,6 +2,7 @@
 
 use std::fmt::Write;
 use tpu_chip::{ChipSpec, ModelPoint, Roofline};
+use tpu_spec::consts::{GIGA, KILO, MEGA};
 use tpu_workloads::{
     mlperf, Dlrm0Evolution, MlperfBenchmark, MlperfSystem, ProductionSuite, ScalingCurve,
     ScalingTail,
@@ -60,7 +61,7 @@ pub fn fig12() -> String {
     ];
     let _ = writeln!(out, "{:<8} {:>10} {:>12}", "workload", "modelled", "paper");
     for (name, published) in paper {
-        let w = suite.get(name).expect("workload exists");
+        let w = suite.get(name).expect("workload exists"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let _ = writeln!(
             out,
             "{:<8} {:>9.2}x {:>12}",
@@ -200,7 +201,7 @@ pub fn fig15_tail() -> String {
                     out,
                     "{:>8} {:>12.3} {:>13.0}% {:>10.1}",
                     p.chips,
-                    p.step_seconds * 1e3,
+                    p.step_seconds * KILO,
                     100.0 * p.collective_seconds / p.step_seconds,
                     p.relative_speed
                 );
@@ -280,8 +281,8 @@ pub fn fig17() -> String {
             "{:>8} {:>8.1} {:>14.0} {:>16.1}",
             v.index,
             2017.0 + v.years_since_2017,
-            v.weight_bytes / 1e6,
-            v.embedding_bytes / 1e9
+            v.weight_bytes / MEGA,
+            v.embedding_bytes / GIGA
         );
     }
     let _ = writeln!(

@@ -5,6 +5,7 @@ use tpu_embedding::DlrmConfig;
 use tpu_parallel::PaNas;
 use tpu_sparsecore::placement::{a2a_bw_2d, a2a_bw_3d};
 use tpu_sparsecore::{EmbeddingSystem, Placement};
+use tpu_spec::consts::{GIGA, KILO};
 use tpu_spec::{Generation, MachineSpec};
 
 /// Figure 8: bisection-bandwidth ratio v4/v3 and DLRM sensitivity.
@@ -38,8 +39,8 @@ pub fn fig8() -> String {
         let _ = writeln!(
             out,
             "{chips:>7} {:>14.1} {:>14.1} {:>9.2}x {:>11.2}x",
-            v4_bw / 1e9,
-            v3_bw / 1e9,
+            v4_bw / GIGA,
+            v3_bw / GIGA,
             v4_bw / v3_bw,
             handicapped.total_s() / v4.total_s()
         );
@@ -88,7 +89,7 @@ pub fn fig9() -> String {
     ];
     let _ = writeln!(out, "{:<28} {:>12} {:>10}", "system", "ms/step", "vs CPU");
     for (name, t) in rows {
-        let _ = writeln!(out, "{name:<28} {:>12.2} {:>9.1}x", t * 1e3, cpu / t);
+        let _ = writeln!(out, "{name:<28} {:>12.2} {:>9.1}x", t * KILO, cpu / t);
     }
     let _ = writeln!(out, "(paper: v3 = 9.8x, v4 = 30.1x, emb off SC = v4 / 5-7)");
     out
@@ -108,19 +109,19 @@ pub fn fig10() -> String {
         out,
         "{:<22} {:>12.2} {:>12.2} {:>9.1}% {:>10.2}",
         "original DLRM0",
-        result.original.sparse_s() * 1e3,
-        result.original.dense_s * 1e3,
+        result.original.sparse_s() * KILO,
+        result.original.dense_s * KILO,
         result.original_sc_idle() * 100.0,
-        result.original.total_s() * 1e3
+        result.original.total_s() * KILO
     );
     let _ = writeln!(
         out,
         "{:<22} {:>12.2} {:>12.2} {:>9.1}% {:>10.2}",
         "PA-NAS optimized",
-        result.optimized.sparse_s() * 1e3,
-        result.optimized.dense_s * 1e3,
+        result.optimized.sparse_s() * KILO,
+        result.optimized.dense_s * KILO,
         result.optimized_sc_idle() * 100.0,
-        result.optimized.total_s() * 1e3
+        result.optimized.total_s() * KILO
     );
     let _ = writeln!(
         out,

@@ -8,6 +8,7 @@ use tpu_net::fattree::FatTree;
 use tpu_net::{BackendComparison, CollectiveBackend};
 use tpu_ocs::SliceSpec;
 use tpu_sched::SliceMix;
+use tpu_spec::consts::{GIGA, KILO, MEGA};
 use tpu_spec::{FabricKind, Generation, MachineSpec};
 use tpu_topology::SliceShape;
 use tpu_workloads::{StepCollectives, WorkloadKind};
@@ -65,8 +66,8 @@ pub fn sec7_3() -> String {
         "slice", "chips", "all-reduce slowdown", "all-to-all slowdown"
     );
     for (x, y, z) in [(8u32, 8, 8), (8, 8, 16), (8, 16, 16), (16, 16, 16)] {
-        let shape = SliceShape::new(x, y, z).expect("valid");
-        let cmp = BackendComparison::between(&v4, &ib, shape, 1e9, 4096.0);
+        let shape = SliceShape::new(x, y, z).expect("valid"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+        let cmp = BackendComparison::between(&v4, &ib, shape, GIGA, 4096.0);
         let _ = writeln!(
             out,
             "{:>10} {:>8} {:>19.2}x {:>19.2}x",
@@ -112,8 +113,8 @@ pub fn sec7_2() -> String {
         "fabric", "OCS 3D torus", "NVLink+IB"
     );
     let _ = writeln!(out);
-    let shape = SliceShape::new(8, 8, 8).expect("valid");
-    let cmp = BackendComparison::between(&v4, &a100, shape, 1e9, 4096.0);
+    let shape = SliceShape::new(8, 8, 8).expect("valid"); // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
+    let cmp = BackendComparison::between(&v4, &a100, shape, GIGA, 4096.0);
     let _ = writeln!(
         out,
         "512-chip slice, 1 GB all-reduce / 4 KiB-pair all-to-all:"
@@ -151,7 +152,7 @@ pub fn sweep() -> String {
         Generation::custom("v4-ib"),
     ]
     .iter()
-    .map(|g| MachineSpec::for_generation(g).expect("built-in"))
+    .map(|g| MachineSpec::for_generation(g).expect("built-in")) // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
     .collect();
 
     for (title, op) in [
@@ -176,14 +177,14 @@ pub fn sweep() -> String {
             let _ = write!(out, "{:<10}", spec.generation.label());
             let mut machine = Supercomputer::for_spec(spec);
             for (x, y, z) in shapes {
-                let shape = SliceShape::new(x, y, z).expect("valid");
+                let shape = SliceShape::new(x, y, z).expect("valid"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
                 let cell = match machine.submit(JobSpec::new("sweep", SliceSpec::regular(shape))) {
                     Ok(job) => {
                         let t = machine
                             .collective_time(job, op)
-                            .expect("job just submitted");
-                        machine.finish(job).expect("job is running");
-                        format!("{:.3}", t * 1e3)
+                            .expect("job just submitted"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+                        machine.finish(job).expect("job is running"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+                        format!("{:.3}", t * KILO)
                     }
                     // Slice exceeds this generation's fleet.
                     Err(_) => "-".to_string(),
@@ -207,7 +208,7 @@ pub fn sweep() -> String {
 /// fixed-overhead and §8 latency-hiding discussion made quantitative.
 pub fn crossover() -> String {
     let mut out = String::new();
-    let shape = SliceShape::new(8, 8, 8).expect("valid");
+    let shape = SliceShape::new(8, 8, 8).expect("valid"); // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
     let payloads: [(f64, &str); 6] = [
         (1024.0, "1 KiB"),
         (65536.0, "64 KiB"),
@@ -222,14 +223,14 @@ pub fn crossover() -> String {
     }
     let _ = writeln!(out);
     for label in ["v2", "v3", "v4", "v4-ib", "a100", "ipu-bow"] {
-        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let backend = CollectiveBackend::for_spec(&spec);
         let bandwidth = backend.bandwidth_only();
         let _ = write!(
             out,
             "{:<10} {:>11.1} MB",
             label,
-            backend.all_reduce_crossover_bytes(shape) / 1e6
+            backend.all_reduce_crossover_bytes(shape) / MEGA
         );
         for (bytes, _) in payloads {
             let ratio =
@@ -279,17 +280,17 @@ pub fn schedule_crossover() -> String {
     }
     let _ = writeln!(out);
     for label in ["v4-ib", "a100", "h100", "ipu-bow"] {
-        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
-        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec");
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let _ = write!(out, "{:<10} {:>8}", label, fabric.island_chips);
         for chips in sizes {
             let crossover = fabric.ring_tree_crossover_bytes(chips);
             let cell = if crossover <= 0.0 {
                 "-".to_string()
-            } else if crossover >= 1e9 {
-                format!("{:.1} GB", crossover / 1e9)
+            } else if crossover >= GIGA {
+                format!("{:.1} GB", crossover / GIGA)
             } else {
-                format!("{:.1} MB", crossover / 1e6)
+                format!("{:.1} MB", crossover / MEGA)
             };
             let _ = write!(out, " {cell:>10}");
         }
@@ -301,8 +302,8 @@ pub fn schedule_crossover() -> String {
         "\nauto selection at the BERT gradient (680 MB) / at 1 MiB:"
     );
     for label in ["v4-ib", "a100", "h100", "ipu-bow"] {
-        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
-        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec");
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+        let fabric = SwitchedFabric::for_spec(&spec).expect("switched spec"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let _ = write!(out, "{label:<10}");
         for chips in sizes {
             let pick = |bytes: f64| {
@@ -325,9 +326,9 @@ pub fn schedule_crossover() -> String {
     );
     let _ = writeln!(out, " auto == ring at every size and payload):");
     for label in ["v2", "v3", "v4"] {
-        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in");
+        let spec = MachineSpec::for_generation(&Generation::from_label(label)).expect("built-in"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let link = tpu_net::AlphaBeta::for_spec(&spec);
-        let shape = SliceShape::new(8, 8, 8).expect("valid");
+        let shape = SliceShape::new(8, 8, 8).expect("valid"); // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
         let mut picks = Vec::new();
         for bytes in [1024.0, small_bytes, bert_bytes] {
             let (algorithm, _) = link.torus_all_reduce_schedule(
@@ -378,9 +379,9 @@ pub fn spec_report(spec: &MachineSpec) -> String {
     let _ = writeln!(
         out,
         "latency:      {:.2} µs/hop ici, {:.2} µs nic + {:.2} µs/switch-stage{}",
-        latency.ici_hop_s * 1e6,
-        latency.nic_s * 1e6,
-        latency.switch_hop_s * 1e6,
+        latency.ici_hop_s * MEGA,
+        latency.nic_s * MEGA,
+        latency.switch_hop_s * MEGA,
         if spec.latency.is_some() {
             ""
         } else {
@@ -401,7 +402,7 @@ pub fn spec_report(spec: &MachineSpec) -> String {
             Some(bytes)
                 if collective.schedule == tpu_spec::SchedulePolicy::Auto
                     && spec.fabric == FabricKind::Switched =>
-                format!(", ring/tree crossover forced at {:.1} MB", bytes / 1e6),
+                format!(", ring/tree crossover forced at {:.1} MB", bytes / MEGA),
             Some(_) => ", crossover override ignored (torus arms stay ring)".to_string(),
             None => String::new(),
         },
@@ -415,8 +416,8 @@ pub fn spec_report(spec: &MachineSpec) -> String {
         out,
         "crossover:    {:.1} MB all-reduce payload on a 512-chip slice",
         CollectiveBackend::for_spec(spec)
-            .all_reduce_crossover_bytes(SliceShape::new(8, 8, 8).expect("valid"))
-            / 1e6
+            .all_reduce_crossover_bytes(SliceShape::new(8, 8, 8).expect("valid")) // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
+            / MEGA
     );
     let _ = writeln!(out);
     let _ = writeln!(
@@ -426,12 +427,12 @@ pub fn spec_report(spec: &MachineSpec) -> String {
     );
     let mut machine = Supercomputer::for_spec(spec);
     for (x, y, z) in [(4u32, 4, 4), (4, 4, 8), (8, 8, 8), (8, 8, 16)] {
-        let shape = SliceShape::new(x, y, z).expect("valid");
+        let shape = SliceShape::new(x, y, z).expect("valid"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
         let row = match machine.submit(JobSpec::new("report", SliceSpec::regular(shape))) {
             Ok(job) => {
                 let ar = machine
                     .collective_time(job, Collective::AllReduce { bytes: 1 << 30 })
-                    .expect("job just submitted");
+                    .expect("job just submitted"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
                 let a2a = machine
                     .collective_time(
                         job,
@@ -439,9 +440,9 @@ pub fn spec_report(spec: &MachineSpec) -> String {
                             bytes_per_pair: 4096,
                         },
                     )
-                    .expect("job just submitted");
-                machine.finish(job).expect("job is running");
-                format!("{:>18.3} {:>18.3}", ar * 1e3, a2a * 1e3)
+                    .expect("job just submitted"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+                machine.finish(job).expect("job is running"); // tpu-lint: allow(panic-policy) -- report generator over hard-coded paper configs; a bad config is a bug worth a crash
+                format!("{:>18.3} {:>18.3}", ar * KILO, a2a * KILO)
             }
             Err(e) => format!("{:>37}", format!("({e})")),
         };

@@ -8,6 +8,7 @@
 
 use crate::specs::ChipSpec;
 use serde::{Deserialize, Serialize};
+use tpu_spec::consts::GIGA;
 
 /// One MiB in bytes.
 pub const MIB: f64 = 1024.0 * 1024.0;
@@ -34,9 +35,9 @@ impl MemorySystem {
     /// Builds the memory system of a chip spec.
     pub fn of_chip(spec: &ChipSpec) -> MemorySystem {
         MemorySystem {
-            hbm_bytes_per_s: spec.hbm_gbps * 1e9,
+            hbm_bytes_per_s: spec.hbm_gbps * GIGA,
             hbm_capacity_bytes: spec.hbm_gib * GIB,
-            cmem_bytes_per_s: spec.hbm_gbps * 1e9 * Self::CMEM_BANDWIDTH_RATIO,
+            cmem_bytes_per_s: spec.hbm_gbps * GIGA * Self::CMEM_BANDWIDTH_RATIO,
             cmem_capacity_bytes: spec.cmem_mib * MIB,
         }
     }

@@ -8,6 +8,7 @@
 //! reused 4 times."
 
 use serde::{Deserialize, Serialize};
+use tpu_spec::consts::MEGA;
 use tpu_spec::{Generation, MachineSpec};
 
 /// One TensorCore's compute organization.
@@ -35,7 +36,7 @@ impl TensorCore {
             mxu_dim: spec.mxu_dim,
             vpu_lanes: 128,
             alus_per_lane: 16,
-            clock_hz: spec.chip.clock_mhz * 1e6,
+            clock_hz: spec.chip.clock_mhz * MEGA,
         }
     }
 
@@ -46,7 +47,7 @@ impl TensorCore {
     /// Panics for a [`Generation::Custom`] label without a built-in spec.
     pub fn for_generation(generation: &Generation) -> TensorCore {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         TensorCore::for_spec(&spec)
     }
 

@@ -330,7 +330,7 @@ impl Supercomputer {
         let fabric = match spec.fabric {
             FabricKind::Switched => MachineFabric::Switched(
                 SwitchedCluster::for_spec(spec)
-                    .expect("FabricKind::Switched implies torus_dims == 0"),
+                    .expect("FabricKind::Switched implies torus_dims == 0"), // tpu-lint: allow(panic-policy) -- unreachable: FabricKind::Switched implies torus_dims == 0
             ),
             FabricKind::Static => MachineFabric::StaticTorus(StaticCluster::for_spec(spec)),
             FabricKind::Ocs => MachineFabric::Torus(Fabric::for_spec(spec)),
@@ -352,7 +352,7 @@ impl Supercomputer {
     /// Panics for a [`Generation::Custom`] label without a built-in spec.
     pub fn for_generation(generation: Generation) -> Supercomputer {
         let spec = MachineSpec::for_generation(&generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         Supercomputer::for_spec(&spec)
     }
 
@@ -566,28 +566,28 @@ impl Supercomputer {
                 })
             }
         };
-        let slice = job.slice().expect("torus machines hold torus placements");
+        let slice = job.slice().expect("torus machines hold torus placements"); // tpu-lint: allow(panic-policy) -- unreachable: torus machines hold torus placements
         let blocks: Vec<BlockId> = slice.blocks().to_vec();
         fabric.release(slice)?;
         match fabric.allocate_on(&new_slice, blocks) {
             Ok(slice) => {
-                let job = self.jobs.get_mut(&id).expect("checked above");
+                let job = self.jobs.get_mut(&id).expect("checked above"); // tpu-lint: allow(panic-policy) -- unreachable: checked above
                 job.spec = JobSpec::new(job.spec.name().to_owned(), new_slice);
                 job.placement = Placement::Torus(slice);
                 Ok(())
             }
             Err(e) => {
                 // Roll back: re-materialize the old slice on its blocks.
-                let job = self.jobs.get_mut(&id).expect("checked above");
+                let job = self.jobs.get_mut(&id).expect("checked above"); // tpu-lint: allow(panic-policy) -- unreachable: checked above
                 let old_blocks = job
                     .slice()
-                    .expect("torus machines hold torus placements")
+                    .expect("torus machines hold torus placements") // tpu-lint: allow(panic-policy) -- unreachable: torus machines hold torus placements
                     .blocks()
                     .to_vec();
                 job.placement = Placement::Torus(
                     fabric
                         .allocate_on(job.spec.slice(), old_blocks)
-                        .expect("rollback to prior slice always succeeds"),
+                        .expect("rollback to prior slice always succeeds"), // tpu-lint: allow(panic-policy) -- unreachable: rollback to prior slice always succeeds
                 );
                 Err(e.into())
             }

@@ -87,6 +87,7 @@ pub fn sample_zipf(u1: f64, u2: f64, n: u64, s: f64) -> u64 {
     // only perturbs the tail shape slightly, which is irrelevant for the
     // dedup statistics this generator feeds.
     let nf = n as f64;
+    // tpu-lint: allow(unit-hygiene) -- comparison epsilon, not a unit conversion
     let x = if (s - 1.0).abs() < 1e-9 {
         nf.powf(u1)
     } else {

@@ -1,0 +1,575 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The registry-offline constraint rules out `syn`/`proc-macro2`, so the
+//! rule engine works from this token stream instead of an AST. The lexer
+//! handles every construct that would otherwise corrupt a naive text
+//! scan: nested block comments (`/* /* */ */`), raw strings with
+//! arbitrary hash fences (`r##"…"##`), byte and C strings, lifetimes vs.
+//! char literals (`'a` vs `'a'`), raw identifiers (`r#match`), and
+//! numeric literals with underscores, exponents, and type suffixes.
+//!
+//! Tokens keep their exact source text and 1-based line/column, so rules
+//! emit clickable `file:line:col` diagnostics without re-scanning.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, text kept
+    /// verbatim as `r#name`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// A character literal such as `'a'` or `'\n'`.
+    CharLit,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`. Raw forms keep the fences in `text`.
+    StrLit,
+    /// A byte literal such as `b'x'`.
+    ByteLit,
+    /// A numeric literal (`1_000`, `0xff`, `1e-9`, `2.5f64`, …).
+    NumLit,
+    /// A `//` comment through end of line (includes `///` and `//!`
+    /// doc comments; see [`Token::is_doc_comment`]).
+    LineComment,
+    /// A (possibly nested) `/* … */` comment, doc or not.
+    BlockComment,
+    /// A single punctuation byte (`{`, `}`, `:`, `#`, …). Compound
+    /// operators arrive as consecutive tokens; rules that need `::`
+    /// match two adjacent `:` tokens.
+    Punct,
+}
+
+/// One lexeme with its exact source text and position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The exact source slice, fences and suffixes included.
+    pub text: &'a str,
+    /// 1-based source line of the first byte.
+    pub line: u32,
+    /// 1-based source column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for `///`, `//!`, `/**`, and `/*!` doc comments.
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            TokenKind::BlockComment => {
+                (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// True for any comment token, doc or plain.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes a full source file into tokens.
+///
+/// Unterminated constructs (a raw string or block comment running to end
+/// of file) produce a final token spanning the rest of the input rather
+/// than an error: lint rules prefer a best-effort stream over refusing
+/// the file, and `cargo check` reports the real syntax error anyway.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances past `n` bytes, updating line/col bookkeeping.
+    fn advance(&mut self, n: usize) {
+        for &b in &self.bytes[self.pos..(self.pos + n).min(self.bytes.len())] {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos = (self.pos + n).min(self.bytes.len());
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(b) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.advance(1),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.advance(1);
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'r' | b'b' | b'c' => {
+                    let kind = self.prefixed_token();
+                    self.push(kind, start, line, col);
+                }
+                b'"' => {
+                    self.advance(1);
+                    self.string_body_after_quote();
+                    self.push(TokenKind::StrLit, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::NumLit, start, line, col);
+                }
+                _ if is_ident_start(b) => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    // Stray multi-byte UTF-8 outside strings/comments is
+                    // not valid Rust, but stay robust: consume the whole
+                    // scalar as one Punct.
+                    let n = utf8_len(b);
+                    self.advance(n);
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes a `/* … */` comment, honoring nesting.
+    fn block_comment(&mut self) {
+        self.advance(2); // "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.advance(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.advance(2);
+                }
+                (Some(_), _) => self.advance(1),
+                (None, _) => break, // unterminated: token runs to EOF
+            }
+        }
+    }
+
+    /// Lexes a token starting with `r`, `b`, or `c`: a raw/byte/C string
+    /// (`r"…"`, `r#"…"#`, `br##"…"##`, `b"…"`, `c"…"`), a byte literal
+    /// (`b'x'`), a raw identifier (`r#match`), or a plain identifier
+    /// (`radius`, `bytes`, `cost`).
+    fn prefixed_token(&mut self) -> TokenKind {
+        let b0 = self.peek(0).unwrap_or(0);
+        // Measure the candidate string prefix: [b|c]? r? #* "
+        let mut i = 1; // past b0
+        let mut raw = b0 == b'r';
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'r') {
+            raw = true;
+            i = 2;
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(i) == Some(b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.peek(i) {
+            Some(b'"') => {
+                self.advance(i + 1); // prefix + opening quote
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_body_after_quote();
+                }
+                TokenKind::StrLit
+            }
+            Some(b'\'') if b0 == b'b' && i == 1 => {
+                // b'x': a byte literal with char-literal shape.
+                self.advance(1); // 'b'
+                self.char_or_lifetime();
+                TokenKind::ByteLit
+            }
+            _ if b0 == b'r' && hashes == 1 && self.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#match: consume `r#` + ident run.
+                self.advance(2);
+                self.ident();
+                TokenKind::Ident
+            }
+            _ => {
+                // Just an identifier starting with r/b/c.
+                self.ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    /// Body of a raw string after the opening quote: runs to `"` followed
+    /// by `hashes` `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let closed = (0..hashes).all(|k| self.peek(1 + k) == Some(b'#'));
+                if closed {
+                    self.advance(1 + hashes);
+                    return;
+                }
+            }
+            self.advance(1);
+        }
+    }
+
+    /// Body of a normal (escaped) string after the opening quote.
+    fn string_body_after_quote(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.advance(2),
+                b'"' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    /// `self.pos` is at the opening quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\\', '\'', '\x7f',
+                // '\u{1F600}'. Consume quote+backslash, then exactly one
+                // escape body, then the closing quote.
+                self.advance(2);
+                match self.peek(0) {
+                    Some(b'u') => {
+                        self.advance(1);
+                        if self.peek(0) == Some(b'{') {
+                            while let Some(c) = self.peek(0) {
+                                self.advance(1);
+                                if c == b'}' {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Some(b'x') => self.advance(3), // x + two hex digits
+                    Some(_) => self.advance(1),    // simple escape: n t ' " \ 0
+                    None => {}
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.advance(1);
+                }
+                TokenKind::CharLit
+            }
+            Some(b) if is_ident_start(b) => {
+                // 'a' is a char; 'a / 'static / 'a' in generic position:
+                // a char literal is exactly one scalar then a quote; an
+                // ident run with no closing quote is a lifetime.
+                let first_len = utf8_len(b);
+                let mut j = 1 + first_len;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if j == 1 + first_len && self.peek(j) == Some(b'\'') {
+                    self.advance(j + 1);
+                    TokenKind::CharLit
+                } else {
+                    self.advance(j); // quote + ident run, no closing quote
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b) => {
+                // Non-identifier scalar: '(' or '→'. A closing quote after
+                // one scalar makes it a char literal.
+                let j = 1 + utf8_len(b);
+                if self.peek(j) == Some(b'\'') {
+                    self.advance(j + 1);
+                    TokenKind::CharLit
+                } else {
+                    self.advance(1);
+                    TokenKind::Punct
+                }
+            }
+            None => {
+                self.advance(1);
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: ints, floats, exponents, prefixes,
+    /// underscores, and type suffixes (`1_000u64`, `1e-9`, `0xFFu8`).
+    fn number(&mut self) {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.advance(2);
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.advance(1);
+            }
+            return;
+        }
+        let mut seen_exp = false;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9' | b'_' => self.advance(1),
+                b'.' => {
+                    // `1.5` continues the literal; `1..2` (range) and
+                    // `1.max(2)` (method call) do not.
+                    if self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.advance(1);
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !seen_exp => {
+                    // Exponent only when followed by digits or sign+digit;
+                    // otherwise it starts a type-suffix-like ident.
+                    let is_exp = match self.peek(1) {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some(b'+' | b'-') => self.peek(2).is_some_and(|d| d.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.advance(2); // 'e' and the sign/first digit
+                }
+                // Type suffix (f64, u32, usize…): part of the literal.
+                _ if is_ident_start(b) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.advance(1);
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.advance(1);
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("let x = y;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "y"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* one /* two */ still */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* one /* two */ still */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r####"x = r#"quote " inside"# ;"####);
+        assert_eq!(toks[2], (TokenKind::StrLit, r###"r#"quote " inside"#"###));
+        // A raw string containing */ must not terminate a comment scan.
+        let toks = kinds(r#"r"*/ not a comment end""#);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_char() {
+        let toks = kinds("&'static str; '→'");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static")));
+        assert!(toks.contains(&(TokenKind::CharLit, "'→'")));
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes() {
+        for (src, want) in [
+            ("1e9", "1e9"),
+            ("1e-9", "1e-9"),
+            ("1.5e+3", "1.5e+3"),
+            ("1_000_000", "1_000_000"),
+            ("0xFFu8", "0xFFu8"),
+            ("2.5f64", "2.5f64"),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![(TokenKind::NumLit, want)], "{src}");
+        }
+        // Range and method-call dots stay out of the literal.
+        assert_eq!(kinds("1..2")[0], (TokenKind::NumLit, "1"));
+        assert_eq!(kinds("1.max(2)")[0], (TokenKind::NumLit, "1"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match"));
+        // And r alone is an ident, not a stuck lexer.
+        assert_eq!(kinds("r + 1")[0], (TokenKind::Ident, "r"));
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        assert_eq!(kinds("b'x'")[0], (TokenKind::ByteLit, "b'x'"));
+        assert_eq!(kinds("b\"abc\"")[0], (TokenKind::StrLit, "b\"abc\""));
+        assert_eq!(kinds("br#\"a\"#")[0], (TokenKind::StrLit, "br#\"a\"#"));
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let toks = lex("/// outer\n//! inner\n//// not doc\n// plain\n/** block */\n/*! bang */");
+        let docs: Vec<_> = toks.iter().map(|t| t.is_doc_comment()).collect();
+        assert_eq!(docs, vec![true, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn escaped_char_and_byte_literals() {
+        for (src, want) in [
+            (r"'\\'", r"'\\'"),
+            (r"'\''", r"'\''"),
+            (r"'\n'", r"'\n'"),
+            (r"'\x7f'", r"'\x7f'"),
+            (r"'\u{1F600}'", r"'\u{1F600}'"),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![(TokenKind::CharLit, want)], "{src}");
+        }
+        // The regression that swallowed 150 lines: b'\\' followed by more
+        // code must terminate at its own closing quote.
+        let toks = kinds(r#"b'\\' => x, b'"' => y"#);
+        assert_eq!(toks[0], (TokenKind::ByteLit, r"b'\\'"));
+        assert!(
+            toks.contains(&(TokenKind::StrLit, "b'\"'")) || toks.iter().any(|t| t.1 == "b'\"'")
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0], (TokenKind::StrLit, r#""a\"b""#));
+        assert_eq!(toks[1], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let toks = kinds("a /* open");
+        assert_eq!(toks[1], (TokenKind::BlockComment, "/* open"));
+    }
+}

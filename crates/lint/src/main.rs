@@ -1,0 +1,72 @@
+//! The `tpu-lint` CLI.
+//!
+//! ```text
+//! cargo run --release -p tpu-lint -- --check            # CI gate
+//! cargo run --release -p tpu-lint -- --format json      # machine output
+//! cargo run --release -p tpu-lint -- --root ../elsewhere
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut format_json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // --check is the canonical CI spelling; findings always
+            // drive the exit code, so it needs no extra behavior.
+            "--check" => {}
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("human") => format_json = false,
+                    other => {
+                        eprintln!("--format expects 'human' or 'json', got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--root expects a directory");
+                    std::process::exit(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: tpu-lint [--check] [--format human|json] [--root DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let diags = match tpu_lint::analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tpu-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if format_json {
+        println!("{}", tpu_lint::diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("tpu-lint: workspace clean");
+        } else {
+            println!("tpu-lint: {} finding(s)", diags.len());
+        }
+    }
+    std::process::exit(if diags.is_empty() { 0 } else { 1 });
+}

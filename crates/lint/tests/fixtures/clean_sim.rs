@@ -1,0 +1,38 @@
+//! A well-behaved sim-crate module: ordered collections, Result-based
+//! error handling, named unit constants, resolvable citations (§2 of the
+//! calibration notes — see DESIGN.md §2 and docs/perf.md).
+
+use std::collections::BTreeMap;
+
+pub struct Table {
+    rows: BTreeMap<u32, f64>,
+}
+
+impl Table {
+    pub fn get(&self, key: u32) -> Option<f64> {
+        self.rows.get(&key).copied()
+    }
+
+    pub fn insert(&mut self, key: u32, value: f64) -> Result<(), String> {
+        if !value.is_finite() {
+            return Err(format!("non-finite value for key {key}"));
+        }
+        self.rows.insert(key, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_maps_and_unwrap() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(*m.get(&1).unwrap(), 2);
+        let secs = 1.5e9 / 1e9;
+        assert!((secs - 1.5).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,14 @@
+//! Every would-be finding here carries a well-formed, justified
+//! suppression, so the file lints clean.
+
+use std::collections::HashMap; // tpu-lint: allow(determinism) -- iteration order never observed; drained via sorted keys
+
+// tpu-lint: allow(determinism) -- read-only view; the map is never iterated
+pub fn lookup(m: &HashMap<u32, f64>, k: u32) -> f64 {
+    // tpu-lint: allow(panic-policy) -- caller guarantees the key was inserted during construction
+    *m.get(&k).expect("key inserted during construction")
+}
+
+pub fn to_giga(x: f64) -> f64 {
+    x / 1e9 // tpu-lint: allow(unit-hygiene) -- fixture exercising a justified raw factor
+}

@@ -1,0 +1,12 @@
+//! Seeded citation violations; the resolver for this fixture knows
+//! DESIGN.md §2 / §7.3 and docs/perf.md only.
+
+/// Calibrated against DESIGN.md §2 (fine) and DESIGN.md §99 (stale).
+pub fn a() {}
+
+// The wrapped form also resolves: constants recorded in DESIGN.md
+// §7.3 stay fine, while docs/missing.md does not exist.
+pub fn b() {}
+
+// See docs/perf.md for the measurement method.
+pub fn c() {}

@@ -1,0 +1,13 @@
+//! Seeded deprecation violations: internal use of the deprecated
+//! `tpu_v4()` convenience-alias family.
+
+pub fn build() {
+    let _sc = Supercomputer::tpu_v4();
+    let _fab = Fabric::tpu_v4();
+    let _ab = AlphaBeta::tpu_v4_ici();
+}
+
+pub fn fine() {
+    // ChipSpec::tpu_v4 is not deprecated; this one is allowed.
+    let _chip = ChipSpec::tpu_v4();
+}

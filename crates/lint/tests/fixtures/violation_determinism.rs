@@ -1,0 +1,24 @@
+//! Seeded determinism violations: hash collections, wall-clock types,
+//! OS-entropy RNG, and an untracked thread spawn in sim-crate code.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}
+
+pub fn elapsed_hack() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

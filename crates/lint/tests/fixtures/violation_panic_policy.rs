@@ -1,0 +1,16 @@
+//! Seeded panic-policy violations: unwrap/expect/panic! in library code
+//! without a justified suppression.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passes digits")
+}
+
+pub fn forbid(flag: bool) {
+    if flag {
+        panic!("flag must be false");
+    }
+}

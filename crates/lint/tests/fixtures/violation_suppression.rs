@@ -1,0 +1,17 @@
+//! Seeded suppression-hygiene violations: malformed, unjustified,
+//! unknown-rule, and unused suppressions.
+
+// tpu-lint: allow(panic-policy)
+pub fn missing_reason(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+// tpu-lint: allow(made-up-rule) -- no such rule exists
+pub fn unknown_rule() {}
+
+// tpu-lint: allow(determinism) -- nothing on the next line needs this
+pub fn unused() {}
+
+pub fn empty_reason(s: &str) -> u32 {
+    s.parse().unwrap() // tpu-lint: allow(panic-policy) --
+}

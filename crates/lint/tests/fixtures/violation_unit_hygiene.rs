@@ -1,0 +1,14 @@
+//! Seeded unit-hygiene violations: raw power-of-ten conversion factors
+//! outside the two allowlisted unit modules.
+
+pub fn gbps_to_bytes_per_s(gbps: f64) -> f64 {
+    gbps * 1e9
+}
+
+pub fn ms_to_s(ms: f64) -> f64 {
+    ms * 1e-3
+}
+
+pub fn tflops(flops_per_s: f64) -> f64 {
+    flops_per_s / 1_0e11_f64 * 1e0 * 1E12 / 1e12
+}

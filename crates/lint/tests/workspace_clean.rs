@@ -1,0 +1,20 @@
+//! The self-test behind the CI gate: the workspace this crate ships in
+//! must lint clean. Any finding here means a rule regressed or a
+//! violation landed without a justified suppression.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let diags = tpu_lint::analyze_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}

@@ -98,6 +98,7 @@ impl<'g> FlowSim<'g> {
                     let e = eid.index();
                     unfixed_on_edge[e] > 0
                         && (residual[e] / f64::from(unfixed_on_edge[e]) - share).abs()
+                            // tpu-lint: allow(unit-hygiene) -- relative/absolute comparison epsilon, not a unit conversion
                             < share * 1e-9 + 1e-12
                 });
                 if bottlenecked {
@@ -170,6 +171,7 @@ impl<'g> FlowSim<'g> {
             let mut next_active = Vec::with_capacity(active.len());
             for (ai, &fi) in active.iter().enumerate() {
                 remaining_bytes[fi] -= rates[ai] * dt;
+                // tpu-lint: allow(unit-hygiene) -- sub-byte residual threshold, not a unit conversion
                 if remaining_bytes[fi] <= 1e-6 {
                     finish[fi] = now;
                 } else {

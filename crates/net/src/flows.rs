@@ -44,7 +44,7 @@ fn hashed_shortest_path(
         let remaining = dist_to[dst.index()][cur.index()];
         let candidates: Vec<EdgeId> = graph
             .outgoing(cur)
-            .expect("node in range")
+            .expect("node in range") // tpu-lint: allow(panic-policy) -- unreachable: node in range
             .iter()
             .copied()
             .filter(|&eid| {
@@ -100,7 +100,7 @@ pub fn ring_all_reduce_flows(graph: &LinkGraph, ring: &[NodeId], bytes: f64) -> 
     let mut flows = Vec::with_capacity(ring.len());
     for (i, &src) in ring.iter().enumerate() {
         let dst = ring[(i + 1) % ring.len()];
-        let path = tpu_topology::shortest_path(graph, src, dst).expect("ring hop reachable");
+        let path = tpu_topology::shortest_path(graph, src, dst).expect("ring hop reachable"); // tpu-lint: allow(panic-policy) -- unreachable: ring hop reachable
         flows.push(Flow {
             src,
             dst,

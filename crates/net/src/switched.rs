@@ -244,7 +244,7 @@ impl SwitchedFabric {
         };
         let (_, inter) = self
             .inter_island_schedule(chips, bytes)
-            .expect("inter_phase_terms above proved the inter phase exists");
+            .expect("inter_phase_terms above proved the inter phase exists"); // tpu-lint: allow(panic-policy) -- unreachable: inter_phase_terms above proved the inter phase exists
         out.extend(inter);
         out
     }
@@ -390,7 +390,7 @@ pub(crate) fn island_shape(chips: u32) -> SliceShape {
         // A glueless daisy-chain ring of all chips.
         _ => (1, 1, chips),
     };
-    SliceShape::new(shape.0, shape.1, shape.2).expect("nonzero dims")
+    SliceShape::new(shape.0, shape.1, shape.2).expect("nonzero dims") // tpu-lint: allow(panic-policy) -- unreachable: nonzero dims
 }
 
 /// The collective-performance backend a machine spec selects: the

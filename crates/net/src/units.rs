@@ -35,7 +35,7 @@ impl LinkRate {
     /// Panics for a [`Generation::Custom`] label without a built-in spec.
     pub fn for_generation(generation: &Generation) -> LinkRate {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         LinkRate::for_spec(&spec)
     }
 

@@ -68,7 +68,7 @@ impl SliceSpec {
 }
 
 /// One programmed OCS circuit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Circuit {
     /// Which of the 48 switches carries the circuit.
     pub ocs: usize,
@@ -126,9 +126,9 @@ impl MaterializedSlice {
                 .spec
                 .shape()
                 .in_blocks()
-                .expect("allocation validated block alignment");
+                .expect("allocation validated block alignment"); // tpu-lint: allow(panic-policy) -- unreachable: allocation validated block alignment
             let block_twist =
-                block_level_twist(&self.spec, block_shape).expect("allocation validated the twist");
+                block_level_twist(&self.spec, block_shape).expect("allocation validated the twist"); // tpu-lint: allow(panic-policy) -- unreachable: allocation validated the twist
             build_chip_graph(
                 &self.spec,
                 block_shape,
@@ -184,7 +184,7 @@ impl Fabric {
     /// Panics for a [`Generation::Custom`] label without a built-in spec.
     pub fn for_generation(generation: &Generation) -> Fabric {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         Fabric::for_spec(&spec)
     }
 
@@ -312,7 +312,7 @@ impl Fabric {
         let block_shape = spec
             .shape()
             .in_blocks()
-            .expect("validated by blocks_needed");
+            .expect("validated by blocks_needed"); // tpu-lint: allow(panic-policy) -- unreachable: validated by blocks_needed
         let block_twist = block_level_twist(spec, block_shape)?;
         let block_torus = TwistedTorus::new(block_shape, block_twist);
 

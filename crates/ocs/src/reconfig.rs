@@ -13,7 +13,8 @@ use crate::fabric::{Circuit, MaterializedSlice};
 use crate::switch::OCS_RECONFIG_MS;
 use crate::wiring::OCS_COUNT;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
+use tpu_spec::consts;
 
 /// The delta between two wirings of the same blocks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,8 +43,11 @@ impl ReconfigPlan {
             "reconfiguration plans require identical block sets"
         );
 
-        let old: HashSet<Circuit> = from.circuits().iter().copied().collect();
-        let new: HashSet<Circuit> = to.circuits().iter().copied().collect();
+        // BTreeSet keeps the teardown/establish lists in a deterministic
+        // (sorted) order — with a hash set their order would vary run to
+        // run and leak into serialized plans.
+        let old: BTreeSet<Circuit> = from.circuits().iter().copied().collect();
+        let new: BTreeSet<Circuit> = to.circuits().iter().copied().collect();
         let kept = old.intersection(&new).count();
         let torn_down = old.difference(&new).copied().collect();
         let established = new.difference(&old).copied().collect();
@@ -82,7 +86,7 @@ impl ReconfigPlan {
         for c in self.torn_down.iter().chain(self.established.iter()) {
             per_switch[c.ocs] += 1;
         }
-        f64::from(per_switch.iter().copied().max().unwrap_or(0)) * OCS_RECONFIG_MS / 1e3
+        f64::from(per_switch.iter().copied().max().unwrap_or(0)) * OCS_RECONFIG_MS / consts::KILO
     }
 }
 

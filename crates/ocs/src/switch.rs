@@ -9,6 +9,7 @@
 use crate::OcsError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use tpu_spec::consts::KILO;
 
 /// Total ports on a Palomar OCS (128 usable + 8 spares; from
 /// [`tpu_spec::consts`]).
@@ -182,7 +183,7 @@ impl OcsSwitch {
 
     /// Total time spent moving mirrors, in seconds.
     pub fn reconfiguration_time_s(&self) -> f64 {
-        self.reconfigurations as f64 * OCS_RECONFIG_MS / 1e3
+        self.reconfigurations as f64 * OCS_RECONFIG_MS / KILO
     }
 }
 

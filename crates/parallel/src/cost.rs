@@ -3,6 +3,7 @@
 use crate::plan::{AxisMapping, Partitioning, ShardingSpec};
 use serde::{Deserialize, Serialize};
 use tpu_chip::ChipSpec;
+use tpu_spec::consts::{GIGA, TERA};
 use tpu_topology::SliceShape;
 
 /// A decoder-only LLM training configuration.
@@ -103,6 +104,7 @@ impl TrainingCost {
         mappings
             .into_iter()
             .filter_map(|m| TrainingCost::with_mapping(llm, shape, plan, sharding, m))
+            // tpu-lint: allow(panic-policy) -- unreachable: finite times
             .min_by(|a, b| a.step_s.partial_cmp(&b.step_s).expect("finite times"))
     }
 
@@ -116,7 +118,7 @@ impl TrainingCost {
     ) -> Option<TrainingCost> {
         let spec = ChipSpec::tpu_v4();
         let chips = shape.volume() as f64;
-        let link_bw = spec.ici_gbps_per_link * 1e9;
+        let link_bw = spec.ici_gbps_per_link * GIGA;
 
         // HBM capacity: weights + optimizer state must fit the chips each
         // parameter is sharded over (pipeline x model).
@@ -137,7 +139,7 @@ impl TrainingCost {
             * mxu_padding_efficiency(llm.d_model, plan.model2);
         let mxu_eff = frag_eff * pad_eff;
         let compute_s = llm.flops_per_token() * llm.tokens_per_step()
-            / (chips * spec.peak_tflops * 1e12 * mxu_eff);
+            / (chips * spec.peak_tflops * TERA * mxu_eff);
 
         // Model-parallel collectives: per layer, the activations of this
         // replica's shard cross the model group twice each direction.
@@ -184,7 +186,7 @@ impl TrainingCost {
 
         let seqs_per_s = f64::from(llm.batch_seqs) / step_s;
         let ideal =
-            llm.flops_per_token() * llm.tokens_per_step() / (chips * spec.peak_tflops * 1e12);
+            llm.flops_per_token() * llm.tokens_per_step() / (chips * spec.peak_tflops * TERA);
         Some(TrainingCost {
             compute_s,
             model_comm_s,

@@ -59,7 +59,7 @@ impl TopologySearch {
                 }
                 shapes.push(
                     SliceShape::new(4 * bx as u32, 4 * by as u32, 4 * bz as u32)
-                        .expect("nonzero dims"),
+                        .expect("nonzero dims"), // tpu-lint: allow(panic-policy) -- unreachable: nonzero dims
                 );
             }
         }
@@ -114,9 +114,9 @@ impl TopologySearch {
                 a.cost
                     .throughput_seqs_per_s()
                     .partial_cmp(&b.cost.throughput_seqs_per_s())
-                    .expect("finite throughput")
+                    .expect("finite throughput") // tpu-lint: allow(panic-policy) -- unreachable: finite throughput
             })
-            .expect("at least one feasible configuration")
+            .expect("at least one feasible configuration") // tpu-lint: allow(panic-policy) -- unreachable: at least one feasible configuration
     }
 
     /// Evaluates every feasible combination.

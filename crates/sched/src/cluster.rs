@@ -126,7 +126,7 @@ impl ClusterSim {
         seed: u64,
     ) -> ClusterSim {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         ClusterSim::for_spec(&spec, horizon, arrival_interval, mean_duration, seed)
     }
 
@@ -211,9 +211,10 @@ impl ClusterSim {
         let box_shape = move |b: (u32, u32, u32)| -> SliceShape {
             if geometric {
                 SliceShape::new(b.0 * chip_edge, b.1 * chip_edge, b.2 * chip_edge)
-                    .expect("boxes are positive")
+                    .expect("boxes are positive") // tpu-lint: allow(panic-policy) -- unreachable: boxes are positive
             } else {
                 let chips = u64::from(b.0) * u64::from(b.1) * u64::from(b.2) * chips_per_block;
+                // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
                 SliceShape::new(1, 1, chips as u32).expect("positive chip count")
             }
         };
@@ -282,7 +283,8 @@ impl ClusterSim {
                 if f64::from_bits(*bits) > now {
                     break;
                 }
-                let (_, slot) = completions.pop().expect("peeked");
+                let (_, slot) = completions.pop().expect("peeked"); // tpu-lint: allow(panic-policy) -- unreachable: peeked
+                                                                    // tpu-lint: allow(panic-policy) -- unreachable: each slot completes once
                 match slab[slot].take().expect("each slot completes once") {
                     Held::Blocks(blocks) => {
                         busy_chips -= blocks.len() as u64 * chips_per_block;
@@ -292,9 +294,9 @@ impl ClusterSim {
                         busy_chips -= chips;
                         reconfigurable_arm
                             .as_mut()
-                            .expect("job placements imply the reconfigurable arm")
+                            .expect("job placements imply the reconfigurable arm") // tpu-lint: allow(panic-policy) -- unreachable: job placements imply the reconfigurable arm
                             .finish(id)
-                            .expect("job is running");
+                            .expect("job is running"); // tpu-lint: allow(panic-policy) -- unreachable: job is running
                     }
                 }
             }
@@ -305,7 +307,7 @@ impl ClusterSim {
                 if p.arrival > now {
                     break;
                 }
-                let job = stream_iter.next().expect("peeked");
+                let job = stream_iter.next().expect("peeked"); // tpu-lint: allow(panic-policy) -- unreachable: peeked
                 if offerable(job.blocks_box, &static_arm) {
                     queue.push_back(job);
                 } else {
@@ -320,7 +322,7 @@ impl ClusterSim {
                 else {
                     break;
                 };
-                let job = queue.pop_front().expect("nonempty");
+                let job = queue.pop_front().expect("nonempty"); // tpu-lint: allow(panic-policy) -- unreachable: nonempty
                 busy_chips += match &held {
                     Held::Blocks(blocks) => blocks.len() as u64 * chips_per_block,
                     Held::Job(_, chips) => *chips,

@@ -587,7 +587,7 @@ impl<'a> Engine<'a> {
                 .ocs
                 .as_ref()
                 .map_or(consts::OCS_RECONFIG_MS, |o| o.reconfig_ms)
-                / 1e3
+                / consts::KILO
         } else {
             0.0
         };
@@ -629,8 +629,9 @@ impl<'a> Engine<'a> {
                         blocks_box.1 * edge,
                         blocks_box.2 * edge,
                     )
-                    .expect("boxes are positive")
+                    .expect("boxes are positive") // tpu-lint: allow(panic-policy) -- unreachable: boxes are positive
                 } else {
+                    // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
                     SliceShape::new(1, 1, chips as u32).expect("positive chip count")
                 };
                 let duration = -profile.mean_duration_s * (1.0 - jobs_rng.random::<f64>()).ln();
@@ -825,7 +826,7 @@ impl<'a> Engine<'a> {
                 self.probe_blocks,
             )
         } else {
-            let machine = self.probe_reconf.as_mut().expect("one probe arm");
+            let machine = self.probe_reconf.as_mut().expect("one probe arm"); // tpu-lint: allow(panic-policy) -- unreachable: one probe arm
             place_reconfigurable(
                 machine,
                 &self.healthy_scratch,
@@ -872,7 +873,7 @@ impl<'a> Engine<'a> {
                 // Switched fabrics have no job -> unit pinning; the
                 // failure displaces the newest jobs past capacity.
                 if machine.is_switched() {
-                    let healthy = machine.switched().expect("switched arm").healthy_chips();
+                    let healthy = machine.switched().expect("switched arm").healthy_chips(); // tpu-lint: allow(panic-policy) -- unreachable: switched arm
                     while self.busy_chips > healthy {
                         let Some(slot) = self.newest_running(|_| true) else {
                             break;
@@ -995,7 +996,7 @@ impl<'a> Engine<'a> {
             let Some(slot) = self.newest_running(|r| !r.production) else {
                 break;
             };
-            freed += self.slab[slot].as_ref().expect("running").chips;
+            freed += self.slab[slot].as_ref().expect("running").chips; // tpu-lint: allow(panic-policy) -- unreachable: running
             self.evict(t, slot, EvictReason::Preempted);
         }
     }
@@ -1007,7 +1008,7 @@ impl<'a> Engine<'a> {
     /// linear.
     fn newest_running(&self, keep: impl Fn(&RunningView) -> bool) -> Option<usize> {
         for (_, &slot) in self.running_by_order.iter().rev() {
-            let r = self.slab[slot as usize].as_ref().expect("indexed jobs run");
+            let r = self.slab[slot as usize].as_ref().expect("indexed jobs run"); // tpu-lint: allow(panic-policy) -- unreachable: indexed jobs run
             let view = RunningView {
                 production: self.stream[r.idx as usize].production,
             };
@@ -1027,7 +1028,7 @@ impl<'a> Engine<'a> {
             .running_by_order
             .values()
             .filter_map(|&slot| {
-                let r = self.slab[slot as usize].as_ref().expect("indexed jobs run");
+                let r = self.slab[slot as usize].as_ref().expect("indexed jobs run"); // tpu-lint: allow(panic-policy) -- unreachable: indexed jobs run
                 let on_unit = match &r.hold {
                     Hold::Blocks(blocks) => blocks.contains(&unit),
                     Hold::Slice(_, blocks) => blocks.contains(&unit),
@@ -1047,7 +1048,7 @@ impl<'a> Engine<'a> {
     /// remainder at the front of its tier (checkpoint semantics: the
     /// compute already done is kept).
     fn evict(&mut self, t: f64, slot: usize, reason: EvictReason) {
-        let running = self.slab[slot].take().expect("evicting a running job");
+        let running = self.slab[slot].take().expect("evicting a running job"); // tpu-lint: allow(panic-policy) -- unreachable: evicting a running job
         self.running_by_order.remove(&running.order);
         self.release_hold(running.hold);
         self.busy_chips -= running.chips;
@@ -1075,7 +1076,7 @@ impl<'a> Engine<'a> {
     /// Tries to place the head of one tier queue; on success pops it,
     /// schedules its end, and accounts the wait.
     fn try_place_head(&mut self, t: f64, tier: usize) -> bool {
-        let head = self.queues[tier].front().expect("caller checked");
+        let head = self.queues[tier].front().expect("caller checked"); // tpu-lint: allow(panic-policy) -- unreachable: caller checked
         let job = &self.stream[head.idx as usize];
         let hold = match &mut self.arm {
             Arm::Fixed(cluster) => match cluster.allocate(job.blocks_box) {
@@ -1099,7 +1100,7 @@ impl<'a> Engine<'a> {
                 }
             }
         };
-        let queued = self.queues[tier].pop_front().expect("caller checked");
+        let queued = self.queues[tier].pop_front().expect("caller checked"); // tpu-lint: allow(panic-policy) -- unreachable: caller checked
         let job = &self.stream[queued.idx as usize];
         let chips = job.chips;
         let production = job.production;
@@ -1143,7 +1144,7 @@ impl<'a> Engine<'a> {
         match (&mut self.arm, hold) {
             (Arm::Fixed(cluster), Hold::Blocks(blocks)) => cluster.release(&blocks),
             (Arm::Reconfigurable(machine), Hold::Slice(id, _) | Hold::Capacity(id)) => {
-                machine.finish(id).expect("job is running");
+                machine.finish(id).expect("job is running"); // tpu-lint: allow(panic-policy) -- unreachable: job is running
             }
             _ => unreachable!("hold kind always matches the arm"),
         }
@@ -1157,16 +1158,16 @@ impl<'a> Engine<'a> {
             Arm::Fixed(cluster) => {
                 cluster
                     .set_host_up(unit, 0, healthy)
-                    .expect("unit indices are in range");
+                    .expect("unit indices are in range"); // tpu-lint: allow(panic-policy) -- unreachable: unit indices are in range
             }
             Arm::Reconfigurable(machine) => {
                 let block = BlockId::new(unit);
                 if healthy {
-                    machine.repair_host(block, 0).expect("unit in range");
+                    machine.repair_host(block, 0).expect("unit in range"); // tpu-lint: allow(panic-policy) -- unreachable: unit in range
                 } else {
                     machine
                         .inject_host_failure(block, 0)
-                        .expect("unit in range");
+                        .expect("unit in range"); // tpu-lint: allow(panic-policy) -- unreachable: unit in range
                 }
             }
         }

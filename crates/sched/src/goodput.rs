@@ -117,7 +117,7 @@ impl GoodputSim {
     /// Panics for a [`Generation::Custom`] label without a built-in spec.
     pub fn for_generation(generation: &Generation, trials: u32, seed: u64) -> GoodputSim {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         GoodputSim::for_spec(&spec, trials, seed)
     }
 
@@ -325,9 +325,11 @@ pub(crate) fn slice_geometry(
         (1, 1, blocks_needed)
     };
     let shape = if spec.torus_dims == 0 {
+        // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
         SliceShape::new(1, 1, blocks_needed * chips_per_block).expect("positive chip count")
     } else {
         let e = spec.block.edge;
+        // tpu-lint: allow(panic-policy) -- unreachable: positive box
         SliceShape::new(slice_box.0 * e, slice_box.1 * e, slice_box.2 * e).expect("positive box")
     };
     (slice_box, shape, blocks_needed)
@@ -349,7 +351,7 @@ pub(crate) fn place_reconfigurable(
         if !up {
             machine
                 .inject_host_failure(BlockId::new(b as u32), 0)
-                .expect("block indices are in range");
+                .expect("block indices are in range"); // tpu-lint: allow(panic-policy) -- unreachable: block indices are in range
         }
     }
     let mut placed = 0;
@@ -361,13 +363,13 @@ pub(crate) fn place_reconfigurable(
     }
     let jobs: Vec<_> = machine.jobs().map(|j| j.id()).collect();
     for id in jobs {
-        machine.finish(id).expect("job is running");
+        machine.finish(id).expect("job is running"); // tpu-lint: allow(panic-policy) -- unreachable: job is running
     }
     for (b, up) in healthy.iter().enumerate() {
         if !up {
             machine
                 .repair_host(BlockId::new(b as u32), 0)
-                .expect("block indices are in range");
+                .expect("block indices are in range"); // tpu-lint: allow(panic-policy) -- unreachable: block indices are in range
         }
     }
     placed
@@ -388,7 +390,7 @@ pub(crate) fn place_static(
         if !up {
             cluster
                 .set_host_up(b as u32, 0, false)
-                .expect("block indices are in range");
+                .expect("block indices are in range"); // tpu-lint: allow(panic-policy) -- unreachable: block indices are in range
         }
     }
     let mut placed = 0;
@@ -404,7 +406,7 @@ pub(crate) fn place_static(
         if !up {
             cluster
                 .set_host_up(b as u32, 0, true)
-                .expect("block indices are in range");
+                .expect("block indices are in range"); // tpu-lint: allow(panic-policy) -- unreachable: block indices are in range
         }
     }
     placed

@@ -38,7 +38,7 @@ impl SliceMix {
     pub fn table2() -> SliceMix {
         use TopologyChoice::{Regular, Twisted};
         let mk = |x, y, z, choice, pct: f64| SliceUsage {
-            shape: SliceShape::new(x, y, z).expect("table shapes are valid"),
+            shape: SliceShape::new(x, y, z).expect("table shapes are valid"), // tpu-lint: allow(panic-policy) -- unreachable: table shapes are valid
             choice,
             share: pct / 100.0,
         };
@@ -170,7 +170,7 @@ impl SliceMix {
             }
             r -= e.share;
         }
-        self.entries.last().expect("mix is nonempty")
+        self.entries.last().expect("mix is nonempty") // tpu-lint: allow(panic-policy) -- unreachable: mix is nonempty
     }
 
     /// Draws `n` requests with a fixed seed.

@@ -1,6 +1,7 @@
 //! The SparseCore hardware architecture (Figure 7).
 
 use serde::{Deserialize, Serialize};
+use tpu_spec::consts::MEGA;
 
 /// The five cross-channel units (gold boxes in Figure 7). The paper says
 /// only that "their names explain" their operations; these are the five
@@ -165,7 +166,7 @@ impl ScGeneration {
             sc_per_chip: spec.chip.sparse_cores,
             tiles_per_sc,
             simd_lanes: 8,
-            clock_hz: spec.chip.clock_mhz * 1e6,
+            clock_hz: spec.chip.clock_mhz * MEGA,
             spmem_bytes: 2.5 * 1024.0 * 1024.0,
             issue_cycles,
             cycles_per_lookup: 300.0,
@@ -174,11 +175,13 @@ impl ScGeneration {
 
     /// TPU v2's original SparseCore (deployed 2017).
     pub fn tpu_v2() -> ScGeneration {
+        // tpu-lint: allow(panic-policy) -- built-in v2/v3/v4 specs all carry SparseCores
         ScGeneration::for_spec(&tpu_spec::MachineSpec::v2()).expect("v2 has SparseCores")
     }
 
     /// TPU v3's SparseCore.
     pub fn tpu_v3() -> ScGeneration {
+        // tpu-lint: allow(panic-policy) -- built-in v2/v3/v4 specs all carry SparseCores
         ScGeneration::for_spec(&tpu_spec::MachineSpec::v3()).expect("v3 has SparseCores")
     }
 
@@ -190,6 +193,7 @@ impl ScGeneration {
         note = "use ScGeneration::for_spec(&MachineSpec::v4())"
     )]
     pub fn tpu_v4() -> ScGeneration {
+        // tpu-lint: allow(panic-policy) -- built-in v2/v3/v4 specs all carry SparseCores
         ScGeneration::for_spec(&tpu_spec::MachineSpec::v4()).expect("v4 has SparseCores")
     }
 

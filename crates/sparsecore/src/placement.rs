@@ -164,7 +164,7 @@ impl EmbeddingSystem {
     /// [`EmbeddingSystem::cpu_cluster`]).
     pub fn for_spec(spec: &MachineSpec, chips: u64) -> EmbeddingSystem {
         let generation = ScGeneration::for_spec(spec)
-            .unwrap_or_else(|| panic!("{} has no SparseCores", spec.generation));
+            .unwrap_or_else(|| panic!("{} has no SparseCores", spec.generation)); // tpu-lint: allow(panic-policy) -- documented precondition: caller must pass an embedding-capable generation
         let link_rate = spec.ici_bytes_per_s();
         let a2a_bw_per_chip = if spec.torus_dims >= 3 {
             a2a_bw_3d(chips, link_rate, spec.ici_links())
@@ -191,7 +191,7 @@ impl EmbeddingSystem {
     /// and for chips without SparseCores.
     pub fn for_generation(generation: &Generation, chips: u64) -> EmbeddingSystem {
         let spec = MachineSpec::for_generation(generation)
-            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"));
+            .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")); // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         EmbeddingSystem::for_spec(&spec, chips)
     }
 

@@ -5,6 +5,36 @@
 //! array sizes) in downstream crates — e.g. `LinkRate::TPU_V4_ICI` in
 //! `tpu-net` is a `const` built from [`V4_ICI_GBPS`].
 
+// SI scale factors. tpu-lint's unit-hygiene rule forbids raw 1e9-style
+// conversion factors outside this module and `tpu_net::units`, so every
+// bandwidth/latency/FLOP conversion routes through these names. Each is
+// the exact power-of-ten literal: substituting a name for the literal
+// is bit-identical, which the to_bits-pinned golden tests rely on.
+
+/// 10³ — kB, kHz, ms↔s divisor.
+pub const KILO: f64 = 1e3;
+
+/// 10⁶ — MB, MHz, µs↔s divisor.
+pub const MEGA: f64 = 1e6;
+
+/// 10⁹ — GB, GHz, ns↔s divisor.
+pub const GIGA: f64 = 1e9;
+
+/// 10¹² — TB, TFLOP.
+pub const TERA: f64 = 1e12;
+
+/// 10⁻³ — milli.
+pub const MILLI: f64 = 1e-3;
+
+/// 10⁻⁶ — micro.
+pub const MICRO: f64 = 1e-6;
+
+/// 10⁻⁹ — nano.
+pub const NANO: f64 = 1e-9;
+
+/// 10⁻¹² — pico.
+pub const PICO: f64 = 1e-12;
+
 /// TPU v4 ICI rate, GB/s per link per direction (Table 4).
 pub const V4_ICI_GBPS: f64 = 50.0;
 

@@ -101,7 +101,11 @@ fn write_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 /// malformed token.
 pub fn parse(text: &str) -> Result<JsonValue, SpecError> {
     let bytes = text.as_bytes();
-    let mut parser = Parser { bytes, pos: 0 };
+    let mut parser = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     parser.skip_ws();
     let value = parser.value()?;
     parser.skip_ws();
@@ -111,9 +115,14 @@ pub fn parse(text: &str) -> Result<JsonValue, SpecError> {
     Ok(value)
 }
 
+/// Nesting cap: spec files are ~4 levels deep; the cap turns a
+/// stack-overflow abort on adversarial input into a clean parse error.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -154,8 +163,8 @@ impl Parser<'_> {
             Some(b't') => self.eat("true", JsonValue::Bool(true)),
             Some(b'f') => self.eat("false", JsonValue::Bool(false)),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             Some(_) => Err(self.fail("unexpected character")),
         }
@@ -227,7 +236,13 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The loop above only accepts ASCII bytes, so the slice is valid
+        // UTF-8; still propagate rather than panic on a malformed spec.
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| SpecError::Json {
+                offset: start,
+                message: "non-ASCII byte in number".to_string(),
+            })?;
         let n: f64 = text.parse().map_err(|_| SpecError::Json {
             offset: start,
             message: format!("bad number '{text}'"),
@@ -239,6 +254,19 @@ impl Parser<'_> {
             });
         }
         Ok(JsonValue::Num(n))
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<JsonValue, SpecError>,
+    ) -> Result<JsonValue, SpecError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
     }
 
     fn array(&mut self) -> Result<JsonValue, SpecError> {

@@ -643,7 +643,7 @@ impl MachineSpec {
 
     /// ICI link rate, bytes per second per link per direction.
     pub fn ici_bytes_per_s(&self) -> f64 {
-        self.chip.ici_gbps_per_link * 1e9
+        self.chip.ici_gbps_per_link * consts::GIGA
     }
 
     /// ICI links per chip.
@@ -653,12 +653,12 @@ impl MachineSpec {
 
     /// Peak dense compute, FLOP/s per chip.
     pub fn peak_flops(&self) -> f64 {
-        self.chip.peak_tflops * 1e12
+        self.chip.peak_tflops * consts::TERA
     }
 
     /// HBM bandwidth, bytes per second per chip.
     pub fn hbm_bytes_per_s(&self) -> f64 {
-        self.chip.hbm_gbps * 1e9
+        self.chip.hbm_gbps * consts::GIGA
     }
 
     /// CMEM capacity, bytes per chip.

@@ -41,7 +41,7 @@ impl Bisection {
     /// Panics if the graph has fewer than two nodes (use
     /// [`Bisection::try_plane_cut`] for a fallible version).
     pub fn plane_cut(graph: &LinkGraph) -> Bisection {
-        Bisection::try_plane_cut(graph).expect("graph too small to bisect")
+        Bisection::try_plane_cut(graph).expect("graph too small to bisect") // tpu-lint: allow(panic-policy) -- unreachable: graph too small to bisect
     }
 
     /// Fallible variant of [`Bisection::plane_cut`].
@@ -106,7 +106,7 @@ impl Bisection {
         let min = *cuts
             .iter()
             .min_by_key(|c| c.links)
-            .expect("at least the fallback cut exists");
+            .expect("at least the fallback cut exists"); // tpu-lint: allow(panic-policy) -- unreachable: at least the fallback cut exists
         Ok(Bisection { cuts, min })
     }
 

@@ -37,7 +37,7 @@ impl Dim {
             0 => Dim::X,
             1 => Dim::Y,
             2 => Dim::Z,
-            _ => panic!("dimension index {index} out of range"),
+            _ => panic!("dimension index {index} out of range"), // tpu-lint: allow(panic-policy) -- documented panic: Dim has exactly three axes
         }
     }
 }

@@ -68,7 +68,7 @@ pub fn shortest_path(graph: &LinkGraph, src: NodeId, dst: NodeId) -> Option<Vec<
                     let mut path = Vec::new();
                     let mut cur = dst;
                     while cur != src {
-                        let eid = parent[cur.index()].expect("parent chain broken");
+                        let eid = parent[cur.index()].expect("parent chain broken"); // tpu-lint: allow(panic-policy) -- unreachable: parent chain broken
                         path.push(eid);
                         cur = graph.edge(eid).src;
                     }

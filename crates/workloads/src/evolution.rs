@@ -77,7 +77,7 @@ impl Dlrm0Evolution {
 
     /// Latest release.
     pub fn last(&self) -> Dlrm0Version {
-        *self.versions.last().expect("timeline nonempty")
+        *self.versions.last().expect("timeline nonempty") // tpu-lint: allow(panic-policy) -- unreachable: timeline nonempty
     }
 
     /// Weight growth factor across the timeline.

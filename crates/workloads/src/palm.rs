@@ -50,6 +50,7 @@ impl LlmCampaign {
     /// The machine spec of the campaign's generation.
     fn spec(&self) -> MachineSpec {
         MachineSpec::for_generation(&self.generation)
+            // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
             .unwrap_or_else(|| panic!("no built-in machine spec for {}", self.generation))
     }
 

@@ -13,12 +13,13 @@ use serde::{Deserialize, Serialize};
 use tpu_chip::{ChipSpec, MemorySystem, PowerModel, MIB};
 use tpu_embedding::DlrmConfig;
 use tpu_sparsecore::{EmbeddingSystem, Placement};
+use tpu_spec::consts::GIGA;
 use tpu_spec::{Generation, MachineSpec};
 
 /// The chip record of a built-in generation.
 fn chip_of(generation: &Generation) -> ChipSpec {
     MachineSpec::for_generation(generation)
-        .unwrap_or_else(|| panic!("no built-in machine spec for {generation}"))
+        .unwrap_or_else(|| panic!("no built-in machine spec for {generation}")) // tpu-lint: allow(panic-policy) -- every built-in Generation ships a spec; only user JSON specs can be absent
         .chip
 }
 
@@ -62,7 +63,7 @@ impl Workload {
     /// roofline path covers the dense workloads.
     pub fn attained_tflops(&self, spec: &ChipSpec) -> f64 {
         let mem = MemorySystem::of_chip(spec);
-        let eff_bw_gbps = mem.effective_bandwidth(self.working_set) / 1e9;
+        let eff_bw_gbps = mem.effective_bandwidth(self.working_set) / GIGA;
         let derate = if spec.name.starts_with("TPU v4") {
             self.v4_mxu_derate
         } else {
@@ -74,7 +75,7 @@ impl Workload {
     /// Whether the workload is memory-bound on the given chip.
     pub fn is_memory_bound(&self, spec: &ChipSpec) -> bool {
         let mem = MemorySystem::of_chip(spec);
-        let eff_bw_gbps = mem.effective_bandwidth(self.working_set) / 1e9;
+        let eff_bw_gbps = mem.effective_bandwidth(self.working_set) / GIGA;
         self.oi * eff_bw_gbps / 1000.0 < spec.peak_tflops
     }
 }

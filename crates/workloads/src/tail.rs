@@ -88,7 +88,7 @@ fn tail_shape(chips: u64) -> SliceShape {
     }
     // Largest extent first, matching how slices are conventionally named.
     dims.sort_unstable_by(|a, b| b.cmp(a));
-    SliceShape::new(dims[0], dims[1], dims[2]).expect("nonzero dims")
+    SliceShape::new(dims[0], dims[1], dims[2]).expect("nonzero dims") // tpu-lint: allow(panic-policy) -- unreachable: nonzero dims
 }
 
 impl ScalingTail {
