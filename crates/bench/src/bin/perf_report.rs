@@ -18,6 +18,7 @@
 
 use std::time::Instant;
 use tpu_sched::{ClusterSim, FleetSim, GoodputSim};
+use tpu_serve::{client, QueryCache, Server, ServiceState, SpecStore};
 use tpu_spec::json::{self, JsonValue};
 use tpu_spec::{FabricKind, FleetSpec, MachineSpec};
 
@@ -117,6 +118,73 @@ fn time_fleet(bench: &'static str, spec: &MachineSpec, trials: u32) -> BenchRow 
     }
 }
 
+/// The service rows: what-if queries through a real in-process
+/// `tpu-serve` over TCP, cold (every request a distinct cache key, so
+/// each runs the Monte Carlo sim) and cached (one key repeated, every
+/// request after the first a cache hit). `trials` is the request
+/// count; the cold row's Monte Carlo depth follows `--trials`. The
+/// cached row is asserted to clear 10x the cold row's throughput —
+/// the service-level speedup the LRU cache exists to buy.
+fn time_serve(mc_trials: u32) -> (BenchRow, BenchRow) {
+    let store = SpecStore::in_memory();
+    store
+        .put("v4", &MachineSpec::v4())
+        .expect("in-memory put cannot fail");
+    let state = ServiceState {
+        store,
+        cache: QueryCache::new(256),
+    };
+    let server = Server::start(state, "127.0.0.1:0", 4).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let target = |seed: u32| {
+        format!(
+            "/specs/v4/whatif?availability=0.995&slice_chips=1024&trials={mc_trials}&seed={seed}"
+        )
+    };
+
+    let cold_reqs: u32 = 16;
+    let start = Instant::now();
+    for seed in 0..cold_reqs {
+        let resp = client::request(addr, "GET", &target(seed), None).expect("cold request");
+        assert_eq!(resp.status, 200, "cold: {}", resp.body);
+        assert_eq!(resp.header("x-cache"), Some("miss"), "cold keys must miss");
+    }
+    let cold_wall = start.elapsed().as_secs_f64();
+    let cold = BenchRow {
+        bench: "serve_whatif_cold",
+        config: format!(
+            "TPU v4 whatif over HTTP, {cold_reqs} distinct queries, mc_trials={mc_trials}"
+        ),
+        wall_s: cold_wall,
+        trials: cold_reqs,
+    };
+
+    let cached_reqs: u32 = 512;
+    let reference = client::request(addr, "GET", &target(0), None).expect("warm request");
+    let start = Instant::now();
+    for _ in 0..cached_reqs {
+        let resp = client::request(addr, "GET", &target(0), None).expect("cached request");
+        assert_eq!(resp.header("x-cache"), Some("hit"), "warm keys must hit");
+        assert_eq!(resp.body, reference.body, "hits must be byte-identical");
+    }
+    let cached_wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let cached = BenchRow {
+        bench: "serve_whatif_cached",
+        config: format!("TPU v4 whatif over HTTP, 1 query repeated {cached_reqs} times"),
+        wall_s: cached_wall,
+        trials: cached_reqs,
+    };
+
+    assert!(
+        cached.trials_per_s() >= 10.0 * cold.trials_per_s(),
+        "cache speedup regressed: cached {:.1} req/s vs cold {:.1} req/s",
+        cached.trials_per_s(),
+        cold.trials_per_s()
+    );
+    (cold, cached)
+}
+
 /// Best-effort `git describe` for provenance; "unknown" offline.
 fn git_describe() -> String {
     std::process::Command::new("git")
@@ -189,6 +257,7 @@ fn main() {
 
     let v4 = MachineSpec::v4();
     let v4_ib = MachineSpec::v4_ib_hybrid();
+    let (serve_cold, serve_cached) = time_serve(trials);
     let rows = [
         time_goodput("goodput_v4_ocs", &v4, FabricKind::Ocs, trials, threads),
         time_goodput(
@@ -220,6 +289,8 @@ fn main() {
             threads,
         ),
         time_fleet("fleet_des_v4_ocs", &v4, trials),
+        serve_cold,
+        serve_cached,
     ];
 
     let describe = git_describe();

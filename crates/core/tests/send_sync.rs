@@ -1,0 +1,48 @@
+//! Thread-safety contract of the core machines (DESIGN.md §14).
+//!
+//! The capacity-planning service shares one pristine machine per spec
+//! across worker threads (`Arc<PlannerModel>` in `tpu-sched`) and hands
+//! each query a clone. That only works while every core machine type is
+//! `Send + Sync` — no `Rc`, `RefCell`, `Cell` or raw pointers anywhere
+//! in the fabric state. These are compile-time facts; the test pins
+//! them so a regression fails at `cargo test` rather than deep inside
+//! the service build.
+
+use tpu_core::{MachineFabric, StaticCluster, Supercomputer, SwitchedCluster};
+use tpu_spec::MachineSpec;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_machines_are_send_sync() {
+    assert_send_sync::<Supercomputer>();
+    assert_send_sync::<StaticCluster>();
+    assert_send_sync::<SwitchedCluster>();
+    assert_send_sync::<MachineFabric>();
+    assert_send_sync::<MachineSpec>();
+}
+
+#[test]
+fn clones_cross_threads_and_stay_independent() {
+    // The service's per-query pattern: clone a shared pristine machine,
+    // mutate the clone on another thread, observe the original intact.
+    let pristine = std::sync::Arc::new(Supercomputer::for_spec(&MachineSpec::v4()));
+    let shared = std::sync::Arc::clone(&pristine);
+    let handle = std::thread::spawn(move || {
+        let mut mine = (*shared).clone();
+        mine.inject_host_failure(tpu_ocs::BlockId::new(0), 0)
+            .expect("block 0 exists");
+        mine.total_chips()
+    });
+    assert_eq!(handle.join().expect("worker panicked"), 4096);
+    // The pristine prototype never saw the failure: a full-machine
+    // submit still succeeds on a fresh clone of it.
+    let mut check = (*pristine).clone();
+    let shape = tpu_topology::SliceShape::new(16, 16, 16).expect("positive");
+    assert!(check
+        .submit(tpu_core::JobSpec::new(
+            "pristine",
+            tpu_ocs::SliceSpec::regular(shape),
+        ))
+        .is_ok());
+}

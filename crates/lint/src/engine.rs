@@ -447,6 +447,12 @@ mod tests {
         assert!(is_sim_crate("crates/net/src/flows.rs"));
         assert!(is_sim_crate("crates/ocs/src/wiring.rs"));
         assert!(!is_sim_crate("crates/chip/src/memory.rs"));
+        // The HTTP service is I/O-bound library code, not a simulator:
+        // it may spawn threads and take wall-clock timestamps, but its
+        // library code still answers to the panic-policy rule.
+        assert!(!is_sim_crate("crates/serve/src/server.rs"));
+        assert_eq!(classify("crates/serve/src/http.rs"), FileKind::Library);
+        assert_eq!(classify("crates/serve/src/main.rs"), FileKind::Binary);
         assert!(is_unit_module("crates/net/src/units.rs"));
         assert!(is_unit_module("crates/spec/src/consts.rs"));
         assert!(!is_unit_module("crates/net/src/latency.rs"));

@@ -9,6 +9,7 @@
 //! utilization gap is produced by the same allocators the rest of the
 //! stack uses, not a private occupancy model.
 
+use crate::model::PlannerModel;
 use crate::slice_mix::SliceMix;
 use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
@@ -16,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
 use tpu_ocs::SliceSpec;
 use tpu_spec::{FabricKind, Generation, MachineSpec};
@@ -48,9 +50,15 @@ enum Held {
 
 /// A discrete-event simulation of one fleet-scale machine fed by the
 /// Table 2 slice mix.
+///
+/// Like [`crate::GoodputSim`], the machine itself lives in an
+/// [`Arc`]-shared [`PlannerModel`]; each `run` clones the pristine
+/// cached arms instead of rebuilding fabrics, and cloning the sim (as
+/// [`ClusterSim::run_trials`] does per trial) copies only the query
+/// parameters around the `Arc`.
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
-    spec: MachineSpec,
+    model: Arc<PlannerModel>,
     horizon: f64,
     arrival_interval: f64,
     mean_duration: f64,
@@ -94,8 +102,26 @@ impl ClusterSim {
         mean_duration: f64,
         seed: u64,
     ) -> ClusterSim {
+        ClusterSim::for_model(
+            Arc::new(PlannerModel::for_spec(spec)),
+            horizon,
+            arrival_interval,
+            mean_duration,
+            seed,
+        )
+    }
+
+    /// The fleet over an already-shared [`PlannerModel`] — no spec
+    /// clone, no fabric construction.
+    pub fn for_model(
+        model: Arc<PlannerModel>,
+        horizon: f64,
+        arrival_interval: f64,
+        mean_duration: f64,
+        seed: u64,
+    ) -> ClusterSim {
         ClusterSim {
-            spec: spec.clone(),
+            model,
             horizon,
             arrival_interval,
             mean_duration,
@@ -144,7 +170,7 @@ impl ClusterSim {
     /// the reconfigurable arm (the shipped fleets all fit; switched
     /// specs take the capacity path instead).
     pub fn run(&self, fabric: FabricKind) -> ClusterReport {
-        let cluster = StaticCluster::for_spec(&self.spec);
+        let cluster: StaticCluster = self.model.static_arm().clone();
         let total_chips = cluster.total_chips();
         let chips_per_block = u64::from(cluster.chips_per_block());
         let mix = SliceMix::table2();
@@ -160,7 +186,7 @@ impl ClusterSim {
         // (edge^3 chips — every torus spec, and v4-ib's 2^3 islands) or a
         // geometry-less island (a100/ipu-bow hosts): geometric units keep
         // the request's box shape, island units only its ceil'd count.
-        let edge = self.spec.block.edge.max(1);
+        let edge = self.model.spec().block.edge.max(1);
         let geometric = u64::from(edge).pow(3) == chips_per_block;
         let mut stream = Vec::new();
         let mut t = 0.0;
@@ -194,15 +220,10 @@ impl ClusterSim {
         // specs take the OCS plugboard (pre-OCS generations become their
         // §2.7 counterfactual); switched specs keep their own fabric.
         let mut static_arm = cluster;
-        let mut reconfigurable_arm = if fabric == FabricKind::Static {
+        let mut reconfigurable_arm: Option<Supercomputer> = if fabric == FabricKind::Static {
             None
         } else {
-            let spec = if self.spec.torus_dims == 0 {
-                self.spec.clone()
-            } else {
-                self.spec.clone().with_fabric(FabricKind::Ocs)
-            };
-            Some(Supercomputer::for_spec(&spec))
+            Some(self.model.reconfigurable_arm().clone())
         };
         // On the reconfigurable arm a geometric box submits its chip
         // shape; an island box submits its chip count (islands have no
@@ -455,6 +476,28 @@ mod tests {
         let a = sim().run(FabricKind::Ocs);
         let b = sim().run(FabricKind::Ocs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trials_clone_the_arc_not_the_machine() {
+        // Regression for the per-trial spec clone: every replica in
+        // run_trials (and every repeated run) draws its arms from the
+        // one shared PlannerModel — pointer-identical prototypes, no
+        // fabric rebuild per trial.
+        use crate::PlannerModel;
+        use std::sync::Arc;
+        let model = Arc::new(PlannerModel::for_spec(&MachineSpec::v4()));
+        let s = ClusterSim::for_model(Arc::clone(&model), 200.0, 2.0, 6.0, 5);
+        let _ = s.run_trials(FabricKind::Ocs, 3);
+        let replica = s.clone();
+        assert!(Arc::ptr_eq(&s.model, &replica.model));
+        assert!(std::ptr::eq(model.static_arm(), s.model.static_arm()));
+        // And a model-shared sim answers exactly like a standalone one.
+        let standalone = ClusterSim::for_spec(&MachineSpec::v4(), 200.0, 2.0, 6.0, 5);
+        assert_eq!(
+            s.run(FabricKind::Static),
+            standalone.run(FabricKind::Static)
+        );
     }
 
     #[test]

@@ -53,7 +53,8 @@
 //! [`GoodputSim::goodput`]: crate::GoodputSim::goodput
 //! [`ClusterSim`]: crate::ClusterSim
 
-use crate::goodput::{place_reconfigurable, place_static, reconfigurable_spec, slice_geometry};
+use crate::goodput::{place_reconfigurable, place_static, slice_geometry};
+use crate::model::PlannerModel;
 use crate::slice_mix::SliceMix;
 use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
@@ -61,6 +62,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
 use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
 use tpu_ocs::{BlockId, SliceSpec};
 use tpu_spec::{consts, FabricKind, FleetSpec, MachineSpec};
@@ -72,9 +74,14 @@ const STREAM_JOBS: u64 = 1;
 const STREAM_HEALTH: u64 = 2;
 
 /// The discrete-event fleet simulator (see the module docs).
+///
+/// The machine lives in an [`Arc`]-shared [`PlannerModel`]: each run
+/// clones the model's pristine cached arms instead of rebuilding
+/// fabrics, so replicated trials and service queries pay construction
+/// once per machine.
 #[derive(Debug, Clone)]
 pub struct FleetSim {
-    spec: MachineSpec,
+    model: Arc<PlannerModel>,
     horizon_s: f64,
     seed: u64,
     profile: FleetSpec,
@@ -97,14 +104,21 @@ impl FleetSim {
     /// (rounded down to whole blocks) — the Figure 4 caption's headline
     /// grid point.
     pub fn for_spec(spec: &MachineSpec, horizon_s: f64, seed: u64) -> FleetSim {
-        let (units, chips_per_unit, hosts_per_unit) = spec.scheduling_units();
-        let units = units as u32;
+        FleetSim::for_model(Arc::new(PlannerModel::for_spec(spec)), horizon_s, seed)
+    }
+
+    /// A fleet simulation over an already-shared [`PlannerModel`] — no
+    /// spec clone, no fabric construction.
+    pub fn for_model(model: Arc<PlannerModel>, horizon_s: f64, seed: u64) -> FleetSim {
+        let units = model.blocks();
+        let hosts_per_unit = model.hosts_per_block();
+        let chips_per_unit = model.chips_per_block();
         let quarter_blocks = (units / 4).max(1);
         FleetSim {
-            spec: spec.clone(),
+            profile: model.spec().fleet_profile(),
+            model,
             horizon_s,
             seed,
-            profile: spec.fleet_profile(),
             production_share: 0.25,
             probe_slice_chips: u64::from(quarter_blocks) * u64::from(chips_per_unit),
             preemption: true,
@@ -236,7 +250,7 @@ impl FleetSim {
 
     fn run_seeded(&self, fabric: FabricKind, seed: u64) -> FleetTrace {
         assert!(
-            fabric != FabricKind::Switched || self.spec.torus_dims == 0,
+            fabric != FabricKind::Switched || self.model.spec().torus_dims == 0,
             "FabricKind::Switched is only defined for torus_dims == 0 specs"
         );
         let block = u64::from(self.chips_per_unit);
@@ -565,9 +579,9 @@ impl<'a> Engine<'a> {
     fn new(sim: &'a FleetSim, fabric: FabricKind, seed: u64) -> Engine<'a> {
         let profile = &sim.profile;
         let arm = if fabric == FabricKind::Static {
-            Arm::Fixed(StaticCluster::for_spec(&sim.spec))
+            Arm::Fixed(sim.model.static_arm().clone())
         } else {
-            Arm::Reconfigurable(Supercomputer::for_spec(&reconfigurable_spec(&sim.spec)))
+            Arm::Reconfigurable(sim.model.reconfigurable_arm().clone())
         };
         // The probe arm is a pristine twin of the main arm: it never
         // holds jobs, so feeding it the live block health through the
@@ -578,12 +592,14 @@ impl<'a> Engine<'a> {
             Arm::Reconfigurable(m) => (None, Some(m.clone())),
         };
         let (probe_box, probe_shape, probe_blocks) =
-            slice_geometry(&sim.spec, sim.chips_per_unit, sim.probe_slice_chips);
+            slice_geometry(sim.model.spec(), sim.chips_per_unit, sim.probe_slice_chips);
         // The plugboard spends reconfig_ms programming circuits per
         // placement; static cabling and packet-switched fabrics have no
         // such window.
-        let reconfig_s = if matches!(arm, Arm::Reconfigurable(_)) && sim.spec.torus_dims > 0 {
-            sim.spec
+        let reconfig_s = if matches!(arm, Arm::Reconfigurable(_)) && sim.model.spec().torus_dims > 0
+        {
+            sim.model
+                .spec()
                 .ocs
                 .as_ref()
                 .map_or(consts::OCS_RECONFIG_MS, |o| o.reconfig_ms)
@@ -597,7 +613,7 @@ impl<'a> Engine<'a> {
         // tier draws. Sub-unit requests round up to one block/island.
         let mut jobs_rng = StdRng::seed_from_u64(chunk_seed(seed, STREAM_JOBS));
         let mix = SliceMix::table2();
-        let edge = sim.spec.block.edge.max(1);
+        let edge = sim.model.spec().block.edge.max(1);
         let chips_per_unit = u64::from(sim.chips_per_unit);
         let geometric = u64::from(edge).pow(3) == chips_per_unit;
         let mut stream = Vec::new();

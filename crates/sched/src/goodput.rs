@@ -15,11 +15,11 @@
 //! [`tpu_core::StaticCluster`] contiguous packing on the static arm),
 //! not a private closed-form curve.
 
+use crate::model::PlannerModel;
 use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::Arc;
 use tpu_core::{JobSpec, StaticCluster, Supercomputer};
 use tpu_ocs::{BlockId, SliceSpec};
 use tpu_spec::{FabricKind, Generation, MachineSpec};
@@ -32,31 +32,21 @@ use tpu_topology::{most_cubic_box, SliceShape};
 const TRIALS_PER_CHUNK: u32 = 32;
 
 /// Monte Carlo goodput simulator over the core fabric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The immutable half — the spec, its scheduling geometry, and the
+/// lazily-cached pristine fabric arms — lives in an [`Arc`]-shared
+/// [`PlannerModel`] (DESIGN.md §14), so any number of sims (and any
+/// number of worker threads inside each) query one machine without
+/// cloning the spec or rebuilding a fabric. Only the query parameters
+/// (`trials`, `seed`, `threads`) are per-sim.
+#[derive(Debug, Clone)]
 pub struct GoodputSim {
-    spec: MachineSpec,
-    blocks: u32,
-    hosts_per_block: u32,
-    chips_per_block: u32,
+    model: Arc<PlannerModel>,
     trials: u32,
     seed: u64,
     /// Worker threads for trial chunks (0 = one per available CPU).
-    /// Runtime tuning, not part of the simulator's identity on the wire.
-    #[serde(skip)]
+    /// Runtime tuning, not part of the simulator's identity.
     threads: usize,
-    /// Lazily-built pristine fabric arms, cloned per worker at each
-    /// `goodput` call — sweep callers stop paying spec cloning and
-    /// fabric construction per grid point.
-    #[serde(skip)]
-    arms: ArmCache,
-}
-
-/// Cached arm prototypes (pure cache: rebuilt on demand, skipped on the
-/// wire, never mutated after init — trials mutate worker-local clones).
-#[derive(Debug, Clone, Default)]
-struct ArmCache {
-    fixed: OnceLock<StaticCluster>,
-    reconfigurable: OnceLock<Supercomputer>,
 }
 
 impl GoodputSim {
@@ -87,17 +77,24 @@ impl GoodputSim {
     /// island is modelled as full, ≤ island−1 chips of overcount on
     /// non-divisible fleets).
     pub fn for_spec(spec: &MachineSpec, trials: u32, seed: u64) -> GoodputSim {
-        let (blocks, chips_per_block, hosts_per_block) = spec.scheduling_units();
+        GoodputSim::for_model(Arc::new(PlannerModel::for_spec(spec)), trials, seed)
+    }
+
+    /// A sim over an already-shared [`PlannerModel`] — the service path:
+    /// no spec clone, no fabric construction, just query parameters
+    /// around the `Arc`.
+    pub fn for_model(model: Arc<PlannerModel>, trials: u32, seed: u64) -> GoodputSim {
         GoodputSim {
-            spec: spec.clone(),
-            blocks: blocks as u32,
-            hosts_per_block,
-            chips_per_block,
+            model,
             trials,
             seed,
             threads: 0,
-            arms: ArmCache::default(),
         }
+    }
+
+    /// The shared spec-derived model this sim queries.
+    pub fn model(&self) -> &Arc<PlannerModel> {
+        &self.model
     }
 
     /// Sets the worker-thread count for Monte Carlo trials (0 = one per
@@ -123,12 +120,12 @@ impl GoodputSim {
 
     /// Total chips in the machine (whole blocks/islands).
     pub fn total_chips(&self) -> u64 {
-        u64::from(self.blocks) * u64::from(self.chips_per_block)
+        self.model.total_chips()
     }
 
     /// Total CPU hosts.
     pub fn total_hosts(&self) -> u64 {
-        u64::from(self.blocks) * u64::from(self.hosts_per_block)
+        self.model.total_hosts()
     }
 
     /// Expected goodput for slices of `slice_chips` chips when each host
@@ -157,10 +154,10 @@ impl GoodputSim {
     /// that comparison is `BackendComparison`'s job, not goodput's).
     pub fn goodput(&self, slice_chips: u64, availability: f64, fabric: FabricKind) -> f64 {
         assert!(
-            fabric != FabricKind::Switched || self.spec.torus_dims == 0,
+            fabric != FabricKind::Switched || self.model.spec().torus_dims == 0,
             "FabricKind::Switched goodput is only defined for torus_dims == 0 specs"
         );
-        let block = u64::from(self.chips_per_block);
+        let block = u64::from(self.model.chips_per_block());
         assert!(
             slice_chips > 0
                 && slice_chips.is_multiple_of(block)
@@ -172,13 +169,13 @@ impl GoodputSim {
             "availability must be in (0, 1]"
         );
         let (slice_box, shape, blocks_needed) =
-            slice_geometry(&self.spec, self.chips_per_block, slice_chips);
-        let total_blocks = self.blocks as usize;
+            slice_geometry(self.model.spec(), self.model.chips_per_block(), slice_chips);
+        let total_blocks = self.model.blocks() as usize;
         // Block health is one Bernoulli draw per block: a block is up
         // when all of its hosts are, i.e. with probability
         // availability^hosts — the per-host draws the old stream spent
         // are statistically redundant.
-        let p_block = availability.powi(self.hosts_per_block as i32);
+        let p_block = availability.powi(self.model.hosts_per_block() as i32);
 
         // Trials run in fixed-size chunks, each on its own RNG stream
         // derived from (seed, chunk); every worker thread clones the
@@ -218,22 +215,14 @@ impl GoodputSim {
         chunk_sums.into_iter().sum::<f64>() / f64::from(self.trials)
     }
 
-    /// The pristine arm for a fabric kind, built once per sim and cloned
-    /// per worker thread afterwards.
+    /// The pristine arm for a fabric kind, built once per *model* (not
+    /// per sim, not per call) and cloned per worker thread afterwards.
     fn arm_prototype(&self, fabric: FabricKind) -> FabricArm {
         match fabric {
-            FabricKind::Static => FabricArm::Static(
-                self.arms
-                    .fixed
-                    .get_or_init(|| StaticCluster::for_spec(&self.spec))
-                    .clone(),
-            ),
-            FabricKind::Ocs | FabricKind::Switched => FabricArm::Reconfigurable(
-                self.arms
-                    .reconfigurable
-                    .get_or_init(|| Supercomputer::for_spec(&reconfigurable_spec(&self.spec)))
-                    .clone(),
-            ),
+            FabricKind::Static => FabricArm::Static(self.model.static_arm().clone()),
+            FabricKind::Ocs | FabricKind::Switched => {
+                FabricArm::Reconfigurable(self.model.reconfigurable_arm().clone())
+            }
         }
     }
 
@@ -242,7 +231,7 @@ impl GoodputSim {
     /// caption's counterintuitive goodput recovery appears) and the full
     /// machine. For the v4 fleet this is 64..4096.
     pub fn slice_axis(&self) -> Vec<u64> {
-        let total_blocks = u64::from(self.blocks);
+        let total_blocks = u64::from(self.model.blocks());
         let mut blocks: Vec<u64> = Vec::new();
         let mut b = 1u64;
         while b < total_blocks {
@@ -257,7 +246,7 @@ impl GoodputSim {
         blocks.sort_unstable();
         blocks
             .into_iter()
-            .map(|b| b * u64::from(self.chips_per_block))
+            .map(|b| b * u64::from(self.model.chips_per_block()))
             .collect()
     }
 
@@ -593,6 +582,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sims_sharing_a_model_share_its_arms_and_agree_exactly() {
+        // The service path: many sims over one Arc'd model. The arms
+        // must materialize once in the model (pointer-identical across
+        // sims — no fabric rebuild per query), and a shared-model sim
+        // must answer bit-identically to a standalone one.
+        let model = std::sync::Arc::new(crate::PlannerModel::for_spec(&MachineSpec::v4()));
+        let a = GoodputSim::for_model(std::sync::Arc::clone(&model), 60, 11);
+        let b = GoodputSim::for_model(std::sync::Arc::clone(&model), 60, 11);
+        let ga = a.goodput(1024, 0.995, FabricKind::Ocs);
+        let gb = b.goodput(1024, 0.995, FabricKind::Ocs);
+        assert_eq!(ga.to_bits(), gb.to_bits());
+        assert!(std::ptr::eq(
+            a.model().reconfigurable_arm(),
+            b.model().reconfigurable_arm()
+        ));
+        let standalone = GoodputSim::for_spec(&MachineSpec::v4(), 60, 11);
+        let gs = standalone.goodput(1024, 0.995, FabricKind::Ocs);
+        assert_eq!(ga.to_bits(), gs.to_bits());
     }
 
     #[test]

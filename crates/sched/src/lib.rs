@@ -11,6 +11,11 @@
 //! * [`deploy`] — the §2.4 incremental-deployment benefit: OCS-attached
 //!   blocks enter production as they land; a static machine waits for the
 //!   last cable.
+//! * [`model`] — the immutable, `Send + Sync`, spec-derived
+//!   [`PlannerModel`] every simulator here shares via `Arc`: scheduling
+//!   geometry, the canonical spec hash, and cached pristine fabric-arm
+//!   prototypes, split from per-query mutable trial state (DESIGN.md
+//!   §14).
 //! * [`trials`] — deterministic parallel Monte Carlo: fixed-size trial
 //!   chunks with per-chunk RNG streams and chunk-ordered reduction, so
 //!   results are bit-identical for any worker-thread count.
@@ -38,6 +43,7 @@ pub mod cluster;
 pub mod deploy;
 pub mod fleet;
 pub mod goodput;
+pub mod model;
 pub mod slice_mix;
 pub mod trials;
 
@@ -45,4 +51,5 @@ pub use cluster::{ClusterReport, ClusterSim};
 pub use deploy::DeploymentModel;
 pub use fleet::{FleetMetrics, FleetSim, FleetTrace, TraceEvent, TraceKind};
 pub use goodput::GoodputSim;
+pub use model::PlannerModel;
 pub use slice_mix::{SliceMix, SliceUsage, TopologyChoice};

@@ -1,0 +1,1012 @@
+//! Routing, query parsing and response formatting.
+//!
+//! Every endpoint body is built through `tpu_spec::json::JsonValue`
+//! with fields in a fixed order, so a response is a *pure function of
+//! the canonical query* — the property the CI smoke and concurrency
+//! gates compare byte-for-byte, and the reason cache hits are
+//! indistinguishable from recomputes (the `X-Cache` response *header*
+//! carries hit/miss so the body stays identical either way).
+//!
+//! Monte Carlo endpoints (`whatif`, `fleet`) answer through the LRU
+//! [`QueryCache`] keyed by `(spec_hash, canonical_query)`; closed-form
+//! quotes (`collective`) are cheap enough to always recompute. Numeric
+//! results carry both the JSON number and its IEEE-754 bit pattern
+//! (`*_bits`), making bit-identity with the offline
+//! `GoodputSim::goodput` / `repro --spec` paths checkable from the
+//! wire. Endpoint shapes and error codes: docs/service-api.md.
+
+use crate::cache::QueryCache;
+use crate::http::{query_params, Request};
+use crate::store::{SpecStore, StoreError};
+use std::sync::Arc;
+use tpu_core::{Collective, JobSpec};
+use tpu_ocs::SliceSpec;
+use tpu_sched::{FleetSim, GoodputSim, PlannerModel};
+use tpu_spec::json::JsonValue;
+use tpu_spec::{FabricKind, MachineSpec};
+use tpu_topology::SliceShape;
+
+/// Most Monte Carlo trials a single what-if query may request.
+pub const MAX_TRIALS: u32 = 20_000;
+/// Default Monte Carlo trials per what-if query.
+pub const DEFAULT_TRIALS: u32 = 200;
+/// Default RNG seed (the paper's year, like the offline reports).
+pub const DEFAULT_SEED: u64 = 2023;
+/// Default collective payload: 1 GiB.
+pub const DEFAULT_COLLECTIVE_BYTES: u64 = 1 << 30;
+/// Longest fleet-DES horizon a query may request, days.
+pub const MAX_HORIZON_DAYS: f64 = 60.0;
+/// Most fleet-DES trials a single query may request.
+pub const MAX_FLEET_TRIALS: u32 = 32;
+/// Seconds per simulated day.
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Everything the handlers share: the spec registry and the result
+/// cache. One per server, `Arc`-shared across workers.
+pub struct ServiceState {
+    /// Named planner models.
+    pub store: SpecStore,
+    /// LRU response cache for the Monte Carlo endpoints.
+    pub cache: QueryCache,
+}
+
+/// A fully-formed response: status, JSON body (always newline
+/// terminated), and the `X-Cache` header value for cacheable endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body, newline terminated.
+    pub body: String,
+    /// `Some("hit")`/`Some("miss")` on cacheable endpoints.
+    pub x_cache: Option<&'static str>,
+}
+
+/// A handler failure: status, stable machine-readable code, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable error code (see docs/service-api.md).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(code: &'static str, message: String) -> ApiError {
+        ApiError {
+            status: 400,
+            code,
+            message,
+        }
+    }
+
+    fn not_found(message: String) -> ApiError {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message,
+        }
+    }
+}
+
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> ApiError {
+        match &e {
+            StoreError::BadName(_) => ApiError::bad_request("bad_name", e.to_string()),
+            StoreError::BadSpec(_) => ApiError {
+                status: 422,
+                code: "bad_spec",
+                message: e.to_string(),
+            },
+            StoreError::Io(_) => ApiError {
+                status: 500,
+                code: "storage_io",
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// Formats the uniform JSON error body.
+pub fn error_body(status: u16, code: &str, message: &str) -> String {
+    finish(JsonValue::Obj(vec![
+        ("code".into(), JsonValue::Str(code.into())),
+        ("error".into(), JsonValue::Str(message.into())),
+        ("status".into(), JsonValue::Num(f64::from(status))),
+    ]))
+}
+
+/// Routes one parsed request to its handler. Infallible by design:
+/// handler errors become their JSON error responses here.
+pub fn handle(state: &ServiceState, req: &Request) -> ApiResponse {
+    match route(state, req) {
+        Ok(resp) => resp,
+        Err(e) => ApiResponse {
+            status: e.status,
+            body: error_body(e.status, e.code, &e.message),
+            x_cache: None,
+        },
+    }
+}
+
+fn route(state: &ServiceState, req: &Request) -> Result<ApiResponse, ApiError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => Ok(plain(200, index_body())),
+        ("GET", ["healthz"]) => Ok(plain(200, healthz_body(state))),
+        ("GET", ["stats"]) => Ok(plain(200, stats_body(state))),
+        ("GET", ["specs"]) => Ok(plain(200, list_body(state))),
+        ("GET", ["specs", name]) => get_spec(state, name),
+        ("PUT", ["specs", name]) => put_spec(state, name, &req.body),
+        ("DELETE", ["specs", name]) => delete_spec(state, name),
+        ("GET", ["specs", name, "whatif"]) => whatif(state, name, &req.query),
+        ("GET", ["specs", name, "collective"]) => collective(state, name, &req.query),
+        ("GET", ["specs", name, "fleet"]) => fleet(state, name, &req.query),
+        (
+            _,
+            []
+            | ["healthz"]
+            | ["stats"]
+            | ["specs"]
+            | ["specs", _, "whatif" | "collective" | "fleet"],
+        ) => Err(ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("{} is not supported on {}", req.method, req.path),
+        }),
+        ("GET" | "PUT" | "DELETE", ["specs", ..]) | (_, ["specs", _]) => Err(ApiError {
+            status: if matches!(req.method.as_str(), "GET" | "PUT" | "DELETE") {
+                404
+            } else {
+                405
+            },
+            code: "unknown_path",
+            message: format!("no such endpoint: {}", req.path),
+        }),
+        _ => Err(ApiError::not_found(format!(
+            "no such endpoint: {} (see GET / for the index)",
+            req.path
+        ))),
+    }
+}
+
+fn plain(status: u16, body: String) -> ApiResponse {
+    ApiResponse {
+        status,
+        body,
+        x_cache: None,
+    }
+}
+
+fn index_body() -> String {
+    let endpoints = [
+        "GET /healthz",
+        "GET /stats",
+        "GET /specs",
+        "GET /specs/{name}",
+        "PUT /specs/{name}",
+        "DELETE /specs/{name}",
+        "GET /specs/{name}/whatif",
+        "GET /specs/{name}/collective",
+        "GET /specs/{name}/fleet",
+    ];
+    finish(JsonValue::Obj(vec![
+        (
+            "endpoints".into(),
+            JsonValue::Arr(
+                endpoints
+                    .iter()
+                    .map(|e| JsonValue::Str((*e).into()))
+                    .collect(),
+            ),
+        ),
+        ("service".into(), JsonValue::Str("tpu-serve".into())),
+    ]))
+}
+
+fn healthz_body(state: &ServiceState) -> String {
+    finish(JsonValue::Obj(vec![
+        ("ok".into(), JsonValue::Bool(true)),
+        ("specs".into(), JsonValue::Num(state.store.len() as f64)),
+    ]))
+}
+
+fn stats_body(state: &ServiceState) -> String {
+    let (hits, misses, entries) = state.cache.stats();
+    finish(JsonValue::Obj(vec![
+        ("cache_entries".into(), JsonValue::Num(entries as f64)),
+        ("cache_hits".into(), JsonValue::Num(hits as f64)),
+        ("cache_misses".into(), JsonValue::Num(misses as f64)),
+        ("specs".into(), JsonValue::Num(state.store.len() as f64)),
+    ]))
+}
+
+fn list_body(state: &ServiceState) -> String {
+    let specs = state
+        .store
+        .list()
+        .iter()
+        .map(|entry| {
+            let spec = entry.model.spec();
+            JsonValue::Obj(vec![
+                (
+                    "fleet_chips".into(),
+                    JsonValue::Num(spec.fleet_chips as f64),
+                ),
+                (
+                    "generation".into(),
+                    JsonValue::Str(spec.generation.label().into()),
+                ),
+                ("name".into(), JsonValue::Str(entry.name.clone())),
+                (
+                    "spec_hash".into(),
+                    JsonValue::Str(spec.canonical_hash_hex()),
+                ),
+            ])
+        })
+        .collect();
+    finish(JsonValue::Obj(vec![(
+        "specs".into(),
+        JsonValue::Arr(specs),
+    )]))
+}
+
+fn get_spec(state: &ServiceState, name: &str) -> Result<ApiResponse, ApiError> {
+    let entry = lookup(state, name)?;
+    Ok(plain(200, format!("{}\n", entry.model.spec().to_json())))
+}
+
+fn put_spec(state: &ServiceState, name: &str, body: &[u8]) -> Result<ApiResponse, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("bad_encoding", "spec body must be UTF-8".into()))?;
+    let spec = MachineSpec::from_json(text).map_err(|e| ApiError {
+        status: 422,
+        code: "bad_spec",
+        message: e.to_string(),
+    })?;
+    let (entry, replaced_hash, created) = state.store.put(name, &spec)?;
+    // Replacing a spec with a *semantically different* one invalidates
+    // its cached answers; re-PUTting equivalent bytes keeps them (the
+    // canonical hash is identical, so the answers still apply).
+    if let Some(old) = replaced_hash {
+        if old != entry.model.spec_hash() {
+            state.cache.invalidate_spec(old);
+        }
+    }
+    let body = finish(JsonValue::Obj(vec![
+        ("created".into(), JsonValue::Bool(created)),
+        ("name".into(), JsonValue::Str(entry.name.clone())),
+        (
+            "spec_hash".into(),
+            JsonValue::Str(format!("{:016x}", entry.model.spec_hash())),
+        ),
+    ]));
+    Ok(plain(if created { 201 } else { 200 }, body))
+}
+
+fn delete_spec(state: &ServiceState, name: &str) -> Result<ApiResponse, ApiError> {
+    match state.store.remove(name)? {
+        None => Err(ApiError::not_found(format!("no spec named {name:?}"))),
+        Some(entry) => {
+            state.cache.invalidate_spec(entry.model.spec_hash());
+            Ok(plain(
+                200,
+                finish(JsonValue::Obj(vec![(
+                    "deleted".into(),
+                    JsonValue::Str(entry.name.clone()),
+                )])),
+            ))
+        }
+    }
+}
+
+fn lookup(state: &ServiceState, name: &str) -> Result<Arc<crate::store::SpecEntry>, ApiError> {
+    state
+        .store
+        .get(name)
+        .ok_or_else(|| ApiError::not_found(format!("no spec named {name:?}")))
+}
+
+// ---------------------------------------------------------------------
+// what-if goodput
+// ---------------------------------------------------------------------
+
+/// A parsed, defaulted and validated what-if query — the only input
+/// [`whatif_body`] depends on besides the model, and the source of the
+/// canonical cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfQuery {
+    /// Per-host availability in (0, 1].
+    pub availability: f64,
+    /// Slice size in chips (positive multiple of the block size).
+    pub slice_chips: u64,
+    /// Fleet-fabric arm under test.
+    pub fabric: FabricKind,
+    /// Monte Carlo trials.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WhatIfQuery {
+    /// Parses a raw query string against a model (for defaults and
+    /// geometry validation), mirroring every `GoodputSim::goodput`
+    /// precondition as a 400 instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400 [`ApiError`] naming the offending parameter.
+    pub fn parse(model: &PlannerModel, query: &str) -> Result<WhatIfQuery, ApiError> {
+        let params = known_params(
+            query,
+            &["availability", "slice_chips", "fabric", "trials", "seed"],
+        )?;
+        let availability = parse_f64(&params, "availability")?.unwrap_or(0.99);
+        if !(availability > 0.0 && availability <= 1.0) {
+            return Err(ApiError::bad_request(
+                "bad_availability",
+                format!("availability must be in (0, 1], got {availability}"),
+            ));
+        }
+        let block = u64::from(model.chips_per_block());
+        let slice_chips = parse_u64(&params, "slice_chips")?
+            .unwrap_or_else(|| u64::from((model.blocks() / 4).max(1)) * block);
+        if slice_chips == 0
+            || !slice_chips.is_multiple_of(block)
+            || slice_chips > model.total_chips()
+        {
+            return Err(ApiError::bad_request(
+                "bad_slice_chips",
+                format!(
+                    "slice_chips must be a positive multiple of {block} up to {}, got {slice_chips}",
+                    model.total_chips()
+                ),
+            ));
+        }
+        let fabric = parse_fabric(&params, model)?;
+        let trials = parse_u64(&params, "trials")?.unwrap_or(u64::from(DEFAULT_TRIALS));
+        if trials == 0 || trials > u64::from(MAX_TRIALS) {
+            return Err(ApiError::bad_request(
+                "bad_trials",
+                format!("trials must be in 1..={MAX_TRIALS}, got {trials}"),
+            ));
+        }
+        let seed = parse_u64(&params, "seed")?.unwrap_or(DEFAULT_SEED);
+        Ok(WhatIfQuery {
+            availability,
+            slice_chips,
+            fabric,
+            trials: trials as u32,
+            seed,
+        })
+    }
+
+    /// The canonical cache key: every parameter post-default, numbers
+    /// in canonical JSON form, keys in fixed order — so equivalent
+    /// spellings of one question share a cache entry.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "whatif?availability={}&fabric={}&seed={}&slice_chips={}&trials={}",
+            JsonValue::Num(self.availability),
+            self.fabric.label(),
+            self.seed,
+            self.slice_chips,
+            self.trials
+        )
+    }
+}
+
+/// Computes the what-if response body for a sim. Shared verbatim by
+/// the HTTP handler and `tpu-serve --oneshot`, so the two paths cannot
+/// diverge in formatting — only in how they construct the sim, which
+/// the equivalence tests prove irrelevant.
+pub fn whatif_body(name: &str, sim: &GoodputSim, q: &WhatIfQuery) -> String {
+    let model = sim.model();
+    let goodput = sim.goodput(q.slice_chips, q.availability, q.fabric);
+    finish(JsonValue::Obj(vec![
+        ("availability".into(), JsonValue::Num(q.availability)),
+        ("fabric".into(), JsonValue::Str(q.fabric.label().into())),
+        ("goodput".into(), JsonValue::Num(goodput)),
+        ("goodput_bits".into(), JsonValue::Str(bits_hex(goodput))),
+        ("seed".into(), JsonValue::Num(q.seed as f64)),
+        ("slice_chips".into(), JsonValue::Num(q.slice_chips as f64)),
+        ("spec".into(), JsonValue::Str(name.into())),
+        (
+            "spec_hash".into(),
+            JsonValue::Str(format!("{:016x}", model.spec_hash())),
+        ),
+        (
+            "total_chips".into(),
+            JsonValue::Num(model.total_chips() as f64),
+        ),
+        ("trials".into(), JsonValue::Num(f64::from(q.trials))),
+    ]))
+}
+
+fn whatif(state: &ServiceState, name: &str, query: &str) -> Result<ApiResponse, ApiError> {
+    let entry = lookup(state, name)?;
+    let q = WhatIfQuery::parse(&entry.model, query)?;
+    let key = q.canonical_key();
+    let hash = entry.model.spec_hash();
+    if let Some(body) = state.cache.get(hash, &key) {
+        return Ok(ApiResponse {
+            status: 200,
+            body,
+            x_cache: Some("hit"),
+        });
+    }
+    let sim = GoodputSim::for_model(Arc::clone(&entry.model), q.trials, q.seed);
+    let body = whatif_body(&entry.name, &sim, &q);
+    state.cache.insert(hash, &key, body.clone());
+    Ok(ApiResponse {
+        status: 200,
+        body,
+        x_cache: Some("miss"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// collective-time quotes
+// ---------------------------------------------------------------------
+
+/// A parsed collective-time quote request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveQuery {
+    /// `all_reduce` or `all_to_all`.
+    pub op: String,
+    /// Payload: bytes per replica (all-reduce) or per ordered pair
+    /// (all-to-all).
+    pub bytes: u64,
+    /// Slice shape the job occupies.
+    pub shape: (u32, u32, u32),
+}
+
+impl CollectiveQuery {
+    /// Parses a raw query string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400 [`ApiError`] naming the offending parameter.
+    pub fn parse(query: &str) -> Result<CollectiveQuery, ApiError> {
+        let params = known_params(query, &["op", "bytes", "shape"])?;
+        let op = get(&params, "op").unwrap_or("all_reduce").to_string();
+        if op != "all_reduce" && op != "all_to_all" {
+            return Err(ApiError::bad_request(
+                "bad_op",
+                format!("op must be all_reduce or all_to_all, got {op:?}"),
+            ));
+        }
+        let bytes = parse_u64(&params, "bytes")?.unwrap_or(DEFAULT_COLLECTIVE_BYTES);
+        if bytes == 0 || bytes > (1 << 42) {
+            return Err(ApiError::bad_request(
+                "bad_bytes",
+                format!("bytes must be in 1..=2^42, got {bytes}"),
+            ));
+        }
+        let shape_text = get(&params, "shape").unwrap_or("4x4x4");
+        let dims: Vec<u32> = shape_text
+            .split('x')
+            .map(|d| d.parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad_shape(shape_text))?;
+        let shape = match dims.as_slice() {
+            [x, y, z] if *x > 0 && *y > 0 && *z > 0 && *x <= 1024 && *y <= 1024 && *z <= 1024 => {
+                (*x, *y, *z)
+            }
+            _ => return Err(bad_shape(shape_text)),
+        };
+        Ok(CollectiveQuery { op, bytes, shape })
+    }
+}
+
+fn bad_shape(text: &str) -> ApiError {
+    ApiError::bad_request(
+        "bad_shape",
+        format!("shape must be XxYxZ with dims in 1..=1024, got {text:?}"),
+    )
+}
+
+/// Computes the collective-quote body against a pristine clone of the
+/// machine on its own fabric — the same `submit` + `collective_time`
+/// path `repro --spec` reports. Shared by HTTP and `--oneshot`.
+///
+/// # Errors
+///
+/// Returns 422 when the machine cannot host the shape.
+pub fn collective_body(
+    name: &str,
+    model: &PlannerModel,
+    q: &CollectiveQuery,
+) -> Result<String, ApiError> {
+    let shape = SliceShape::new(q.shape.0, q.shape.1, q.shape.2)
+        .map_err(|e| ApiError::bad_request("bad_shape", format!("shape {:?}: {e}", q.shape)))?;
+    let mut machine = model.native_machine().clone();
+    let id = machine
+        .submit(JobSpec::new("quote", SliceSpec::regular(shape)))
+        .map_err(|e| ApiError {
+            status: 422,
+            code: "unplaceable",
+            message: format!(
+                "machine cannot host a {}x{}x{} slice: {e}",
+                q.shape.0, q.shape.1, q.shape.2
+            ),
+        })?;
+    let op = if q.op == "all_to_all" {
+        Collective::AllToAll {
+            bytes_per_pair: q.bytes,
+        }
+    } else {
+        Collective::AllReduce { bytes: q.bytes }
+    };
+    let seconds = machine.collective_time(id, op).map_err(|e| ApiError {
+        status: 422,
+        code: "unquotable",
+        message: e.to_string(),
+    })?;
+    Ok(finish(JsonValue::Obj(vec![
+        ("bytes".into(), JsonValue::Num(q.bytes as f64)),
+        ("op".into(), JsonValue::Str(q.op.clone())),
+        ("seconds".into(), JsonValue::Num(seconds)),
+        ("seconds_bits".into(), JsonValue::Str(bits_hex(seconds))),
+        (
+            "shape".into(),
+            JsonValue::Str(format!("{}x{}x{}", q.shape.0, q.shape.1, q.shape.2)),
+        ),
+        ("spec".into(), JsonValue::Str(name.into())),
+        (
+            "spec_hash".into(),
+            JsonValue::Str(format!("{:016x}", model.spec_hash())),
+        ),
+    ])))
+}
+
+fn collective(state: &ServiceState, name: &str, query: &str) -> Result<ApiResponse, ApiError> {
+    let entry = lookup(state, name)?;
+    let q = CollectiveQuery::parse(query)?;
+    // Closed-form and sub-millisecond: computed fresh every time, no
+    // cache entry spent on it.
+    Ok(plain(200, collective_body(&entry.name, &entry.model, &q)?))
+}
+
+// ---------------------------------------------------------------------
+// fleet DES runs
+// ---------------------------------------------------------------------
+
+/// A parsed fleet-DES query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetQuery {
+    /// Simulated horizon, days in (0, [`MAX_HORIZON_DAYS`]].
+    pub horizon_days: f64,
+    /// Fleet-fabric arm under test.
+    pub fabric: FabricKind,
+    /// Independent DES replications to average.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FleetQuery {
+    /// Parses a raw query string against a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400 [`ApiError`] naming the offending parameter.
+    pub fn parse(model: &PlannerModel, query: &str) -> Result<FleetQuery, ApiError> {
+        let params = known_params(query, &["horizon_days", "fabric", "trials", "seed"])?;
+        let horizon_days = parse_f64(&params, "horizon_days")?.unwrap_or(7.0);
+        if !(horizon_days > 0.0 && horizon_days <= MAX_HORIZON_DAYS) {
+            return Err(ApiError::bad_request(
+                "bad_horizon",
+                format!("horizon_days must be in (0, {MAX_HORIZON_DAYS}], got {horizon_days}"),
+            ));
+        }
+        let fabric = parse_fabric(&params, model)?;
+        let trials = parse_u64(&params, "trials")?.unwrap_or(3);
+        if trials == 0 || trials > u64::from(MAX_FLEET_TRIALS) {
+            return Err(ApiError::bad_request(
+                "bad_trials",
+                format!("trials must be in 1..={MAX_FLEET_TRIALS}, got {trials}"),
+            ));
+        }
+        let seed = parse_u64(&params, "seed")?.unwrap_or(DEFAULT_SEED);
+        Ok(FleetQuery {
+            horizon_days,
+            fabric,
+            trials: trials as u32,
+            seed,
+        })
+    }
+
+    /// The canonical cache key (see [`WhatIfQuery::canonical_key`]).
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "fleet?fabric={}&horizon_days={}&seed={}&trials={}",
+            self.fabric.label(),
+            JsonValue::Num(self.horizon_days),
+            self.seed,
+            self.trials
+        )
+    }
+}
+
+/// Computes the fleet-DES response body. Shared by HTTP and
+/// `--oneshot`.
+pub fn fleet_body(name: &str, model: &Arc<PlannerModel>, q: &FleetQuery) -> String {
+    let sim = FleetSim::for_model(Arc::clone(model), q.horizon_days * SECONDS_PER_DAY, q.seed);
+    let m = sim.run_trials(q.fabric, q.trials);
+    finish(JsonValue::Obj(vec![
+        ("availability".into(), JsonValue::Num(m.availability)),
+        ("completions".into(), JsonValue::Num(m.completions)),
+        ("events".into(), JsonValue::Num(m.events)),
+        ("fabric".into(), JsonValue::Str(q.fabric.label().into())),
+        ("fragmentation".into(), JsonValue::Num(m.fragmentation)),
+        ("goodput".into(), JsonValue::Num(m.goodput)),
+        ("goodput_bits".into(), JsonValue::Str(bits_hex(m.goodput))),
+        ("horizon_days".into(), JsonValue::Num(q.horizon_days)),
+        (
+            "mean_wait_best_effort_s".into(),
+            JsonValue::Num(m.mean_wait_best_effort_s),
+        ),
+        (
+            "mean_wait_production_s".into(),
+            JsonValue::Num(m.mean_wait_production_s),
+        ),
+        ("mean_wait_s".into(), JsonValue::Num(m.mean_wait_s)),
+        ("preemptions".into(), JsonValue::Num(m.preemptions)),
+        (
+            "reconfig_overhead".into(),
+            JsonValue::Num(m.reconfig_overhead),
+        ),
+        ("seed".into(), JsonValue::Num(q.seed as f64)),
+        ("spec".into(), JsonValue::Str(name.into())),
+        (
+            "spec_hash".into(),
+            JsonValue::Str(format!("{:016x}", model.spec_hash())),
+        ),
+        ("trials".into(), JsonValue::Num(f64::from(q.trials))),
+        ("utilization".into(), JsonValue::Num(m.utilization)),
+    ]))
+}
+
+fn fleet(state: &ServiceState, name: &str, query: &str) -> Result<ApiResponse, ApiError> {
+    let entry = lookup(state, name)?;
+    let q = FleetQuery::parse(&entry.model, query)?;
+    let key = q.canonical_key();
+    let hash = entry.model.spec_hash();
+    if let Some(body) = state.cache.get(hash, &key) {
+        return Ok(ApiResponse {
+            status: 200,
+            body,
+            x_cache: Some("hit"),
+        });
+    }
+    let body = fleet_body(&entry.name, &entry.model, &q);
+    state.cache.insert(hash, &key, body.clone());
+    Ok(ApiResponse {
+        status: 200,
+        body,
+        x_cache: Some("miss"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// parameter plumbing
+// ---------------------------------------------------------------------
+
+/// Splits a query and rejects unknown parameter names — a typo'd
+/// parameter silently falling back to its default would poison the
+/// cache-key canonicalization.
+fn known_params(query: &str, allowed: &[&str]) -> Result<Vec<(String, String)>, ApiError> {
+    let params = query_params(query);
+    for (key, _) in &params {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad_request(
+                "unknown_param",
+                format!("unknown parameter {key:?}; allowed: {}", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(params)
+}
+
+/// Last occurrence of a key wins, like most HTTP servers.
+fn get<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_f64(params: &[(String, String)], key: &'static str) -> Result<Option<f64>, ApiError> {
+    match get(params, key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Some)
+            .ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad_number",
+                    format!("{key} must be a finite number, got {raw:?}"),
+                )
+            }),
+    }
+}
+
+fn parse_u64(params: &[(String, String)], key: &'static str) -> Result<Option<u64>, ApiError> {
+    match get(params, key) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            ApiError::bad_request(
+                "bad_number",
+                format!("{key} must be a non-negative integer, got {raw:?}"),
+            )
+        }),
+    }
+}
+
+/// The default fabric is the machine's reconfigurable arm: its own
+/// switched fabric for `torus_dims == 0` specs, the OCS plugboard
+/// otherwise; `switched` is rejected on torus specs exactly as in
+/// `GoodputSim::goodput`.
+fn parse_fabric(params: &[(String, String)], model: &PlannerModel) -> Result<FabricKind, ApiError> {
+    let fabric = match get(params, "fabric") {
+        None => {
+            if model.spec().torus_dims == 0 {
+                FabricKind::Switched
+            } else {
+                FabricKind::Ocs
+            }
+        }
+        Some(raw) => FabricKind::from_label(raw).ok_or_else(|| {
+            ApiError::bad_request(
+                "bad_fabric",
+                format!("fabric must be ocs, static or switched, got {raw:?}"),
+            )
+        })?,
+    };
+    if fabric == FabricKind::Switched && model.spec().torus_dims != 0 {
+        return Err(ApiError::bad_request(
+            "bad_fabric",
+            "fabric=switched is only defined for torus_dims == 0 specs".into(),
+        ));
+    }
+    Ok(fabric)
+}
+
+/// IEEE-754 bit pattern of a result, for wire-level bit-identity
+/// checks against the offline paths.
+fn bits_hex(x: f64) -> String {
+    format!("0x{:016x}", x.to_bits())
+}
+
+/// Renders a body: canonical JSON plus the trailing newline every
+/// response ends with.
+fn finish(value: JsonValue) -> String {
+    format!("{value}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_v4() -> ServiceState {
+        let store = SpecStore::in_memory();
+        store.put("v4", &MachineSpec::v4()).unwrap();
+        store.put("a100", &MachineSpec::a100()).unwrap();
+        ServiceState {
+            store,
+            cache: QueryCache::new(64),
+        }
+    }
+
+    fn get_req(path_and_query: &str) -> Request {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_and_query, ""),
+        };
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.into(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unknown_paths_are_404() {
+        let state = state_with_v4();
+        for path in ["/nope", "/specs/v4/unknown", "/specs/v4/whatif/extra"] {
+            let resp = handle(&state, &get_req(path));
+            assert_eq!(resp.status, 404, "{path}");
+            assert!(resp.body.contains("not_found") || resp.body.contains("unknown_path"));
+        }
+    }
+
+    #[test]
+    fn wrong_methods_are_405() {
+        let state = state_with_v4();
+        let req = Request {
+            method: "POST".into(),
+            path: "/specs/v4/whatif".into(),
+            query: String::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&state, &req).status, 405);
+    }
+
+    #[test]
+    fn whatif_rejects_bad_parameters_cleanly() {
+        let state = state_with_v4();
+        for (query, code) in [
+            ("availability=0", "bad_availability"),
+            ("availability=1.5", "bad_availability"),
+            ("availability=nan", "bad_number"),
+            ("slice_chips=65", "bad_slice_chips"),
+            ("slice_chips=0", "bad_slice_chips"),
+            ("slice_chips=8192", "bad_slice_chips"),
+            ("trials=0", "bad_trials"),
+            ("trials=999999", "bad_trials"),
+            ("fabric=warp", "bad_fabric"),
+            ("fabric=switched", "bad_fabric"),
+            ("typo=1", "unknown_param"),
+        ] {
+            let resp = handle(&state, &get_req(&format!("/specs/v4/whatif?{query}")));
+            assert_eq!(resp.status, 400, "{query}: {}", resp.body);
+            assert!(resp.body.contains(code), "{query}: {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn whatif_answers_and_caches() {
+        let state = state_with_v4();
+        let req = get_req("/specs/v4/whatif?availability=0.995&slice_chips=1024&trials=40&seed=7");
+        let cold = handle(&state, &req);
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.x_cache, Some("miss"));
+        let warm = handle(&state, &req);
+        assert_eq!(warm.x_cache, Some("hit"));
+        assert_eq!(cold.body, warm.body, "hits must be byte-identical");
+        // Equivalent spelling of the same question: same cache entry.
+        let respelled = handle(
+            &state,
+            &get_req("/specs/v4/whatif?seed=7&trials=40&slice_chips=1024&availability=0.9950"),
+        );
+        assert_eq!(respelled.x_cache, Some("hit"));
+        assert_eq!(respelled.body, cold.body);
+    }
+
+    #[test]
+    fn whatif_matches_the_offline_sim_bit_for_bit() {
+        let state = state_with_v4();
+        let resp = handle(
+            &state,
+            &get_req("/specs/v4/whatif?availability=0.992&slice_chips=1024&trials=50&seed=9"),
+        );
+        let offline =
+            GoodputSim::for_spec(&MachineSpec::v4(), 50, 9).goodput(1024, 0.992, FabricKind::Ocs);
+        assert!(
+            resp.body.contains(&bits_hex(offline)),
+            "service {} vs offline {}",
+            resp.body,
+            bits_hex(offline)
+        );
+    }
+
+    #[test]
+    fn switched_default_fabric_for_island_machines() {
+        let state = state_with_v4();
+        let resp = handle(&state, &get_req("/specs/a100/whatif?trials=10"));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"fabric\":\"switched\""));
+    }
+
+    #[test]
+    fn collective_quotes_run_closed_form() {
+        let state = state_with_v4();
+        let resp = handle(
+            &state,
+            &get_req("/specs/v4/collective?op=all_reduce&bytes=1073741824&shape=4x4x4"),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"seconds\":"));
+        assert_eq!(resp.x_cache, None);
+        // Malformed shapes and ops are 400s.
+        for q in ["shape=4x4", "shape=0x4x4", "shape=4x4x4x4", "op=all_gather"] {
+            let resp = handle(&state, &get_req(&format!("/specs/v4/collective?{q}")));
+            assert_eq!(resp.status, 400, "{q}");
+        }
+        // A shape bigger than the machine is 422 unplaceable.
+        let resp = handle(&state, &get_req("/specs/v4/collective?shape=64x64x64"));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+    }
+
+    #[test]
+    fn spec_crud_over_the_api() {
+        let state = state_with_v4();
+        let put = Request {
+            method: "PUT".into(),
+            path: "/specs/mini".into(),
+            query: String::new(),
+            body: MachineSpec::v3().to_json().into_bytes(),
+        };
+        let resp = handle(&state, &put);
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        assert!(resp.body.contains("\"created\":true"));
+        let got = handle(&state, &get_req("/specs/mini"));
+        assert_eq!(got.body.trim_end(), MachineSpec::v3().to_json());
+        let deleted = handle(
+            &state,
+            &Request {
+                method: "DELETE".into(),
+                path: "/specs/mini".into(),
+                query: String::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(deleted.status, 200);
+        assert_eq!(handle(&state, &get_req("/specs/mini")).status, 404);
+        // Garbage bodies are 422, not 500.
+        let bad = Request {
+            method: "PUT".into(),
+            path: "/specs/broken".into(),
+            query: String::new(),
+            body: b"not json".to_vec(),
+        };
+        assert_eq!(handle(&state, &bad).status, 422);
+    }
+
+    #[test]
+    fn replacing_a_spec_invalidates_its_cache_entries() {
+        let state = state_with_v4();
+        let req = get_req("/specs/v4/whatif?availability=0.995&trials=20");
+        assert_eq!(handle(&state, &req).x_cache, Some("miss"));
+        assert_eq!(handle(&state, &req).x_cache, Some("hit"));
+        // Re-PUT the identical spec: hash unchanged, cache kept.
+        let same = Request {
+            method: "PUT".into(),
+            path: "/specs/v4".into(),
+            query: String::new(),
+            body: MachineSpec::v4().to_json().into_bytes(),
+        };
+        assert_eq!(handle(&state, &same).status, 200);
+        assert_eq!(handle(&state, &req).x_cache, Some("hit"));
+        // PUT a different machine under the name: entries invalidated.
+        let different = Request {
+            method: "PUT".into(),
+            path: "/specs/v4".into(),
+            query: String::new(),
+            body: MachineSpec::v2().to_json().into_bytes(),
+        };
+        assert_eq!(handle(&state, &different).status, 200);
+        let after = handle(
+            &state,
+            &get_req("/specs/v4/whatif?availability=0.995&trials=20"),
+        );
+        assert_eq!(after.x_cache, Some("miss"));
+    }
+
+    #[test]
+    fn list_and_health_are_deterministic() {
+        let state = state_with_v4();
+        let a = handle(&state, &get_req("/specs"));
+        let b = handle(&state, &get_req("/specs"));
+        assert_eq!(a.body, b.body);
+        assert!(a.body.contains("\"name\":\"a100\""));
+        let health = handle(&state, &get_req("/healthz"));
+        assert_eq!(health.body, "{\"ok\":true,\"specs\":2}\n");
+    }
+
+    #[test]
+    fn canonical_keys_normalize_number_spellings() {
+        let model = PlannerModel::for_spec(&MachineSpec::v4());
+        let a = WhatIfQuery::parse(&model, "availability=0.9920&trials=40").unwrap();
+        let b = WhatIfQuery::parse(&model, "availability=0.992&trials=40").unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert!(a.canonical_key().starts_with("whatif?availability=0.992&"));
+    }
+}

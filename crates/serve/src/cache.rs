@@ -1,0 +1,193 @@
+//! The in-memory LRU result cache in front of Monte Carlo.
+//!
+//! Keys are `(spec_hash, canonical_query)`: the canonical spec hash
+//! ([`tpu_spec::MachineSpec::canonical_hash`]) identifies the machine —
+//! so re-PUTting a byte-shuffled but semantically identical spec keeps
+//! its cache entries — and the canonical query string is built by the
+//! handlers *after* parameter parsing, defaulting and normalization, so
+//! `availability=0.9920` and `availability=0.992` share one entry.
+//!
+//! Correctness under concurrency does not depend on the cache: every
+//! cached value is the output of a deterministic simulation of its key,
+//! so a hit returns byte-for-byte what a recompute would. The cache is
+//! therefore *never* locked across a simulation — two threads racing on
+//! the same cold key both compute and insert identical bytes, and the
+//! concurrency CI gate (`scripts/service_concurrency.sh`) holds by
+//! construction. See DESIGN.md §14.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One cache key: the spec's canonical hash plus the handler-built
+/// canonical query string.
+type Key = (u64, String);
+
+struct Entry {
+    body: String,
+    last_used: u64,
+}
+
+struct Inner {
+    map: BTreeMap<Key, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of response bodies, shared across workers.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding up to `capacity` responses (0 disables caching).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a response body, refreshing its LRU position. Counts a
+    /// hit or miss.
+    pub fn get(&self, spec_hash: u64, query: &str) -> Option<String> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let body = inner
+            .map
+            .get_mut(&(spec_hash, query.to_string()))
+            .map(|entry| {
+                entry.last_used = tick;
+                entry.body.clone()
+            });
+        drop(inner);
+        match &body {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        body
+    }
+
+    /// Stores a response body, evicting the least-recently-used entry
+    /// when full. Racing inserts of the same key are benign: both
+    /// bodies are the deterministic output of the same key.
+    pub fn insert(&self, spec_hash: u64, query: &str, body: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity
+            && !inner.map.contains_key(&(spec_hash, query.to_string()))
+        {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(
+            (spec_hash, query.to_string()),
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry whose spec hash matches (spec deleted or
+    /// replaced by a *semantically different* one).
+    pub fn invalidate_spec(&self, spec_hash: u64) {
+        let mut inner = self.lock();
+        inner.map.retain(|(h, _), _| *h != spec_hash);
+    }
+
+    /// `(hits, misses, live entries)` since start.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let entries = self.lock().map.len();
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+
+    /// Locks the map, recovering from a poisoned mutex: the cache holds
+    /// only immutable response bytes keyed by their query, so a
+    /// panicked writer cannot leave a half-state worth rejecting.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = QueryCache::new(4);
+        assert_eq!(cache.get(1, "q"), None);
+        cache.insert(1, "q", "body".into());
+        assert_eq!(cache.get(1, "q").as_deref(), Some("body"));
+        let (hits, misses, entries) = cache.stats();
+        assert_eq!((hits, misses, entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_separate_by_spec_hash_and_query() {
+        let cache = QueryCache::new(8);
+        cache.insert(1, "q", "a".into());
+        cache.insert(2, "q", "b".into());
+        cache.insert(1, "r", "c".into());
+        assert_eq!(cache.get(1, "q").as_deref(), Some("a"));
+        assert_eq!(cache.get(2, "q").as_deref(), Some("b"));
+        assert_eq!(cache.get(1, "r").as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.insert(1, "a", "A".into());
+        cache.insert(1, "b", "B".into());
+        // Touch "a" so "b" is the LRU entry.
+        assert!(cache.get(1, "a").is_some());
+        cache.insert(1, "c", "C".into());
+        assert!(cache.get(1, "a").is_some(), "recently used survives");
+        assert!(cache.get(1, "b").is_none(), "LRU entry evicted");
+        assert!(cache.get(1, "c").is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.insert(1, "q", "body".into());
+        assert_eq!(cache.get(1, "q"), None);
+    }
+
+    #[test]
+    fn invalidate_spec_drops_only_that_machine() {
+        let cache = QueryCache::new(8);
+        cache.insert(1, "q", "a".into());
+        cache.insert(2, "q", "b".into());
+        cache.invalidate_spec(1);
+        assert!(cache.get(1, "q").is_none());
+        assert!(cache.get(2, "q").is_some());
+    }
+}

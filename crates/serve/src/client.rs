@@ -1,0 +1,117 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Just enough to exercise the server from tests and from
+//! `perf_report`'s service benchmarks without external tooling: one
+//! request per connection, `Connection: close`, body read to EOF or
+//! `Content-Length`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response: status code, headers in wire order, body text.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as UTF-8 text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns connection/transport errors, or `InvalidData` when the peer
+/// speaks something that is not an HTTP/1.1 response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("not an HTTP status line: {status_line:?}"),
+            )
+        })?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+
+    let mut raw = Vec::new();
+    match content_length {
+        Some(n) => {
+            raw.resize(n, 0);
+            reader.read_exact(&mut raw)?;
+        }
+        None => {
+            reader.read_to_end(&mut raw)?;
+        }
+    }
+    let body = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

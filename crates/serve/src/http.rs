@@ -1,0 +1,435 @@
+//! A minimal HTTP/1.1 reader/writer over `std::io`.
+//!
+//! The service speaks exactly the slice of HTTP/1.1 that `curl` and the
+//! in-process test client need: one request per connection
+//! (`Connection: close`), a request line, headers (only
+//! `Content-Length` is interpreted), an optional body, and a
+//! fixed-layout response. Every limit is explicit so a malformed or
+//! hostile peer gets a clean 4xx instead of an unbounded read: request
+//! lines and header lines are capped at [`MAX_LINE`] bytes, header
+//! count at [`MAX_HEADERS`], bodies at [`MAX_BODY`].
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request or header line, bytes (including CRLF).
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes (spec files are ~1 KiB).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be parsed, each with its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The connection closed before a full request arrived.
+    ConnectionClosed,
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line has no `:` separator.
+    BadHeader,
+    /// The request or a header line exceeds [`MAX_LINE`].
+    LineTooLong,
+    /// More than [`MAX_HEADERS`] header lines.
+    TooManyHeaders,
+    /// `Content-Length` is missing on a bodied request, unparsable, or
+    /// exceeds [`MAX_BODY`].
+    BadLength(String),
+    /// The protocol is not HTTP/1.0 or HTTP/1.1.
+    BadVersion(String),
+    /// Transport error mid-request.
+    Io(io::ErrorKind),
+}
+
+impl ParseError {
+    /// The HTTP status this parse failure answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BadLength(msg) if msg.contains("exceeds") => 413,
+            ParseError::BadVersion(_) => 505,
+            _ => 400,
+        }
+    }
+
+    /// A short machine-readable error code for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ParseError::ConnectionClosed => "connection_closed",
+            ParseError::BadRequestLine(_) => "bad_request_line",
+            ParseError::BadHeader => "bad_header",
+            ParseError::LineTooLong => "line_too_long",
+            ParseError::TooManyHeaders => "too_many_headers",
+            ParseError::BadLength(msg) if msg.contains("exceeds") => "body_too_large",
+            ParseError::BadLength(_) => "bad_content_length",
+            ParseError::BadVersion(_) => "http_version_not_supported",
+            ParseError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed before a full request"),
+            ParseError::BadRequestLine(line) => write!(f, "malformed request line: {line:?}"),
+            ParseError::BadHeader => write!(f, "malformed header line"),
+            ParseError::LineTooLong => write!(f, "request or header line exceeds {MAX_LINE} bytes"),
+            ParseError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
+            ParseError::BadLength(msg) => write!(f, "{msg}"),
+            ParseError::BadVersion(v) => write!(f, "unsupported protocol {v:?}"),
+            ParseError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+/// One parsed request: method, percent-decoded path, raw query string
+/// (still encoded — parameter splitting happens in [`query_params`]),
+/// and body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `PUT`, `DELETE`, ...).
+    pub method: String,
+    /// Percent-decoded path, always starting with `/`.
+    pub path: String,
+    /// The query string after `?`, empty when absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from a buffered stream, enforcing every limit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the violated rule; callers map it to
+/// a 4xx/5xx via [`ParseError::status`].
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let line = read_line(reader)?;
+    if line.is_empty() {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::BadRequestLine(truncate(&line, 120))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadVersion(truncate(version, 40)));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequestLine(truncate(&line, 120)));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut content_length: usize = 0;
+    let mut headers = 0usize;
+    loop {
+        let header = read_line(reader)?;
+        if header.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let (name, value) = header.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value.trim().parse().map_err(|_| {
+                ParseError::BadLength(format!("unparsable Content-Length {value:?}"))
+            })?;
+            if n > MAX_BODY {
+                return Err(ParseError::BadLength(format!(
+                    "Content-Length {n} exceeds the {MAX_BODY}-byte body limit"
+                )));
+            }
+            content_length = n;
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(reader, &mut body).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => ParseError::ConnectionClosed,
+            kind => ParseError::Io(kind),
+        })?;
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(raw_path),
+        query: raw_query.to_string(),
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+/// An empty return at the request line means EOF; at a header line it
+/// means end of headers.
+fn read_line(reader: &mut impl BufRead) -> Result<String, ParseError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match io::Read::read(reader, &mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(ParseError::LineTooLong);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::BadHeader)
+}
+
+/// Splits a raw query string into percent-decoded `(key, value)` pairs,
+/// in wire order. Keys without `=` get an empty value.
+pub fn query_params(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decodes `%XX` escapes and `+`-as-space; malformed escapes
+/// pass through literally (the route/param validators reject them).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let decoded = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok());
+                match decoded {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes one complete response and flushes: status line, the fixed
+/// header set (`Content-Type: application/json`, `Content-Length`,
+/// `Connection: close`), any extra headers (e.g. `X-Cache`), then the
+/// body.
+///
+/// # Errors
+///
+/// Propagates transport errors; the caller drops the connection.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrase for the statuses the service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Truncates a string for inclusion in an error message.
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req =
+            parse("GET /specs/v4/whatif?availability=0.992&trials=10 HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/specs/v4/whatif");
+        assert_eq!(req.query, "availability=0.992&trials=10");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_put_with_body() {
+        let req = parse("PUT /specs/x HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}").unwrap();
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn unsupported_versions_get_505() {
+        let err = parse("GET / HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 505);
+        assert_eq!(err.code(), "http_version_not_supported");
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let raw = format!(
+            "PUT /specs/x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert_eq!(err.code(), "body_too_large");
+    }
+
+    #[test]
+    fn unparsable_content_length_is_400() {
+        let err = parse("PUT /specs/x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert_eq!(err.code(), "bad_content_length");
+    }
+
+    #[test]
+    fn oversized_request_line_is_400() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err, ParseError::LineTooLong);
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn too_many_headers_is_400() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), ParseError::TooManyHeaders);
+    }
+
+    #[test]
+    fn truncated_body_is_connection_closed() {
+        let err = parse("PUT /specs/x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err, ParseError::ConnectionClosed);
+    }
+
+    #[test]
+    fn header_without_colon_is_400() {
+        let err = parse("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n").unwrap_err();
+        assert_eq!(err, ParseError::BadHeader);
+    }
+
+    #[test]
+    fn query_params_decode() {
+        let params = query_params("a=1&b=hello%20world&flag&c=x%3Dy");
+        assert_eq!(
+            params,
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), "hello world".into()),
+                ("flag".into(), String::new()),
+                ("c".into(), "x=y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient_on_malformed_escapes() {
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%"), "%");
+    }
+
+    #[test]
+    fn responses_have_the_fixed_header_layout() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}\n", &[("X-Cache", "hit")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}\n"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Capacity-planning-as-a-service: an HTTP front end over the planner.
+//!
+//! `tpu-serve` exposes the repo's capacity models — what-if goodput
+//! (`GoodputSim`), collective-time quotes (`Supercomputer`), and the
+//! fleet discrete-event simulator (`FleetSim`) — as a dependency-free
+//! HTTP/1.1 service over `std::net`. The contract that makes it
+//! trustworthy: **every response is bit-identical to the offline
+//! path** (`repro --spec`, `GoodputSim::goodput`, `tpu-serve
+//! --oneshot`), deterministic under concurrent load, and cache hits
+//! are indistinguishable from recomputes except for the `X-Cache`
+//! header. CI enforces all three end-to-end
+//! (`scripts/service_smoke.sh`, `scripts/service_concurrency.sh`).
+//!
+//! Layers, bottom up:
+//!
+//! - [`http`] — a bounded HTTP/1.1 reader/writer (limits, clean 4xx).
+//! - [`store`] — named, `Arc`-shared [`tpu_sched::PlannerModel`]s with
+//!   optional directory persistence (`specs/*.json` round-trip).
+//! - [`cache`] — the LRU result cache keyed by
+//!   `(canonical spec hash, canonical query)`.
+//! - [`api`] — routing, parameter validation (every simulator
+//!   precondition becomes a 400), and canonical response bodies.
+//! - [`server`] — the worker pool sharing one `TcpListener`.
+//! - [`client`] — the minimal blocking client tests and benchmarks use.
+//!
+//! Wire format and endpoint catalogue: docs/service-api.md; the
+//! concurrency and caching design: DESIGN.md §14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use api::{ApiError, ApiResponse, CollectiveQuery, FleetQuery, ServiceState, WhatIfQuery};
+pub use cache::QueryCache;
+pub use server::Server;
+pub use store::{SpecStore, StoreError};

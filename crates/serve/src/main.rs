@@ -1,0 +1,145 @@
+//! The `tpu-serve` binary: serve the capacity planner over HTTP, or
+//! answer one query offline.
+//!
+//! ```sh
+//! # Serve the committed spec corpus:
+//! cargo run --release -p tpu-serve -- --addr 127.0.0.1:7070 --specs-dir specs
+//!
+//! # Answer one query offline (no server, no cache) — the reference
+//! # the CI smoke test diffs HTTP responses against, byte for byte:
+//! cargo run --release -p tpu-serve -- --oneshot specs/v4.json \
+//!     'whatif?availability=0.992&trials=120&seed=7'
+//! ```
+//!
+//! `--oneshot` constructs its simulator through the offline
+//! `GoodputSim::for_spec` path and shares only the response *formatter*
+//! with the HTTP handlers — so a diff between the two proves the
+//! service computes exactly what the offline tools compute.
+
+use std::path::Path;
+use std::process::exit;
+use std::sync::Arc;
+use tpu_sched::{GoodputSim, PlannerModel};
+use tpu_serve::api::{collective_body, fleet_body, whatif_body};
+use tpu_serve::{
+    CollectiveQuery, FleetQuery, QueryCache, Server, ServiceState, SpecStore, WhatIfQuery,
+};
+use tpu_spec::MachineSpec;
+
+const USAGE: &str = "usage:
+  tpu-serve [--addr HOST:PORT] [--specs-dir DIR] [--workers N] [--cache-capacity N]
+  tpu-serve --oneshot SPEC.json 'ENDPOINT?PARAMS'
+
+where ENDPOINT is whatif, collective or fleet, e.g.
+  tpu-serve --oneshot specs/v4.json 'whatif?availability=0.992&trials=120&seed=7'";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--oneshot") {
+        let (Some(path), Some(query)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--oneshot needs a spec file and a query\n{USAGE}");
+            exit(2);
+        };
+        match oneshot(path, query) {
+            Ok(body) => print!("{body}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                exit(2);
+            }
+        }
+        return;
+    }
+
+    let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7070");
+    let specs_dir = flag_value(&args, "--specs-dir").unwrap_or("specs");
+    let workers = parse_flag(&args, "--workers", tpu_serve::server::DEFAULT_WORKERS);
+    let cache_capacity = parse_flag(&args, "--cache-capacity", 256);
+
+    let store = match SpecStore::load_dir(Path::new(specs_dir)) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot load specs from {specs_dir}: {e}");
+            exit(2);
+        }
+    };
+    let state = ServiceState {
+        store,
+        cache: QueryCache::new(cache_capacity),
+    };
+    let specs = state.store.len();
+    match Server::start(state, addr, workers) {
+        Ok(server) => {
+            println!(
+                "tpu-serve listening on http://{} ({specs} specs, {workers} workers, cache {cache_capacity})",
+                server.local_addr()
+            );
+            server.run_forever();
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(2);
+        }
+    }
+}
+
+/// Answers one query through the offline construction path, returning
+/// the exact body the HTTP endpoint would serve.
+fn oneshot(path: &str, query: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec =
+        MachineSpec::from_json(&text).map_err(|e| format!("{path} is not a valid spec: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("spec")
+        .to_string();
+    let (endpoint, params) = query.split_once('?').unwrap_or((query, ""));
+    let model = PlannerModel::for_spec(&spec);
+    match endpoint {
+        "whatif" => {
+            let q = WhatIfQuery::parse(&model, params).map_err(|e| e.message)?;
+            // The offline constructor, deliberately NOT the server's
+            // for_model path: bit-equality between the two is the
+            // cross-process proof the smoke test checks.
+            let sim = GoodputSim::for_spec(&spec, q.trials, q.seed);
+            Ok(whatif_body(&name, &sim, &q))
+        }
+        "collective" => {
+            let q = CollectiveQuery::parse(params).map_err(|e| e.message)?;
+            collective_body(&name, &model, &q).map_err(|e| e.message)
+        }
+        "fleet" => {
+            let q = FleetQuery::parse(&model, params).map_err(|e| e.message)?;
+            Ok(fleet_body(&name, &Arc::new(model), &q))
+        }
+        other => Err(format!(
+            "unknown oneshot endpoint {other:?} (whatif, collective or fleet)\n{USAGE}"
+        )),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match flag_value(args, flag) {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("{flag} needs a non-negative integer, got {raw:?}\n{USAGE}");
+                exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,114 @@
+//! The service-vs-offline contract: an HTTP response carries exactly
+//! the bits the offline simulators produce for the same question.
+
+use std::sync::Arc;
+use tpu_core::{Collective, JobSpec, Supercomputer};
+use tpu_ocs::SliceSpec;
+use tpu_sched::{FleetSim, GoodputSim, PlannerModel};
+use tpu_serve::{client, QueryCache, Server, ServiceState, SpecStore};
+use tpu_spec::{FabricKind, MachineSpec};
+use tpu_topology::SliceShape;
+
+fn start_server() -> Server {
+    let store = SpecStore::in_memory();
+    store.put("v4", &MachineSpec::v4()).unwrap();
+    store.put("v2", &MachineSpec::v2()).unwrap();
+    let state = ServiceState {
+        store,
+        cache: QueryCache::new(16),
+    };
+    Server::start(state, "127.0.0.1:0", 2).unwrap()
+}
+
+fn bits_hex(x: f64) -> String {
+    format!("0x{:016x}", x.to_bits())
+}
+
+#[test]
+fn whatif_bits_match_goodput_sim_for_spec() {
+    let server = start_server();
+    for (spec, name, fabric, slice) in [
+        (MachineSpec::v4(), "v4", FabricKind::Ocs, 1024u64),
+        (MachineSpec::v2(), "v2", FabricKind::Static, 128),
+    ] {
+        let target = format!(
+            "/specs/{name}/whatif?availability=0.992&slice_chips={slice}&trials=60&seed=7&fabric={}",
+            fabric.label()
+        );
+        let resp = client::request(server.local_addr(), "GET", &target, None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // The offline path: a sim constructed directly from the spec,
+        // as `repro --spec` and the notebooks do.
+        let offline = GoodputSim::for_spec(&spec, 60, 7).goodput(slice, 0.992, fabric);
+        assert!(
+            resp.body
+                .contains(&format!("\"goodput_bits\":\"{}\"", bits_hex(offline))),
+            "{name}: service body {} != offline bits {}",
+            resp.body,
+            bits_hex(offline)
+        );
+        assert!(
+            resp.body
+                .contains(&format!("\"spec_hash\":\"{}\"", spec.canonical_hash_hex())),
+            "{name}: wrong spec hash in {}",
+            resp.body
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn collective_bits_match_supercomputer_for_spec() {
+    let server = start_server();
+    let resp = client::request(
+        server.local_addr(),
+        "GET",
+        "/specs/v4/collective?op=all_reduce&bytes=1073741824&shape=8x8x8",
+        None,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let mut machine = Supercomputer::for_spec(&MachineSpec::v4());
+    let shape = SliceShape::new(8, 8, 8).unwrap();
+    let id = machine
+        .submit(JobSpec::new("quote", SliceSpec::regular(shape)))
+        .unwrap();
+    let offline = machine
+        .collective_time(id, Collective::AllReduce { bytes: 1 << 30 })
+        .unwrap();
+    assert!(
+        resp.body
+            .contains(&format!("\"seconds_bits\":\"{}\"", bits_hex(offline))),
+        "service {} != offline {}",
+        resp.body,
+        bits_hex(offline)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn fleet_bits_match_fleet_sim_for_model() {
+    let server = start_server();
+    let resp = client::request(
+        server.local_addr(),
+        "GET",
+        "/specs/v4/fleet?horizon_days=0.25&trials=1&seed=5&fabric=ocs",
+        None,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let model = Arc::new(PlannerModel::for_spec(&MachineSpec::v4()));
+    let metrics = FleetSim::for_model(model, 0.25 * 86_400.0, 5).run_trials(FabricKind::Ocs, 1);
+    assert!(
+        resp.body.contains(&format!(
+            "\"goodput_bits\":\"{}\"",
+            bits_hex(metrics.goodput)
+        )),
+        "service {} != offline goodput {}",
+        resp.body,
+        bits_hex(metrics.goodput)
+    );
+    server.shutdown();
+}

@@ -1,0 +1,128 @@
+//! Canonical machine-spec hashing.
+//!
+//! The capacity-planning service (`tpu-serve`, docs/service-api.md)
+//! caches query results keyed by *which machine* a query ran against.
+//! File bytes are the wrong identity: two spec files that reorder JSON
+//! fields, change whitespace, or spell `1200.0` as `1200` describe the
+//! same machine and must hit the same cache line. The canonical hash is
+//! therefore computed over [`crate::MachineSpec::to_json`] — the
+//! round-trip serialization with a fixed field order and number format —
+//! so any two parses that compare equal hash equal.
+//!
+//! The hash is 64-bit FNV-1a: a cache/identity key, deliberately *not* a
+//! cryptographic commitment (nothing in the planner trusts a hash it did
+//! not compute itself).
+
+use crate::MachineSpec;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl MachineSpec {
+    /// The canonical 64-bit identity hash of this machine description:
+    /// FNV-1a over the canonical JSON serialization ([`MachineSpec::
+    /// to_json`]), so it is invariant under field reordering, whitespace
+    /// and equivalent number spellings in source files — two specs hash
+    /// equal exactly when they parse equal.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a_64(self.to_json().as_bytes())
+    }
+
+    /// [`MachineSpec::canonical_hash`] as the fixed-width lowercase hex
+    /// string served and logged by the planning service (16 digits,
+    /// zero-padded, no prefix).
+    pub fn canonical_hash_hex(&self) -> String {
+        format!("{:016x}", self.canonical_hash())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Generation;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_is_stable_across_field_reordering() {
+        // A spec file with its top-level fields shuffled parses to the
+        // same machine and must hash identically (the cache-identity
+        // requirement): move "generation" to the end of the object.
+        let spec = MachineSpec::v4();
+        let json = spec.to_json();
+        let rest = json.strip_prefix("{\"generation\":\"v4\",").unwrap();
+        let body = rest.strip_suffix('}').unwrap();
+        let reordered = format!("{{{body},\"generation\":\"v4\"}}");
+        assert_ne!(json, reordered, "the bytes must actually differ");
+        let back = MachineSpec::from_json(&reordered).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.canonical_hash(), spec.canonical_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_across_whitespace_and_number_spelling() {
+        let spec = MachineSpec::a100();
+        let pretty = spec
+            .to_json()
+            .replace(":", ": ")
+            .replace(",\"", ",\n\"")
+            .replace("\"hbm_gbps\": 2039", "\"hbm_gbps\": 2039.0");
+        let back = MachineSpec::from_json(&pretty).unwrap();
+        assert_eq!(back.canonical_hash(), spec.canonical_hash());
+    }
+
+    #[test]
+    fn distinct_machines_hash_distinct() {
+        let labels = [
+            "v2", "v3", "v4", "a100", "h100", "ipu-bow", "v4-ib", "v3-ocs",
+        ];
+        let mut hashes: Vec<u64> = labels
+            .iter()
+            .map(|l| {
+                MachineSpec::for_generation(&Generation::from_label(l))
+                    .unwrap()
+                    .canonical_hash()
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), labels.len(), "hash collision across builtins");
+    }
+
+    #[test]
+    fn hash_tracks_semantic_changes() {
+        let v4 = MachineSpec::v4();
+        let mut tweaked = v4.clone();
+        tweaked.fleet_chips = 2048;
+        assert_ne!(v4.canonical_hash(), tweaked.canonical_hash());
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        let hex = MachineSpec::v4().canonical_hash_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(
+            u64::from_str_radix(&hex, 16).unwrap(),
+            MachineSpec::v4().canonical_hash()
+        );
+    }
+}

@@ -42,6 +42,7 @@ mod chip;
 pub mod consts;
 mod error;
 mod generation;
+pub mod hash;
 pub mod json;
 mod machine;
 

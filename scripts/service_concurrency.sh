@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# The CI concurrency gate (DESIGN.md §14): responses under parallel
+# load must be byte-identical to a sequential pass. A query set mixing
+# specs, endpoints and seeds is asked once sequentially (the reference
+# bodies, all cache-cold), then every query is re-asked 5 times from 8
+# parallel curl workers — a mix of cache hits and racing recomputes —
+# and every body is diffed against its reference.
+#
+# Usage: scripts/service_concurrency.sh [HOST:PORT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:17472}"
+BIN=target/release/tpu-serve
+REPS=5
+PARALLEL=8
+
+cargo build --release -p tpu-serve
+
+"$BIN" --addr "$ADDR" --specs-dir specs &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+QUERIES=(
+  'specs/v4/whatif?availability=0.992&trials=60&seed=1'
+  'specs/v4/whatif?availability=0.992&trials=60&seed=7'
+  'specs/v4/whatif?availability=0.97&slice_chips=2048&trials=60&seed=7'
+  'specs/v3/whatif?availability=0.992&trials=60&seed=7'
+  'specs/a100/whatif?trials=60&seed=7'
+  'specs/v4/collective?op=all_reduce&bytes=1073741824&shape=4x4x4'
+  'specs/v4/collective?op=all_to_all&bytes=1048576&shape=4x4x8'
+  'specs/v4/fleet?horizon_days=0.25&trials=1&seed=3'
+)
+
+workdir=$(mktemp -d)
+
+# Sequential reference pass (cold cache: the server just started).
+for i in "${!QUERIES[@]}"; do
+  curl -sf "http://$ADDR/${QUERIES[$i]}" >"$workdir/ref.$i" ||
+    { echo "FAIL: reference request $i (${QUERIES[$i]})"; exit 1; }
+done
+
+# Parallel storm: every (query, repetition) pair through P workers.
+for i in "${!QUERIES[@]}"; do
+  for rep in $(seq 1 "$REPS"); do
+    echo "$i $rep ${QUERIES[$i]}"
+  done
+done | xargs -P "$PARALLEL" -L 1 sh -c '
+  curl -sf "http://'"$ADDR"'/$2" >"'"$workdir"'/par.$0.$1"
+'
+
+fail=0
+for i in "${!QUERIES[@]}"; do
+  for rep in $(seq 1 "$REPS"); do
+    if ! cmp -s "$workdir/ref.$i" "$workdir/par.$i.$rep"; then
+      echo "FAIL: ${QUERIES[$i]} diverged on parallel repetition $rep"
+      diff -u "$workdir/ref.$i" "$workdir/par.$i.$rep" || true
+      fail=1
+    fi
+  done
+done
+
+rm -rf "$workdir"
+if [ "$fail" -ne 0 ]; then
+  echo "service concurrency FAILED"
+  exit 1
+fi
+echo "service concurrency passed: $(( ${#QUERIES[@]} * REPS )) parallel responses byte-identical to sequential"

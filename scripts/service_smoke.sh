@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# The CI service-smoke gate (DESIGN.md §14): start tpu-serve over the
+# committed specs/ corpus, then prove — byte for byte — that the HTTP
+# answer for every spec's what-if query equals the offline answer from
+# `tpu-serve --oneshot` (which builds its simulator through the same
+# GoodputSim::for_spec path as `repro --spec` and the test suite).
+# Also checks every served spec body round-trips the committed file.
+#
+# Usage: scripts/service_smoke.sh [HOST:PORT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:17471}"
+BIN=target/release/tpu-serve
+QUERY='availability=0.992&trials=120&seed=7'
+
+cargo build --release -p tpu-serve
+
+"$BIN" --addr "$ADDR" --specs-dir specs &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Wait for the service to come up (10s budget).
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz"
+echo
+
+workdir=$(mktemp -d)
+fail=0
+for spec in specs/*.json; do
+  name=$(basename "$spec" .json)
+
+  # The served spec is the committed file, byte for byte.
+  curl -sf "http://$ADDR/specs/$name" >"$workdir/$name.spec.json"
+  if ! diff -u "$spec" "$workdir/$name.spec.json"; then
+    echo "FAIL $name: served spec differs from committed $spec"
+    fail=1
+  fi
+
+  # The HTTP what-if answer is the offline answer, byte for byte.
+  curl -sf "http://$ADDR/specs/$name/whatif?$QUERY" >"$workdir/$name.http.json"
+  "$BIN" --oneshot "$spec" "whatif?$QUERY" >"$workdir/$name.offline.json"
+  if diff -u "$workdir/$name.offline.json" "$workdir/$name.http.json"; then
+    echo "ok $name: HTTP == offline ($(cat "$workdir/$name.http.json"))"
+  else
+    echo "FAIL $name: HTTP response differs from offline --oneshot"
+    fail=1
+  fi
+done
+
+rm -rf "$workdir"
+if [ "$fail" -ne 0 ]; then
+  echo "service smoke FAILED"
+  exit 1
+fi
+echo "service smoke passed: every spec byte-identical HTTP vs offline"
