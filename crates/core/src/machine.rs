@@ -383,6 +383,22 @@ impl Supercomputer {
         }
     }
 
+    /// Enables (or disables) deferred OCS wiring — see
+    /// [`Fabric::set_deferred_wiring`]: allocations keep full admission
+    /// control but skip programming circuits, which placement-rate-bound
+    /// simulations use to shed per-job switch traffic. No-op on static
+    /// and switched machines, which have no OCS circuits to defer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus fabric has live allocations (it refuses to
+    /// flip wiring modes mid-flight).
+    pub fn set_deferred_wiring(&mut self, deferred: bool) {
+        if let MachineFabric::Torus(fabric) = &mut self.fabric {
+            fabric.set_deferred_wiring(deferred);
+        }
+    }
+
     /// The static cluster (`None` unless this machine is statically
     /// cabled).
     pub fn static_cluster(&self) -> Option<&StaticCluster> {

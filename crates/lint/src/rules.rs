@@ -55,14 +55,18 @@ fn path_sep_then(tokens: &[Token<'_>], i: usize, name: &str) -> bool {
 /// `net`, `sched`, `ocs`) may not use nondeterministically-ordered or
 /// wall-clock-dependent constructs in library code: `HashMap`/`HashSet`
 /// (random iteration order), `Instant`/`SystemTime` (wall clock),
-/// `thread_rng` (OS-seeded), and bare `std::thread::spawn`. The one
+/// `thread_rng` (OS-seeded), bare `std::thread::spawn`, and raw
+/// `BinaryHeap` (pops same-key ties in unspecified order). The one
 /// allowlisted spawn site is `tpu_sched::trials`, whose scatter-gather
-/// reduces chunks in deterministic order.
+/// reduces chunks in deterministic order; the one allowlisted heap
+/// owner is `tpu_sched::equeue`, whose `(time, rank, seq)` keys make
+/// the pop order total (DESIGN.md §15).
 pub fn determinism(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.sim_crate || ctx.kind == FileKind::TestCode {
         return;
     }
     let spawn_allowed = ctx.rel_path == "crates/sched/src/trials.rs";
+    let heap_allowed = ctx.rel_path == "crates/sched/src/equeue.rs";
     for (i, tok) in code_tokens(ctx) {
         if tok.kind != TokenKind::Ident {
             continue;
@@ -77,6 +81,12 @@ pub fn determinism(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
                 "{} reads the wall clock; simulation time must come from the event engine",
                 tok.text
             )),
+            "BinaryHeap" if !heap_allowed => Some(
+                "BinaryHeap pops same-key ties in unspecified order; route events through \
+                 tpu_sched::equeue::EventQueue, whose (time, rank, seq) keys make the order \
+                 total — or suppress with proof that your keys never tie"
+                    .to_string(),
+            ),
             "thread_rng" => Some(
                 "thread_rng is OS-seeded; use the per-chunk SplitMix64 streams from \
                  tpu_sched::trials"
@@ -421,6 +431,15 @@ mod tests {
         let found = run("crates/sched/src/fleet.rs", src);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].contains("thread::spawn"), "{found:?}");
+    }
+
+    #[test]
+    fn determinism_heap_allowlist() {
+        let src = "use std::collections::BinaryHeap;\n";
+        assert!(run("crates/sched/src/equeue.rs", src).is_empty());
+        let found = run("crates/sched/src/cluster.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("BinaryHeap"), "{found:?}");
     }
 
     #[test]

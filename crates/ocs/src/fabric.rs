@@ -149,6 +149,11 @@ pub struct Fabric {
     blocks: Vec<Block>,
     in_use: Vec<bool>,
     ocses: Vec<OcsSwitch>,
+    /// Deferred-wiring mode: allocations validate and reserve blocks but
+    /// skip programming circuits. Runtime-only tuning, not fabric state —
+    /// excluded from serialization (deserialized fabrics wake up eager).
+    #[serde(skip)]
+    deferred_wiring: bool,
 }
 
 impl Fabric {
@@ -205,7 +210,45 @@ impl Fabric {
             blocks: (0..blocks).map(|i| Block::new(BlockId::new(i))).collect(),
             in_use: vec![false; blocks as usize],
             ocses: (0..OCS_COUNT).map(|_| OcsSwitch::palomar()).collect(),
+            deferred_wiring: false,
         }
+    }
+
+    /// Switches the fabric into deferred-wiring mode (or back to eager).
+    ///
+    /// In deferred mode [`Fabric::allocate`] / [`Fabric::allocate_on`]
+    /// still run every admission step — block choice, health and in-use
+    /// checks, block alignment, twist expressibility — and reserve the
+    /// blocks, but skip programming the per-(dim, line) OCS circuits.
+    /// The returned slice carries an empty circuit list (its cached
+    /// [`MaterializedSlice::chip_graph`] is unaffected: the graph is
+    /// derived from the spec and block torus, not from switch state),
+    /// and [`Fabric::total_circuits`] counts only physically programmed
+    /// circuits, i.e. stays at zero.
+    ///
+    /// This exists for placement-rate-bound simulations: the fleet DES
+    /// allocates and releases on the order of a million slices per run
+    /// and only ever asks *whether* and *where* a slice fits, so the
+    /// 48-circuits-per-block program/teardown traffic is pure overhead
+    /// there. Anything that inspects programmed wiring — reconfiguration
+    /// planning over [`MaterializedSlice::circuits`], link-level figures,
+    /// switch-utilization counts — must stay in the default eager mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is currently allocated: flipping modes with
+    /// live circuits would strand or double-program switch state.
+    pub fn set_deferred_wiring(&mut self, deferred: bool) {
+        assert!(
+            !self.in_use.iter().any(|&u| u),
+            "wiring mode can only change on an idle fabric"
+        );
+        self.deferred_wiring = deferred;
+    }
+
+    /// Whether allocations currently skip circuit programming.
+    pub fn deferred_wiring(&self) -> bool {
+        self.deferred_wiring
     }
 
     /// Number of blocks (deployed or not).
@@ -318,19 +361,24 @@ impl Fabric {
 
         // Program circuits: for every (dim, line) OCS and every block
         // position, connect the '+' fiber of the block to the '−' fiber of
-        // its +dim neighbor in the (possibly twisted) block torus.
+        // its +dim neighbor in the (possibly twisted) block torus. In
+        // deferred-wiring mode admission is already settled at this point,
+        // so the switch maps are left untouched and the slice records no
+        // circuits (release then has nothing to tear down).
         let mut circuits = Vec::new();
-        for dim in Dim::ALL {
-            for line in 0..LINKS_PER_FACE {
-                let ocs = ocs_index(dim, line);
-                for pos in block_shape.coords() {
-                    let (nbr, _) = block_torus.neighbor(pos, dim, Direction::Plus);
-                    let src_block = chosen[block_shape.index_of(pos) as usize];
-                    let dst_block = chosen[block_shape.index_of(nbr) as usize];
-                    let plus = block_port(src_block, Direction::Plus);
-                    let minus = block_port(dst_block, Direction::Minus);
-                    self.ocses[ocs].connect(plus, minus)?;
-                    circuits.push(Circuit { ocs, plus, minus });
+        if !self.deferred_wiring {
+            for dim in Dim::ALL {
+                for line in 0..LINKS_PER_FACE {
+                    let ocs = ocs_index(dim, line);
+                    for pos in block_shape.coords() {
+                        let (nbr, _) = block_torus.neighbor(pos, dim, Direction::Plus);
+                        let src_block = chosen[block_shape.index_of(pos) as usize];
+                        let dst_block = chosen[block_shape.index_of(nbr) as usize];
+                        let plus = block_port(src_block, Direction::Plus);
+                        let minus = block_port(dst_block, Direction::Minus);
+                        self.ocses[ocs].connect(plus, minus)?;
+                        circuits.push(Circuit { ocs, plus, minus });
+                    }
                 }
             }
         }

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
+// tpu-lint: allow(determinism) -- import for the completions heap below, whose keys never tie
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
@@ -267,7 +268,10 @@ impl ClusterSim {
             }
         };
 
-        // Completion events: (Reverse(time-bits), slab slot).
+        // Completion events: (Reverse(time-bits), slab slot). Keys are
+        // unique — no two live jobs share a slab slot — so heap pop
+        // order is total despite BinaryHeap's unspecified tie-breaking.
+        // tpu-lint: allow(determinism) -- (time-bits, slot) keys are unique per live job, so no ties exist to break
         let mut completions: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
         let mut slab: Vec<Option<Held>> = Vec::new();
         let time_key = |t: f64| Reverse(t.to_bits());

@@ -1,0 +1,424 @@
+//! Event queues for the discrete-event simulators: a calendar
+//! (bucketed) queue and the binary-heap reference it is proven
+//! against.
+//!
+//! # The ordering invariant
+//!
+//! Both queues pop items in ascending `(t.to_bits(), rank, seq)` order
+//! — `f64::to_bits` of a non-negative finite timestamp orders exactly
+//! like the timestamp itself, `rank` breaks same-instant ties by event
+//! kind, and `seq` (a strictly increasing insertion counter) makes the
+//! order total. This module is the *only* place in the scheduling
+//! crates allowed to own a `BinaryHeap` (enforced by the tpu-lint
+//! determinism rule): whoever wants heap-ordered events goes through
+//! an [`EventQueue`], so the invariant has exactly one home
+//! (DESIGN.md §15).
+//!
+//! # Why a calendar queue
+//!
+//! A fleet run processes millions of events whose timestamps are
+//! near-uniform at a known rate (Poisson arrivals, exponential
+//! failures/repairs). A calendar queue [Brown 1988] exploits that:
+//! time is divided into buckets of `width` seconds, a rotating window
+//! of `BUCKETS` (512) buckets covers the near future, and events beyond
+//! the window overflow into a small binary heap. Pushes into a future
+//! bucket are O(1) appends; a bucket is sorted once, when the cursor
+//! reaches it. With `width` chosen so each bucket holds O(1) events,
+//! push and pop are amortized O(1) versus the heap's O(log n).
+//!
+//! # The monotonicity contract
+//!
+//! Callers only push items at or after the most recently popped
+//! timestamp (event handlers schedule into the future). The queue
+//! stays correct if an in-window push lands behind the cursor (the
+//! cursor backs up), but pushes into an already-rotated-past window
+//! would be lost — debug builds assert against them.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tpu_spec::consts::MILLI;
+
+/// A queue item: `(time bits, rank, seq, payload)`. Tuple order is the
+/// pop order.
+pub type Item<P> = (u64, u8, u64, P);
+
+/// Buckets per calendar window. Power of two so the modulo is cheap;
+/// large enough that one window spans many mean event gaps.
+const BUCKETS: usize = 512;
+const BUCKETS_U64: u64 = BUCKETS as u64;
+
+/// A deterministic event queue: either the production calendar queue
+/// or the binary-heap reference implementation. Both pop in the exact
+/// same total order; the `fleet_fastpath_equivalence` test holds them
+/// bit-identical on every committed spec.
+#[derive(Debug)]
+pub enum EventQueue<P> {
+    /// The bucketed production queue.
+    Calendar(CalendarQueue<P>),
+    /// The straightforward heap it is proven against.
+    Reference(ReferenceQueue<P>),
+}
+
+impl<P: Copy + Ord> EventQueue<P> {
+    /// A calendar queue with the given bucket width in seconds.
+    pub fn calendar(width_s: f64) -> EventQueue<P> {
+        EventQueue::Calendar(CalendarQueue::new(width_s))
+    }
+
+    /// The reference heap.
+    pub fn reference() -> EventQueue<P> {
+        EventQueue::Reference(ReferenceQueue::new())
+    }
+
+    /// Inserts an item.
+    pub fn push(&mut self, item: Item<P>) {
+        match self {
+            EventQueue::Calendar(q) => q.push(item),
+            EventQueue::Reference(q) => q.push(item),
+        }
+    }
+
+    /// The minimum item, without removing it. Takes `&mut self`: the
+    /// calendar queue sorts the cursor bucket on first contact.
+    pub fn peek(&mut self) -> Option<Item<P>> {
+        match self {
+            EventQueue::Calendar(q) => q.peek(),
+            EventQueue::Reference(q) => q.peek(),
+        }
+    }
+
+    /// Removes and returns the minimum item.
+    pub fn pop(&mut self) -> Option<Item<P>> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Reference(q) => q.pop(),
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Reference(q) => q.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The bucketed queue (see the module docs for the design).
+#[derive(Debug)]
+pub struct CalendarQueue<P> {
+    /// Bucket width, seconds. Time `t` lives in global bucket
+    /// `floor(t / width)`.
+    width: f64,
+    /// The rotating window: global bucket `g` maps to `buckets[g % BUCKETS]`
+    /// while `g / BUCKETS == window`.
+    buckets: Vec<Vec<Item<P>>>,
+    /// The window index currently mapped onto `buckets`.
+    window: u64,
+    /// The in-window bucket the next pop comes from.
+    cursor: usize,
+    /// Whether `buckets[cursor]` has been sorted (descending, so pops
+    /// are `Vec::pop` from the tail).
+    prepared: bool,
+    /// Items held across `buckets`.
+    near: usize,
+    /// Items in windows beyond `window`, drained in on rotation.
+    far: BinaryHeap<Reverse<Item<P>>>,
+}
+
+impl<P: Copy + Ord> CalendarQueue<P> {
+    /// An empty queue with the given bucket width (clamped to a sane
+    /// positive range).
+    pub fn new(width_s: f64) -> CalendarQueue<P> {
+        let width = if width_s.is_finite() {
+            width_s.clamp(MILLI, 3600.0)
+        } else {
+            3600.0
+        };
+        CalendarQueue {
+            width,
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            window: 0,
+            cursor: 0,
+            prepared: false,
+            near: 0,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    fn global_bucket(&self, bits: u64) -> u64 {
+        // Timestamps are non-negative and finite, so the cast floors.
+        (f64::from_bits(bits) / self.width) as u64
+    }
+
+    /// Inserts an item.
+    pub fn push(&mut self, item: Item<P>) {
+        let g = self.global_bucket(item.0);
+        let w = g / BUCKETS_U64;
+        if w != self.window {
+            debug_assert!(w > self.window, "push into an already-rotated window");
+            self.far.push(Reverse(item));
+            return;
+        }
+        let b = (g % BUCKETS_U64) as usize;
+        if b < self.cursor {
+            // Tolerated non-monotone push within the window: back the
+            // cursor up so the item is still reachable in order.
+            self.cursor = b;
+            self.prepared = false;
+        }
+        if b == self.cursor && self.prepared {
+            // Keep the prepared bucket's descending order intact.
+            let v = &mut self.buckets[b];
+            let pos = v.partition_point(|held| *held > item);
+            v.insert(pos, item);
+        } else {
+            self.buckets[b].push(item);
+        }
+        self.near += 1;
+    }
+
+    /// The minimum item, preparing the cursor bucket as a side effect.
+    pub fn peek(&mut self) -> Option<Item<P>> {
+        loop {
+            if self.near == 0 {
+                // Nothing in the window: jump straight to the far
+                // minimum's window instead of rotating through empties.
+                let &Reverse(min) = self.far.peek()?;
+                let g = self.global_bucket(min.0);
+                self.window = g / BUCKETS_U64;
+                self.cursor = (g % BUCKETS_U64) as usize;
+                self.prepared = false;
+                self.drain_far();
+                debug_assert!(self.near > 0, "the far minimum lands in its window");
+            }
+            if self.prepared {
+                if let Some(&item) = self.buckets[self.cursor].last() {
+                    return Some(item);
+                }
+                self.prepared = false;
+                self.advance();
+                continue;
+            }
+            if self.buckets[self.cursor].is_empty() {
+                self.advance();
+                continue;
+            }
+            self.buckets[self.cursor].sort_unstable_by(|a, b| b.cmp(a));
+            self.prepared = true;
+        }
+    }
+
+    /// Removes and returns the minimum item.
+    pub fn pop(&mut self) -> Option<Item<P>> {
+        let item = self.peek()?;
+        // peek() leaves the minimum at the tail of the prepared bucket.
+        let popped = self.buckets[self.cursor].pop();
+        debug_assert!(popped == Some(item), "peek/pop must agree on the minimum");
+        self.near -= 1;
+        Some(item)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.near + self.far.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves the cursor to the next bucket, rotating the window (and
+    /// draining newly in-window far items) at the wrap.
+    fn advance(&mut self) {
+        if self.cursor + 1 == BUCKETS {
+            self.window += 1;
+            self.cursor = 0;
+            self.drain_far();
+        } else {
+            self.cursor += 1;
+        }
+    }
+
+    /// Moves every far item belonging to the current window into its
+    /// bucket. The far heap is min-ordered, so this drains a prefix.
+    fn drain_far(&mut self) {
+        while let Some(&Reverse(item)) = self.far.peek() {
+            let g = self.global_bucket(item.0);
+            if g / BUCKETS_U64 != self.window {
+                break;
+            }
+            self.far.pop();
+            self.buckets[(g % BUCKETS_U64) as usize].push(item);
+            self.near += 1;
+        }
+    }
+}
+
+/// The reference implementation: a plain binary min-heap. Used by the
+/// equivalence tests and available as the drop-in fallback.
+#[derive(Debug)]
+pub struct ReferenceQueue<P> {
+    heap: BinaryHeap<Reverse<Item<P>>>,
+}
+
+impl<P: Copy + Ord> ReferenceQueue<P> {
+    /// An empty queue.
+    pub fn new() -> ReferenceQueue<P> {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Inserts an item.
+    pub fn push(&mut self, item: Item<P>) {
+        self.heap.push(Reverse(item));
+    }
+
+    /// The minimum item, without removing it.
+    pub fn peek(&mut self) -> Option<Item<P>> {
+        self.heap.peek().map(|&Reverse(item)| item)
+    }
+
+    /// Removes and returns the minimum item.
+    pub fn pop(&mut self) -> Option<Item<P>> {
+        self.heap.pop().map(|Reverse(item)| item)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<P: Copy + Ord> Default for ReferenceQueue<P> {
+    fn default() -> Self {
+        ReferenceQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drains both queues fully after a mixed push/pop script with
+    /// monotone push times, asserting identical pop sequences.
+    fn assert_equivalent(width: f64, script_seed: u64, events: usize) {
+        let mut rng = StdRng::seed_from_u64(script_seed);
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new(width);
+        let mut reference: ReferenceQueue<u32> = ReferenceQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0.0f64;
+        for _ in 0..events {
+            // Mostly pushes; occasional pops advance `now` so later
+            // pushes exercise the monotone contract.
+            if rng.random::<f64>() < 0.7 || reference.is_empty() {
+                // A mix of near (in-window) and far (beyond-window)
+                // horizons, including exact ties on `now`.
+                let gap = match rng.random_range(0..4u32) {
+                    0 => 0.0,
+                    1 => rng.random::<f64>() * width * 3.0,
+                    2 => rng.random::<f64>() * width * f64::from(BUCKETS as u32) * 0.9,
+                    _ => rng.random::<f64>() * width * f64::from(BUCKETS as u32) * 8.0,
+                };
+                let t = now + gap;
+                seq += 1;
+                let rank = rng.random_range(0..4u8);
+                let item = (t.to_bits(), rank, seq, rng.random::<u32>());
+                cal.push(item);
+                reference.push(item);
+            } else {
+                let a = cal.pop();
+                let b = reference.pop();
+                assert_eq!(a, b);
+                if let Some((bits, _, _, _)) = a {
+                    now = f64::from_bits(bits);
+                }
+            }
+            assert_eq!(cal.len(), reference.len());
+        }
+        loop {
+            let a = cal.pop();
+            let b = reference.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_the_reference_across_widths_and_seeds() {
+        for width in [0.001, 0.37, 5.0, 3600.0] {
+            for seed in [1u64, 2, 3] {
+                assert_equivalent(width, seed, 2_000);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_timestamps_pop_by_rank_then_seq() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1.0);
+        let t = 10.5f64.to_bits();
+        q.push((t, 3, 1, 10));
+        q.push((t, 0, 2, 20));
+        q.push((t, 0, 3, 30));
+        q.push((t, 2, 4, 40));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, _, _, p)| p)
+            .collect();
+        assert_eq!(order, vec![20, 30, 40, 10]);
+    }
+
+    #[test]
+    fn pushes_into_the_prepared_bucket_keep_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1.0);
+        q.push((0.25f64.to_bits(), 0, 1, 1));
+        q.push((0.75f64.to_bits(), 0, 2, 2));
+        assert_eq!(q.peek().map(|i| i.3), Some(1));
+        // The cursor bucket is now sorted; an equal-time push with a
+        // later seq must land behind the first item, a smaller-time
+        // push in front.
+        q.push((0.25f64.to_bits(), 0, 3, 3));
+        q.push((0.10f64.to_bits(), 0, 4, 4));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, _, _, p)| p)
+            .collect();
+        assert_eq!(order, vec![4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn sparse_far_future_events_jump_not_scan() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(0.001);
+        // Millions of buckets apart: the empty-queue jump must land
+        // directly in the right window.
+        q.push((5_000.0f64.to_bits(), 0, 1, 1));
+        q.push((1.0f64.to_bits(), 0, 2, 2));
+        assert_eq!(q.pop().map(|i| i.3), Some(2));
+        assert_eq!(q.pop().map(|i| i.3), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn zero_time_events_pop_first() {
+        let mut q: EventQueue<u8> = EventQueue::calendar(2.0);
+        q.push((1.5f64.to_bits(), 0, 1, 1));
+        q.push((0.0f64.to_bits(), 0, 2, 2));
+        assert_eq!(q.pop().map(|i| i.3), Some(2));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -31,13 +31,27 @@
 //!
 //! # Determinism
 //!
-//! The engine is a binary-heap event queue ordered by
-//! `(time bits, kind rank, sequence)` — repairs before failures before
-//! job ends before arrivals at equal timestamps, insertion order as the
-//! final tie-break — with two SplitMix64-derived RNG streams (job
-//! stream, health stream) per run. [`FleetSim::run_trials`] reuses the
-//! [`crate::trials`] chunk seeding, so replicated runs are bit-identical
-//! for any worker-thread count (DESIGN.md §12).
+//! The engine pops events in `(time bits, kind rank, sequence)` order
+//! — repairs before failures before job ends before arrivals at equal
+//! timestamps, insertion order as the final tie-break — with two
+//! SplitMix64-derived RNG streams (job stream, health stream) per run.
+//! [`FleetSim::run_trials`] reuses the [`crate::trials`] chunk
+//! seeding, so replicated runs are bit-identical for any worker-thread
+//! count (DESIGN.md §12).
+//!
+//! # Performance engineering (DESIGN.md §15)
+//!
+//! Three hot-path optimizations keep million-event runs fast while
+//! provably changing nothing: the event queue is a calendar queue
+//! popping in the exact heap order ([`crate::equeue`]), capacity
+//! probes are memoized on the healthy-unit bitset (the
+//! alternating-renewal churn revisits a small set of health states),
+//! and the job stream is drawn lazily — one job ahead of the newest
+//! arrival, from the same dedicated RNG stream in the same per-job
+//! order as an eager pre-draw, so memory is O(live jobs), not
+//! O(horizon). The naive implementations remain available behind
+//! `with_reference_engine` and the `fleet_fastpath_equivalence` test
+//! holds both engines bit-identical on every committed spec.
 //!
 //! # Proven against the closed forms
 //!
@@ -53,6 +67,7 @@
 //! [`GoodputSim::goodput`]: crate::GoodputSim::goodput
 //! [`ClusterSim`]: crate::ClusterSim
 
+use crate::equeue::EventQueue;
 use crate::goodput::{place_reconfigurable, place_static, slice_geometry};
 use crate::model::PlannerModel;
 use crate::slice_mix::SliceMix;
@@ -60,8 +75,7 @@ use crate::trials::{chunk_seed, run_chunks};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use tpu_core::{JobId, JobSpec, StaticCluster, Supercomputer};
 use tpu_ocs::{BlockId, SliceSpec};
@@ -90,6 +104,7 @@ pub struct FleetSim {
     preemption: bool,
     record_events: bool,
     threads: usize,
+    reference: bool,
     units: u32,
     hosts_per_unit: u32,
     chips_per_unit: u32,
@@ -124,6 +139,7 @@ impl FleetSim {
             preemption: true,
             record_events: false,
             threads: 0,
+            reference: false,
             units,
             hosts_per_unit,
             chips_per_unit,
@@ -180,6 +196,20 @@ impl FleetSim {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> FleetSim {
         self.threads = threads;
+        self
+    }
+
+    /// Runs the engine on the naive reference implementations — a
+    /// binary-heap event queue, an eagerly pre-drawn job stream and
+    /// memo-less capacity probes — instead of the optimized calendar
+    /// queue / lazy stream / probe-memo paths. The two engines are
+    /// held bit-identical on every committed spec by the
+    /// `fleet_fastpath_equivalence` test; this toggle exists for that
+    /// proof, not for callers.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_reference_engine(mut self, on: bool) -> FleetSim {
+        self.reference = on;
         self
     }
 
@@ -489,7 +519,7 @@ impl Ev {
     }
 }
 
-/// One pre-drawn job.
+/// One drawn job.
 struct DrawnJob {
     arrival: f64,
     blocks_box: (u32, u32, u32),
@@ -497,6 +527,105 @@ struct DrawnJob {
     chips: u64,
     duration: f64,
     production: bool,
+}
+
+/// The lazy job-stream state: the dedicated jobs RNG plus the cursor
+/// of the next undrawn job. Jobs are drawn one ahead of the newest
+/// arrival (so the next arrival event can always be scheduled),
+/// consuming the RNG in exactly the per-job order an eager pre-draw
+/// would — the reference engine pre-draws the whole stream through
+/// this same state and gets the identical sequence.
+struct JobDraw {
+    rng: StdRng,
+    mix: SliceMix,
+    next_idx: u32,
+    t: f64,
+    done: bool,
+}
+
+/// Bounded memo capacity: enough for the health-state working set of
+/// a month-scale run, small enough that the linear LRU scan stays
+/// cheap.
+const PROBE_MEMO_CAPACITY: usize = 512;
+
+/// A bounded memo of capacity-probe results keyed by the packed
+/// healthy-unit bitset. The alternating-renewal host churn revisits a
+/// small set of block-health states, so most reprobes hit. FNV-1a
+/// over the bitset pre-filters; the full key is compared before a hit
+/// counts, so a hash collision costs a recompute, never a wrong
+/// answer. Storage is a linear-scan LRU `Vec` — deterministic
+/// iteration, no hashing containers (the sim-crate determinism rule).
+struct ProbeMemo {
+    entries: Vec<MemoEntry>,
+    tick: u64,
+}
+
+struct MemoEntry {
+    hash: u64,
+    key: Vec<u64>,
+    placed_blocks: u32,
+    last_used: u64,
+}
+
+impl ProbeMemo {
+    fn new() -> ProbeMemo {
+        ProbeMemo {
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn lookup(&mut self, hash: u64, key: &[u64]) -> Option<u32> {
+        self.tick += 1;
+        for entry in &mut self.entries {
+            if entry.hash == hash && entry.key == key {
+                entry.last_used = self.tick;
+                return Some(entry.placed_blocks);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, hash: u64, key: Vec<u64>, placed_blocks: u32) {
+        self.tick += 1;
+        if self.entries.len() >= PROBE_MEMO_CAPACITY {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(oldest);
+            }
+        }
+        self.entries.push(MemoEntry {
+            hash,
+            key,
+            placed_blocks,
+            last_used: self.tick,
+        });
+    }
+}
+
+/// FNV-1a over the bitset words — the same constants as
+/// [`tpu_spec::hash`], applied per little-endian byte.
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Looks up a live (queued or running) job by stream index. A free
+/// function over the map field so callers can hold disjoint borrows
+/// of other engine fields.
+fn job_of(jobs: &BTreeMap<u32, DrawnJob>, idx: u32) -> &DrawnJob {
+    jobs.get(&idx).expect("queued/running jobs stay drawn") // tpu-lint: allow(panic-policy) -- unreachable: entries live until completion/rejection
 }
 
 /// A queued placement request (initially the drawn job; after a
@@ -548,9 +677,13 @@ struct Engine<'a> {
     mtbf_s: f64,
     mttr_s: f64,
     slo_s: Option<f64>,
-    stream: Vec<DrawnJob>,
+    /// Live (queued or running) jobs by stream index; entries are
+    /// removed at completion/rejection, so memory tracks concurrency,
+    /// not the horizon.
+    jobs: BTreeMap<u32, DrawnJob>,
+    draw: JobDraw,
     health_rng: StdRng,
-    heap: BinaryHeap<Reverse<(u64, u8, u64, Ev)>>,
+    queue: EventQueue<Ev>,
     seq: u64,
     now: f64,
     up: Vec<bool>,
@@ -568,6 +701,8 @@ struct Engine<'a> {
     preempt_exhausted: bool,
     order: u64,
     healthy_scratch: Vec<bool>,
+    bitset_scratch: Vec<u64>,
+    memo: ProbeMemo,
     trace: FleetTrace,
 }
 
@@ -578,11 +713,22 @@ const BEST_EFFORT: usize = 1;
 impl<'a> Engine<'a> {
     fn new(sim: &'a FleetSim, fabric: FabricKind, seed: u64) -> Engine<'a> {
         let profile = &sim.profile;
-        let arm = if fabric == FabricKind::Static {
+        let mut arm = if fabric == FabricKind::Static {
             Arm::Fixed(sim.model.static_arm().clone())
         } else {
             Arm::Reconfigurable(sim.model.reconfigurable_arm().clone())
         };
+        // The DES only ever asks the plugboard *whether and where* a
+        // slice fits, never which circuits carry it, so the optimized
+        // engine skips programming OCS switch state per placement
+        // (`Fabric::set_deferred_wiring`). The reference engine keeps
+        // eager wiring — `fleet_fastpath_equivalence` then proves the
+        // shortcut changes no trace bit.
+        if !sim.reference {
+            if let Arm::Reconfigurable(machine) = &mut arm {
+                machine.set_deferred_wiring(true);
+            }
+        }
         // The probe arm is a pristine twin of the main arm: it never
         // holds jobs, so feeding it the live block health through the
         // exact GoodputSim placement functions yields the capacity the
@@ -608,60 +754,37 @@ impl<'a> Engine<'a> {
             0.0
         };
 
-        // Pre-draw the job stream on its own RNG stream: Poisson
-        // arrivals over the slice mix, exponential durations, Bernoulli
-        // tier draws. Sub-unit requests round up to one block/island.
-        let mut jobs_rng = StdRng::seed_from_u64(chunk_seed(seed, STREAM_JOBS));
-        let mix = SliceMix::table2();
-        let edge = sim.model.spec().block.edge.max(1);
-        let chips_per_unit = u64::from(sim.chips_per_unit);
-        let geometric = u64::from(edge).pow(3) == chips_per_unit;
-        let mut stream = Vec::new();
-        if profile.arrival_interval_s.is_finite() {
-            let mut t = 0.0;
-            loop {
-                t += -profile.arrival_interval_s * (1.0 - jobs_rng.random::<f64>()).ln();
-                if t >= sim.horizon_s {
-                    break;
-                }
-                let shape = mix.sample(&mut jobs_rng).shape;
-                let blocks_box = if geometric {
-                    (
-                        shape.x().div_ceil(edge),
-                        shape.y().div_ceil(edge),
-                        shape.z().div_ceil(edge),
-                    )
-                } else {
-                    let units = shape.volume().div_ceil(chips_per_unit).max(1) as u32;
-                    (1, 1, units)
-                };
-                let chips = u64::from(blocks_box.0)
-                    * u64::from(blocks_box.1)
-                    * u64::from(blocks_box.2)
-                    * chips_per_unit;
-                let submit_shape = if geometric {
-                    SliceShape::new(
-                        blocks_box.0 * edge,
-                        blocks_box.1 * edge,
-                        blocks_box.2 * edge,
-                    )
-                    .expect("boxes are positive") // tpu-lint: allow(panic-policy) -- unreachable: boxes are positive
-                } else {
-                    // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
-                    SliceShape::new(1, 1, chips as u32).expect("positive chip count")
-                };
-                let duration = -profile.mean_duration_s * (1.0 - jobs_rng.random::<f64>()).ln();
-                let production = jobs_rng.random::<f64>() < sim.production_share;
-                stream.push(DrawnJob {
-                    arrival: t,
-                    blocks_box,
-                    shape: submit_shape,
-                    chips,
-                    duration,
-                    production,
-                });
-            }
-        }
+        // The job stream draws on its own RNG stream: Poisson arrivals
+        // over the slice mix, exponential durations, Bernoulli tier
+        // draws (`draw_next_job`). The optimized engine draws one job
+        // ahead of the newest arrival; the reference engine pre-draws
+        // everything up front. Both consume the stream identically.
+        let draw = JobDraw {
+            rng: StdRng::seed_from_u64(chunk_seed(seed, STREAM_JOBS)),
+            mix: SliceMix::table2(),
+            next_idx: 0,
+            t: 0.0,
+            done: !profile.arrival_interval_s.is_finite(),
+        };
+
+        // Calendar-queue bucket width targeting ~1 event per bucket:
+        // each job contributes an arrival and an end, each host a
+        // failure and a repair per renewal cycle. Derived from the
+        // profile only, so it is deterministic per run configuration.
+        let job_rate = if profile.arrival_interval_s.is_finite() {
+            2.0 / profile.arrival_interval_s
+        } else {
+            0.0
+        };
+        let host_rate =
+            sim.total_hosts() as f64 * 2.0 / ((profile.mtbf_h + profile.mttr_h) * 3600.0);
+        // tpu-lint: allow(unit-hygiene) -- divide-by-zero floor on an event rate, not a unit conversion
+        let width = 1.0 / (job_rate + host_rate).max(1e-9);
+        let queue = if sim.reference {
+            EventQueue::reference()
+        } else {
+            EventQueue::calendar(width)
+        };
 
         let hosts = sim.total_hosts() as u32;
         let trace = FleetTrace {
@@ -703,9 +826,10 @@ impl<'a> Engine<'a> {
             mtbf_s: profile.mtbf_h * 3600.0,
             mttr_s: profile.mttr_h * 3600.0,
             slo_s: profile.repair_slo_h.map(|s| s * 3600.0),
-            stream,
+            jobs: BTreeMap::new(),
+            draw,
             health_rng: StdRng::seed_from_u64(chunk_seed(seed, STREAM_HEALTH)),
-            heap: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: 0.0,
             up: vec![true; hosts as usize],
@@ -721,10 +845,81 @@ impl<'a> Engine<'a> {
             preempt_exhausted: false,
             order: 0,
             healthy_scratch: Vec::with_capacity(sim.units as usize),
+            bitset_scratch: Vec::new(),
+            memo: ProbeMemo::new(),
             trace,
         };
+        if sim.reference {
+            while !engine.draw.done {
+                engine.draw_next_job();
+            }
+        } else {
+            engine.draw_next_job();
+        }
         engine.init_hosts();
         engine
+    }
+
+    /// Draws the next job from the job stream into the live map —
+    /// exactly the draws (gap, shape, duration, tier) the former
+    /// eager pre-draw loop made per job, in the same order. A gap
+    /// crossing the horizon ends the stream having consumed only the
+    /// gap draw, as the eager loop's `break` did. Sub-unit requests
+    /// round up to one block/island.
+    fn draw_next_job(&mut self) {
+        if self.draw.done {
+            return;
+        }
+        let profile = &self.sim.profile;
+        let edge = self.sim.model.spec().block.edge.max(1);
+        let chips_per_unit = u64::from(self.sim.chips_per_unit);
+        let geometric = u64::from(edge).pow(3) == chips_per_unit;
+        let rng = &mut self.draw.rng;
+        self.draw.t += -profile.arrival_interval_s * (1.0 - rng.random::<f64>()).ln();
+        if self.draw.t >= self.sim.horizon_s {
+            self.draw.done = true;
+            return;
+        }
+        let shape = self.draw.mix.sample(rng).shape;
+        let blocks_box = if geometric {
+            (
+                shape.x().div_ceil(edge),
+                shape.y().div_ceil(edge),
+                shape.z().div_ceil(edge),
+            )
+        } else {
+            let units = shape.volume().div_ceil(chips_per_unit).max(1) as u32;
+            (1, 1, units)
+        };
+        let chips = u64::from(blocks_box.0)
+            * u64::from(blocks_box.1)
+            * u64::from(blocks_box.2)
+            * chips_per_unit;
+        let submit_shape = if geometric {
+            SliceShape::new(
+                blocks_box.0 * edge,
+                blocks_box.1 * edge,
+                blocks_box.2 * edge,
+            )
+            .expect("boxes are positive") // tpu-lint: allow(panic-policy) -- unreachable: boxes are positive
+        } else {
+            // tpu-lint: allow(panic-policy) -- shape literals are nonzero paper constants
+            SliceShape::new(1, 1, chips as u32).expect("positive chip count")
+        };
+        let duration = -profile.mean_duration_s * (1.0 - rng.random::<f64>()).ln();
+        let production = rng.random::<f64>() < self.sim.production_share;
+        self.jobs.insert(
+            self.draw.next_idx,
+            DrawnJob {
+                arrival: self.draw.t,
+                blocks_box,
+                shape: submit_shape,
+                chips,
+                duration,
+                production,
+            },
+        );
+        self.draw.next_idx += 1;
     }
 
     /// Draws every host's initial state from the *stationary*
@@ -784,21 +979,20 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, at: f64, ev: Ev) {
         self.seq += 1;
-        self.heap
-            .push(Reverse((at.to_bits(), ev.rank(), self.seq, ev)));
+        self.queue.push((at.to_bits(), ev.rank(), self.seq, ev));
     }
 
     fn drive(&mut self) {
-        if !self.stream.is_empty() {
-            let at = self.stream[0].arrival;
+        if let Some(first) = self.jobs.get(&0) {
+            let at = first.arrival;
             self.push(at, Ev::JobArrival { idx: 0 });
         }
-        while let Some(&Reverse((bits, _, _, ev))) = self.heap.peek() {
+        while let Some((bits, _, _, ev)) = self.queue.peek() {
             let t = f64::from_bits(bits);
             if t > self.sim.horizon_s {
                 break;
             }
-            self.heap.pop();
+            self.queue.pop();
             if self.probe_dirty {
                 self.reprobe();
             }
@@ -828,8 +1022,25 @@ impl<'a> Engine<'a> {
 
     /// Recomputes deliverable capacity by running the *pristine* probe
     /// arm, with the live block health, through the exact placement
-    /// functions `GoodputSim` uses.
+    /// functions `GoodputSim` uses. The optimized engine first
+    /// consults the [`ProbeMemo`] keyed by the healthy-unit bitset; a
+    /// hit still counts in `trace.probes` (the counter tracks health
+    /// transitions, not work — the golden fixture pins it).
     fn reprobe(&mut self) {
+        let memo_miss_hash = if self.sim.reference {
+            None
+        } else {
+            self.pack_health_bitset();
+            let hash = fnv1a_words(&self.bitset_scratch);
+            if let Some(placed_blocks) = self.memo.lookup(hash, &self.bitset_scratch) {
+                self.deliverable_chips =
+                    u64::from(placed_blocks) * u64::from(self.sim.chips_per_unit);
+                self.probe_dirty = false;
+                self.trace.probes += 1;
+                return;
+            }
+            Some(hash)
+        };
         self.healthy_scratch.clear();
         for &down in &self.down_in_unit {
             self.healthy_scratch.push(down == 0);
@@ -850,9 +1061,26 @@ impl<'a> Engine<'a> {
                 self.probe_blocks,
             )
         };
+        if let Some(hash) = memo_miss_hash {
+            self.memo
+                .insert(hash, self.bitset_scratch.clone(), placed_blocks);
+        }
         self.deliverable_chips = u64::from(placed_blocks) * u64::from(self.sim.chips_per_unit);
         self.probe_dirty = false;
         self.trace.probes += 1;
+    }
+
+    /// Packs the block-health vector into `bitset_scratch` (bit set =
+    /// unit fully healthy), the probe-memo key.
+    fn pack_health_bitset(&mut self) {
+        let words = self.down_in_unit.len().div_ceil(64);
+        self.bitset_scratch.clear();
+        self.bitset_scratch.resize(words, 0);
+        for (unit, &down) in self.down_in_unit.iter().enumerate() {
+            if down == 0 {
+                self.bitset_scratch[unit / 64] |= 1 << (unit % 64);
+            }
+        }
     }
 
     fn handle(&mut self, t: f64, ev: Ev) {
@@ -935,16 +1163,21 @@ impl<'a> Engine<'a> {
         self.busy_chips -= running.chips;
         self.trace.completions += 1;
         self.record(t, TraceKind::Completed { job: running.idx });
+        self.jobs.remove(&running.idx);
         self.pass(t, true);
     }
 
     fn job_arrival(&mut self, t: f64, idx: u32) {
         self.trace.arrivals += 1;
-        if let Some(next) = self.stream.get(idx as usize + 1) {
+        // Extend the lazy stream by one: job idx+1 is drawn exactly
+        // when job idx arrives (a no-op for the pre-drawn reference
+        // engine or once the stream crossed the horizon).
+        self.draw_next_job();
+        if let Some(next) = self.jobs.get(&(idx + 1)) {
             let at = next.arrival;
             self.push(at, Ev::JobArrival { idx: idx + 1 });
         }
-        let job = &self.stream[idx as usize];
+        let job = job_of(&self.jobs, idx);
         let offerable = match &self.arm {
             Arm::Fixed(cluster) => cluster.fits(job.blocks_box),
             Arm::Reconfigurable(_) => job.chips <= self.sim.total_chips(),
@@ -961,6 +1194,7 @@ impl<'a> Engine<'a> {
         } else {
             self.trace.rejected += 1;
             self.record(t, TraceKind::Rejected { job: idx });
+            self.jobs.remove(&idx);
         }
     }
 
@@ -1006,7 +1240,7 @@ impl<'a> Engine<'a> {
     /// cover the blocked production job, then stops — placement is
     /// retried by the caller (geometry may still refuse).
     fn preempt_for(&mut self, t: f64, head_idx: u32) {
-        let needed = self.stream[head_idx as usize].chips;
+        let needed = job_of(&self.jobs, head_idx).chips;
         let mut freed = 0u64;
         while freed < needed {
             let Some(slot) = self.newest_running(|r| !r.production) else {
@@ -1026,7 +1260,7 @@ impl<'a> Engine<'a> {
         for (_, &slot) in self.running_by_order.iter().rev() {
             let r = self.slab[slot as usize].as_ref().expect("indexed jobs run"); // tpu-lint: allow(panic-policy) -- unreachable: indexed jobs run
             let view = RunningView {
-                production: self.stream[r.idx as usize].production,
+                production: job_of(&self.jobs, r.idx).production,
             };
             if keep(&view) {
                 return Some(slot as usize);
@@ -1070,7 +1304,7 @@ impl<'a> Engine<'a> {
         self.busy_chips -= running.chips;
         let compute_done = (t - running.placed_t - running.reconfig_s).max(0.0);
         let remaining = (running.remaining_at_start - compute_done).max(0.0);
-        let job = &self.stream[running.idx as usize];
+        let job = job_of(&self.jobs, running.idx);
         let kind = match reason {
             EvictReason::Preempted => {
                 self.trace.preemptions += 1;
@@ -1093,7 +1327,7 @@ impl<'a> Engine<'a> {
     /// schedules its end, and accounts the wait.
     fn try_place_head(&mut self, t: f64, tier: usize) -> bool {
         let head = self.queues[tier].front().expect("caller checked"); // tpu-lint: allow(panic-policy) -- unreachable: caller checked
-        let job = &self.stream[head.idx as usize];
+        let job = job_of(&self.jobs, head.idx);
         let hold = match &mut self.arm {
             Arm::Fixed(cluster) => match cluster.allocate(job.blocks_box) {
                 Ok(blocks) => Hold::Blocks(blocks),
@@ -1117,7 +1351,7 @@ impl<'a> Engine<'a> {
             }
         };
         let queued = self.queues[tier].pop_front().expect("caller checked"); // tpu-lint: allow(panic-policy) -- unreachable: caller checked
-        let job = &self.stream[queued.idx as usize];
+        let job = job_of(&self.jobs, queued.idx);
         let chips = job.chips;
         let production = job.production;
         self.busy_chips += chips;

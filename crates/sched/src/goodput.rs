@@ -301,7 +301,8 @@ pub(crate) fn reconfigurable_spec(spec: &MachineSpec) -> MachineSpec {
 /// (StaticCluster arranges them the same way) and submit by chip count
 /// alone. Shared with [`crate::fleet`] so the DES capacity probe asks
 /// for *exactly* the shapes the closed-form model asks for.
-pub(crate) fn slice_geometry(
+#[doc(hidden)]
+pub fn slice_geometry(
     spec: &MachineSpec,
     chips_per_block: u32,
     slice_chips: u64,
@@ -324,13 +325,41 @@ pub(crate) fn slice_geometry(
     (slice_box, shape, blocks_needed)
 }
 
-/// One trial of the reconfigurable arm: inject the drawn failures,
-/// submit slices until the machine refuses, then finish every job and
-/// repair every host so the next trial starts clean. Also the capacity
-/// probe of the discrete-event fleet simulator ([`crate::fleet`]): the
-/// DES hands its *current* block health to this exact function, so its
-/// goodput generalizes — never diverges from — the closed-form arm.
-pub(crate) fn place_reconfigurable(
+/// One trial of the reconfigurable arm. Also the capacity probe of the
+/// discrete-event fleet simulator ([`crate::fleet`]): the DES hands
+/// its *current* block health to this exact function, so its goodput
+/// generalizes — never diverges from — the closed-form arm.
+///
+/// On the OCS plugboard the count is closed-form: `Fabric::allocate`
+/// takes the first `blocks_needed` free healthy blocks with *no*
+/// geometric constraint (any healthy blocks form a slice — the
+/// plugboard property the whole experiment measures), so every
+/// `blocks_needed` healthy blocks host exactly one slice and the
+/// machine is never touched. [`place_reconfigurable_naive`] keeps the
+/// submit-until-refused loop through the production fabric as the
+/// reference; the `fleet_fastpath_equivalence` test holds the
+/// arithmetic to it on every committed spec. Switched islands go
+/// through the naive path: their capacity check depends on per-island
+/// chip counts the machine owns.
+#[doc(hidden)]
+pub fn place_reconfigurable(
+    machine: &mut Supercomputer,
+    healthy: &[bool],
+    shape: SliceShape,
+    blocks_needed: u32,
+) -> u32 {
+    if !machine.is_switched() {
+        let healthy_blocks = healthy.iter().filter(|&&up| up).count() as u32;
+        return (healthy_blocks / blocks_needed) * blocks_needed;
+    }
+    place_reconfigurable_naive(machine, healthy, shape, blocks_needed)
+}
+
+/// The reference trial of the reconfigurable arm: inject the drawn
+/// failures, submit slices until the machine refuses, then finish
+/// every job and repair every host so the next trial starts clean.
+#[doc(hidden)]
+pub fn place_reconfigurable_naive(
     machine: &mut Supercomputer,
     healthy: &[bool],
     shape: SliceShape,
@@ -369,7 +398,8 @@ pub(crate) fn place_reconfigurable(
 /// serves as the static *counterfactual* grid for switched specs, one
 /// "block" per island), released and repaired for the next trial. Like
 /// [`place_reconfigurable`], doubles as the fleet DES capacity probe.
-pub(crate) fn place_static(
+#[doc(hidden)]
+pub fn place_static(
     cluster: &mut StaticCluster,
     healthy: &[bool],
     slice_box: (u32, u32, u32),

@@ -41,6 +41,7 @@
 
 pub mod cluster;
 pub mod deploy;
+pub mod equeue;
 pub mod fleet;
 pub mod goodput;
 pub mod model;

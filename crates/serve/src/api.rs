@@ -28,6 +28,8 @@ use tpu_topology::SliceShape;
 
 /// Most Monte Carlo trials a single what-if query may request.
 pub const MAX_TRIALS: u32 = 20_000;
+/// Most grid points one what-if sweep may request.
+pub const MAX_SWEEP_POINTS: usize = 64;
 /// Default Monte Carlo trials per what-if query.
 pub const DEFAULT_TRIALS: u32 = 200;
 /// Default RNG seed (the paper's year, like the offline reports).
@@ -142,6 +144,7 @@ fn route(state: &ServiceState, req: &Request) -> Result<ApiResponse, ApiError> {
         ("PUT", ["specs", name]) => put_spec(state, name, &req.body),
         ("DELETE", ["specs", name]) => delete_spec(state, name),
         ("GET", ["specs", name, "whatif"]) => whatif(state, name, &req.query),
+        ("GET", ["specs", name, "whatif", "sweep"]) => whatif_sweep(state, name, &req.query),
         ("GET", ["specs", name, "collective"]) => collective(state, name, &req.query),
         ("GET", ["specs", name, "fleet"]) => fleet(state, name, &req.query),
         (
@@ -150,7 +153,8 @@ fn route(state: &ServiceState, req: &Request) -> Result<ApiResponse, ApiError> {
             | ["healthz"]
             | ["stats"]
             | ["specs"]
-            | ["specs", _, "whatif" | "collective" | "fleet"],
+            | ["specs", _, "whatif" | "collective" | "fleet"]
+            | ["specs", _, "whatif", "sweep"],
         ) => Err(ApiError {
             status: 405,
             code: "method_not_allowed",
@@ -189,6 +193,7 @@ fn index_body() -> String {
         "PUT /specs/{name}",
         "DELETE /specs/{name}",
         "GET /specs/{name}/whatif",
+        "GET /specs/{name}/whatif/sweep",
         "GET /specs/{name}/collective",
         "GET /specs/{name}/fleet",
     ];
@@ -343,7 +348,17 @@ impl WhatIfQuery {
             query,
             &["availability", "slice_chips", "fabric", "trials", "seed"],
         )?;
-        let availability = parse_f64(&params, "availability")?.unwrap_or(0.99);
+        WhatIfQuery::from_params(model, &params)
+    }
+
+    /// The parameter-level half of [`WhatIfQuery::parse`], shared with
+    /// the sweep expansion so per-point validation cannot diverge from
+    /// the single-point endpoint.
+    fn from_params(
+        model: &PlannerModel,
+        params: &[(String, String)],
+    ) -> Result<WhatIfQuery, ApiError> {
+        let availability = parse_f64(params, "availability")?.unwrap_or(0.99);
         if !(availability > 0.0 && availability <= 1.0) {
             return Err(ApiError::bad_request(
                 "bad_availability",
@@ -351,7 +366,7 @@ impl WhatIfQuery {
             ));
         }
         let block = u64::from(model.chips_per_block());
-        let slice_chips = parse_u64(&params, "slice_chips")?
+        let slice_chips = parse_u64(params, "slice_chips")?
             .unwrap_or_else(|| u64::from((model.blocks() / 4).max(1)) * block);
         if slice_chips == 0
             || !slice_chips.is_multiple_of(block)
@@ -365,15 +380,15 @@ impl WhatIfQuery {
                 ),
             ));
         }
-        let fabric = parse_fabric(&params, model)?;
-        let trials = parse_u64(&params, "trials")?.unwrap_or(u64::from(DEFAULT_TRIALS));
+        let fabric = parse_fabric(params, model)?;
+        let trials = parse_u64(params, "trials")?.unwrap_or(u64::from(DEFAULT_TRIALS));
         if trials == 0 || trials > u64::from(MAX_TRIALS) {
             return Err(ApiError::bad_request(
                 "bad_trials",
                 format!("trials must be in 1..={MAX_TRIALS}, got {trials}"),
             ));
         }
-        let seed = parse_u64(&params, "seed")?.unwrap_or(DEFAULT_SEED);
+        let seed = parse_u64(params, "seed")?.unwrap_or(DEFAULT_SEED);
         Ok(WhatIfQuery {
             availability,
             slice_chips,
@@ -444,6 +459,108 @@ fn whatif(state: &ServiceState, name: &str, query: &str) -> Result<ApiResponse, 
         status: 200,
         body,
         x_cache: Some("miss"),
+    })
+}
+
+/// Expands a sweep query into its per-point [`WhatIfQuery`]s.
+///
+/// `availability` and `slice_chips` accept comma-separated lists; the
+/// grid is their cartesian product (availability outer, slice_chips
+/// inner), capped at [`MAX_SWEEP_POINTS`]. `fabric`, `trials` and
+/// `seed` are shared by every point, so one `GoodputSim` serves the
+/// whole sweep. Each point passes the exact single-point validation.
+///
+/// # Errors
+///
+/// Returns a 400 [`ApiError`] for an oversized grid or any point that
+/// the single-point endpoint would reject.
+pub fn sweep_points(model: &PlannerModel, query: &str) -> Result<Vec<WhatIfQuery>, ApiError> {
+    let params = known_params(
+        query,
+        &["availability", "slice_chips", "fabric", "trials", "seed"],
+    )?;
+    let availabilities = list_values(&params, "availability");
+    let slices = list_values(&params, "slice_chips");
+    let count = availabilities.len() * slices.len();
+    if count > MAX_SWEEP_POINTS {
+        return Err(ApiError::bad_request(
+            "bad_sweep",
+            format!("sweep asks for {count} grid points; the cap is {MAX_SWEEP_POINTS}"),
+        ));
+    }
+    let shared: Vec<(String, String)> = params
+        .iter()
+        .filter(|(k, _)| k != "availability" && k != "slice_chips")
+        .cloned()
+        .collect();
+    let mut points = Vec::with_capacity(count);
+    for availability in &availabilities {
+        for slice_chips in &slices {
+            let mut point = shared.clone();
+            if let Some(a) = availability {
+                point.push(("availability".into(), a.clone()));
+            }
+            if let Some(s) = slice_chips {
+                point.push(("slice_chips".into(), s.clone()));
+            }
+            points.push(WhatIfQuery::from_params(model, &point)?);
+        }
+    }
+    Ok(points)
+}
+
+/// One parameter's sweep axis: the last occurrence split on commas, or
+/// a single defaulted point when absent (`None` lets
+/// [`WhatIfQuery::from_params`] apply the single-point default).
+fn list_values(params: &[(String, String)], key: &str) -> Vec<Option<String>> {
+    match get(params, key) {
+        None => vec![None],
+        Some(raw) => raw.split(',').map(|v| Some(v.trim().to_string())).collect(),
+    }
+}
+
+/// Assembles a sweep body from per-point what-if bodies: a bare JSON
+/// array of the point objects, in grid order, newline terminated.
+/// Shared by the HTTP handler and `--oneshot` so the two cannot
+/// diverge in formatting.
+pub fn sweep_body(bodies: &[String]) -> String {
+    let joined: Vec<&str> = bodies.iter().map(|b| b.trim_end()).collect();
+    format!("[{}]\n", joined.join(","))
+}
+
+/// The sweep endpoint: N what-if grid points over one model, answered
+/// in one response. Construction cost (model lookup, `GoodputSim`) is
+/// paid once, and every computed point lands in the cache under its
+/// canonical single-point key — so a sweep warms the cache for later
+/// single-point queries and vice versa. `X-Cache: hit` only when every
+/// point came from the cache.
+fn whatif_sweep(state: &ServiceState, name: &str, query: &str) -> Result<ApiResponse, ApiError> {
+    let entry = lookup(state, name)?;
+    let points = sweep_points(&entry.model, query)?;
+    let hash = entry.model.spec_hash();
+    let mut sim: Option<GoodputSim> = None;
+    let mut bodies = Vec::with_capacity(points.len());
+    let mut all_hits = true;
+    for q in &points {
+        let key = q.canonical_key();
+        if let Some(body) = state.cache.get(hash, &key) {
+            bodies.push(body);
+            continue;
+        }
+        all_hits = false;
+        // Every point shares trials and seed, so the first miss's sim
+        // serves the rest — the amortization the endpoint exists for.
+        let sim = sim.get_or_insert_with(|| {
+            GoodputSim::for_model(Arc::clone(&entry.model), q.trials, q.seed)
+        });
+        let body = whatif_body(&entry.name, sim, q);
+        state.cache.insert(hash, &key, body.clone());
+        bodies.push(body);
+    }
+    Ok(ApiResponse {
+        status: 200,
+        body: sweep_body(&bodies),
+        x_cache: Some(if all_hits { "hit" } else { "miss" }),
     })
 }
 
@@ -814,6 +931,7 @@ mod tests {
             path: path.into(),
             query: query.into(),
             body: Vec::new(),
+            keep_alive: false,
         }
     }
 
@@ -835,8 +953,17 @@ mod tests {
             path: "/specs/v4/whatif".into(),
             query: String::new(),
             body: Vec::new(),
+            keep_alive: false,
         };
         assert_eq!(handle(&state, &req).status, 405);
+        let sweep = Request {
+            method: "POST".into(),
+            path: "/specs/v4/whatif/sweep".into(),
+            query: String::new(),
+            body: Vec::new(),
+            keep_alive: false,
+        };
+        assert_eq!(handle(&state, &sweep).status, 405);
     }
 
     #[test]
@@ -933,6 +1060,7 @@ mod tests {
             path: "/specs/mini".into(),
             query: String::new(),
             body: MachineSpec::v3().to_json().into_bytes(),
+            keep_alive: false,
         };
         let resp = handle(&state, &put);
         assert_eq!(resp.status, 201, "{}", resp.body);
@@ -946,6 +1074,7 @@ mod tests {
                 path: "/specs/mini".into(),
                 query: String::new(),
                 body: Vec::new(),
+                keep_alive: false,
             },
         );
         assert_eq!(deleted.status, 200);
@@ -956,6 +1085,7 @@ mod tests {
             path: "/specs/broken".into(),
             query: String::new(),
             body: b"not json".to_vec(),
+            keep_alive: false,
         };
         assert_eq!(handle(&state, &bad).status, 422);
     }
@@ -972,6 +1102,7 @@ mod tests {
             path: "/specs/v4".into(),
             query: String::new(),
             body: MachineSpec::v4().to_json().into_bytes(),
+            keep_alive: false,
         };
         assert_eq!(handle(&state, &same).status, 200);
         assert_eq!(handle(&state, &req).x_cache, Some("hit"));
@@ -981,6 +1112,7 @@ mod tests {
             path: "/specs/v4".into(),
             query: String::new(),
             body: MachineSpec::v2().to_json().into_bytes(),
+            keep_alive: false,
         };
         assert_eq!(handle(&state, &different).status, 200);
         let after = handle(
@@ -999,6 +1131,83 @@ mod tests {
         assert!(a.body.contains("\"name\":\"a100\""));
         let health = handle(&state, &get_req("/healthz"));
         assert_eq!(health.body, "{\"ok\":true,\"specs\":2}\n");
+    }
+
+    #[test]
+    fn sweep_is_the_concatenation_of_its_single_point_answers() {
+        let state = state_with_v4();
+        let sweep = handle(
+            &state,
+            &get_req(
+                "/specs/v4/whatif/sweep?availability=0.99,0.995&slice_chips=512,1024&trials=30&seed=5",
+            ),
+        );
+        assert_eq!(sweep.status, 200, "{}", sweep.body);
+        assert_eq!(sweep.x_cache, Some("miss"));
+        // Grid order: availability outer, slice_chips inner.
+        let mut expected = Vec::new();
+        for a in ["0.99", "0.995"] {
+            for s in ["512", "1024"] {
+                let point = handle(
+                    &state,
+                    &get_req(&format!(
+                        "/specs/v4/whatif?availability={a}&slice_chips={s}&trials=30&seed=5"
+                    )),
+                );
+                assert_eq!(point.status, 200);
+                // The sweep already computed and cached every point.
+                assert_eq!(point.x_cache, Some("hit"), "a={a} s={s}");
+                expected.push(point.body);
+            }
+        }
+        assert_eq!(sweep.body, sweep_body(&expected));
+        // The whole grid cached: a repeat sweep is a pure cache hit.
+        let again = handle(
+            &state,
+            &get_req(
+                "/specs/v4/whatif/sweep?availability=0.99,0.995&slice_chips=512,1024&trials=30&seed=5",
+            ),
+        );
+        assert_eq!(again.x_cache, Some("hit"));
+        assert_eq!(again.body, sweep.body);
+    }
+
+    #[test]
+    fn sweep_defaults_collapse_to_one_point() {
+        let state = state_with_v4();
+        let sweep = handle(&state, &get_req("/specs/v4/whatif/sweep?trials=10"));
+        assert_eq!(sweep.status, 200, "{}", sweep.body);
+        let point = handle(&state, &get_req("/specs/v4/whatif?trials=10"));
+        assert_eq!(sweep.body, sweep_body(&[point.body]));
+    }
+
+    #[test]
+    fn sweep_rejects_oversized_grids_and_bad_points() {
+        let state = state_with_v4();
+        let many: Vec<String> = (1..=65)
+            .map(|i| format!("{}", 0.9 + 0.001 * f64::from(i)))
+            .collect();
+        let resp = handle(
+            &state,
+            &get_req(&format!(
+                "/specs/v4/whatif/sweep?availability={}",
+                many.join(",")
+            )),
+        );
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("bad_sweep"), "{}", resp.body);
+        // A single bad point fails the whole sweep with the
+        // single-point error code.
+        for (query, code) in [
+            ("availability=0.99,2.0", "bad_availability"),
+            ("slice_chips=512,65", "bad_slice_chips"),
+            ("availability=0.99,,0.98", "bad_number"),
+            ("typo=1", "unknown_param"),
+        ] {
+            let resp = handle(&state, &get_req(&format!("/specs/v4/whatif/sweep?{query}")));
+            assert_eq!(resp.status, 400, "{query}: {}", resp.body);
+            assert!(resp.body.contains(code), "{query}: {}", resp.body);
+        }
     }
 
     #[test]

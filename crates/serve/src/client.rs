@@ -1,9 +1,11 @@
 //! A minimal blocking HTTP/1.1 client.
 //!
 //! Just enough to exercise the server from tests and from
-//! `perf_report`'s service benchmarks without external tooling: one
-//! request per connection, `Connection: close`, body read to EOF or
-//! `Content-Length`.
+//! `perf_report`'s service benchmarks without external tooling. Two
+//! shapes: [`request`] opens a fresh connection per call
+//! (`Connection: close`), and [`Connection`] holds one keep-alive
+//! socket open across calls — the shape the keep-alive benchmarks and
+//! byte-identity tests measure.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -31,7 +33,7 @@ impl ClientResponse {
     }
 }
 
-/// Sends one request and reads the full response.
+/// Sends one request on a fresh connection and reads the full response.
 ///
 /// # Errors
 ///
@@ -43,11 +45,72 @@ pub fn request(
     target: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    let stream = connect(addr)?;
+    let mut reader = BufReader::new(stream);
+    write_request(reader.get_mut(), addr, method, target, body, false)?;
+    read_response(&mut reader, false)
+}
+
+/// One persistent keep-alive connection: every request rides the same
+/// socket, so repeated queries skip the TCP handshake and the server's
+/// per-connection accept/teardown work.
+pub struct Connection {
+    addr: SocketAddr,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Opens the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/configure error.
+    pub fn open(addr: SocketAddr) -> io::Result<Connection> {
+        Ok(Connection {
+            addr,
+            reader: BufReader::new(connect(addr)?),
+        })
+    }
+
+    /// Sends one request on the open connection and reads the full
+    /// response. The connection stays usable afterwards unless the
+    /// server answered `Connection: close`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors (including the server having closed
+    /// the connection between calls), or `InvalidData` on a malformed
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        write_request(self.reader.get_mut(), self.addr, method, target, body, true)?;
+        read_response(&mut self.reader, true)
+    }
+}
+
+fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
 
-    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+fn write_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head =
+        format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n");
     if let Some(body) = body {
         head.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }
@@ -56,10 +119,17 @@ pub fn request(
     if let Some(body) = body {
         stream.write_all(body.as_bytes())?;
     }
-    stream.flush()?;
+    stream.flush()
+}
 
-    let mut reader = BufReader::new(stream);
-    let status_line = read_line(&mut reader)?;
+/// Reads one response. On a keep-alive connection a missing
+/// `Content-Length` is an error (read-to-EOF would block forever);
+/// on a one-shot connection it falls back to read-to-EOF.
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    keep_alive: bool,
+) -> io::Result<ClientResponse> {
+    let status_line = read_line(reader)?;
     let status: u16 = status_line
         .split(' ')
         .nth(1)
@@ -74,7 +144,7 @@ pub fn request(
     let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader)?;
         if line.is_empty() {
             break;
         }
@@ -93,6 +163,12 @@ pub fn request(
         Some(n) => {
             raw.resize(n, 0);
             reader.read_exact(&mut raw)?;
+        }
+        None if keep_alive => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "keep-alive response without Content-Length",
+            ));
         }
         None => {
             reader.read_to_end(&mut raw)?;

@@ -1,10 +1,14 @@
 //! A minimal HTTP/1.1 reader/writer over `std::io`.
 //!
 //! The service speaks exactly the slice of HTTP/1.1 that `curl` and the
-//! in-process test client need: one request per connection
-//! (`Connection: close`), a request line, headers (only
-//! `Content-Length` is interpreted), an optional body, and a
-//! fixed-layout response. Every limit is explicit so a malformed or
+//! in-process test client need: a request line, headers (only
+//! `Content-Length` and `Connection` are interpreted), an optional
+//! body, and a fixed-layout response. Connections are persistent by
+//! HTTP/1.1 default — [`Request::keep_alive`] reports whether the peer
+//! wants another exchange (`Connection: close` opts out; HTTP/1.0
+//! defaults to close unless `Connection: keep-alive`), and
+//! [`write_response`] echoes the decision so the peer always knows the
+//! connection's fate. Every limit is explicit so a malformed or
 //! hostile peer gets a clean 4xx instead of an unbounded read: request
 //! lines and header lines are capped at [`MAX_LINE`] bytes, header
 //! count at [`MAX_HEADERS`], bodies at [`MAX_BODY`].
@@ -95,6 +99,10 @@ pub struct Request {
     pub query: String,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the peer wants the connection kept open after the
+    /// response: the HTTP/1.1 default unless `Connection: close`, the
+    /// HTTP/1.0 exception under `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Reads one request from a buffered stream, enforcing every limit.
@@ -125,6 +133,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     };
 
     let mut content_length: usize = 0;
+    let mut keep_alive = version == "HTTP/1.1";
     let mut headers = 0usize;
     loop {
         let header = read_line(reader)?;
@@ -136,7 +145,8 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
             return Err(ParseError::TooManyHeaders);
         }
         let (name, value) = header.split_once(':').ok_or(ParseError::BadHeader)?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             let n: usize = value.trim().parse().map_err(|_| {
                 ParseError::BadLength(format!("unparsable Content-Length {value:?}"))
             })?;
@@ -146,6 +156,21 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
                 )));
             }
             content_length = n;
+        } else if name.eq_ignore_ascii_case("connection") {
+            // A comma-separated option list; only the two standard
+            // tokens matter. "close" wins over "keep-alive".
+            let mut wants_close = false;
+            let mut wants_keep = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                wants_close |= token.eq_ignore_ascii_case("close");
+                wants_keep |= token.eq_ignore_ascii_case("keep-alive");
+            }
+            if wants_close {
+                keep_alive = false;
+            } else if wants_keep {
+                keep_alive = true;
+            }
         }
     }
 
@@ -162,6 +187,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         path: percent_decode(raw_path),
         query: raw_query.to_string(),
         body,
+        keep_alive,
     })
 }
 
@@ -244,8 +270,8 @@ pub fn percent_decode(s: &str) -> String {
 
 /// Writes one complete response and flushes: status line, the fixed
 /// header set (`Content-Type: application/json`, `Content-Length`,
-/// `Connection: close`), any extra headers (e.g. `X-Cache`), then the
-/// body.
+/// `Connection: keep-alive` or `close` per `keep_alive`), any extra
+/// headers (e.g. `X-Cache`), then the body.
 ///
 /// # Errors
 ///
@@ -254,11 +280,13 @@ pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     body: &str,
+    keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
     let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -268,8 +296,11 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    // One write for head + body: on a keep-alive socket, two small
+    // writes would trip Nagle against the peer's delayed ACK (~40ms
+    // per response).
+    head.push_str(body);
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
@@ -423,7 +454,14 @@ mod tests {
     #[test]
     fn responses_have_the_fixed_header_layout() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}\n", &[("X-Cache", "hit")]).unwrap();
+        write_response(
+            &mut out,
+            200,
+            "{\"ok\":true}\n",
+            false,
+            &[("X-Cache", "hit")],
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Type: application/json\r\n"));
@@ -431,5 +469,38 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}\n"));
+    }
+
+    #[test]
+    fn keep_alive_responses_say_so() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}\n", true, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive; Connection: close opts out.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // Case-insensitive, tolerant of option lists; close wins.
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // HTTP/1.0 defaults to close; keep-alive opts in.
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
     }
 }

@@ -20,7 +20,7 @@ use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
 use tpu_sched::{GoodputSim, PlannerModel};
-use tpu_serve::api::{collective_body, fleet_body, whatif_body};
+use tpu_serve::api::{collective_body, fleet_body, sweep_body, sweep_points, whatif_body};
 use tpu_serve::{
     CollectiveQuery, FleetQuery, QueryCache, Server, ServiceState, SpecStore, WhatIfQuery,
 };
@@ -30,8 +30,9 @@ const USAGE: &str = "usage:
   tpu-serve [--addr HOST:PORT] [--specs-dir DIR] [--workers N] [--cache-capacity N]
   tpu-serve --oneshot SPEC.json 'ENDPOINT?PARAMS'
 
-where ENDPOINT is whatif, collective or fleet, e.g.
-  tpu-serve --oneshot specs/v4.json 'whatif?availability=0.992&trials=120&seed=7'";
+where ENDPOINT is whatif, sweep, collective or fleet, e.g.
+  tpu-serve --oneshot specs/v4.json 'whatif?availability=0.992&trials=120&seed=7'
+  tpu-serve --oneshot specs/v4.json 'sweep?availability=0.99,0.995&slice_chips=512,1024'";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +111,19 @@ fn oneshot(path: &str, query: &str) -> Result<String, String> {
             let sim = GoodputSim::for_spec(&spec, q.trials, q.seed);
             Ok(whatif_body(&name, &sim, &q))
         }
+        "sweep" => {
+            let points = sweep_points(&model, params).map_err(|e| e.message)?;
+            // One offline sim answers the whole grid (trials and seed
+            // are shared by every point), mirroring the HTTP handler.
+            let mut bodies = Vec::with_capacity(points.len());
+            if let Some(first) = points.first() {
+                let sim = GoodputSim::for_spec(&spec, first.trials, first.seed);
+                for q in &points {
+                    bodies.push(whatif_body(&name, &sim, q));
+                }
+            }
+            Ok(sweep_body(&bodies))
+        }
         "collective" => {
             let q = CollectiveQuery::parse(params).map_err(|e| e.message)?;
             collective_body(&name, &model, &q).map_err(|e| e.message)
@@ -119,7 +133,7 @@ fn oneshot(path: &str, query: &str) -> Result<String, String> {
             Ok(fleet_body(&name, &Arc::new(model), &q))
         }
         other => Err(format!(
-            "unknown oneshot endpoint {other:?} (whatif, collective or fleet)\n{USAGE}"
+            "unknown oneshot endpoint {other:?} (whatif, sweep, collective or fleet)\n{USAGE}"
         )),
     }
 }

@@ -2,12 +2,17 @@
 //!
 //! Concurrency model (DESIGN.md §14): `N` worker threads block on
 //! `accept` against one shared `TcpListener` — the kernel load-balances
-//! connections, no user-space queue needed — and each serves exactly
-//! one request per connection (`Connection: close`). All mutable
-//! service state lives behind the [`ServiceState`] locks; the planner
-//! models themselves are immutable and `Arc`-shared, so workers never
-//! contend on simulation data. A panicking handler is caught per
-//! connection and answered with a 500; the worker survives.
+//! connections, no user-space queue needed — and each serves its
+//! connection's requests in sequence. Connections are persistent by
+//! HTTP/1.1 default: a worker keeps answering on the same socket until
+//! the peer asks for `Connection: close`, the read times out, or the
+//! per-connection request cap (`MAX_REQUESTS_PER_CONNECTION`, 1000) is
+//! reached — the cap bounds how long one chatty peer can monopolize a
+//! worker. All mutable service state lives behind the [`ServiceState`]
+//! locks; the planner models themselves are immutable and
+//! `Arc`-shared, so workers never contend on simulation data. A
+//! panicking handler is caught per request and answered with a 500;
+//! the worker survives.
 
 use crate::api::{self, ApiResponse, ServiceState};
 use crate::http::{read_request, write_response, ParseError};
@@ -25,6 +30,9 @@ pub const DEFAULT_WORKERS: usize = 4;
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 /// How long a worker waits for a peer to drain a response.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Requests served on one keep-alive connection before the server
+/// closes it anyway, so one peer cannot pin a worker forever.
+const MAX_REQUESTS_PER_CONNECTION: usize = 1000;
 
 /// A running server: the bound address, its worker threads, and the
 /// shared state. Dropping the handle does *not* stop the workers; call
@@ -118,42 +126,56 @@ fn worker_loop(listener: &TcpListener, state: &ServiceState, shutdown: &AtomicBo
     }
 }
 
-/// Serves one request/response exchange, then lets the connection
-/// close. Transport errors are swallowed — the peer is gone, there is
+/// Serves request/response exchanges on one connection until the peer
+/// closes, asks for `Connection: close`, errors, or hits the request
+/// cap. Transport errors are swallowed — the peer is gone, there is
 /// nobody left to answer.
 fn serve_connection(state: &ServiceState, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // Request/response over a persistent connection: Nagle buys
+    // nothing and costs a delayed-ACK round trip per exchange.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    match read_request(&mut reader) {
-        Ok(req) => {
-            // A handler panic (a precondition the validators missed)
-            // must not take the worker down with it: answer 500, keep
-            // serving. AssertUnwindSafe is sound because all shared
-            // state is behind poison-recovering locks holding only
-            // complete values (see cache.rs / store.rs).
-            let resp =
-                catch_unwind(AssertUnwindSafe(|| api::handle(state, &req))).unwrap_or_else(|_| {
-                    ApiResponse {
+    for served in 1..=MAX_REQUESTS_PER_CONNECTION {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let keep_alive = req.keep_alive && served < MAX_REQUESTS_PER_CONNECTION;
+                // A handler panic (a precondition the validators
+                // missed) must not take the worker down with it:
+                // answer 500, keep serving. AssertUnwindSafe is sound
+                // because all shared state is behind poison-recovering
+                // locks holding only complete values (see cache.rs /
+                // store.rs).
+                let resp = catch_unwind(AssertUnwindSafe(|| api::handle(state, &req)))
+                    .unwrap_or_else(|_| ApiResponse {
                         status: 500,
                         body: api::error_body(500, "internal", "handler panicked; see server log"),
                         x_cache: None,
-                    }
-                });
-            let extras: Vec<(&str, &str)> =
-                resp.x_cache.map(|v| ("X-Cache", v)).into_iter().collect();
-            let _ = write_response(&mut writer, resp.status, &resp.body, &extras);
-        }
-        // The peer connected and left (health probes, shutdown
-        // wake-ups): nothing to answer.
-        Err(ParseError::ConnectionClosed) => {}
-        Err(e) => {
-            let body = api::error_body(e.status(), e.code(), &e.to_string());
-            let _ = write_response(&mut writer, e.status(), &body, &[]);
+                    });
+                let extras: Vec<(&str, &str)> =
+                    resp.x_cache.map(|v| ("X-Cache", v)).into_iter().collect();
+                if write_response(&mut writer, resp.status, &resp.body, keep_alive, &extras)
+                    .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            // The peer left between requests (health probes, shutdown
+            // wake-ups, a drained keep-alive session): nothing to
+            // answer.
+            Err(ParseError::ConnectionClosed) => return,
+            // Parse errors poison the stream framing; answer and drop.
+            Err(e) => {
+                let body = api::error_body(e.status(), e.code(), &e.to_string());
+                let _ = write_response(&mut writer, e.status(), &body, false, &[]);
+                return;
+            }
         }
     }
 }

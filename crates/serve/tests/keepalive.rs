@@ -1,0 +1,100 @@
+//! Keep-alive equivalence: N requests pipelined over one persistent
+//! connection must produce byte-identical responses to the same N
+//! requests over N fresh connections — the transport must be invisible
+//! to the answers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use tpu_serve::{client, QueryCache, Server, ServiceState, SpecStore};
+use tpu_spec::MachineSpec;
+
+fn start_server() -> Server {
+    let store = SpecStore::in_memory();
+    store.put("v4", &MachineSpec::v4()).unwrap();
+    store.put("a100", &MachineSpec::a100()).unwrap();
+    let state = ServiceState {
+        store,
+        cache: QueryCache::new(64),
+    };
+    Server::start(state, "127.0.0.1:0", 2).unwrap()
+}
+
+/// The cross-transport proof: a mixed batch of endpoints over one
+/// keep-alive connection, then the same batch over fresh connections
+/// against an identical second server (so cache hit/miss state
+/// matches request for request), bodies and statuses equal throughout.
+#[test]
+fn pipelined_responses_match_fresh_connection_responses() {
+    let targets = [
+        "/healthz",
+        "/specs/v4/whatif?availability=0.992&trials=30&seed=7",
+        "/specs/v4/whatif?availability=0.992&trials=30&seed=7", // cache hit
+        "/specs/v4/collective?op=all_reduce&bytes=1048576&shape=4x4x4",
+        "/specs/v4/whatif/sweep?availability=0.99,0.992&trials=30&seed=7",
+        "/specs/a100/whatif?trials=20",
+        "/specs/nope/whatif",        // 404 keeps the connection usable too
+        "/specs/v4/whatif?trials=0", // 400 likewise
+    ];
+
+    let keep_alive_server = start_server();
+    let mut conn = client::Connection::open(keep_alive_server.local_addr()).unwrap();
+    let pipelined: Vec<client::ClientResponse> = targets
+        .iter()
+        .map(|t| conn.request("GET", t, None).unwrap())
+        .collect();
+    // Release the worker parked on this socket before shutdown, or the
+    // join waits out the server's read timeout.
+    drop(conn);
+    keep_alive_server.shutdown();
+
+    let fresh_server = start_server();
+    for (target, piped) in targets.iter().zip(&pipelined) {
+        let fresh = client::request(fresh_server.local_addr(), "GET", target, None).unwrap();
+        assert_eq!(piped.status, fresh.status, "{target}");
+        assert_eq!(piped.body, fresh.body, "{target}");
+        assert_eq!(piped.header("x-cache"), fresh.header("x-cache"), "{target}");
+    }
+    fresh_server.shutdown();
+
+    // The keep-alive path really did reuse one socket: the responses
+    // said so.
+    for resp in &pipelined {
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+}
+
+/// `Connection: close` from the peer is honored mid-stream: the
+/// server answers, closes, and a fresh connection still works.
+#[test]
+fn explicit_close_ends_the_connection() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap(); // EOF proves the close
+    assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+
+    let again = client::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(again.status, 200);
+    server.shutdown();
+}
+
+/// Malformed framing poisons the stream, so the server answers the
+/// error and closes even when the peer asked for keep-alive.
+#[test]
+fn parse_errors_close_despite_keep_alive() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(b"BOGUS LINE\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400 "), "{out}");
+    assert!(out.contains("Connection: close\r\n"), "{out}");
+    server.shutdown();
+}

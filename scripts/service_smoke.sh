@@ -51,6 +51,57 @@ for spec in specs/*.json; do
   fi
 done
 
+# Keep-alive: one curl invocation with several URLs reuses one
+# connection (curl logs "Re-using existing connection"); the pipelined
+# bodies must equal the fresh-connection bodies fetched above.
+KA_SPEC=$(basename "$(ls specs/*.json | head -1)" .json)
+curl -sf -v \
+  "http://$ADDR/specs/$KA_SPEC/whatif?$QUERY" \
+  "http://$ADDR/healthz" \
+  "http://$ADDR/specs/$KA_SPEC/whatif?$QUERY" \
+  >"$workdir/keepalive.out" 2>"$workdir/keepalive.log"
+if ! grep -q "Re-using existing connection" "$workdir/keepalive.log"; then
+  echo "FAIL keep-alive: curl did not reuse the connection"
+  sed -n 's/^\* //p' "$workdir/keepalive.log" | head -20
+  fail=1
+fi
+cat "$workdir/$KA_SPEC.http.json" \
+    <(curl -sf "http://$ADDR/healthz") \
+    "$workdir/$KA_SPEC.http.json" >"$workdir/keepalive.expect"
+if diff -u "$workdir/keepalive.expect" "$workdir/keepalive.out"; then
+  echo "ok keep-alive: pipelined responses == fresh-connection responses"
+else
+  echo "FAIL keep-alive: pipelined responses differ"
+  fail=1
+fi
+
+# Sweep: the grid answer is exactly the assembled per-point --oneshot
+# answers — [P1,P2,...] with each point's trailing newline trimmed.
+SWEEP_AVAIL='0.99,0.992'
+SWEEP_CHIPS='1024,2048'
+SWEEP_SHARED='trials=120&seed=7'
+curl -sf "http://$ADDR/specs/$KA_SPEC/whatif/sweep?availability=$SWEEP_AVAIL&slice_chips=$SWEEP_CHIPS&$SWEEP_SHARED" \
+  >"$workdir/sweep.http.json"
+{
+  printf '['
+  first=1
+  for avail in ${SWEEP_AVAIL//,/ }; do
+    for chips in ${SWEEP_CHIPS//,/ }; do
+      [ "$first" -eq 1 ] || printf ','
+      first=0
+      "$BIN" --oneshot "specs/$KA_SPEC.json" \
+        "whatif?availability=$avail&slice_chips=$chips&$SWEEP_SHARED" | tr -d '\n'
+    done
+  done
+  printf ']\n'
+} >"$workdir/sweep.offline.json"
+if diff -u "$workdir/sweep.offline.json" "$workdir/sweep.http.json"; then
+  echo "ok sweep: grid response == assembled per-point --oneshot answers"
+else
+  echo "FAIL sweep: grid response differs from assembled per-point answers"
+  fail=1
+fi
+
 rm -rf "$workdir"
 if [ "$fail" -ne 0 ]; then
   echo "service smoke FAILED"
